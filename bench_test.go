@@ -1,0 +1,107 @@
+// Benchmarks regenerating the paper's evaluation figures. Each benchmark
+// wraps one figure of Section V (see DESIGN.md's experiment index); the
+// series are printed on the first iteration so `go test -bench` output
+// doubles as the experiment log. The full-size sweeps live behind
+// cmd/ikrqbench; these benches run the Quick workload so the whole suite
+// completes in minutes.
+package ikrq_test
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"ikrq/internal/bench"
+	"ikrq/internal/gen"
+	"ikrq/internal/search"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *bench.Env
+)
+
+func env() *bench.Env {
+	benchEnvOnce.Do(func() {
+		cfg := bench.QuickConfig(1)
+		benchEnv = bench.NewEnv(cfg)
+	})
+	return benchEnv
+}
+
+// runFigure measures one full figure computation per iteration and prints
+// the series once.
+func runFigure(b *testing.B, f func() (*bench.Figure, error)) {
+	b.Helper()
+	printed := false
+	for i := 0; i < b.N; i++ {
+		fig, err := f()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !printed {
+			fig.Fprint(os.Stdout)
+			printed = true
+		}
+	}
+}
+
+func BenchmarkFig04Default(b *testing.B)    { runFigure(b, env().Fig04Default) }
+func BenchmarkFig05K(b *testing.B)          { runFigure(b, env().Fig05K) }
+func BenchmarkFig06QW(b *testing.B)         { runFigure(b, env().Fig06QW) }
+func BenchmarkFig07QWMem(b *testing.B)      { runFigure(b, env().Fig07QWMem) }
+func BenchmarkFig08Eta(b *testing.B)        { runFigure(b, env().Fig08Eta) }
+func BenchmarkFig09EtaMem(b *testing.B)     { runFigure(b, env().Fig09EtaMem) }
+func BenchmarkFig10Beta(b *testing.B)       { runFigure(b, env().Fig10Beta) }
+func BenchmarkFig11Floors(b *testing.B)     { runFigure(b, env().Fig11Floors) }
+func BenchmarkFig12S2T(b *testing.B)        { runFigure(b, env().Fig12S2T) }
+func BenchmarkFig13KoEStar(b *testing.B)    { runFigure(b, env().Fig13KoEStar) }
+func BenchmarkFig14KoEStarMem(b *testing.B) { runFigure(b, env().Fig14KoEStarMem) }
+func BenchmarkFig15NoPrime(b *testing.B)    { runFigure(b, env().Fig15NoPrime) }
+func BenchmarkFig16HomogRate(b *testing.B)  { runFigure(b, env().Fig16HomogRate) }
+func BenchmarkFig17RealQW(b *testing.B)     { runFigure(b, env().Fig17RealQW) }
+func BenchmarkFig18RealQWMem(b *testing.B)  { runFigure(b, env().Fig18RealQWMem) }
+func BenchmarkFig19RealEta(b *testing.B)    { runFigure(b, env().Fig19RealEta) }
+func BenchmarkFig20RealHomogRate(b *testing.B) {
+	runFigure(b, env().Fig20RealHomogRate)
+}
+func BenchmarkSweepAlpha(b *testing.B) { runFigure(b, env().SweepAlpha) }
+func BenchmarkSweepTau(b *testing.B)   { runFigure(b, env().SweepTau) }
+
+// BenchmarkAblationConnect quantifies the DESIGN.md §4.1 deviation: the
+// exact connect (finalized stamps re-queued) versus the paper-literal
+// Algorithm 5 (StrictPaperConnect). Exactness costs extra expansions;
+// this ablation measures how many.
+func BenchmarkAblationConnect(b *testing.B) {
+	w, err := env().Synthetic(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := gen.DefaultQueryConfig(33)
+	cfg.Instances = 3
+	reqs, err := w.QGen.Instances(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name   string
+		strict bool
+	}{{"exact", false}, {"strict-paper", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			pops := 0
+			for i := 0; i < b.N; i++ {
+				for _, r := range reqs {
+					res, err := w.Engine.Search(r, search.Options{
+						Algorithm:          search.ToE,
+						StrictPaperConnect: mode.strict,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					pops += res.Stats.Pops
+				}
+			}
+			b.ReportMetric(float64(pops)/float64(b.N*len(reqs)), "pops/query")
+		})
+	}
+}

@@ -1,0 +1,135 @@
+// Command ikrq runs a single IKRQ query against a generated mall and
+// prints the returned routes.
+//
+// Usage:
+//
+//	ikrq -floors 5 -seed 1 -k 7 -qw "coffee,latte" -alg KoE -eta 1.6
+//
+// Without -qw the query keywords are drawn from the generated vocabulary
+// (the realistic case: users query words that exist in the venue's
+// catalogue). With -real the simulated Hangzhou mall replaces the
+// synthetic space.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ikrq"
+	"ikrq/internal/gen"
+	"ikrq/internal/search"
+)
+
+func main() {
+	var (
+		floors = flag.Int("floors", 5, "synthetic space floors")
+		real   = flag.Bool("real", false, "use the simulated Hangzhou mall")
+		seed   = flag.Uint64("seed", 1, "generation seed")
+		k      = flag.Int("k", 7, "result count")
+		qwFlag = flag.String("qw", "", "comma-separated query keywords (default: sampled)")
+		qwLen  = flag.Int("qwlen", 4, "sampled keyword count when -qw is empty")
+		beta   = flag.Float64("beta", 0.6, "i-word fraction for sampled keywords")
+		s2t    = flag.Float64("s2t", 1500, "target start-terminal distance δs2t (m)")
+		eta    = flag.Float64("eta", 1.6, "distance constraint factor: Δ = η·δ(ps,pt)")
+		alpha  = flag.Float64("alpha", 0.5, "keyword/distance tradeoff α")
+		tau    = flag.Float64("tau", 0.2, "candidate similarity threshold τ")
+		algStr = flag.String("alg", "ToE", "variant: "+variantList())
+		stats  = flag.Bool("stats", false, "print search statistics")
+	)
+	flag.Parse()
+
+	var (
+		mall *ikrq.Mall
+		voc  *ikrq.Vocabulary
+		idx  *ikrq.KeywordIndex
+		err  error
+	)
+	if *real {
+		mall, voc, idx, err = ikrq.NewRealMall(*seed)
+	} else {
+		mall, voc, idx, err = ikrq.NewSyntheticMall(*floors, *seed)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	engine := ikrq.NewEngine(mall.Space, idx)
+	qgen := ikrq.NewQueryGen(mall, idx, voc, engine, *seed+17)
+
+	cfg := gen.DefaultQueryConfig(*seed + 17)
+	cfg.K = *k
+	cfg.QWLen = *qwLen
+	cfg.Beta = *beta
+	cfg.S2T = *s2t
+	cfg.Eta = *eta
+	cfg.Alpha = *alpha
+	cfg.Tau = *tau
+	req, err := qgen.Instance(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *qwFlag != "" {
+		req.QW = strings.Split(*qwFlag, ",")
+	}
+
+	opt, err := ikrq.OptionsFor(ikrq.Variant(*algStr))
+	if err != nil {
+		fatal(err)
+	}
+	res, err := engine.Search(req, opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("IKRQ(ps=%v, pt=%v, Δ=%.0fm, QW=%v, k=%d) via %s\n",
+		req.Ps, req.Pt, req.Delta, req.QW, req.K, *algStr)
+	if len(res.Routes) == 0 {
+		fmt.Println("no routes within the distance constraint")
+		return
+	}
+	for i, r := range res.Routes {
+		fmt.Printf("#%d  ψ=%.4f  ρ=%.3f  δ=%.1fm  %d doors\n",
+			i+1, r.Psi, r.Rho, r.Dist, len(r.Doors))
+		fmt.Printf("    %s\n", describeRoute(engine, &r))
+	}
+	if *stats {
+		st := res.Stats
+		fmt.Printf("stats: %v, pops=%d stamps=%d peakQ=%d pruned[R1=%d R2=%d R3=%d R4=%d R5=%d reg=%d Δ=%d] mem≈%.2fMB\n",
+			st.Elapsed, st.Pops, st.StampsCreated, st.PeakQueue,
+			st.PrunedRule1, st.PrunedRule2, st.PrunedRule3, st.PrunedRule4,
+			st.PrunedRule5, st.PrunedRegularity, st.PrunedDelta,
+			float64(st.EstBytes)/(1<<20))
+	}
+}
+
+// describeRoute renders a route as ps →(partition)→ door →…→ pt with the
+// named partitions it visits.
+func describeRoute(e *ikrq.Engine, r *ikrq.Route) string {
+	var b strings.Builder
+	b.WriteString("ps")
+	for i, d := range r.Doors {
+		part := e.Space().Partition(r.Entered[i])
+		name := part.Name
+		if w := e.Keywords().P2I(part.ID); w >= 0 {
+			name = e.Keywords().IWord(w)
+		}
+		fmt.Fprintf(&b, " →d%d[%s]", d, name)
+	}
+	b.WriteString(" → pt")
+	return b.String()
+}
+
+func variantList() string {
+	vs := search.Variants()
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = string(v)
+	}
+	return strings.Join(out, " ")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ikrq:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Command ikrqbench regenerates the paper's evaluation figures (Fig. 4–20
+// plus the α and τ sweeps) as text tables.
+//
+// Usage:
+//
+//	ikrqbench [-fig fig05] [-quick] [-seed 1] [-instances 10] [-runs 5]
+//
+// Without -fig every figure runs in presentation order. -quick shrinks the
+// workload for a fast smoke pass. Full ToE\P figures run under an
+// expansion cap (reported in the output) because the unpruned variant is
+// intentionally explosive — the paper itself measures it at up to 10^6 ms.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ikrq/internal/bench"
+)
+
+func main() {
+	var (
+		figID     = flag.String("fig", "", "single figure to run (fig04..fig20, alpha, tau)")
+		quick     = flag.Bool("quick", false, "reduced workload")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		instances = flag.Int("instances", 0, "query instances per setting (default: paper's 10, quick: 3)")
+		runs      = flag.Int("runs", 0, "runs per instance (default: paper's 5, quick: 1)")
+		cap       = flag.Int("cap", 0, "expansion cap for ToE\\P (default 300000, quick 50000)")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig(*seed)
+	if *quick {
+		cfg = bench.QuickConfig(*seed)
+	}
+	if *instances > 0 {
+		cfg.Instances = *instances
+	}
+	if *runs > 0 {
+		cfg.Runs = *runs
+	}
+	if *cap > 0 {
+		cfg.CapExpansions = *cap
+	}
+	env := bench.NewEnv(cfg)
+	all := env.All()
+
+	ids := bench.Order()
+	if *figID != "" {
+		if all[*figID] == nil {
+			fmt.Fprintf(os.Stderr, "ikrqbench: unknown figure %q; known: %v\n", *figID, bench.Order())
+			os.Exit(2)
+		}
+		ids = []string{*figID}
+	}
+	for _, id := range ids {
+		fig, err := all[id]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ikrqbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fig.Fprint(os.Stdout)
+	}
+}

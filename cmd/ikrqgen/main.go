@@ -1,0 +1,143 @@
+// Command ikrqgen generates an evaluation space and reports (or dumps) its
+// structure: partition/door counts per floor, keyword statistics, and
+// optionally the full space as JSON for external tooling.
+//
+// Usage:
+//
+//	ikrqgen -floors 5 -seed 1          # statistics only
+//	ikrqgen -real -json > mall.json    # dump the simulated Hangzhou mall
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ikrq"
+	"ikrq/internal/keyword"
+	"ikrq/internal/model"
+)
+
+type jsonSpace struct {
+	Floors     int             `json:"floors"`
+	Partitions []jsonPartition `json:"partitions"`
+	Doors      []jsonDoor      `json:"doors"`
+	Stairways  []jsonStairway  `json:"stairways"`
+}
+
+type jsonPartition struct {
+	ID     int32      `json:"id"`
+	Name   string     `json:"name"`
+	Kind   string     `json:"kind"`
+	Floor  int        `json:"floor"`
+	Bounds [4]float64 `json:"bounds"` // minX, minY, maxX, maxY
+	IWord  string     `json:"iword,omitempty"`
+	TWords []string   `json:"twords,omitempty"`
+}
+
+type jsonDoor struct {
+	ID        int32   `json:"id"`
+	X         float64 `json:"x"`
+	Y         float64 `json:"y"`
+	Floor     int     `json:"floor"`
+	Enterable []int32 `json:"enterable"`
+	Leaveable []int32 `json:"leaveable"`
+	Stair     bool    `json:"stair,omitempty"`
+}
+
+type jsonStairway struct {
+	From   int32   `json:"from"`
+	To     int32   `json:"to"`
+	Length float64 `json:"length"`
+}
+
+func main() {
+	var (
+		floors = flag.Int("floors", 5, "synthetic floors")
+		real   = flag.Bool("real", false, "simulated Hangzhou mall")
+		seed   = flag.Uint64("seed", 1, "generation seed")
+		asJSON = flag.Bool("json", false, "dump the space as JSON to stdout")
+	)
+	flag.Parse()
+
+	var (
+		mall *ikrq.Mall
+		voc  *ikrq.Vocabulary
+		idx  *ikrq.KeywordIndex
+		err  error
+	)
+	if *real {
+		mall, voc, idx, err = ikrq.NewRealMall(*seed)
+	} else {
+		mall, voc, idx, err = ikrq.NewSyntheticMall(*floors, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ikrqgen:", err)
+		os.Exit(1)
+	}
+	s := mall.Space
+
+	if *asJSON {
+		dump(s, idx)
+		return
+	}
+
+	fmt.Printf("space: %d floors, %d partitions, %d doors, %d stairways\n",
+		s.Floors(), s.NumPartitions(), s.NumDoors(), len(s.Stairways()))
+	fmt.Printf("rooms: %d, hallway cells: %d\n", len(mall.Rooms), len(mall.HallCells))
+	named := 0
+	for _, r := range mall.Rooms {
+		if idx.P2I(r) != keyword.NoIWord {
+			named++
+		}
+	}
+	fmt.Printf("named rooms: %d\n", named)
+	fmt.Printf("keywords: %d i-words, %d t-words in index; vocabulary %d brands, avg %.1f t-words/brand, %d distinct t-words\n",
+		idx.NumIWords(), idx.NumTWords(), len(voc.Brands), voc.AvgTWords(), voc.DistinctTWords)
+}
+
+func dump(s *model.Space, idx *keyword.Index) {
+	out := jsonSpace{Floors: s.Floors()}
+	for _, p := range s.Partitions() {
+		jp := jsonPartition{
+			ID:    int32(p.ID),
+			Name:  p.Name,
+			Kind:  p.Kind.String(),
+			Floor: p.Floor(),
+			Bounds: [4]float64{p.Bounds.MinX, p.Bounds.MinY,
+				p.Bounds.MaxX, p.Bounds.MaxY},
+		}
+		if w := idx.P2I(p.ID); w != keyword.NoIWord {
+			jp.IWord = idx.IWord(w)
+			for _, t := range idx.I2T(w) {
+				jp.TWords = append(jp.TWords, idx.TWord(t))
+			}
+		}
+		out.Partitions = append(out.Partitions, jp)
+	}
+	for _, d := range s.Doors() {
+		jd := jsonDoor{
+			ID: int32(d.ID), X: d.Pos.X, Y: d.Pos.Y, Floor: d.Floor(),
+			Stair: d.Stair,
+		}
+		for _, v := range d.Enterable() {
+			jd.Enterable = append(jd.Enterable, int32(v))
+		}
+		for _, v := range d.Leaveable() {
+			jd.Leaveable = append(jd.Leaveable, int32(v))
+		}
+		out.Doors = append(out.Doors, jd)
+	}
+	for _, sw := range s.Stairways() {
+		out.Stairways = append(out.Stairways, jsonStairway{
+			From: int32(sw.From), To: int32(sw.To), Length: sw.Length,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "ikrqgen:", err)
+		os.Exit(1)
+	}
+}

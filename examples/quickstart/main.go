@@ -1,0 +1,95 @@
+// Quickstart: build a small single-floor mall by hand (the shape of the
+// paper's Fig. 1), attach two-level keywords, and run one IKRQ query with
+// both search algorithms.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ikrq"
+)
+
+func main() {
+	// ---- Indoor space: a hallway strip with branded shops -------------
+	//
+	//	 zara      costa     apple
+	//	  |d3        |d4       |d5
+	//	h0 --d0-- h1 --d1-- h2 --d2-- h3
+	//	            |d6       |d7
+	//	         starbucks  samsung
+	b := ikrq.NewSpaceBuilder()
+	var hall [4]ikrq.PartitionID
+	for i := range hall {
+		x := float64(12 * i)
+		hall[i] = b.AddPartition(fmt.Sprintf("hall-%d", i), ikrq.KindHallway,
+			ikrq.Rect(x, 0, x+12, 8, 0))
+	}
+	shop := func(name string, x0 float64, above bool) ikrq.PartitionID {
+		if above {
+			return b.AddPartition(name, ikrq.KindRoom, ikrq.Rect(x0, 8, x0+12, 18, 0))
+		}
+		return b.AddPartition(name, ikrq.KindRoom, ikrq.Rect(x0, -10, x0+12, 0, 0))
+	}
+	zara := shop("zara", 0, true)
+	costa := shop("costa", 12, true)
+	apple := shop("apple", 24, true)
+	starbucks := shop("starbucks", 12, false)
+	samsung := shop("samsung", 24, false)
+
+	for i := 0; i < 3; i++ {
+		b.AddDoor(ikrq.At(float64(12*i+12), 4, 0), hall[i], hall[i+1])
+	}
+	b.AddDoor(ikrq.At(6, 8, 0), hall[0], zara)
+	b.AddDoor(ikrq.At(18, 8, 0), hall[1], costa)
+	b.AddDoor(ikrq.At(30, 8, 0), hall[2], apple)
+	b.AddDoor(ikrq.At(18, 0, 0), hall[1], starbucks)
+	b.AddDoor(ikrq.At(30, 0, 0), hall[2], samsung)
+
+	space, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ---- Keywords: i-words identify shops, t-words describe them ------
+	kb := ikrq.NewKeywordBuilder(space.NumPartitions())
+	kb.AssignPartition(zara, kb.DefineIWord("zara", []string{"coat", "pants", "sweater"}))
+	kb.AssignPartition(costa, kb.DefineIWord("costa", []string{"coffee", "drinks", "mocha"}))
+	kb.AssignPartition(apple, kb.DefineIWord("apple", []string{"phone", "mac", "laptop", "watch"}))
+	kb.AssignPartition(starbucks, kb.DefineIWord("starbucks", []string{"coffee", "mocha", "latte", "drinks"}))
+	kb.AssignPartition(samsung, kb.DefineIWord("samsung", []string{"phone", "laptop", "earphone"}))
+	index, err := kb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ---- Query: top-3 routes covering "latte" and "laptop" ------------
+	engine := ikrq.NewEngine(space, index)
+	req := ikrq.Request{
+		Ps:    ikrq.At(2, 4, 0),  // in hall-0
+		Pt:    ikrq.At(46, 4, 0), // in hall-3
+		Delta: 160,
+		QW:    []string{"latte", "laptop"},
+		K:     3,
+		Alpha: 0.5,
+		Tau:   0.2,
+	}
+	for _, alg := range []ikrq.Algorithm{ikrq.ToE, ikrq.KoE} {
+		res, err := engine.Search(req, ikrq.Options{Algorithm: alg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%v found %d routes in %v:\n", alg, len(res.Routes), res.Stats.Elapsed)
+		for i, r := range res.Routes {
+			fmt.Printf("  #%d ψ=%.4f ρ=%.3f δ=%.1fm via", i+1, r.Psi, r.Rho, r.Dist)
+			for _, v := range r.KP {
+				fmt.Printf(" %s", space.Partition(v).Name)
+			}
+			fmt.Println()
+		}
+	}
+
+	// "latte" has no exact match here — starbucks matches directly via
+	// T2I, and costa is an indirect (Jaccard) match, so routes through
+	// either shop are relevant, starbucks more so.
+}

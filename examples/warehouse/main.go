@@ -1,0 +1,104 @@
+// Warehouse: the paper's robotics scenario (Section I) — a picking robot
+// must fetch items identified by product keywords on one tour from the
+// charging dock to the packing station, within a battery-limited travel
+// budget.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ikrq"
+)
+
+func main() {
+	// ---- Warehouse: two aisles of storage bays ------------------------
+	//
+	//	dock → aisle-A (bays A1..A4 above) → cross → aisle-B (bays B1..B4) → packing
+	b := ikrq.NewSpaceBuilder()
+	aisleA := b.AddPartition("aisle-A", ikrq.KindHallway, ikrq.Rect(0, 0, 100, 6, 0))
+	cross := b.AddPartition("cross-aisle", ikrq.KindHallway, ikrq.Rect(100, 0, 110, 30, 0))
+	aisleB := b.AddPartition("aisle-B", ikrq.KindHallway, ikrq.Rect(0, 24, 100, 30, 0))
+
+	b.AddDoor(ikrq.At(100, 3, 0), aisleA, cross)
+	b.AddDoor(ikrq.At(100, 27, 0), aisleB, cross)
+
+	bay := func(name string, x0 float64, south bool) ikrq.PartitionID {
+		if south {
+			p := b.AddPartition(name, ikrq.KindRoom, ikrq.Rect(x0, 6, x0+20, 14, 0))
+			b.AddDoor(ikrq.At(x0+10, 6, 0), aisleA, p)
+			return p
+		}
+		p := b.AddPartition(name, ikrq.KindRoom, ikrq.Rect(x0, 16, x0+20, 24, 0))
+		b.AddDoor(ikrq.At(x0+10, 24, 0), aisleB, p)
+		return p
+	}
+	bays := map[string]struct {
+		part  ikrq.PartitionID
+		items []string
+	}{}
+	for i, spec := range []struct {
+		name  string
+		south bool
+		items []string
+	}{
+		{"bay-A1", true, []string{"screws", "bolts", "washers"}},
+		{"bay-A2", true, []string{"cables", "connectors"}},
+		{"bay-A3", true, []string{"batteries", "chargers"}},
+		{"bay-A4", true, []string{"sensors", "actuators"}},
+		{"bay-B1", false, []string{"gears", "belts"}},
+		{"bay-B2", false, []string{"bearings", "shafts"}},
+		{"bay-B3", false, []string{"motors", "drivers"}},
+		{"bay-B4", false, []string{"filament", "resin"}},
+	} {
+		x0 := float64(5 + 25*(i%4))
+		p := bay(spec.name, x0, spec.south)
+		bays[spec.name] = struct {
+			part  ikrq.PartitionID
+			items []string
+		}{p, spec.items}
+	}
+
+	space, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	kb := ikrq.NewKeywordBuilder(space.NumPartitions())
+	for name, info := range bays {
+		kb.AssignPartition(info.part, kb.DefineIWord(name, info.items))
+	}
+	index, err := kb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ---- Pick list: three items, battery budget 400m ------------------
+	engine := ikrq.NewEngine(space, index)
+	req := ikrq.Request{
+		Ps:    ikrq.At(2, 3, 0),  // charging dock, aisle-A west end
+		Pt:    ikrq.At(2, 27, 0), // packing station, aisle-B west end
+		Delta: 400,
+		QW:    []string{"bolts", "motors", "filament"},
+		K:     4,
+		Alpha: 0.8, // coverage matters far more than meters for a robot
+		Tau:   0.2,
+	}
+	res, err := engine.Search(req, ikrq.Options{Algorithm: ikrq.KoE})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pick tour for %v (budget %.0fm):\n", req.QW, req.Delta)
+	for i, r := range res.Routes {
+		fmt.Printf("#%d ψ=%.4f ρ=%.3f δ=%.0fm — bays:", i+1, r.Psi, r.Rho, r.Dist)
+		for _, v := range r.KP {
+			p := space.Partition(v)
+			if p.Kind == ikrq.KindRoom {
+				fmt.Printf(" %s", p.Name)
+			}
+		}
+		fmt.Println()
+	}
+	if len(res.Routes) > 0 && res.Routes[0].Rho >= 4 {
+		fmt.Println("all three picks covered on the best tour")
+	}
+}

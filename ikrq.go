@@ -1,0 +1,172 @@
+// Package ikrq is the public API of the IKRQ library, a reproduction of
+// "Indoor Top-k Keyword-aware Routing Query" (Feng, Liu, Li, Lu, Shou, Xu —
+// ICDE 2020). Given two indoor points, a distance constraint Δ and a list
+// of query keywords, an IKRQ returns the k best start-to-terminal routes
+// ranked by a combination of keyword relevance and spatial distance, with
+// prime routes guaranteeing result diversity.
+//
+// The package re-exports the building blocks:
+//
+//   - indoor space modelling (partitions, doors, stairways) via SpaceBuilder,
+//   - two-level indoor keywords (i-words and t-words) via KeywordBuilder,
+//   - the query engine with the paper's two search algorithms (ToE and KoE)
+//     and all ablation variants via Engine,
+//   - the evaluation-scale data generators via NewSyntheticMall and
+//     NewRealMall.
+//
+// Quick start:
+//
+//	b := ikrq.NewSpaceBuilder()
+//	hall := b.AddPartition("hall", ikrq.KindHallway, ikrq.Rect(0, 0, 30, 10, 0))
+//	shop := b.AddPartition("espresso-bar", ikrq.KindRoom, ikrq.Rect(10, 10, 20, 20, 0))
+//	b.AddDoor(ikrq.At(15, 10, 0), hall, shop)
+//	space, _ := b.Build()
+//
+//	kb := ikrq.NewKeywordBuilder(space.NumPartitions())
+//	kb.AssignPartition(shop, kb.DefineIWord("espresso-bar", []string{"coffee", "latte"}))
+//	index, _ := kb.Build()
+//
+//	engine := ikrq.NewEngine(space, index)
+//	res, _ := engine.Search(ikrq.Request{
+//	    Ps: ikrq.At(2, 5, 0), Pt: ikrq.At(28, 5, 0),
+//	    Delta: 60, QW: []string{"coffee"}, K: 3, Alpha: 0.5, Tau: 0.2,
+//	}, ikrq.Options{Algorithm: ikrq.ToE})
+package ikrq
+
+import (
+	"ikrq/internal/gen"
+	"ikrq/internal/geom"
+	"ikrq/internal/keyword"
+	"ikrq/internal/model"
+	"ikrq/internal/search"
+)
+
+// Geometry.
+type (
+	// Point is an indoor location: planar coordinates plus a floor.
+	Point = geom.Point
+)
+
+// At constructs a Point.
+func At(x, y float64, floor int) Point { return geom.Pt(x, y, floor) }
+
+// Rect constructs a partition extent (an axis-aligned rectangle on one
+// floor); corners are normalized.
+func Rect(x0, y0, x1, y1 float64, floor int) geom.Rect { return geom.R(x0, y0, x1, y1, floor) }
+
+// Indoor space model.
+type (
+	// Space is an immutable indoor space of partitions and doors.
+	Space = model.Space
+	// SpaceBuilder assembles a Space.
+	SpaceBuilder = model.Builder
+	// PartitionID identifies a partition.
+	PartitionID = model.PartitionID
+	// DoorID identifies a door.
+	DoorID = model.DoorID
+	// PartitionKind classifies partitions (room / hallway / staircase).
+	PartitionKind = model.PartitionKind
+)
+
+// Partition kinds.
+const (
+	KindRoom      = model.KindRoom
+	KindHallway   = model.KindHallway
+	KindStaircase = model.KindStaircase
+)
+
+// NewSpaceBuilder returns an empty space builder.
+func NewSpaceBuilder() *SpaceBuilder { return model.NewBuilder() }
+
+// Keyword layer.
+type (
+	// KeywordIndex organizes a space's i-words and t-words with the P2I,
+	// I2P, I2T and T2I mappings.
+	KeywordIndex = keyword.Index
+	// KeywordBuilder assembles a KeywordIndex.
+	KeywordBuilder = keyword.IndexBuilder
+	// IWordID identifies an identity word.
+	IWordID = keyword.IWordID
+)
+
+// NewKeywordBuilder returns a keyword builder for a space with the given
+// partition count.
+func NewKeywordBuilder(numPartitions int) *KeywordBuilder {
+	return keyword.NewIndexBuilder(numPartitions)
+}
+
+// Query engine.
+type (
+	// Engine runs IKRQ queries against one space + keyword index.
+	Engine = search.Engine
+	// Request is one IKRQ(ps, pt, Δ, QW, k) instance with the scoring
+	// parameters α and τ.
+	Request = search.Request
+	// Options selects the algorithm and ablation switches.
+	Options = search.Options
+	// Result is a ranked list of routes plus search statistics.
+	Result = search.Result
+	// Route is one returned route.
+	Route = search.Route
+	// Stats reports the cost of a search run.
+	Stats = search.Stats
+	// Algorithm selects the expansion strategy.
+	Algorithm = search.Algorithm
+	// Variant names the paper's algorithm configurations (Table III).
+	Variant = search.Variant
+)
+
+// Expansion strategies.
+const (
+	// ToE is the topology-oriented expansion (Algorithm 2).
+	ToE = search.ToE
+	// KoE is the keyword-oriented expansion (Algorithm 6).
+	KoE = search.KoE
+)
+
+// NewEngine builds a query engine.
+func NewEngine(s *Space, x *KeywordIndex) *Engine { return search.NewEngine(s, x) }
+
+// OptionsFor returns the Options for a Table III variant name such as
+// "ToE", "KoE", "ToE\\D" or "KoE*".
+func OptionsFor(v Variant) (Options, error) { return search.OptionsFor(v) }
+
+// Variants lists all comparable methods of Table III.
+func Variants() []Variant { return search.Variants() }
+
+// Data generators (Section V workloads).
+type (
+	// Mall is a generated indoor space with room/hallway bookkeeping.
+	Mall = gen.Mall
+	// Vocabulary is a generated brand/keyword catalogue.
+	Vocabulary = gen.Vocabulary
+	// QueryGen draws IKRQ instances against a generated mall.
+	QueryGen = gen.QueryGen
+	// QueryConfig holds the workload parameters of Table IV.
+	QueryConfig = gen.QueryConfig
+	// GridConfig parameterizes the floorplan generator.
+	GridConfig = gen.GridConfig
+)
+
+// NewSyntheticMall builds the paper's synthetic evaluation space (141
+// partitions and 220 doors per floor) with the generated keyword catalogue
+// attached.
+func NewSyntheticMall(floors int, seed uint64) (*Mall, *Vocabulary, *KeywordIndex, error) {
+	return gen.SyntheticMall(floors, seed)
+}
+
+// NewRealMall builds the simulated seven-floor Hangzhou mall of Section
+// V-B: 639 category-clustered stores and Hangzhou-like keyword statistics.
+func NewRealMall(seed uint64) (*Mall, *Vocabulary, *KeywordIndex, error) {
+	return gen.RealMall(gen.RealConfig{Seed: seed})
+}
+
+// NewQueryGen builds a query generator over a generated mall. Pass the
+// engine built for the same mall so the generator can reuse its distance
+// structures.
+func NewQueryGen(m *Mall, x *KeywordIndex, v *Vocabulary, e *Engine, seed uint64) *QueryGen {
+	return gen.NewQueryGen(m, x, v, e.PathFinder(), seed)
+}
+
+// DefaultQueryConfig returns Table IV's default workload parameters.
+func DefaultQueryConfig(seed uint64) QueryConfig { return gen.DefaultQueryConfig(seed) }

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Series is one plotted line: a label and aligned X/Y vectors.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+	// Note carries qualifications (e.g. "capped at N expansions").
+	Note string
+}
+
+// Figure is one reproduced evaluation plot.
+type Figure struct {
+	ID     string // e.g. "fig04"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// SeriesByName returns the named series, or nil.
+func (f *Figure) SeriesByName(name string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Name == name {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// Fprint renders the figure as an aligned text table, one row per X value
+// and one column per series — the same rows/series the paper plots.
+func (f *Figure) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title)
+	// Collect the union of X values in order.
+	seen := make(map[float64]bool)
+	var xs []float64
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := []string{fmtF(x)}
+		for _, s := range f.Series {
+			cell := "-"
+			for i := range s.X {
+				if s.X[i] == x {
+					cell = fmtF(s.Y[i])
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for i, c := range row {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	for _, s := range f.Series {
+		if s.Note != "" {
+			fmt.Fprintf(w, "note: %s — %s\n", s.Name, s.Note)
+		}
+	}
+	fmt.Fprintf(w, "(%s)\n\n", f.YLabel)
+}

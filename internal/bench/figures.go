@@ -1,0 +1,374 @@
+package bench
+
+import (
+	"fmt"
+
+	"ikrq/internal/gen"
+	"ikrq/internal/search"
+)
+
+// sixVariants are the methods compared throughout Section V-A2.
+var sixVariants = []search.Variant{
+	search.VariantToE, search.VariantToED, search.VariantToEB,
+	search.VariantKoE, search.VariantKoED, search.VariantKoEB,
+}
+
+// Fig04Default reproduces Fig. 4: per-instance running time of every
+// comparable method under the default parameters (KoE* included; ToE\P is
+// omitted as in the paper, being orders of magnitude slower).
+func (e *Env) Fig04Default() (*Figure, error) {
+	w, err := e.Synthetic(5)
+	if err != nil {
+		return nil, err
+	}
+	reqs, err := e.instances(w, nil)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{ID: "fig04", Title: "Running time, default parameters",
+		XLabel: "instance", YLabel: "time (ms)"}
+	variants := append(append([]search.Variant{}, sixVariants...), search.VariantKoEStar)
+	for _, v := range variants {
+		opt, err := e.optionsFor(v)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Name: string(v)}
+		for i, r := range reqs {
+			m, err := e.measure(w, []search.Request{r}, opt)
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, float64(i+1))
+			s.Y = append(s.Y, ms(m.AvgTime))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// sweep runs the six-variant comparison over a parameter axis.
+func (e *Env) sweep(w *Workload, id, title, xlabel string, xs []float64,
+	variants []search.Variant, mutate func(*gen.QueryConfig, float64),
+	metric func(Measurement) float64, ylabel string) (*Figure, error) {
+
+	fig := &Figure{ID: id, Title: title, XLabel: xlabel, YLabel: ylabel}
+	series := make([]Series, len(variants))
+	for i, v := range variants {
+		series[i] = Series{Name: string(v)}
+	}
+	for _, x := range xs {
+		reqs, err := e.instances(w, func(cfg *gen.QueryConfig) { mutate(cfg, x) })
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range variants {
+			opt, err := e.optionsFor(v)
+			if err != nil {
+				return nil, err
+			}
+			m, err := e.measure(w, reqs, opt)
+			if err != nil {
+				return nil, err
+			}
+			series[i].X = append(series[i].X, x)
+			series[i].Y = append(series[i].Y, metric(m))
+			if m.Truncated > 0 {
+				series[i].Note = fmt.Sprintf("capped at %d expansions", e.Cfg.CapExpansions)
+			}
+		}
+	}
+	fig.Series = series
+	return fig, nil
+}
+
+func timeMetric(m Measurement) float64  { return ms(m.AvgTime) }
+func memMetric(m Measurement) float64   { return mb(m.AvgBytes) }
+func homogMetric(m Measurement) float64 { return m.AvgHomogeneous }
+
+// Fig05K reproduces Fig. 5: running time vs k ∈ 1..11.
+func (e *Env) Fig05K() (*Figure, error) {
+	w, err := e.Synthetic(5)
+	if err != nil {
+		return nil, err
+	}
+	return e.sweep(w, "fig05", "Running time vs k", "k",
+		[]float64{1, 3, 5, 7, 9, 11}, sixVariants,
+		func(cfg *gen.QueryConfig, x float64) { cfg.K = int(x) },
+		timeMetric, "time (ms)")
+}
+
+// Fig06QW reproduces Fig. 6: running time vs |QW| ∈ 1..5.
+func (e *Env) Fig06QW() (*Figure, error) {
+	w, err := e.Synthetic(5)
+	if err != nil {
+		return nil, err
+	}
+	return e.sweep(w, "fig06", "Running time vs |QW|", "|QW|",
+		[]float64{1, 2, 3, 4, 5}, sixVariants,
+		func(cfg *gen.QueryConfig, x float64) { cfg.QWLen = int(x) },
+		timeMetric, "time (ms)")
+}
+
+// Fig07QWMem reproduces Fig. 7: memory vs |QW|.
+func (e *Env) Fig07QWMem() (*Figure, error) {
+	w, err := e.Synthetic(5)
+	if err != nil {
+		return nil, err
+	}
+	return e.sweep(w, "fig07", "Memory vs |QW|", "|QW|",
+		[]float64{1, 2, 3, 4, 5}, sixVariants,
+		func(cfg *gen.QueryConfig, x float64) { cfg.QWLen = int(x) },
+		memMetric, "memory (MB)")
+}
+
+// Fig08Eta reproduces Fig. 8: running time vs η.
+func (e *Env) Fig08Eta() (*Figure, error) {
+	w, err := e.Synthetic(5)
+	if err != nil {
+		return nil, err
+	}
+	return e.sweep(w, "fig08", "Running time vs η", "η",
+		[]float64{1.6, 1.8, 2.0}, sixVariants,
+		func(cfg *gen.QueryConfig, x float64) { cfg.Eta = x },
+		timeMetric, "time (ms)")
+}
+
+// Fig09EtaMem reproduces Fig. 9: memory vs η.
+func (e *Env) Fig09EtaMem() (*Figure, error) {
+	w, err := e.Synthetic(5)
+	if err != nil {
+		return nil, err
+	}
+	return e.sweep(w, "fig09", "Memory vs η", "η",
+		[]float64{1.6, 1.8, 2.0}, sixVariants,
+		func(cfg *gen.QueryConfig, x float64) { cfg.Eta = x },
+		memMetric, "memory (MB)")
+}
+
+// Fig10Beta reproduces Fig. 10: running time vs the i-word fraction β
+// (ToE and KoE only).
+func (e *Env) Fig10Beta() (*Figure, error) {
+	w, err := e.Synthetic(5)
+	if err != nil {
+		return nil, err
+	}
+	return e.sweep(w, "fig10", "Running time vs β", "β",
+		[]float64{0.2, 0.4, 0.6, 0.8, 1.0},
+		[]search.Variant{search.VariantToE, search.VariantKoE},
+		func(cfg *gen.QueryConfig, x float64) { cfg.Beta = x },
+		timeMetric, "time (ms)")
+}
+
+// Fig11Floors reproduces Fig. 11: running time vs floor count.
+func (e *Env) Fig11Floors() (*Figure, error) {
+	fig := &Figure{ID: "fig11", Title: "Running time vs floors",
+		XLabel: "floors", YLabel: "time (ms)"}
+	variants := []search.Variant{search.VariantToE, search.VariantKoE}
+	series := make([]Series, len(variants))
+	for i, v := range variants {
+		series[i] = Series{Name: string(v)}
+	}
+	for _, floors := range []int{3, 5, 7, 9} {
+		w, err := e.Synthetic(floors)
+		if err != nil {
+			return nil, err
+		}
+		reqs, err := e.instances(w, nil)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range variants {
+			opt, err := e.optionsFor(v)
+			if err != nil {
+				return nil, err
+			}
+			m, err := e.measure(w, reqs, opt)
+			if err != nil {
+				return nil, err
+			}
+			series[i].X = append(series[i].X, float64(floors))
+			series[i].Y = append(series[i].Y, ms(m.AvgTime))
+		}
+	}
+	fig.Series = series
+	return fig, nil
+}
+
+// Fig12S2T reproduces Fig. 12: running time vs δs2t with η fixed at 1.6.
+func (e *Env) Fig12S2T() (*Figure, error) {
+	w, err := e.Synthetic(5)
+	if err != nil {
+		return nil, err
+	}
+	return e.sweep(w, "fig12", "Running time vs δs2t (η=1.6)", "δs2t (m)",
+		[]float64{1100, 1300, 1500, 1700, 1900},
+		[]search.Variant{search.VariantToE, search.VariantKoE},
+		func(cfg *gen.QueryConfig, x float64) { cfg.S2T = x; cfg.Eta = 1.6 },
+		timeMetric, "time (ms)")
+}
+
+// Fig13KoEStar reproduces Fig. 13: KoE vs KoE* running time across η.
+func (e *Env) Fig13KoEStar() (*Figure, error) {
+	w, err := e.Synthetic(5)
+	if err != nil {
+		return nil, err
+	}
+	return e.sweep(w, "fig13", "KoE vs KoE* running time vs η", "η",
+		[]float64{1.2, 1.4, 1.6, 1.8, 2.0},
+		[]search.Variant{search.VariantKoE, search.VariantKoEStar},
+		func(cfg *gen.QueryConfig, x float64) { cfg.Eta = x },
+		timeMetric, "time (ms)")
+}
+
+// Fig14KoEStarMem reproduces Fig. 14: KoE vs KoE* memory across η.
+func (e *Env) Fig14KoEStarMem() (*Figure, error) {
+	w, err := e.Synthetic(5)
+	if err != nil {
+		return nil, err
+	}
+	return e.sweep(w, "fig14", "KoE vs KoE* memory vs η", "η",
+		[]float64{1.2, 1.4, 1.6, 1.8, 2.0},
+		[]search.Variant{search.VariantKoE, search.VariantKoEStar},
+		func(cfg *gen.QueryConfig, x float64) { cfg.Eta = x },
+		memMetric, "memory (MB)")
+}
+
+// Fig15NoPrime reproduces Fig. 15: ToE vs ToE\P running time across η.
+// ToE\P runs under the expansion cap; capped points are noted.
+func (e *Env) Fig15NoPrime() (*Figure, error) {
+	w, err := e.Synthetic(5)
+	if err != nil {
+		return nil, err
+	}
+	return e.sweep(w, "fig15", "ToE vs ToE\\P running time vs η", "η",
+		[]float64{1.4, 1.6, 1.8, 2.0},
+		[]search.Variant{search.VariantToE, search.VariantToEP},
+		func(cfg *gen.QueryConfig, x float64) { cfg.Eta = x },
+		timeMetric, "time (ms)")
+}
+
+// Fig16HomogRate reproduces Fig. 16: ToE\P's homogeneous rate vs k.
+func (e *Env) Fig16HomogRate() (*Figure, error) {
+	w, err := e.Synthetic(5)
+	if err != nil {
+		return nil, err
+	}
+	return e.sweep(w, "fig16", "ToE\\P homogeneous rate vs k", "k",
+		[]float64{1, 3, 5, 7, 9, 11, 13, 15},
+		[]search.Variant{search.VariantToEP},
+		func(cfg *gen.QueryConfig, x float64) { cfg.K = int(x) },
+		homogMetric, "homogeneous rate")
+}
+
+// Fig17RealQW reproduces Fig. 17: real-data running time vs |QW|.
+func (e *Env) Fig17RealQW() (*Figure, error) {
+	w, err := e.Real()
+	if err != nil {
+		return nil, err
+	}
+	return e.sweep(w, "fig17", "Real data: running time vs |QW|", "|QW|",
+		[]float64{1, 2, 3, 4, 5}, sixVariants,
+		func(cfg *gen.QueryConfig, x float64) { cfg.QWLen = int(x) },
+		timeMetric, "time (ms)")
+}
+
+// Fig18RealQWMem reproduces Fig. 18: real-data memory vs |QW|.
+func (e *Env) Fig18RealQWMem() (*Figure, error) {
+	w, err := e.Real()
+	if err != nil {
+		return nil, err
+	}
+	return e.sweep(w, "fig18", "Real data: memory vs |QW|", "|QW|",
+		[]float64{1, 2, 3, 4, 5}, sixVariants,
+		func(cfg *gen.QueryConfig, x float64) { cfg.QWLen = int(x) },
+		memMetric, "memory (MB)")
+}
+
+// Fig19RealEta reproduces Fig. 19: real-data running time vs η.
+func (e *Env) Fig19RealEta() (*Figure, error) {
+	w, err := e.Real()
+	if err != nil {
+		return nil, err
+	}
+	return e.sweep(w, "fig19", "Real data: running time vs η", "η",
+		[]float64{1.2, 1.4, 1.6, 1.8, 2.0, 2.2}, sixVariants,
+		func(cfg *gen.QueryConfig, x float64) { cfg.Eta = x },
+		timeMetric, "time (ms)")
+}
+
+// Fig20RealHomogRate reproduces Fig. 20: real-data ToE\P homogeneous rate
+// vs |QW|.
+func (e *Env) Fig20RealHomogRate() (*Figure, error) {
+	w, err := e.Real()
+	if err != nil {
+		return nil, err
+	}
+	return e.sweep(w, "fig20", "Real data: ToE\\P homogeneous rate vs |QW|", "|QW|",
+		[]float64{1, 2, 3, 4, 5},
+		[]search.Variant{search.VariantToEP},
+		func(cfg *gen.QueryConfig, x float64) { cfg.QWLen = int(x) },
+		homogMetric, "homogeneous rate")
+}
+
+// SweepAlpha reproduces the α sensitivity experiment (Section V-A2, plot
+// omitted by the paper for space): running time across α for ToE and KoE.
+func (e *Env) SweepAlpha() (*Figure, error) {
+	w, err := e.Synthetic(5)
+	if err != nil {
+		return nil, err
+	}
+	return e.sweep(w, "alpha", "Running time vs α", "α",
+		[]float64{0.1, 0.3, 0.5, 0.7, 0.9},
+		[]search.Variant{search.VariantToE, search.VariantKoE},
+		func(cfg *gen.QueryConfig, x float64) { cfg.Alpha = x },
+		timeMetric, "time (ms)")
+}
+
+// SweepTau reproduces the τ sensitivity experiment (plot omitted by the
+// paper): running time across the candidate similarity threshold.
+func (e *Env) SweepTau() (*Figure, error) {
+	w, err := e.Synthetic(5)
+	if err != nil {
+		return nil, err
+	}
+	return e.sweep(w, "tau", "Running time vs τ", "τ",
+		[]float64{0.05, 0.1, 0.2, 0.4},
+		[]search.Variant{search.VariantToE, search.VariantKoE},
+		func(cfg *gen.QueryConfig, x float64) { cfg.Tau = x },
+		timeMetric, "time (ms)")
+}
+
+// All returns every figure in paper order, keyed by ID.
+func (e *Env) All() map[string]func() (*Figure, error) {
+	return map[string]func() (*Figure, error){
+		"fig04": e.Fig04Default,
+		"fig05": e.Fig05K,
+		"fig06": e.Fig06QW,
+		"fig07": e.Fig07QWMem,
+		"fig08": e.Fig08Eta,
+		"fig09": e.Fig09EtaMem,
+		"fig10": e.Fig10Beta,
+		"fig11": e.Fig11Floors,
+		"fig12": e.Fig12S2T,
+		"fig13": e.Fig13KoEStar,
+		"fig14": e.Fig14KoEStarMem,
+		"fig15": e.Fig15NoPrime,
+		"fig16": e.Fig16HomogRate,
+		"fig17": e.Fig17RealQW,
+		"fig18": e.Fig18RealQWMem,
+		"fig19": e.Fig19RealEta,
+		"fig20": e.Fig20RealHomogRate,
+		"alpha": e.SweepAlpha,
+		"tau":   e.SweepTau,
+	}
+}
+
+// Order lists figure IDs in presentation order.
+func Order() []string {
+	return []string{
+		"fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+		"fig18", "fig19", "fig20", "alpha", "tau",
+	}
+}

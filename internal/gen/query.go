@@ -1,0 +1,177 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"ikrq/internal/geom"
+	"ikrq/internal/graph"
+	"ikrq/internal/keyword"
+	"ikrq/internal/model"
+	"ikrq/internal/search"
+)
+
+// QueryConfig holds the workload parameters of Table IV.
+type QueryConfig struct {
+	Seed uint64
+	// K is the result count (default 7).
+	K int
+	// QWLen is |QW| (default 4).
+	QWLen int
+	// Beta is the fraction of i-words in QW (default 0.6).
+	Beta float64
+	// S2T is the target start-to-terminal indoor distance δs2t in meters
+	// (default 1500).
+	S2T float64
+	// Eta scales the distance constraint: Δ = η·δs2t (default 1.6).
+	Eta float64
+	// Alpha and Tau are the scoring parameters (defaults 0.5 and 0.2).
+	Alpha, Tau float64
+	// Instances is the number of query instances to generate per setting
+	// (the paper uses 10).
+	Instances int
+}
+
+// DefaultQueryConfig returns Table IV's bold defaults.
+func DefaultQueryConfig(seed uint64) QueryConfig {
+	return QueryConfig{
+		Seed:      seed,
+		K:         7,
+		QWLen:     4,
+		Beta:      0.6,
+		S2T:       1500,
+		Eta:       1.6,
+		Alpha:     0.5,
+		Tau:       0.2,
+		Instances: 10,
+	}
+}
+
+// QueryGen draws IKRQ instances against a generated mall following Section
+// V-A1: fix δs2t, pick a random start point, find a door whose indoor
+// distance from the start approximates δs2t, place the terminal point just
+// beyond it, and set Δ = η·δs2t. Query keywords are sampled from the
+// vocabulary with an i-word fraction β.
+type QueryGen struct {
+	mall *Mall
+	x    *keyword.Index
+	pf   *graph.PathFinder
+	rng  *geom.Rand
+
+	iwords []string
+	twords []string
+}
+
+// NewQueryGen builds a generator. The PathFinder may be shared with a
+// search engine.
+func NewQueryGen(mall *Mall, x *keyword.Index, v *Vocabulary, pf *graph.PathFinder, seed uint64) *QueryGen {
+	iw, tw := v.IWordPool()
+	return &QueryGen{
+		mall:   mall,
+		x:      x,
+		pf:     pf,
+		rng:    geom.NewRand(seed),
+		iwords: iw,
+		twords: tw,
+	}
+}
+
+// samplePoint draws a point uniformly inside a random hallway cell; start
+// and terminal points live in circulation areas, as airport/mall users do.
+func (g *QueryGen) samplePoint() (geom.Point, model.PartitionID) {
+	cell := g.mall.HallCells[g.rng.Intn(len(g.mall.HallCells))]
+	bounds := g.mall.Space.Partition(cell).Bounds
+	p := geom.Pt(
+		g.rng.InRange(bounds.MinX+0.5, bounds.MaxX-0.5),
+		g.rng.InRange(bounds.MinY+0.5, bounds.MaxY-0.5),
+		bounds.Floor,
+	)
+	return p, cell
+}
+
+// Instance draws one query. It retries point placement until the start and
+// terminal are δs2t ± 20% apart, then sets Δ = η · actual-distance so every
+// generated instance is feasible.
+func (g *QueryGen) Instance(cfg QueryConfig) (search.Request, error) {
+	for attempt := 0; attempt < 64; attempt++ {
+		ps, _ := g.samplePoint()
+		dists := g.pf.DistancesFromPoint(ps)
+
+		// Find doors whose distance from ps approximates δs2t.
+		var candidates []model.DoorID
+		tol := cfg.S2T * 0.2
+		for d, dist := range dists {
+			if math.Abs(dist-cfg.S2T) <= tol {
+				candidates = append(candidates, model.DoorID(d))
+			}
+		}
+		if len(candidates) == 0 {
+			continue
+		}
+		door := candidates[g.rng.Intn(len(candidates))]
+
+		// Expand from that door into an enterable hallway partition and
+		// place pt there.
+		var pt geom.Point
+		found := false
+		for _, v := range g.mall.Space.Door(door).Enterable() {
+			part := g.mall.Space.Partition(v)
+			if part.Kind == model.KindStaircase {
+				continue
+			}
+			bounds := part.Bounds
+			pt = geom.Pt(
+				g.rng.InRange(bounds.MinX+0.5, bounds.MaxX-0.5),
+				g.rng.InRange(bounds.MinY+0.5, bounds.MaxY-0.5),
+				bounds.Floor,
+			)
+			found = true
+			break
+		}
+		if !found {
+			continue
+		}
+		actual := g.pf.PointToPoint(ps, pt)
+		if math.IsInf(actual, 1) || actual < cfg.S2T*0.5 {
+			continue
+		}
+		return search.Request{
+			Ps:    ps,
+			Pt:    pt,
+			Delta: cfg.Eta * actual,
+			QW:    g.Keywords(cfg.QWLen, cfg.Beta),
+			K:     cfg.K,
+			Alpha: cfg.Alpha,
+			Tau:   cfg.Tau,
+		}, nil
+	}
+	return search.Request{}, fmt.Errorf("gen: could not place query points at δs2t=%.0f", cfg.S2T)
+}
+
+// Instances draws cfg.Instances queries.
+func (g *QueryGen) Instances(cfg QueryConfig) ([]search.Request, error) {
+	out := make([]search.Request, 0, cfg.Instances)
+	for i := 0; i < cfg.Instances; i++ {
+		r, err := g.Instance(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Keywords samples a query keyword list with i-word fraction beta.
+func (g *QueryGen) Keywords(n int, beta float64) []string {
+	out := make([]string, n)
+	for i := range out {
+		if g.rng.Float64() < beta && len(g.iwords) > 0 {
+			out[i] = g.iwords[g.rng.Intn(len(g.iwords))]
+		} else if len(g.twords) > 0 {
+			out[i] = g.twords[g.rng.Intn(len(g.twords))]
+		} else {
+			out[i] = g.iwords[g.rng.Intn(len(g.iwords))]
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package gen
+
+import (
+	"sort"
+
+	"ikrq/internal/keyword"
+	"ikrq/internal/model"
+)
+
+// RealConfig shapes the simulation of the paper's real dataset (Section
+// V-B): a seven-floor 2700m×2000m shopping mall in Hangzhou with 639
+// stores, ten staircases per floor pair, 533 i-words carrying 5036 t-words
+// (9.4 average, 31 maximum) plus 103 stores with an i-word only — and,
+// crucially, stores of the same category co-located on the same floor(s).
+type RealConfig struct {
+	Seed uint64
+}
+
+// RealMallVocabConfig mirrors the Hangzhou keyword statistics.
+func RealMallVocabConfig(seed uint64) VocabConfig {
+	return VocabConfig{
+		Seed:           seed,
+		Brands:         636, // 533 with t-words + 103 i-word-only stores
+		BrandsWithDocs: 533,
+		ThemePool:      20000,
+		Categories:     20,
+		WordsPerDoc:    5,
+		DocsPerBrand:   2,
+		MaxTWords:      31,
+	}
+}
+
+// realGridConfig is the floorplan of the simulated Hangzhou mall: the same
+// decomposed-grid shape scaled to 2700m×2000m with ten staircases.
+func realGridConfig() GridConfig {
+	return GridConfig{
+		Floors:             7,
+		FloorW:             2700,
+		FloorH:             2000,
+		RoomRows:           8,
+		RoomCols:           12,
+		CorridorW:          60,
+		CellsPerSide:       5,
+		Staircases:         10,
+		StairLen:           20,
+		RoomAdjacencyDoors: 6,
+	}
+}
+
+// RealMall builds the simulated Hangzhou dataset: the 7-floor space with
+// 639 named stores clustered by category per floor.
+func RealMall(cfg RealConfig) (*Mall, *Vocabulary, *keyword.Index, error) {
+	m, err := BuildGrid(realGridConfig())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	v := GenerateVocabulary(RealMallVocabConfig(cfg.Seed))
+
+	// Category clustering: order brands by category and fill rooms floor
+	// by floor, so same-category stores land on the same floor(s) — the
+	// property behind the real-data findings of Fig. 17.
+	order := make([]int, len(v.Brands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if v.Brands[order[a]].Category != v.Brands[order[b]].Category {
+			return v.Brands[order[a]].Category < v.Brands[order[b]].Category
+		}
+		return order[a] < order[b]
+	})
+
+	const stores = 639
+	kb := keyword.NewIndexBuilder(m.Space.NumPartitions())
+	ids := make(map[string]keyword.IWordID)
+	assigned := 0
+	for i, room := range m.Rooms {
+		if assigned >= stores {
+			break // remaining rooms stay unnamed (back-of-house space)
+		}
+		br := v.Brands[order[i%len(order)]]
+		id, ok := ids[br.Name]
+		if !ok {
+			id = kb.DefineIWord(br.Name, br.TWords)
+			ids[br.Name] = id
+		}
+		kb.AssignPartition(room, id)
+		assigned++
+	}
+	x, err := kb.Build()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return m, v, x, nil
+}
+
+// CategoryOfRoom reports, for analysis, the category of the brand assigned
+// to a room under the clustering order used by RealMall. Returns -1 for
+// unnamed rooms.
+func CategoryOfRoom(x *keyword.Index, v *Vocabulary, room model.PartitionID) int {
+	w := x.P2I(room)
+	if w == keyword.NoIWord {
+		return -1
+	}
+	name := x.IWord(w)
+	for _, b := range v.Brands {
+		if b.Name == name {
+			return b.Category
+		}
+	}
+	return -1
+}

@@ -1,0 +1,43 @@
+package gen
+
+import (
+	"testing"
+
+	"ikrq/internal/search"
+)
+
+// TestPaperScaleSmoke runs default-parameter queries (Table IV) on the
+// full 5-floor synthetic space with both algorithms — the end-to-end
+// integration test of the whole stack at the paper's scale.
+func TestPaperScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale")
+	}
+	m, v, x, err := SyntheticMall(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := search.NewEngine(m.Space, x)
+	g := NewQueryGen(m, x, v, e.PathFinder(), 2)
+	cfg := DefaultQueryConfig(2)
+	cfg.Instances = 3
+	reqs, err := g.Instances(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reqs {
+		for _, alg := range []search.Algorithm{search.ToE, search.KoE} {
+			res, err := e.Search(r, search.Options{Algorithm: alg})
+			if err != nil {
+				t.Fatalf("instance %d %v: %v", i, alg, err)
+			}
+			if len(res.Routes) == 0 {
+				t.Errorf("instance %d %v: no routes (Δ=%.0f, QW=%v)", i, alg, r.Delta, r.QW)
+				continue
+			}
+			t.Logf("instance %d %v: %d routes, best ψ=%.3f ρ=%.2f δ=%.0f, %v, pops=%d stamps=%d",
+				i, alg, len(res.Routes), res.Routes[0].Psi, res.Routes[0].Rho,
+				res.Routes[0].Dist, res.Stats.Elapsed, res.Stats.Pops, res.Stats.StampsCreated)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package gen
+
+import (
+	"fmt"
+
+	"ikrq/internal/geom"
+	"ikrq/internal/keyword"
+	"ikrq/internal/model"
+)
+
+// GridConfig parameterizes the multi-floor grid floorplan generator. The
+// layout per floor is the paper's decomposed-mall shape: RoomRows rows of
+// RoomCols rooms, horizontal corridors between room-row pairs (each
+// decomposed into CellsPerSide regular cells left and right of a vertical
+// connector corridor), and staircases bolted onto the corridor ends.
+//
+//	row R0      ┌──┬──┬──┐│┌──┬──┬──┐
+//	corridor C0 ├──cells──┤│├──cells──┤   │ = vertical connector
+//	row R1      └──┴──┴──┘│└──┴──┴──┘
+//	...
+type GridConfig struct {
+	Floors int
+	// FloorW × FloorH is the floor extent in meters.
+	FloorW, FloorH float64
+	// RoomRows (even) × RoomCols rooms per floor.
+	RoomRows, RoomCols int
+	// CorridorW is the corridor and connector width.
+	CorridorW float64
+	// CellsPerSide decomposes each corridor into this many cells on each
+	// side of the connector.
+	CellsPerSide int
+	// Staircases per floor: laid out alternating left/right corridor ends,
+	// then the connector's top and bottom ends.
+	Staircases int
+	// StairLen is the walking length of each stairway (the paper: 20m).
+	StairLen float64
+	// RoomAdjacencyDoors adds this many doors between horizontally
+	// adjacent rooms per room row (0..RoomCols-2), enriching the topology
+	// to the paper's door count.
+	RoomAdjacencyDoors int
+}
+
+// SyntheticConfig returns the paper's synthetic-space shape (Section V-A1):
+// 1368m×1368m floors, 96 rooms + 41 hallway cells + 4 staircases = 141
+// partitions and 220 doors per floor, 20m stairways.
+func SyntheticConfig(floors int) GridConfig {
+	return GridConfig{
+		Floors:             floors,
+		FloorW:             1368,
+		FloorH:             1368,
+		RoomRows:           8,
+		RoomCols:           12,
+		CorridorW:          48,
+		CellsPerSide:       5,
+		Staircases:         4,
+		StairLen:           20,
+		RoomAdjacencyDoors: 10,
+	}
+}
+
+// Mall is a generated space with the bookkeeping the workloads need.
+type Mall struct {
+	Space *model.Space
+	// Rooms lists room partitions floor-major (floor 0 first), the order
+	// keyword assignment uses.
+	Rooms []model.PartitionID
+	// HallCells lists the hallway-cell partitions (for sampling query
+	// points in circulation areas).
+	HallCells []model.PartitionID
+}
+
+// BuildGrid constructs the space for a GridConfig.
+func BuildGrid(cfg GridConfig) (*Mall, error) {
+	if cfg.RoomRows%2 != 0 {
+		return nil, fmt.Errorf("gen: RoomRows must be even, got %d", cfg.RoomRows)
+	}
+	corridors := cfg.RoomRows / 2
+	if cfg.Staircases > 2*corridors+2 {
+		return nil, fmt.Errorf("gen: at most %d staircases supported, got %d",
+			2*corridors+2, cfg.Staircases)
+	}
+	roomH := (cfg.FloorH - float64(corridors)*cfg.CorridorW) / float64(cfg.RoomRows)
+	sideW := (cfg.FloorW - cfg.CorridorW) / 2
+	colW := sideW / float64(cfg.RoomCols/2)
+	cellW := sideW / float64(cfg.CellsPerSide)
+	vconnX0 := sideW
+	vconnX1 := sideW + cfg.CorridorW
+
+	b := model.NewBuilder()
+	m := &Mall{}
+
+	// Per floor, remember staircase doors for stairway wiring.
+	stairDoors := make([][]model.DoorID, cfg.Floors)
+
+	for f := 0; f < cfg.Floors; f++ {
+		// Vertical layout: (room, corridor, room) repeated. Track y
+		// cursor per segment.
+		type rowSpan struct{ y0, y1 float64 }
+		roomRows := make([]rowSpan, cfg.RoomRows)
+		corrRows := make([]rowSpan, corridors)
+		y := 0.0
+		for c := 0; c < corridors; c++ {
+			roomRows[2*c] = rowSpan{y, y + roomH}
+			y += roomH
+			corrRows[c] = rowSpan{y, y + cfg.CorridorW}
+			y += cfg.CorridorW
+			roomRows[2*c+1] = rowSpan{y, y + roomH}
+			y += roomH
+		}
+
+		// Corridor cells: CellsPerSide left, CellsPerSide right.
+		cells := make([][]model.PartitionID, corridors)
+		for c := 0; c < corridors; c++ {
+			cells[c] = make([]model.PartitionID, 2*cfg.CellsPerSide)
+			for i := 0; i < cfg.CellsPerSide; i++ {
+				x0 := float64(i) * cellW
+				id := b.AddPartition(fmt.Sprintf("f%d-c%d-cell%d", f, c, i),
+					model.KindHallway,
+					geom.R(x0, corrRows[c].y0, x0+cellW, corrRows[c].y1, f))
+				cells[c][i] = id
+				m.HallCells = append(m.HallCells, id)
+			}
+			for i := 0; i < cfg.CellsPerSide; i++ {
+				x0 := vconnX1 + float64(i)*cellW
+				id := b.AddPartition(fmt.Sprintf("f%d-c%d-cell%d", f, c, cfg.CellsPerSide+i),
+					model.KindHallway,
+					geom.R(x0, corrRows[c].y0, x0+cellW, corrRows[c].y1, f))
+				cells[c][cfg.CellsPerSide+i] = id
+				m.HallCells = append(m.HallCells, id)
+			}
+			// Doors between adjacent cells on each side.
+			for i := 0; i+1 < cfg.CellsPerSide; i++ {
+				x := float64(i+1) * cellW
+				yMid := (corrRows[c].y0 + corrRows[c].y1) / 2
+				b.AddDoor(geom.Pt(x, yMid, f), cells[c][i], cells[c][i+1])
+				xr := vconnX1 + float64(i+1)*cellW
+				b.AddDoor(geom.Pt(xr, yMid, f), cells[c][cfg.CellsPerSide+i], cells[c][cfg.CellsPerSide+i+1])
+			}
+		}
+
+		// Vertical connector: one tall hallway partition.
+		vconn := b.AddPartition(fmt.Sprintf("f%d-vconn", f), model.KindHallway,
+			geom.R(vconnX0, 0, vconnX1, cfg.FloorH, f))
+		m.HallCells = append(m.HallCells, vconn)
+		for c := 0; c < corridors; c++ {
+			yMid := (corrRows[c].y0 + corrRows[c].y1) / 2
+			b.AddDoor(geom.Pt(vconnX0, yMid, f), cells[c][cfg.CellsPerSide-1], vconn)
+			b.AddDoor(geom.Pt(vconnX1, yMid, f), vconn, cells[c][cfg.CellsPerSide])
+		}
+
+		// Rooms and their doors.
+		rooms := make([][]model.PartitionID, cfg.RoomRows)
+		for r := 0; r < cfg.RoomRows; r++ {
+			rooms[r] = make([]model.PartitionID, cfg.RoomCols)
+			// The corridor serving this row and the wall y of the door.
+			corr := r / 2
+			doorY := roomRows[r].y1 // even rows: corridor above
+			if r%2 == 1 {
+				doorY = roomRows[r].y0 // odd rows: corridor below
+			}
+			for col := 0; col < cfg.RoomCols; col++ {
+				half := col / (cfg.RoomCols / 2) // 0 = left block, 1 = right
+				inHalf := col % (cfg.RoomCols / 2)
+				x0 := float64(inHalf) * colW
+				if half == 1 {
+					x0 += vconnX1
+				}
+				room := b.AddPartition(fmt.Sprintf("f%d-r%d-room%d", f, r, col),
+					model.KindRoom,
+					geom.R(x0, roomRows[r].y0, x0+colW, roomRows[r].y1, f))
+				rooms[r][col] = room
+				m.Rooms = append(m.Rooms, room)
+				// Door to the corridor cell containing the room's center x.
+				cx := x0 + colW/2
+				cell := cells[corr][cellIndex(cx, cellW, vconnX1, cfg.CellsPerSide)]
+				b.AddDoor(geom.Pt(cx, doorY, f), room, cell)
+			}
+			// Room-to-room adjacency doors within each half-block.
+			added := 0
+			yMid := (roomRows[r].y0 + roomRows[r].y1) / 2
+			for col := 0; col+1 < cfg.RoomCols && added < cfg.RoomAdjacencyDoors; col++ {
+				if (col+1)%(cfg.RoomCols/2) == 0 {
+					continue // blocks separated by the connector
+				}
+				wallX := float64((col%(cfg.RoomCols/2))+1) * colW
+				if col/(cfg.RoomCols/2) == 1 {
+					wallX += vconnX1
+				}
+				b.AddDoor(geom.Pt(wallX, yMid, f), rooms[r][col], rooms[r][col+1])
+				added++
+			}
+		}
+
+		// Staircases: both corridor ends alternating, then connector ends.
+		for si := 0; si < cfg.Staircases; si++ {
+			var bounds geom.Rect
+			var doorPos geom.Point
+			var neighbor model.PartitionID
+			switch {
+			case si < corridors: // left end of corridor si
+				cr := corrRows[si]
+				bounds = geom.R(-cfg.CorridorW, cr.y0, 0, cr.y1, f)
+				doorPos = geom.Pt(0, (cr.y0+cr.y1)/2, f)
+				neighbor = cells[si][0]
+			case si < 2*corridors: // right end of corridor si-corridors
+				c := si - corridors
+				cr := corrRows[c]
+				bounds = geom.R(cfg.FloorW, cr.y0, cfg.FloorW+cfg.CorridorW, cr.y1, f)
+				doorPos = geom.Pt(cfg.FloorW, (cr.y0+cr.y1)/2, f)
+				neighbor = cells[c][2*cfg.CellsPerSide-1]
+			case si == 2*corridors: // connector bottom
+				bounds = geom.R(vconnX0, -cfg.CorridorW, vconnX1, 0, f)
+				doorPos = geom.Pt((vconnX0+vconnX1)/2, 0, f)
+				neighbor = vconn
+			default: // connector top
+				bounds = geom.R(vconnX0, cfg.FloorH, vconnX1, cfg.FloorH+cfg.CorridorW, f)
+				doorPos = geom.Pt((vconnX0+vconnX1)/2, cfg.FloorH, f)
+				neighbor = vconn
+			}
+			st := b.AddPartition(fmt.Sprintf("f%d-stair%d", f, si), model.KindStaircase, bounds)
+			sd := b.AddDoor(doorPos, st, neighbor)
+			stairDoors[f] = append(stairDoors[f], sd)
+		}
+	}
+
+	// Stairways between matching staircases on adjacent floors.
+	for f := 0; f+1 < cfg.Floors; f++ {
+		for si := range stairDoors[f] {
+			if si < len(stairDoors[f+1]) {
+				b.AddStairway(stairDoors[f][si], stairDoors[f+1][si], cfg.StairLen)
+			}
+		}
+	}
+
+	s, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	m.Space = s
+	return m, nil
+}
+
+// cellIndex maps an x coordinate to the corridor-cell index it falls into.
+func cellIndex(x, cellW, vconnX1 float64, cellsPerSide int) int {
+	if x < vconnX1-0.0001 {
+		i := int(x / cellW)
+		if i >= cellsPerSide {
+			i = cellsPerSide - 1
+		}
+		return i
+	}
+	i := int((x - vconnX1) / cellW)
+	if i >= cellsPerSide {
+		i = cellsPerSide - 1
+	}
+	return cellsPerSide + i
+}
+
+// SyntheticMall builds the paper's default synthetic space with keywords
+// attached: the grid space for the floor count plus the generated
+// vocabulary randomly assigned to rooms.
+func SyntheticMall(floors int, seed uint64) (*Mall, *Vocabulary, *keyword.Index, error) {
+	m, err := BuildGrid(SyntheticConfig(floors))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	v := GenerateVocabulary(DefaultVocabConfig(seed))
+	x, err := BuildKeywordIndex(m.Space, m.Rooms, v, seed+1)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return m, v, x, nil
+}

@@ -1,0 +1,224 @@
+// Package gen generates the evaluation substrates of Section V: the
+// synthetic multi-floor indoor space (1368m×1368m floors with 96 rooms, 41
+// hallway cells and 4 staircases — 141 partitions and 220 doors per floor),
+// the keyword corpus standing in for the paper's five-mall crawl (1225
+// brands, RAKE + TF-IDF extraction, ≤60 t-words per brand), the
+// Hangzhou-mall-like "real" dataset simulation (7 floors, 639 stores,
+// category clustering), and the query-instance generator of Section V-A1.
+package gen
+
+import (
+	"fmt"
+	"strings"
+
+	"ikrq/internal/geom"
+	"ikrq/internal/keyword"
+	"ikrq/internal/model"
+	"ikrq/internal/text"
+)
+
+// syllables build pronounceable synthetic words so generated vocabularies
+// look like brand names and product words rather than serial numbers.
+var (
+	onsets = []string{"b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "kl", "l", "m", "n", "p", "pr", "qu", "r", "s", "sh", "sl", "st", "t", "tr", "v", "w", "z"}
+	nuclei = []string{"a", "e", "i", "o", "u", "ai", "ea", "io", "ou", "ee"}
+	codas  = []string{"", "n", "r", "s", "l", "t", "x", "m", "ck", "nd"}
+)
+
+// SyllableWord derives a deterministic pseudo-word from an index; distinct
+// indices give distinct words for the ranges used here.
+func SyllableWord(idx int, syllables int) string {
+	var b strings.Builder
+	x := uint64(idx)*2654435761 + 0x9e37
+	for s := 0; s < syllables; s++ {
+		x ^= x >> 13
+		x *= 0x9e3779b97f4a7c15
+		b.WriteString(onsets[x%uint64(len(onsets))])
+		x ^= x >> 17
+		b.WriteString(nuclei[x%uint64(len(nuclei))])
+		x ^= x >> 11
+		b.WriteString(codas[x%uint64(len(codas))])
+	}
+	return b.String()
+}
+
+// VocabConfig parameterizes the synthetic keyword corpus. Defaults mirror
+// the statistics of the paper's crawl (Section V-A1).
+type VocabConfig struct {
+	Seed uint64
+	// Brands is the number of i-words (the paper: 1225 brand names).
+	Brands int
+	// BrandsWithDocs is how many brands yield extractable keywords (1120).
+	BrandsWithDocs int
+	// ThemePool is the size of the thematic word pool documents draw from;
+	// with Zipfian reuse the extracted distinct t-word count approaches the
+	// paper's 9195.
+	ThemePool int
+	// Categories groups brands so same-category brands share vocabulary —
+	// this is what gives candidate sets their indirect (Jaccard) matches.
+	Categories int
+	// WordsPerDoc and DocsPerBrand size the synthetic documents (the paper
+	// has 2074 documents for 1225 brands).
+	WordsPerDoc  int
+	DocsPerBrand int
+	// MaxTWords caps extracted t-words per brand (the paper keeps 60).
+	MaxTWords int
+}
+
+// DefaultVocabConfig returns the paper-scale configuration.
+func DefaultVocabConfig(seed uint64) VocabConfig {
+	return VocabConfig{
+		Seed:           seed,
+		Brands:         1225,
+		BrandsWithDocs: 1120,
+		ThemePool:      30000,
+		Categories:     50,
+		WordsPerDoc:    10,
+		DocsPerBrand:   2,
+		MaxTWords:      60,
+	}
+}
+
+// Brand is one generated identity word with its extracted thematic words.
+type Brand struct {
+	Name     string
+	Category int
+	TWords   []string
+}
+
+// Vocabulary is a generated keyword catalogue: brands (i-words) plus the
+// documents and extraction statistics, reusable across spaces.
+type Vocabulary struct {
+	Brands []Brand
+	// DistinctTWords counts the distinct extracted thematic words.
+	DistinctTWords int
+	// Documents generated, for inspection.
+	Documents int
+}
+
+// filler words interleaved into documents so RAKE sees phrase delimiters.
+var fillers = []string{"and", "the", "with", "of", "for", "in", "our", "a", "to", "is"}
+
+// GenerateVocabulary builds the synthetic corpus and runs the RAKE + TF-IDF
+// extraction pipeline over it, mirroring the paper's preprocessing.
+func GenerateVocabulary(cfg VocabConfig) *Vocabulary {
+	rng := geom.NewRand(cfg.Seed)
+
+	// Theme pool split into per-category segments plus a shared tail so
+	// categories overlap a little (indirect matches across categories).
+	pool := make([]string, cfg.ThemePool)
+	for i := range pool {
+		pool[i] = "t" + SyllableWord(i, 2)
+	}
+	perCat := cfg.ThemePool / (cfg.Categories + 1)
+	shared := pool[cfg.Categories*perCat:]
+
+	brandName := func(i int) string { return SyllableWord(1_000_000+i, 3) }
+
+	var docsByBrand [][]string
+	var allDocs []string
+	brands := make([]Brand, cfg.Brands)
+	for i := range brands {
+		cat := i % cfg.Categories
+		brands[i] = Brand{Name: brandName(i), Category: cat}
+		if i >= cfg.BrandsWithDocs {
+			docsByBrand = append(docsByBrand, nil)
+			continue
+		}
+		catPool := pool[cat*perCat : (cat+1)*perCat]
+		z := geom.NewZipf(rng, len(catPool), 1.05)
+		var docs []string
+		for d := 0; d < cfg.DocsPerBrand; d++ {
+			var sb strings.Builder
+			fmt.Fprintf(&sb, "%s offers ", brands[i].Name)
+			for w := 0; w < cfg.WordsPerDoc; w++ {
+				if w%4 == 3 {
+					sb.WriteString(fillers[rng.Intn(len(fillers))])
+					sb.WriteByte(' ')
+				}
+				if rng.Float64() < 0.12 {
+					sb.WriteString(shared[rng.Intn(len(shared))])
+				} else {
+					sb.WriteString(catPool[z.Draw()])
+				}
+				sb.WriteByte(' ')
+			}
+			docs = append(docs, sb.String())
+		}
+		docsByBrand = append(docsByBrand, docs)
+		allDocs = append(allDocs, docs...)
+	}
+
+	corpus := text.NewCorpus(allDocs)
+	distinct := make(map[string]bool)
+	for i := range brands {
+		if len(docsByBrand[i]) == 0 {
+			continue
+		}
+		tws := text.ExtractTWords(corpus, brands[i].Name, docsByBrand[i], cfg.MaxTWords)
+		brands[i].TWords = tws
+		for _, w := range tws {
+			distinct[w] = true
+		}
+	}
+	return &Vocabulary{
+		Brands:         brands,
+		DistinctTWords: len(distinct),
+		Documents:      len(allDocs),
+	}
+}
+
+// AvgTWords returns the mean t-word count over brands that have any.
+func (v *Vocabulary) AvgTWords() float64 {
+	n, sum := 0, 0
+	for _, b := range v.Brands {
+		if len(b.TWords) > 0 {
+			n++
+			sum += len(b.TWords)
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// IWordPool returns the names of brands that carry t-words (queryable
+// i-words) and the union pool of t-words, both deterministic.
+func (v *Vocabulary) IWordPool() (iwords []string, twords []string) {
+	seen := make(map[string]bool)
+	for _, b := range v.Brands {
+		if len(b.TWords) == 0 {
+			continue
+		}
+		iwords = append(iwords, b.Name)
+		for _, w := range b.TWords {
+			if !seen[w] {
+				seen[w] = true
+				twords = append(twords, w)
+			}
+		}
+	}
+	return iwords, twords
+}
+
+// BuildKeywordIndex assigns brands to the given room partitions round-robin
+// over a shuffled order and returns the keyword index. Rooms beyond the
+// brand count reuse brands (I2P is one-to-many, as in the paper's cashier
+// example).
+func BuildKeywordIndex(s *model.Space, rooms []model.PartitionID, v *Vocabulary, seed uint64) (*keyword.Index, error) {
+	rng := geom.NewRand(seed)
+	order := rng.Perm(len(v.Brands))
+	kb := keyword.NewIndexBuilder(s.NumPartitions())
+	ids := make(map[string]keyword.IWordID)
+	for i, room := range rooms {
+		b := v.Brands[order[i%len(order)]]
+		id, ok := ids[b.Name]
+		if !ok {
+			id = kb.DefineIWord(b.Name, b.TWords)
+			ids[b.Name] = id
+		}
+		kb.AssignPartition(room, id)
+	}
+	return kb.Build()
+}

@@ -1,0 +1,167 @@
+// Package geom provides the planar geometry primitives used by the indoor
+// space model: points annotated with a floor number, axis-aligned rectangles
+// for partition extents, and Euclidean metrics.
+//
+// All coordinates are in meters. A Point carries the floor it lies on;
+// the Euclidean distance between points on different floors is undefined
+// (callers must route through the skeleton graph, see internal/graph), and
+// Dist reports +Inf in that case so that misuse is loud rather than silent.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in an indoor space: planar coordinates plus the floor
+// the location is on. Floors are numbered from 0 upward.
+type Point struct {
+	X, Y  float64
+	Floor int
+}
+
+// Pt is shorthand for constructing a Point.
+func Pt(x, y float64, floor int) Point { return Point{X: x, Y: y, Floor: floor} }
+
+// String renders the point as "(x, y, Ff)" with limited precision, which is
+// convenient in test failure messages and CLI output.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.1f, %.1f, F%d)", p.X, p.Y, p.Floor)
+}
+
+// Dist returns the Euclidean distance |p,q|E when both points are on the same
+// floor, and +Inf otherwise. The +Inf convention matches the paper's distance
+// operators, which are defined to be ∞ whenever the topological precondition
+// fails.
+func (p Point) Dist(q Point) float64 {
+	if p.Floor != q.Floor {
+		return math.Inf(1)
+	}
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// PlanarDist returns the in-plane Euclidean distance ignoring floors. It is
+// used by generators that lay out identical floors and by the skeleton
+// distance, which accounts for the vertical component separately via stairway
+// lengths.
+func (p Point) PlanarDist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// OnFloor returns a copy of p relocated to the given floor.
+func (p Point) OnFloor(floor int) Point { return Point{X: p.X, Y: p.Y, Floor: floor} }
+
+// Rect is an axis-aligned rectangle on a single floor, used as the spatial
+// extent of a partition. Min is the lower-left corner, Max the upper-right.
+type Rect struct {
+	MinX, MinY float64
+	MaxX, MaxY float64
+	Floor      int
+}
+
+// R constructs a Rect, normalizing the corner order so that Min ≤ Max on both
+// axes.
+func R(x0, y0, x1, y1 float64, floor int) Rect {
+	if x1 < x0 {
+		x0, x1 = x1, x0
+	}
+	if y1 < y0 {
+		y0, y1 = y1, y0
+	}
+	return Rect{MinX: x0, MinY: y0, MaxX: x1, MaxY: y1, Floor: floor}
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Area returns the area of r in square meters.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the centroid of r as a Point on r's floor.
+func (r Rect) Center() Point {
+	return Point{X: (r.MinX + r.MaxX) / 2, Y: (r.MinY + r.MaxY) / 2, Floor: r.Floor}
+}
+
+// Contains reports whether p lies inside r (inclusive of the boundary) and on
+// the same floor.
+func (r Rect) Contains(p Point) bool {
+	return p.Floor == r.Floor &&
+		p.X >= r.MinX && p.X <= r.MaxX &&
+		p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// Corners returns the four corner points of r in counter-clockwise order
+// starting at the lower-left corner.
+func (r Rect) Corners() [4]Point {
+	return [4]Point{
+		{X: r.MinX, Y: r.MinY, Floor: r.Floor},
+		{X: r.MaxX, Y: r.MinY, Floor: r.Floor},
+		{X: r.MaxX, Y: r.MaxY, Floor: r.Floor},
+		{X: r.MinX, Y: r.MaxY, Floor: r.Floor},
+	}
+}
+
+// FarthestCorner returns the corner of r that maximizes the Euclidean
+// distance from p, together with that distance. It is the building block of
+// the self-loop distance δd2d(d,d): the longest non-loop distance reachable
+// inside a convex partition from a door is the distance to the farthest
+// corner.
+func (r Rect) FarthestCorner(p Point) (Point, float64) {
+	var best Point
+	bestD := -1.0
+	for _, c := range r.Corners() {
+		if d := p.PlanarDist(c); d > bestD {
+			bestD = d
+			best = c
+		}
+	}
+	return best, bestD
+}
+
+// ClosestInteriorPoint returns the point inside r closest to p (projection
+// onto the rectangle). Used by generators to place query points inside
+// partitions.
+func (r Rect) ClosestInteriorPoint(p Point) Point {
+	return Point{
+		X:     clamp(p.X, r.MinX, r.MaxX),
+		Y:     clamp(p.Y, r.MinY, r.MaxY),
+		Floor: r.Floor,
+	}
+}
+
+// Intersects reports whether r and s overlap (sharing only a boundary counts
+// as intersecting) and are on the same floor.
+func (r Rect) Intersects(s Rect) bool {
+	return r.Floor == s.Floor &&
+		r.MinX <= s.MaxX && s.MinX <= r.MaxX &&
+		r.MinY <= s.MaxY && s.MinY <= r.MaxY
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Midpoint returns the point halfway between a and b; both must be on the
+// same floor, which the caller guarantees (door placement between adjacent
+// partitions).
+func Midpoint(a, b Point) Point {
+	return Point{X: (a.X + b.X) / 2, Y: (a.Y + b.Y) / 2, Floor: a.Floor}
+}
+
+// Lerp linearly interpolates between a and b by t in [0,1].
+func Lerp(a, b Point, t float64) Point {
+	return Point{
+		X:     a.X + (b.X-a.X)*t,
+		Y:     a.Y + (b.Y-a.Y)*t,
+		Floor: a.Floor,
+	}
+}

@@ -1,0 +1,236 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistSameFloor(t *testing.T) {
+	a, b := Pt(0, 0, 0), Pt(3, 4, 0)
+	if got := a.Dist(b); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+}
+
+func TestDistCrossFloorIsInf(t *testing.T) {
+	a, b := Pt(0, 0, 0), Pt(0, 0, 1)
+	if got := a.Dist(b); !math.IsInf(got, 1) {
+		t.Errorf("cross-floor Dist = %v, want +Inf", got)
+	}
+	if got := a.PlanarDist(b); got != 0 {
+		t.Errorf("PlanarDist = %v, want 0", got)
+	}
+}
+
+func TestDistProperties(t *testing.T) {
+	symmetric := func(x1, y1, x2, y2 float64) bool {
+		m := func(v float64) float64 { return math.Mod(v, 1e4) }
+		a, b := Pt(m(x1), m(y1), 0), Pt(m(x2), m(y2), 0)
+		return math.Abs(a.Dist(b)-b.Dist(a)) < 1e-9
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Errorf("distance not symmetric: %v", err)
+	}
+	triangle := func(x1, y1, x2, y2, x3, y3 float64) bool {
+		// quick can generate enormous values whose squares overflow; keep
+		// the generated coordinates in a sane building-sized range.
+		m := func(v float64) float64 { return math.Mod(v, 1e4) }
+		a, b, c := Pt(m(x1), m(y1), 0), Pt(m(x2), m(y2), 0), Pt(m(x3), m(y3), 0)
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6
+	}
+	if err := quick.Check(triangle, nil); err != nil {
+		t.Errorf("triangle inequality violated: %v", err)
+	}
+}
+
+func TestRectNormalization(t *testing.T) {
+	r := R(10, 10, 0, 0, 2)
+	if r.MinX != 0 || r.MinY != 0 || r.MaxX != 10 || r.MaxY != 10 {
+		t.Errorf("R did not normalize corners: %+v", r)
+	}
+	if r.Floor != 2 {
+		t.Errorf("floor = %d, want 2", r.Floor)
+	}
+	if r.Width() != 10 || r.Height() != 10 || r.Area() != 100 {
+		t.Errorf("dims wrong: w=%v h=%v a=%v", r.Width(), r.Height(), r.Area())
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := R(0, 0, 10, 10, 0)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(5, 5, 0), true},
+		{Pt(0, 0, 0), true}, // boundary inclusive
+		{Pt(10, 10, 0), true},
+		{Pt(11, 5, 0), false},
+		{Pt(5, 5, 1), false}, // wrong floor
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestFarthestCorner(t *testing.T) {
+	r := R(0, 0, 10, 20, 0)
+	p := Pt(1, 1, 0)
+	c, d := r.FarthestCorner(p)
+	if c.X != 10 || c.Y != 20 {
+		t.Errorf("farthest corner = %v, want (10,20)", c)
+	}
+	want := math.Hypot(9, 19)
+	if math.Abs(d-want) > 1e-9 {
+		t.Errorf("farthest distance = %v, want %v", d, want)
+	}
+}
+
+func TestFarthestCornerIsMaximal(t *testing.T) {
+	prop := func(px, py float64) bool {
+		r := R(0, 0, 100, 50, 0)
+		p := Pt(math.Mod(math.Abs(px), 100), math.Mod(math.Abs(py), 50), 0)
+		_, d := r.FarthestCorner(p)
+		for _, c := range r.Corners() {
+			if p.PlanarDist(c) > d+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClosestInteriorPoint(t *testing.T) {
+	r := R(0, 0, 10, 10, 0)
+	got := r.ClosestInteriorPoint(Pt(15, -3, 0))
+	if got.X != 10 || got.Y != 0 {
+		t.Errorf("projection = %v, want (10,0)", got)
+	}
+	inside := Pt(4, 6, 0)
+	if got := r.ClosestInteriorPoint(inside); got != inside {
+		t.Errorf("projection of interior point moved: %v", got)
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := R(0, 0, 10, 10, 0)
+	if !a.Intersects(R(10, 0, 20, 10, 0)) {
+		t.Error("touching rectangles should intersect")
+	}
+	if a.Intersects(R(11, 0, 20, 10, 0)) {
+		t.Error("disjoint rectangles should not intersect")
+	}
+	if a.Intersects(R(0, 0, 10, 10, 1)) {
+		t.Error("rectangles on different floors should not intersect")
+	}
+}
+
+func TestMidpointAndLerp(t *testing.T) {
+	a, b := Pt(0, 0, 0), Pt(10, 20, 0)
+	if m := Midpoint(a, b); m.X != 5 || m.Y != 10 {
+		t.Errorf("Midpoint = %v", m)
+	}
+	if l := Lerp(a, b, 0.25); l.X != 2.5 || l.Y != 5 {
+		t.Errorf("Lerp = %v", l)
+	}
+}
+
+func TestOnFloor(t *testing.T) {
+	p := Pt(3, 4, 0).OnFloor(5)
+	if p.Floor != 5 || p.X != 3 || p.Y != 4 {
+		t.Errorf("OnFloor = %v", p)
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if got := Pt(1.25, 2, 3).String(); got != "(1.2, 2.0, F3)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a = NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRandIntnBounds(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(13); v < 0 || v >= 13 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(99)
+	for i := 0; i < 10000; i++ {
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		if v := r.InRange(5, 6); v < 5 || v >= 6 {
+			t.Fatalf("InRange out of range: %v", v)
+		}
+	}
+}
+
+func TestRandPerm(t *testing.T) {
+	r := NewRand(1)
+	p := r.Perm(20)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 20 {
+		t.Fatalf("Perm missing values: %v", p)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRand(5)
+	z := NewZipf(r, 100, 1.0)
+	counts := make([]int, 100)
+	for i := 0; i < 50000; i++ {
+		counts[z.Draw()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Errorf("Zipf not skewed: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 50000 {
+		t.Errorf("draws lost: %d", total)
+	}
+}

@@ -1,0 +1,105 @@
+package geom
+
+import "math"
+
+// Rand is a small deterministic pseudo-random number generator
+// (SplitMix64). The repository avoids math/rand so that every generator,
+// workload and experiment is reproducible from an explicit 64-bit seed and
+// independent of Go release changes to the global RNG.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed. Two generators constructed
+// from the same seed produce identical streams.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next value of the SplitMix64 stream.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0, mirroring
+// math/rand semantics.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("geom: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// InRange returns a uniform float64 in [lo, hi).
+func (r *Rand) InRange(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Perm returns a pseudo-random permutation of [0, n) using Fisher–Yates.
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly permutes the first n indices via swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Zipf draws from a Zipf distribution over ranks [0, n) with exponent s > 0
+// using inverse-CDF sampling over precomputed weights. For repeated draws use
+// NewZipf, which amortizes the table construction.
+type Zipf struct {
+	cum []float64
+	r   *Rand
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s, driven by r.
+func NewZipf(r *Rand, n int, s float64) *Zipf {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1.0 / pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Zipf{cum: cum, r: r}
+}
+
+// Draw returns a rank in [0, n) with Zipfian probability (rank 0 most
+// likely).
+func (z *Zipf) Draw() int {
+	u := z.r.Float64()
+	// Binary search the cumulative table.
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func pow(base, exp float64) float64 { return math.Pow(base, exp) }

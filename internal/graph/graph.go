@@ -1,0 +1,450 @@
+// Package graph provides the distance infrastructure of the IKRQ search:
+//
+//   - PathFinder: shortest "regular" routes over the door connectivity
+//     graph, with forbidden-door sets. The graph's nodes are (door,
+//     entered-partition) states, mirroring the paper's stamp semantics: a
+//     route that reaches door d has committed to one of the partitions
+//     enterable through d, and its next hop must leave that partition. This
+//     makes every path the finder returns executable by the search
+//     algorithms, including the (d,d) self-loops required to exit dead-end
+//     partitions, and the stairway arcs that connect staircase doors on
+//     adjacent floors.
+//
+//   - Skeleton: the lower-bound indoor distance |·|L of Xie et al. [22]:
+//     plain Euclidean distance on one floor, and the cheapest combination of
+//     staircase doors and stairway lengths across floors.
+//
+//   - Matrix: precomputed all-pairs state distances with path
+//     reconstruction, the substrate of the KoE* variant (Section V-A3).
+package graph
+
+import (
+	"container/heap"
+	"math"
+
+	"ikrq/internal/geom"
+	"ikrq/internal/model"
+)
+
+// StateID indexes a (door, entered-partition) search state in a PathFinder.
+type StateID int32
+
+// NoState is the sentinel for "no state".
+const NoState StateID = -1
+
+type state struct {
+	door model.DoorID
+	part model.PartitionID
+}
+
+type arc struct {
+	to StateID
+	w  float64
+}
+
+// PathFinder holds the state graph of a space. Construction is O(states +
+// arcs); the structure is immutable and safe for concurrent use, while each
+// query allocates its own scratch space.
+type PathFinder struct {
+	s          *model.Space
+	states     []state
+	doorStates [][]StateID // states per door
+	adj        [][]arc
+}
+
+// NewPathFinder builds the state graph for s.
+func NewPathFinder(s *model.Space) *PathFinder {
+	pf := &PathFinder{
+		s:          s,
+		doorStates: make([][]StateID, s.NumDoors()),
+	}
+	// Enumerate states: one per (door, enterable partition).
+	for _, d := range s.Doors() {
+		for _, v := range d.Enterable() {
+			id := StateID(len(pf.states))
+			pf.states = append(pf.states, state{door: d.ID, part: v})
+			pf.doorStates[d.ID] = append(pf.doorStates[d.ID], id)
+		}
+	}
+	// Arcs: from (d, v) the walker can leave v through any leave door dl of
+	// v and commit to any partition enterable through dl other than v. The
+	// hop weight is the intra-partition distance δd2d(d, dl) within v,
+	// which for d == dl is the self-loop distance.
+	pf.adj = make([][]arc, len(pf.states))
+	for sid, st := range pf.states {
+		door := s.Door(st.door)
+		for _, dl := range s.Partition(st.part).LeaveDoors() {
+			var w float64
+			if dl == st.door {
+				w = s.SelfLoopDist(st.door, st.part)
+			} else {
+				w = door.Pos.Dist(s.Door(dl).Pos)
+			}
+			if math.IsInf(w, 1) {
+				continue
+			}
+			for _, next := range pf.doorStates[dl] {
+				if pf.states[next].part == st.part {
+					continue // no bounce-back into the partition being left
+				}
+				pf.adj[sid] = append(pf.adj[sid], arc{to: next, w: w})
+			}
+		}
+	}
+	// Stairway arcs: entering the staircase partition through its door on
+	// one floor lets the walker traverse the stairway and exit through the
+	// staircase door on the adjacent floor, committing to a partition
+	// beyond it.
+	for _, sw := range s.Stairways() {
+		pf.addStairArcs(sw.From, sw.To, sw.Length)
+		pf.addStairArcs(sw.To, sw.From, sw.Length)
+	}
+	return pf
+}
+
+// addStairArcs adds arcs for traversing a stairway entered at door a (into
+// a's staircase partition), landing at door b on the adjacent floor. The
+// walker may land committed into b's staircase partition (to continue
+// vertically over the next stairway) or step through b into any other
+// partition enterable there.
+func (pf *PathFinder) addStairArcs(a, b model.DoorID, length float64) {
+	stairA := pf.staircaseOf(a)
+	stairB := pf.staircaseOf(b)
+	if stairA == model.NoPartition || stairB == model.NoPartition {
+		return
+	}
+	from := pf.StateOf(a, stairA)
+	if from == NoState {
+		return
+	}
+	for _, next := range pf.doorStates[b] {
+		pf.adj[from] = append(pf.adj[from], arc{to: next, w: length})
+	}
+}
+
+func (pf *PathFinder) staircaseOf(d model.DoorID) model.PartitionID {
+	return pf.s.StaircaseOf(d)
+}
+
+// Space returns the space the finder was built for.
+func (pf *PathFinder) Space() *model.Space { return pf.s }
+
+// NumStates returns the number of (door, partition) states.
+func (pf *PathFinder) NumStates() int { return len(pf.states) }
+
+// State returns the state with the given ID as (door, entered partition).
+func (pf *PathFinder) State(id StateID) (model.DoorID, model.PartitionID) {
+	st := pf.states[id]
+	return st.door, st.part
+}
+
+// StateOf resolves the state for door d entered into partition v, or
+// NoState when d is not enterable into v.
+func (pf *PathFinder) StateOf(d model.DoorID, v model.PartitionID) StateID {
+	for _, sid := range pf.doorStates[d] {
+		if pf.states[sid].part == v {
+			return sid
+		}
+	}
+	return NoState
+}
+
+// StatesOfDoor returns all states of door d.
+func (pf *PathFinder) StatesOfDoor(d model.DoorID) []StateID { return pf.doorStates[d] }
+
+// Seed is a Dijkstra start state with an initial cost. EmitHop marks seeds
+// whose door belongs on the reconstructed path (true for seeds derived from
+// a start point, false when continuing from a route that already ends at
+// the seed door).
+type Seed struct {
+	State   StateID
+	Cost    float64
+	EmitHop bool
+}
+
+// Hop is one step of a reconstructed route: the door passed and the
+// partition committed to after passing it.
+type Hop struct {
+	Door model.DoorID
+	Part model.PartitionID
+}
+
+// Path is a shortest route found by the PathFinder: the hop sequence and
+// the total travel distance including seed costs and, for point targets,
+// the final door-to-point leg.
+type Path struct {
+	Hops []Hop
+	Dist float64
+}
+
+// Forbidden is a door filter: doors for which it reports true may not be
+// used by the path (the regularity constraint of the paper — doors already
+// on the partial route may not reappear).
+type Forbidden func(model.DoorID) bool
+
+// NoForbidden allows every door.
+func NoForbidden(model.DoorID) bool { return false }
+
+// dijkstra runs a multi-seed Dijkstra and returns per-state distances,
+// parent states and originating seed indices. Arcs into forbidden doors are
+// skipped; seed states are admitted regardless (their legality is the
+// caller's concern).
+func (pf *PathFinder) dijkstra(seeds []Seed, forbidden Forbidden) (dist []float64, parent []StateID, seedOf []int32) {
+	n := len(pf.states)
+	dist = make([]float64, n)
+	parent = make([]StateID, n)
+	seedOf = make([]int32, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = NoState
+		seedOf[i] = -1
+	}
+	pq := &stateHeap{}
+	for si, sd := range seeds {
+		if sd.State == NoState {
+			continue
+		}
+		if sd.Cost < dist[sd.State] {
+			dist[sd.State] = sd.Cost
+			seedOf[sd.State] = int32(si)
+			parent[sd.State] = NoState
+			heap.Push(pq, heapItem{state: sd.State, dist: sd.Cost})
+		}
+	}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		if it.dist > dist[it.state] {
+			continue
+		}
+		for _, a := range pf.adj[it.state] {
+			if forbidden != nil && forbidden(pf.states[a.to].door) {
+				continue
+			}
+			nd := it.dist + a.w
+			if nd < dist[a.to] {
+				dist[a.to] = nd
+				parent[a.to] = it.state
+				seedOf[a.to] = seedOf[it.state]
+				heap.Push(pq, heapItem{state: a.to, dist: nd})
+			}
+		}
+	}
+	return dist, parent, seedOf
+}
+
+// reconstruct walks parents from target back to its seed and returns the
+// hop sequence. The seed state's own door is included iff its seed has
+// EmitHop set.
+func (pf *PathFinder) reconstruct(target StateID, parent []StateID, seedOf []int32, seeds []Seed) []Hop {
+	var rev []Hop
+	cur := target
+	for parent[cur] != NoState {
+		st := pf.states[cur]
+		rev = append(rev, Hop{Door: st.door, Part: st.part})
+		cur = parent[cur]
+	}
+	if si := seedOf[cur]; si >= 0 && seeds[si].EmitHop {
+		st := pf.states[cur]
+		rev = append(rev, Hop{Door: st.door, Part: st.part})
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// SeedsFromPoint builds the Dijkstra seeds for routes starting at point p:
+// one seed per (leave door of p's host partition, partition committed after
+// passing it), at cost δpt2d(p, door).
+func (pf *PathFinder) SeedsFromPoint(p geom.Point) []Seed {
+	host := pf.s.HostPartition(p)
+	if host == model.NoPartition {
+		return nil
+	}
+	return pf.SeedsFromPointIn(p, host)
+}
+
+// SeedsFromPointIn is SeedsFromPoint with the host partition already known.
+func (pf *PathFinder) SeedsFromPointIn(p geom.Point, host model.PartitionID) []Seed {
+	var seeds []Seed
+	for _, d := range pf.s.Partition(host).LeaveDoors() {
+		cost := p.Dist(pf.s.Door(d).Pos)
+		if math.IsInf(cost, 1) {
+			continue
+		}
+		for _, sid := range pf.doorStates[d] {
+			if pf.states[sid].part == host {
+				continue
+			}
+			seeds = append(seeds, Seed{State: sid, Cost: cost, EmitHop: true})
+		}
+	}
+	return seeds
+}
+
+// SeedFromState builds the single seed for routes continuing from a stamp
+// that entered partition v through door d. Self-loops out of v are ordinary
+// arcs of the state graph, so no extra seeds are needed.
+func (pf *PathFinder) SeedFromState(d model.DoorID, v model.PartitionID) []Seed {
+	return []Seed{{State: pf.StateOf(d, v)}}
+}
+
+// Tree is the result of a single-source (multi-seed) shortest-path
+// computation: distances and parents for every state, from which paths to
+// any number of targets can be read without re-running Dijkstra. KoE uses
+// one Tree per stamp expansion to route to all candidate partitions.
+type Tree struct {
+	pf     *PathFinder
+	dist   []float64
+	parent []StateID
+	seedOf []int32
+	seeds  []Seed
+}
+
+// ShortestTree computes shortest paths from the seeds to every reachable
+// state under the forbidden-door constraint.
+func (pf *PathFinder) ShortestTree(seeds []Seed, forbidden Forbidden) *Tree {
+	dist, parent, seedOf := pf.dijkstra(seeds, forbidden)
+	return &Tree{pf: pf, dist: dist, parent: parent, seedOf: seedOf, seeds: seeds}
+}
+
+// Dist returns the tree distance to a state (+Inf when unreachable).
+func (t *Tree) Dist(s StateID) float64 { return t.dist[s] }
+
+// PathTo reconstructs the hop sequence to a state; ok is false when the
+// state is unreachable.
+func (t *Tree) PathTo(s StateID) ([]Hop, bool) {
+	if s == NoState || math.IsInf(t.dist[s], 1) {
+		return nil, false
+	}
+	return t.pf.reconstruct(s, t.parent, t.seedOf, t.seeds), true
+}
+
+// ShortestToStates finds the cheapest path from the seeds to any state in
+// targets. It returns the best target and path, or ok=false when none is
+// reachable.
+func (pf *PathFinder) ShortestToStates(seeds []Seed, targets map[StateID]struct{}, forbidden Forbidden) (StateID, Path, bool) {
+	dist, parent, seedOf := pf.dijkstra(seeds, forbidden)
+	best := NoState
+	bestD := math.Inf(1)
+	for t := range targets {
+		if dist[t] < bestD {
+			bestD = dist[t]
+			best = t
+		}
+	}
+	if best == NoState {
+		return NoState, Path{}, false
+	}
+	return best, Path{Hops: pf.reconstruct(best, parent, seedOf, seeds), Dist: bestD}, true
+}
+
+// ShortestToState finds the cheapest path from the seeds to one state.
+func (pf *PathFinder) ShortestToState(seeds []Seed, target StateID, forbidden Forbidden) (Path, bool) {
+	_, p, ok := pf.ShortestToStates(seeds, map[StateID]struct{}{target: {}}, forbidden)
+	return p, ok
+}
+
+// ShortestToPoint finds the cheapest route from the seeds to point pt,
+// whose host partition must be hostPt: the route ends at some door state
+// (d, hostPt) plus the in-partition leg |d, pt|.
+func (pf *PathFinder) ShortestToPoint(seeds []Seed, pt geom.Point, hostPt model.PartitionID, forbidden Forbidden) (Path, bool) {
+	dist, parent, seedOf := pf.dijkstra(seeds, forbidden)
+	best := NoState
+	bestD := math.Inf(1)
+	for _, sid := range pf.targetStatesForPoint(hostPt) {
+		leg := pf.s.Door(pf.states[sid].door).Pos.Dist(pt)
+		if d := dist[sid] + leg; d < bestD {
+			bestD = d
+			best = sid
+		}
+	}
+	if best == NoState {
+		return Path{}, false
+	}
+	return Path{Hops: pf.reconstruct(best, parent, seedOf, seeds), Dist: bestD}, true
+}
+
+func (pf *PathFinder) targetStatesForPoint(host model.PartitionID) []StateID {
+	var ts []StateID
+	for _, d := range pf.s.Partition(host).EnterDoors() {
+		if sid := pf.StateOf(d, host); sid != NoState {
+			ts = append(ts, sid)
+		}
+	}
+	return ts
+}
+
+// PointToPoint returns the indoor shortest distance between two points,
+// including the degenerate same-partition case where the straight segment
+// wins. It is the reference distance used by the query generator and the
+// tests.
+func (pf *PathFinder) PointToPoint(a, b geom.Point) float64 {
+	hostA := pf.s.HostPartition(a)
+	hostB := pf.s.HostPartition(b)
+	if hostA == model.NoPartition || hostB == model.NoPartition {
+		return math.Inf(1)
+	}
+	best := math.Inf(1)
+	if hostA == hostB {
+		best = a.Dist(b)
+	}
+	if p, ok := pf.ShortestToPoint(pf.SeedsFromPointIn(a, hostA), b, hostB, nil); ok && p.Dist < best {
+		best = p.Dist
+	}
+	return best
+}
+
+// DistancesFromPoint runs one Dijkstra from a point and returns, for every
+// door, the shortest distance at which the door is reached (min over its
+// states), or +Inf. The query generator uses this to find doors at a target
+// distance δs2t from a start point.
+func (pf *PathFinder) DistancesFromPoint(p geom.Point) []float64 {
+	out := make([]float64, pf.s.NumDoors())
+	for i := range out {
+		out[i] = math.Inf(1)
+	}
+	seeds := pf.SeedsFromPoint(p)
+	dist, _, _ := pf.dijkstra(seeds, nil)
+	for sid, d := range dist {
+		door := pf.states[sid].door
+		if d < out[door] {
+			out[door] = d
+		}
+	}
+	return out
+}
+
+// RegularHops reports whether a hop sequence satisfies the regularity
+// principle: a door may appear more than once only in consecutive
+// positions (the one-hop loop). The search validates reconstructed paths
+// with this before splicing them into a route.
+func RegularHops(hops []Hop) bool {
+	seen := make(map[model.DoorID]int, len(hops))
+	for i, h := range hops {
+		if j, ok := seen[h.Door]; ok && j != i-1 {
+			return false
+		}
+		seen[h.Door] = i
+	}
+	return true
+}
+
+type heapItem struct {
+	state StateID
+	dist  float64
+}
+
+type stateHeap []heapItem
+
+func (h stateHeap) Len() int           { return len(h) }
+func (h stateHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h stateHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *stateHeap) Push(x any)        { *h = append(*h, x.(heapItem)) }
+func (h *stateHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

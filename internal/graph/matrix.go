@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"math"
+
+	"ikrq/internal/model"
+)
+
+// Matrix holds precomputed all-pairs shortest distances and next-hop states
+// over the PathFinder's state graph. It backs the KoE* variant: routing to
+// the next key partition consults the matrix instead of running Dijkstra,
+// and falls back to an on-the-fly search when the precomputed path violates
+// the regularity check (doors already used by the partial route).
+//
+// Memory is Θ(states²), which is exactly the order-of-magnitude overhead
+// the paper reports for KoE* in Fig. 14.
+type Matrix struct {
+	pf   *PathFinder
+	n    int
+	dist []float64 // n×n row-major
+	next []StateID // n×n row-major: next state on the shortest path
+}
+
+// NewMatrix precomputes the all-pairs tables with one Dijkstra per state.
+func NewMatrix(pf *PathFinder) *Matrix {
+	n := pf.NumStates()
+	m := &Matrix{pf: pf, n: n}
+	m.dist = make([]float64, n*n)
+	m.next = make([]StateID, n*n)
+	for i := range m.dist {
+		m.dist[i] = math.Inf(1)
+		m.next[i] = NoState
+	}
+	for src := 0; src < n; src++ {
+		dist, parent, _ := pf.dijkstra([]Seed{{State: StateID(src)}}, nil)
+		row := src * n
+		for t := 0; t < n; t++ {
+			if math.IsInf(dist[t], 1) {
+				continue
+			}
+			m.dist[row+t] = dist[t]
+			// Walk the parent chain backward to find the first hop from src.
+			cur := StateID(t)
+			for parent[cur] != NoState && parent[cur] != StateID(src) {
+				cur = parent[cur]
+			}
+			if cur == StateID(src) {
+				m.next[row+t] = StateID(t) // degenerate: src == t
+			} else {
+				m.next[row+t] = cur
+			}
+		}
+	}
+	return m
+}
+
+// Dist returns the precomputed shortest distance between two states.
+func (m *Matrix) Dist(a, b StateID) float64 { return m.dist[int(a)*m.n+int(b)] }
+
+// Path reconstructs the precomputed shortest hop sequence from a to b
+// (excluding a's own door). ok is false when b is unreachable.
+func (m *Matrix) Path(a, b StateID) ([]Hop, bool) {
+	if math.IsInf(m.Dist(a, b), 1) {
+		return nil, false
+	}
+	var hops []Hop
+	cur := a
+	for cur != b {
+		nxt := m.next[int(cur)*m.n+int(b)]
+		if nxt == NoState {
+			return nil, false
+		}
+		d, p := m.pf.State(nxt)
+		hops = append(hops, Hop{Door: d, Part: p})
+		cur = nxt
+	}
+	return hops, true
+}
+
+// PathIfAllowed returns the precomputed path only when none of its doors is
+// forbidden; otherwise ok is false and the caller must recompute with a
+// constrained Dijkstra (the recomputation KoE* pays for on regularity
+// failures).
+func (m *Matrix) PathIfAllowed(a, b StateID, forbidden Forbidden) ([]Hop, float64, bool) {
+	hops, ok := m.Path(a, b)
+	if !ok {
+		return nil, 0, false
+	}
+	if forbidden != nil {
+		for _, h := range hops {
+			if forbidden(h.Door) {
+				return nil, 0, false
+			}
+		}
+	}
+	return hops, m.Dist(a, b), true
+}
+
+// Bytes estimates the resident size of the matrix tables, reported by the
+// KoE* memory experiments.
+func (m *Matrix) Bytes() int64 {
+	return int64(m.n) * int64(m.n) * (8 + 4)
+}
+
+// DoorDist returns the shortest distance between two doors, minimized over
+// entered-partition states — the "door-to-door matrix" view used by tests.
+func (m *Matrix) DoorDist(a, b model.DoorID) float64 {
+	best := math.Inf(1)
+	for _, sa := range m.pf.StatesOfDoor(a) {
+		for _, sb := range m.pf.StatesOfDoor(b) {
+			if d := m.Dist(sa, sb); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,345 @@
+package keyword
+
+import (
+	"math"
+	"sort"
+
+	"ikrq/internal/model"
+)
+
+// Candidate is one entry (wi, s) of a candidate i-word set κ(wQ): a matching
+// i-word and the similarity between the query keyword and that i-word.
+type Candidate struct {
+	Word IWordID
+	Sim  float64
+}
+
+// CandidateSet is κ(wQ) for one query keyword (Definition 4).
+type CandidateSet struct {
+	// Entries sorted by descending similarity, ties broken by word ID so
+	// results are deterministic.
+	Entries []Candidate
+
+	byWord map[IWordID]float64
+}
+
+// Sim returns the similarity of i-word w in the set, or 0 when w is not a
+// matching i-word of the query keyword.
+func (cs *CandidateSet) Sim(w IWordID) float64 { return cs.byWord[w] }
+
+// Contains reports whether w ∈ κ(wQ).Wi.
+func (cs *CandidateSet) Contains(w IWordID) bool {
+	_, ok := cs.byWord[w]
+	return ok
+}
+
+// Words returns κ(wQ).Wi, the matching i-words, in descending-similarity
+// order.
+func (cs *CandidateSet) Words() []IWordID {
+	ws := make([]IWordID, len(cs.Entries))
+	for i, e := range cs.Entries {
+		ws[i] = e.Word
+	}
+	return ws
+}
+
+// CandidateIWords computes κ(wQ) for a raw query keyword (Definition 4).
+// The keyword's type (i-word vs t-word) is recognized automatically, as the
+// paper's implementation does:
+//
+//   - i-word: κ = {(wQ, 1)}.
+//   - t-word: every direct matching i-word w' ∈ T2I(wQ) with similarity 1,
+//     plus every indirect matching i-word w” whose t-word set overlaps
+//     U = ∪_{wi∈T2I(wQ)} I2T(wi), with Jaccard similarity
+//     |I2T(w”)∩U| / |I2T(w”)∪U|, kept only when the similarity exceeds τ.
+//   - unknown word: empty set.
+func (x *Index) CandidateIWords(wQ string, tau float64) *CandidateSet {
+	cs := &CandidateSet{byWord: make(map[IWordID]float64)}
+
+	if iw, ok := x.LookupIWord(wQ); ok {
+		cs.byWord[iw] = 1
+		cs.Entries = []Candidate{{Word: iw, Sim: 1}}
+		return cs
+	}
+
+	tw, ok := x.LookupTWord(wQ)
+	if !ok {
+		return cs
+	}
+
+	direct := x.t2i[tw]
+	for _, wi := range direct {
+		cs.byWord[wi] = 1
+	}
+
+	// U = union of the t-words of every direct matching i-word.
+	union := make(map[TWordID]struct{})
+	for _, wi := range direct {
+		for _, t := range x.i2t[wi] {
+			union[t] = struct{}{}
+		}
+	}
+
+	// Indirect candidates are i-words sharing at least one t-word with U.
+	// Enumerate them through T2I so we never scan the full vocabulary.
+	seen := make(map[IWordID]struct{})
+	for t := range union {
+		for _, wi := range x.t2i[t] {
+			if _, dup := seen[wi]; dup {
+				continue
+			}
+			seen[wi] = struct{}{}
+			if _, isDirect := cs.byWord[wi]; isDirect {
+				continue
+			}
+			s := x.jaccardWithUnion(wi, union)
+			if s > tau {
+				cs.byWord[wi] = s
+			}
+		}
+	}
+
+	cs.Entries = make([]Candidate, 0, len(cs.byWord))
+	for w, s := range cs.byWord {
+		cs.Entries = append(cs.Entries, Candidate{Word: w, Sim: s})
+	}
+	sort.Slice(cs.Entries, func(i, j int) bool {
+		if cs.Entries[i].Sim != cs.Entries[j].Sim {
+			return cs.Entries[i].Sim > cs.Entries[j].Sim
+		}
+		return cs.Entries[i].Word < cs.Entries[j].Word
+	})
+	return cs
+}
+
+// jaccardWithUnion computes |I2T(w)∩U| / |I2T(w)∪U|.
+func (x *Index) jaccardWithUnion(w IWordID, union map[TWordID]struct{}) float64 {
+	inter := 0
+	for _, t := range x.i2t[w] {
+		if _, ok := union[t]; ok {
+			inter++
+		}
+	}
+	unionSize := len(union) + len(x.i2t[w]) - inter
+	if unionSize == 0 {
+		return 0
+	}
+	return float64(inter) / float64(unionSize)
+}
+
+// Query is a compiled query keyword list: per-keyword candidate sets plus an
+// inverted map from matching i-words to (keyword position, similarity)
+// pairs, which lets the search update coverage in O(matches) as routes grow.
+type Query struct {
+	// Raw keywords as given by the user.
+	Raw []string
+	// Tau is the similarity threshold used to compile the candidate sets.
+	Tau float64
+	// Sets[i] is κ(Raw[i]).
+	Sets []*CandidateSet
+
+	// matches maps an i-word to the query keywords it can cover.
+	matches map[IWordID][]match
+	// keyParts is the union of I2P over all candidate i-words: the
+	// partitions that can cover at least one query keyword.
+	keyParts []model.PartitionID
+	keySet   map[model.PartitionID]struct{}
+}
+
+type match struct {
+	kw  int
+	sim float64
+}
+
+// CompileQuery converts a raw keyword list QW into candidate i-word sets and
+// the derived lookup structures (K(QW) of Example 4 plus the key-partition
+// set P of Algorithm 1 line 3).
+func (x *Index) CompileQuery(qw []string, tau float64) *Query {
+	q := &Query{
+		Raw:     append([]string(nil), qw...),
+		Tau:     tau,
+		Sets:    make([]*CandidateSet, len(qw)),
+		matches: make(map[IWordID][]match),
+		keySet:  make(map[model.PartitionID]struct{}),
+	}
+	for i, w := range qw {
+		cs := x.CandidateIWords(w, tau)
+		q.Sets[i] = cs
+		for _, e := range cs.Entries {
+			q.matches[e.Word] = append(q.matches[e.Word], match{kw: i, sim: e.Sim})
+			for _, v := range x.i2p[e.Word] {
+				if _, dup := q.keySet[v]; !dup {
+					q.keySet[v] = struct{}{}
+					q.keyParts = append(q.keyParts, v)
+				}
+			}
+		}
+	}
+	sort.Slice(q.keyParts, func(i, j int) bool { return q.keyParts[i] < q.keyParts[j] })
+	return q
+}
+
+// Len returns |QW|.
+func (q *Query) Len() int { return len(q.Raw) }
+
+// MaxRelevance returns the upper bound |QW|+1 of ρ.
+func (q *Query) MaxRelevance() float64 { return float64(len(q.Raw)) + 1 }
+
+// IsCandidate reports whether i-word w matches any query keyword (w ∈ Wci).
+func (q *Query) IsCandidate(w IWordID) bool {
+	_, ok := q.matches[w]
+	return ok
+}
+
+// IsKeyPartition reports whether partition v can cover some query keyword.
+func (q *Query) IsKeyPartition(v model.PartitionID) bool {
+	_, ok := q.keySet[v]
+	return ok
+}
+
+// KeyPartitions returns the sorted set of partitions covering at least one
+// query keyword (the set P of Algorithm 1 before start/terminal
+// adjustment). The slice is owned by the query.
+func (q *Query) KeyPartitions() []model.PartitionID { return q.keyParts }
+
+// Absorb folds i-word w into a per-keyword best-similarity vector: for every
+// query keyword that w matches, sims[kw] is raised to the match similarity
+// if that improves it. It returns true when any entry changed, letting
+// callers skip copy-on-write when nothing improved.
+func (q *Query) Absorb(sims []float64, w IWordID) bool {
+	ms, ok := q.matches[w]
+	if !ok {
+		return false
+	}
+	changed := false
+	for _, m := range ms {
+		if m.sim > sims[m.kw] {
+			sims[m.kw] = m.sim
+			changed = true
+		}
+	}
+	return changed
+}
+
+// WouldImprove reports whether absorbing w would raise any entry of sims,
+// without modifying it.
+func (q *Query) WouldImprove(sims []float64, w IWordID) bool {
+	for _, m := range q.matches[w] {
+		if m.sim > sims[m.kw] {
+			return true
+		}
+	}
+	return false
+}
+
+// KeywordCovered reports whether query keyword kw is covered by sims.
+func KeywordCovered(sims []float64, kw int) bool { return sims[kw] > 0 }
+
+// Relevance computes ρ from a per-keyword best-similarity vector
+// (Definition 6): 0 when nothing is covered, otherwise N + (Σ best sims)/N
+// where N is the number of covered query keywords.
+func Relevance(sims []float64) float64 {
+	n := 0
+	sum := 0.0
+	for _, s := range sims {
+		if s > 0 {
+			n++
+			sum += s
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(n) + sum/float64(n)
+}
+
+// CoveredCount returns N: how many query keywords sims covers.
+func CoveredCount(sims []float64) int {
+	n := 0
+	for _, s := range sims {
+		if s > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// FullyCovered reports whether every query keyword has a match (N == |QW|).
+func FullyCovered(sims []float64) bool {
+	for _, s := range sims {
+		if s == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PerfectlyCovered reports whether ρ reaches its maximum |QW|+1, i.e. every
+// keyword is matched with similarity exactly 1 (the early-connect condition
+// of Algorithm 5 line 11).
+func PerfectlyCovered(sims []float64) bool {
+	for _, s := range sims {
+		if s < 1 {
+			return false
+		}
+	}
+	return len(sims) > 0
+}
+
+// RouteIWords computes RW for an item sequence (Definition 5): the union of
+// i-words of the partitions relevant to each item, where a door contributes
+// the partitions one can LEAVE through it and a point contributes its host
+// partition. It is the reference (non-incremental) implementation used by
+// tests and by result presentation; the search maintains coverage
+// incrementally via Absorb.
+func RouteIWords(x *Index, s *model.Space, doors []model.DoorID, pts ...model.PartitionID) map[IWordID]struct{} {
+	rw := make(map[IWordID]struct{})
+	add := func(v model.PartitionID) {
+		if v == model.NoPartition {
+			return
+		}
+		if w := x.P2I(v); w != NoIWord {
+			rw[w] = struct{}{}
+		}
+	}
+	for _, d := range doors {
+		for _, v := range s.Door(d).Leaveable() {
+			add(v)
+		}
+	}
+	for _, v := range pts {
+		add(v)
+	}
+	return rw
+}
+
+// RelevanceOfRoute scores an explicit route (door sequence plus the hosts of
+// its endpoints) against a compiled query; the reference implementation for
+// tests.
+func RelevanceOfRoute(x *Index, s *model.Space, q *Query, doors []model.DoorID, hosts ...model.PartitionID) float64 {
+	sims := make([]float64, q.Len())
+	for w := range RouteIWords(x, s, doors, hosts...) {
+		q.Absorb(sims, w)
+	}
+	return Relevance(sims)
+}
+
+// SimilarityHistogram summarizes the candidate-set similarity distribution
+// of a query — used by experiments to verify the "long-tailed Jaccard"
+// observation that makes the search insensitive to τ.
+func (q *Query) SimilarityHistogram(buckets int) []int {
+	h := make([]int, buckets)
+	for _, cs := range q.Sets {
+		for _, e := range cs.Entries {
+			b := int(e.Sim * float64(buckets))
+			if b >= buckets {
+				b = buckets - 1
+			}
+			if b < 0 || math.IsNaN(e.Sim) {
+				continue
+			}
+			h[b]++
+		}
+	}
+	return h
+}

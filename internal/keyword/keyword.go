@@ -1,0 +1,227 @@
+// Package keyword implements the two-level indoor keyword organization of
+// Section III of the IKRQ paper: identity words (i-words) that name a
+// partition and thematic words (t-words) that describe it, connected by the
+// four mappings
+//
+//	P2I : partition → i-word      (many-to-one)
+//	I2P : i-word    → partitions  (one-to-many)
+//	I2T : i-word    → t-words     (many-to-many)
+//	T2I : t-word    → i-words     (many-to-many)
+//
+// On top of the mappings it provides candidate i-word sets κ(wQ) with direct
+// and indirect (Jaccard-similar) matches (Definition 4), route words RW
+// (Definition 5) and the route keyword relevance ρ (Definition 6).
+package keyword
+
+import (
+	"fmt"
+	"sort"
+
+	"ikrq/internal/model"
+)
+
+// IWordID identifies an i-word in an Index. Dense indices.
+type IWordID int32
+
+// TWordID identifies a t-word in an Index.
+type TWordID int32
+
+// NoIWord marks a partition with no identity word (e.g. anonymous hallway
+// cells).
+const NoIWord IWordID = -1
+
+// Index is the immutable keyword catalogue of an indoor space. Build one
+// with an IndexBuilder; after Build it is safe for concurrent readers.
+type Index struct {
+	iwords []string
+	twords []string
+
+	iwordByName map[string]IWordID
+	twordByName map[string]TWordID
+
+	p2i []IWordID             // partition -> i-word
+	i2p [][]model.PartitionID // i-word -> partitions
+	i2t [][]TWordID           // i-word -> sorted t-word IDs
+	t2i [][]IWordID           // t-word -> sorted i-word IDs
+}
+
+// NumIWords returns the number of distinct i-words.
+func (x *Index) NumIWords() int { return len(x.iwords) }
+
+// NumTWords returns the number of distinct t-words.
+func (x *Index) NumTWords() int { return len(x.twords) }
+
+// IWord returns the spelling of an i-word.
+func (x *Index) IWord(id IWordID) string { return x.iwords[id] }
+
+// TWord returns the spelling of a t-word.
+func (x *Index) TWord(id TWordID) string { return x.twords[id] }
+
+// LookupIWord resolves a spelling to an i-word ID.
+func (x *Index) LookupIWord(w string) (IWordID, bool) {
+	id, ok := x.iwordByName[w]
+	return id, ok
+}
+
+// LookupTWord resolves a spelling to a t-word ID.
+func (x *Index) LookupTWord(w string) (TWordID, bool) {
+	id, ok := x.twordByName[w]
+	return id, ok
+}
+
+// P2I returns the i-word identifying partition v, or NoIWord.
+func (x *Index) P2I(v model.PartitionID) IWordID {
+	if int(v) < 0 || int(v) >= len(x.p2i) {
+		return NoIWord
+	}
+	return x.p2i[v]
+}
+
+// I2P returns the partitions identified by i-word w. The slice is owned by
+// the index.
+func (x *Index) I2P(w IWordID) []model.PartitionID { return x.i2p[w] }
+
+// I2T returns the sorted t-word IDs associated with i-word w.
+func (x *Index) I2T(w IWordID) []TWordID { return x.i2t[w] }
+
+// T2I returns the sorted i-word IDs associated with t-word t.
+func (x *Index) T2I(t TWordID) []IWordID { return x.t2i[t] }
+
+// PartitionWords returns PW(v): the partition's i-word together with that
+// i-word's t-words. The boolean is false when the partition carries no
+// i-word.
+func (x *Index) PartitionWords(v model.PartitionID) (IWordID, []TWordID, bool) {
+	w := x.P2I(v)
+	if w == NoIWord {
+		return NoIWord, nil, false
+	}
+	return w, x.i2t[w], true
+}
+
+// IndexBuilder assembles an Index. Not safe for concurrent use.
+type IndexBuilder struct {
+	x   *Index
+	err error
+}
+
+// NewIndexBuilder returns a builder for a space with numPartitions
+// partitions.
+func NewIndexBuilder(numPartitions int) *IndexBuilder {
+	x := &Index{
+		iwordByName: make(map[string]IWordID),
+		twordByName: make(map[string]TWordID),
+		p2i:         make([]IWordID, numPartitions),
+	}
+	for i := range x.p2i {
+		x.p2i[i] = NoIWord
+	}
+	return &IndexBuilder{x: x}
+}
+
+// DefineIWord registers an i-word with its t-word vocabulary and returns its
+// ID. Repeated definitions of the same spelling merge their t-word sets,
+// matching the paper's assumption that two partitions with the same i-word
+// share t-words. A spelling already used as a t-word is rejected: the paper
+// keeps Wi and Wt disjoint.
+func (b *IndexBuilder) DefineIWord(name string, twords []string) IWordID {
+	x := b.x
+	if _, clash := x.twordByName[name]; clash {
+		b.fail("i-word %q already defined as a t-word", name)
+		return NoIWord
+	}
+	id, ok := x.iwordByName[name]
+	if !ok {
+		id = IWordID(len(x.iwords))
+		x.iwords = append(x.iwords, name)
+		x.iwordByName[name] = id
+		x.i2p = append(x.i2p, nil)
+		x.i2t = append(x.i2t, nil)
+	}
+	for _, tw := range twords {
+		if tw == name {
+			continue // keep Wi and Wt disjoint
+		}
+		if _, clash := x.iwordByName[tw]; clash {
+			// The word already names a partition; i-words take precedence
+			// and the t-word occurrence is dropped (disjoint sets).
+			continue
+		}
+		tid, ok := x.twordByName[tw]
+		if !ok {
+			tid = TWordID(len(x.twords))
+			x.twords = append(x.twords, tw)
+			x.twordByName[tw] = tid
+			x.t2i = append(x.t2i, nil)
+		}
+		if !containsT(x.i2t[id], tid) {
+			x.i2t[id] = append(x.i2t[id], tid)
+		}
+		if !containsI(x.t2i[tid], id) {
+			x.t2i[tid] = append(x.t2i[tid], id)
+		}
+	}
+	return id
+}
+
+// AssignPartition sets P2I(v) = w and adds v to I2P(w). Assigning a
+// partition twice is an error (P2I is a function).
+func (b *IndexBuilder) AssignPartition(v model.PartitionID, w IWordID) {
+	x := b.x
+	if int(v) < 0 || int(v) >= len(x.p2i) {
+		b.fail("partition %d out of range", v)
+		return
+	}
+	if w == NoIWord || int(w) >= len(x.iwords) {
+		b.fail("i-word %d out of range", w)
+		return
+	}
+	if x.p2i[v] != NoIWord {
+		b.fail("partition %d already assigned i-word %q", v, x.iwords[x.p2i[v]])
+		return
+	}
+	x.p2i[v] = w
+	x.i2p[w] = append(x.i2p[w], v)
+}
+
+// Build finalizes the index. Mapping slices are sorted so lookups and
+// iteration are deterministic.
+func (b *IndexBuilder) Build() (*Index, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	x := b.x
+	for i := range x.i2t {
+		sort.Slice(x.i2t[i], func(a, c int) bool { return x.i2t[i][a] < x.i2t[i][c] })
+	}
+	for i := range x.t2i {
+		sort.Slice(x.t2i[i], func(a, c int) bool { return x.t2i[i][a] < x.t2i[i][c] })
+	}
+	for i := range x.i2p {
+		sort.Slice(x.i2p[i], func(a, c int) bool { return x.i2p[i][a] < x.i2p[i][c] })
+	}
+	return x, nil
+}
+
+func (b *IndexBuilder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("keyword: "+format, args...)
+	}
+}
+
+func containsT(s []TWordID, v TWordID) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func containsI(s []IWordID, v IWordID) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,278 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"ikrq/internal/geom"
+)
+
+// Builder assembles a Space. The zero value is ready to use. Builders are not
+// safe for concurrent use; the Space they produce is.
+type Builder struct {
+	partitions []Partition
+	doors      []Door
+	stairways  []Stairway
+	err        error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// AddPartition registers a partition and returns its ID. Names should be
+// unique for readable output but the model does not enforce that; keyword
+// identity is handled by the keyword layer, not by partition names.
+func (b *Builder) AddPartition(name string, kind PartitionKind, bounds geom.Rect) PartitionID {
+	id := PartitionID(len(b.partitions))
+	b.partitions = append(b.partitions, Partition{
+		ID:     id,
+		Name:   name,
+		Kind:   kind,
+		Bounds: bounds,
+	})
+	return id
+}
+
+// AddDoor registers a bidirectional door between the given partitions: the
+// door can be used to enter and to leave every listed partition.
+func (b *Builder) AddDoor(pos geom.Point, parts ...PartitionID) DoorID {
+	return b.AddDirectionalDoor(pos, parts, parts)
+}
+
+// AddDirectionalDoor registers a door with distinct enterable (D2P⊢) and
+// leaveable (D2P⊣) partition sets, supporting one-way doors such as security
+// checks and exit-only doors.
+func (b *Builder) AddDirectionalDoor(pos geom.Point, enterable, leaveable []PartitionID) DoorID {
+	id := DoorID(len(b.doors))
+	d := Door{ID: id, Pos: pos}
+	d.enterable = append(d.enterable, enterable...)
+	d.leaveable = append(d.leaveable, leaveable...)
+	sortPartitionIDs(d.enterable)
+	sortPartitionIDs(d.leaveable)
+	b.doors = append(b.doors, d)
+	return id
+}
+
+// MarkStairDoor flags a door as a staircase door, making it part of the
+// skeleton used for the lower-bound distance |·|L.
+func (b *Builder) MarkStairDoor(d DoorID) {
+	if int(d) < len(b.doors) {
+		b.doors[d].Stair = true
+	}
+}
+
+// AddStairway connects two staircase doors on adjacent floors with a walking
+// length. Both doors are implicitly marked as stair doors.
+func (b *Builder) AddStairway(from, to DoorID, length float64) {
+	b.MarkStairDoor(from)
+	b.MarkStairDoor(to)
+	b.stairways = append(b.stairways, Stairway{From: from, To: to, Length: length})
+}
+
+// AddLift connects two elevator doors with an explicit traversal cost.
+// Unlike stairways, lifts may connect non-adjacent floors (an express
+// elevator) and their cost models ride + wait time converted to distance,
+// not geometry.
+func (b *Builder) AddLift(from, to DoorID, cost float64) {
+	b.MarkStairDoor(from)
+	b.MarkStairDoor(to)
+	b.stairways = append(b.stairways, Stairway{From: from, To: to, Length: cost, Lift: true})
+}
+
+// Build validates the assembled space and computes the derived structures.
+// It returns an error when the topology is inconsistent (door referencing a
+// missing partition, partition with no doors, empty space, stairway between
+// non-adjacent floors).
+func (b *Builder) Build() (*Space, error) {
+	if len(b.partitions) == 0 {
+		return nil, fmt.Errorf("model: space has no partitions")
+	}
+	if len(b.doors) == 0 {
+		return nil, fmt.Errorf("model: space has no doors")
+	}
+
+	s := &Space{
+		partitions: b.partitions,
+		doors:      b.doors,
+		stairways:  b.stairways,
+	}
+
+	// Wire the P2D mappings from the D2P mappings and validate references.
+	maxFloor := 0
+	for i := range s.partitions {
+		if f := s.partitions[i].Floor(); f > maxFloor {
+			maxFloor = f
+		}
+	}
+	for i := range s.doors {
+		d := &s.doors[i]
+		if f := d.Floor(); f > maxFloor {
+			maxFloor = f
+		}
+		if len(d.enterable) == 0 && len(d.leaveable) == 0 {
+			return nil, fmt.Errorf("model: door %d connects nothing", d.ID)
+		}
+		for _, v := range d.enterable {
+			if int(v) < 0 || int(v) >= len(s.partitions) {
+				return nil, fmt.Errorf("model: door %d enterable references missing partition %d", d.ID, v)
+			}
+			s.partitions[v].enterDoors = append(s.partitions[v].enterDoors, d.ID)
+		}
+		for _, v := range d.leaveable {
+			if int(v) < 0 || int(v) >= len(s.partitions) {
+				return nil, fmt.Errorf("model: door %d leaveable references missing partition %d", d.ID, v)
+			}
+			s.partitions[v].leaveDoors = append(s.partitions[v].leaveDoors, d.ID)
+		}
+	}
+	s.floors = maxFloor + 1
+	for i := range s.partitions {
+		p := &s.partitions[i]
+		sortDoorIDs(p.enterDoors)
+		sortDoorIDs(p.leaveDoors)
+		if len(p.enterDoors) == 0 {
+			return nil, fmt.Errorf("model: partition %d (%s) has no enter door", p.ID, p.Name)
+		}
+		if len(p.leaveDoors) == 0 {
+			return nil, fmt.Errorf("model: partition %d (%s) has no leave door", p.ID, p.Name)
+		}
+	}
+
+	for _, sw := range b.stairways {
+		if int(sw.From) >= len(s.doors) || int(sw.To) >= len(s.doors) {
+			return nil, fmt.Errorf("model: stairway references missing door")
+		}
+		df := s.doors[sw.From].Floor()
+		dt := s.doors[sw.To].Floor()
+		if gap := abs(df - dt); gap == 0 || (gap != 1 && !sw.Lift) {
+			return nil, fmt.Errorf("model: stairway %d->%d connects floors %d and %d (only lifts may skip floors)",
+				sw.From, sw.To, df, dt)
+		}
+		if sw.Length <= 0 {
+			return nil, fmt.Errorf("model: stairway %d->%d has non-positive length", sw.From, sw.To)
+		}
+	}
+
+	s.computeSelfLoops()
+	s.indexStairDoors()
+	s.stairwaysByDoor = make(map[DoorID][]Stairway)
+	for _, sw := range s.stairways {
+		s.stairwaysByDoor[sw.From] = append(s.stairwaysByDoor[sw.From], sw)
+		s.stairwaysByDoor[sw.To] = append(s.stairwaysByDoor[sw.To],
+			Stairway{From: sw.To, To: sw.From, Length: sw.Length, Lift: sw.Lift})
+	}
+	return s, nil
+}
+
+// computeSelfLoops derives δd2d(d,d) for every door d and every partition v
+// one can both enter and leave through d: twice the longest non-loop
+// distance reachable inside v from d. For a convex (rectangular) partition
+// that is the distance to the farthest of (other doors of v, corners of v).
+func (s *Space) computeSelfLoops() {
+	s.selfLoop = make([]map[PartitionID]float64, len(s.doors))
+	for i := range s.doors {
+		d := &s.doors[i]
+		m := make(map[PartitionID]float64)
+		for _, v := range d.enterable {
+			if !contains(d.leaveable, v) {
+				continue // cannot come back out this way
+			}
+			p := &s.partitions[v]
+			far := 0.0
+			if _, cd := p.Bounds.FarthestCorner(d.Pos); cd > far {
+				far = cd
+			}
+			for _, od := range p.enterDoors {
+				if od == d.ID {
+					continue
+				}
+				if dd := d.Pos.PlanarDist(s.doors[od].Pos); dd > far {
+					far = dd
+				}
+			}
+			if far <= 0 {
+				// Degenerate zero-extent partition: give the loop a small
+				// positive cost so the search cannot spin for free.
+				far = 0.5
+			}
+			m[v] = 2 * far
+		}
+		s.selfLoop[i] = m
+	}
+}
+
+func (s *Space) indexStairDoors() {
+	s.stairDoorsByFloor = make([][]DoorID, s.floors)
+	for i := range s.doors {
+		if s.doors[i].Stair {
+			f := s.doors[i].Floor()
+			s.stairDoorsByFloor[f] = append(s.stairDoorsByFloor[f], s.doors[i].ID)
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Validate runs structural sanity checks on a built space and returns a
+// description of the first violated invariant, or nil. It re-checks
+// properties that Build guarantees plus cross-mapping coherence (P2D and D2P
+// are mutually consistent), and is used by tests and by the generators'
+// self-checks.
+func (s *Space) Validate() error {
+	for i := range s.partitions {
+		p := &s.partitions[i]
+		for _, d := range p.enterDoors {
+			if !contains(s.doors[d].enterable, p.ID) {
+				return fmt.Errorf("model: P2D⊢/D2P⊢ mismatch at partition %d door %d", p.ID, d)
+			}
+		}
+		for _, d := range p.leaveDoors {
+			if !contains(s.doors[d].leaveable, p.ID) {
+				return fmt.Errorf("model: P2D⊣/D2P⊣ mismatch at partition %d door %d", p.ID, d)
+			}
+		}
+	}
+	for i := range s.doors {
+		d := &s.doors[i]
+		for _, v := range d.enterable {
+			if !containsDoor(s.partitions[v].enterDoors, d.ID) {
+				return fmt.Errorf("model: D2P⊢/P2D⊢ mismatch at door %d partition %d", d.ID, v)
+			}
+		}
+		for _, v := range d.leaveable {
+			if !containsDoor(s.partitions[v].leaveDoors, d.ID) {
+				return fmt.Errorf("model: D2P⊣/P2D⊣ mismatch at door %d partition %d", d.ID, v)
+			}
+		}
+		for _, v := range d.enterable {
+			pb := s.partitions[v].Bounds
+			if d.Pos.Floor != pb.Floor {
+				return fmt.Errorf("model: door %d on floor %d serves partition %d on floor %d",
+					d.ID, d.Pos.Floor, v, pb.Floor)
+			}
+		}
+	}
+	for _, sw := range s.stairways {
+		if !s.doors[sw.From].Stair || !s.doors[sw.To].Stair {
+			return fmt.Errorf("model: stairway endpoint not marked as stair door")
+		}
+	}
+	// δd2d must be symmetric in topology for bidirectional doors and always
+	// non-negative.
+	for i := range s.doors {
+		for _, v := range s.doors[i].enterable {
+			for _, dj := range s.partitions[v].leaveDoors {
+				dd := s.D2DDistVia(s.doors[i].ID, dj, v)
+				if dd < 0 || math.IsNaN(dd) {
+					return fmt.Errorf("model: δd2d(%d,%d) via %d is %v", i, dj, v, dd)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,357 @@
+// Package model implements the indoor space model of Lu, Cao and Jensen
+// (ICDE 2012, [13] in the paper) that the IKRQ query operates on: partitions
+// (rooms, hallway cells, staircases) connected by doors, the four
+// topological mappings
+//
+//	D2P⊢(d) — partitions one can ENTER through door d   (Enterable)
+//	D2P⊣(d) — partitions one can LEAVE through door d   (Leaveable)
+//	P2D⊢(v) — doors through which one can enter v       (EnterDoors)
+//	P2D⊣(v) — doors through which one can leave v       (LeaveDoors)
+//
+// and the three intra-partition distance operators δd2d, δpt2d and δd2pt of
+// Section II-A of the IKRQ paper, including the self-loop distance
+// δd2d(d,d) used when a route enters a partition and leaves through the same
+// door.
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ikrq/internal/geom"
+)
+
+// PartitionID identifies a partition within a Space. IDs are dense indices
+// assigned by the builder, which lets hot paths use slices instead of maps.
+type PartitionID int32
+
+// DoorID identifies a door within a Space. Like PartitionID, IDs are dense.
+type DoorID int32
+
+// NoPartition is the sentinel for "no partition".
+const NoPartition PartitionID = -1
+
+// NoDoor is the sentinel for "no door".
+const NoDoor DoorID = -1
+
+// PartitionKind classifies partitions. The search treats all kinds equally;
+// kinds matter to generators (staircases anchor the skeleton graph) and to
+// presentation.
+type PartitionKind uint8
+
+const (
+	// KindRoom is a leaf partition such as a shop, office or booth.
+	KindRoom PartitionKind = iota
+	// KindHallway is a circulation partition (hallway cells after
+	// decomposition of irregular hallways).
+	KindHallway
+	// KindStaircase is a vertical-circulation partition; its doors are the
+	// staircase doors of the skeleton distance.
+	KindStaircase
+	// KindElevator is a vertical-circulation partition served by a lift: a
+	// stairway-like connection whose traversal cost is independent of the
+	// geometric floor distance (Section VII future work).
+	KindElevator
+)
+
+// String returns a human-readable kind name.
+func (k PartitionKind) String() string {
+	switch k {
+	case KindRoom:
+		return "room"
+	case KindHallway:
+		return "hallway"
+	case KindStaircase:
+		return "staircase"
+	case KindElevator:
+		return "elevator"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Partition is a basic indoor region with clear boundaries (a room,
+// staircase, hallway cell, or booth).
+type Partition struct {
+	ID     PartitionID
+	Name   string
+	Kind   PartitionKind
+	Bounds geom.Rect
+
+	// enterDoors and leaveDoors are P2D⊢(v) and P2D⊣(v).
+	enterDoors []DoorID
+	leaveDoors []DoorID
+}
+
+// EnterDoors returns P2D⊢(v): the doors through which one can enter the
+// partition. The returned slice is owned by the model and must not be
+// mutated.
+func (p *Partition) EnterDoors() []DoorID { return p.enterDoors }
+
+// LeaveDoors returns P2D⊣(v): the doors through which one can leave the
+// partition. The returned slice is owned by the model and must not be
+// mutated.
+func (p *Partition) LeaveDoors() []DoorID { return p.leaveDoors }
+
+// Floor returns the floor the partition lies on.
+func (p *Partition) Floor() int { return p.Bounds.Floor }
+
+// Door connects partitions. A door may be directional: Enterable lists the
+// partitions reachable by passing through the door (D2P⊢), Leaveable the
+// partitions from which the door can be used as an exit (D2P⊣). For an
+// ordinary bidirectional door between v1 and v2 both sets are {v1, v2}.
+type Door struct {
+	ID  DoorID
+	Pos geom.Point
+
+	enterable []PartitionID // D2P⊢(d)
+	leaveable []PartitionID // D2P⊣(d)
+
+	// Stair marks doors that participate in vertical circulation; they are
+	// the staircase doors SD(·) of the skeleton lower-bound distance.
+	Stair bool
+}
+
+// Enterable returns D2P⊢(d): partitions one can enter through the door.
+func (d *Door) Enterable() []PartitionID { return d.enterable }
+
+// Leaveable returns D2P⊣(d): partitions one can leave through the door.
+func (d *Door) Leaveable() []PartitionID { return d.leaveable }
+
+// Floor returns the floor the door is on.
+func (d *Door) Floor() int { return d.Pos.Floor }
+
+// Stairway is an inter-floor connection between two staircase (or
+// elevator) doors, with an explicit traversal cost (the paper uses 20m
+// stairways). Lift marks elevator connections, which may skip floors.
+type Stairway struct {
+	From, To DoorID
+	Length   float64
+	Lift     bool
+}
+
+// Space is an immutable indoor space: partitions, doors and stairways, plus
+// derived structures (self-loop distances). Build one with a Builder; after
+// Build the space is safe for concurrent readers.
+type Space struct {
+	partitions []Partition
+	doors      []Door
+	stairways  []Stairway
+	floors     int
+
+	// selfLoop[d] is δd2d(d,d) per leaveable partition, keyed by partition:
+	// 2× the longest non-loop distance reachable inside that partition from
+	// the door. Stored flattened: selfLoop[d][v] for v in enterable(d).
+	selfLoop []map[PartitionID]float64
+
+	// stairDoors lists all doors with Stair set, grouped by floor.
+	stairDoorsByFloor [][]DoorID
+
+	// stairwaysByDoor indexes stairways by anchor door, normalized so that
+	// From is the anchor.
+	stairwaysByDoor map[DoorID][]Stairway
+}
+
+// NumPartitions returns the number of partitions in the space.
+func (s *Space) NumPartitions() int { return len(s.partitions) }
+
+// NumDoors returns the number of doors in the space.
+func (s *Space) NumDoors() int { return len(s.doors) }
+
+// Floors returns the number of floors in the space.
+func (s *Space) Floors() int { return s.floors }
+
+// Partition returns the partition with the given ID. It panics on an invalid
+// ID, which always indicates a programming error rather than bad user input.
+func (s *Space) Partition(id PartitionID) *Partition { return &s.partitions[id] }
+
+// Door returns the door with the given ID.
+func (s *Space) Door(id DoorID) *Door { return &s.doors[id] }
+
+// Stairways returns all inter-floor stairway connections.
+func (s *Space) Stairways() []Stairway { return s.stairways }
+
+// StairwaysFrom returns the stairways anchored at door d, normalized so
+// that From == d. Routes traverse a stairway by entering the staircase
+// partition of From and exiting through To on the adjacent floor.
+func (s *Space) StairwaysFrom(d DoorID) []Stairway { return s.stairwaysByDoor[d] }
+
+// StaircaseOf returns the vertical-circulation partition (staircase or
+// elevator) enterable through door d, or NoPartition. It identifies which
+// partition a stairway or lift traversal starts from.
+func (s *Space) StaircaseOf(d DoorID) PartitionID {
+	for _, v := range s.doors[d].enterable {
+		if k := s.partitions[v].Kind; k == KindStaircase || k == KindElevator {
+			return v
+		}
+	}
+	return NoPartition
+}
+
+// StairDoorsOnFloor returns the staircase doors SD on the given floor, used
+// by the skeleton lower-bound distance.
+func (s *Space) StairDoorsOnFloor(floor int) []DoorID {
+	if floor < 0 || floor >= len(s.stairDoorsByFloor) {
+		return nil
+	}
+	return s.stairDoorsByFloor[floor]
+}
+
+// Partitions iterates over partition IDs in order; it returns the count so
+// callers can range with a plain loop.
+func (s *Space) Partitions() []Partition { return s.partitions }
+
+// Doors returns the door table. The slice is owned by the model.
+func (s *Space) Doors() []Door { return s.doors }
+
+// HostPartition returns v(p): the partition containing point p, or
+// NoPartition if p lies outside every partition. When partitions share a
+// boundary the lowest-ID partition wins, which is deterministic.
+func (s *Space) HostPartition(p geom.Point) PartitionID {
+	for i := range s.partitions {
+		if s.partitions[i].Bounds.Contains(p) {
+			return s.partitions[i].ID
+		}
+	}
+	return NoPartition
+}
+
+// D2DDist returns the intra-partition door-to-door distance δd2d(di, dj):
+// the Euclidean distance between the doors when they share a partition one
+// can enter via di and leave via dj, +Inf otherwise. The special case
+// di == dj returns the self-loop distance: twice the longest non-loop
+// distance reachable inside the shared partition from the door.
+func (s *Space) D2DDist(di, dj DoorID) float64 {
+	if di == dj {
+		best := math.Inf(1)
+		for v, d := range s.selfLoop[di] {
+			_ = v
+			if d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	a, b := &s.doors[di], &s.doors[dj]
+	if !intersects(a.enterable, b.leaveable) {
+		return math.Inf(1)
+	}
+	return a.Pos.Dist(b.Pos)
+}
+
+// D2DDistVia is D2DDist with the connecting partition fixed, used when the
+// caller already knows which partition the hop crosses (the search always
+// does). For di == dj it returns the self-loop distance within via.
+func (s *Space) D2DDistVia(di, dj DoorID, via PartitionID) float64 {
+	if di == dj {
+		if d, ok := s.selfLoop[di][via]; ok {
+			return d
+		}
+		return math.Inf(1)
+	}
+	a, b := &s.doors[di], &s.doors[dj]
+	if !contains(a.enterable, via) || !contains(b.leaveable, via) {
+		return math.Inf(1)
+	}
+	return a.Pos.Dist(b.Pos)
+}
+
+// CommonPartition returns a partition that one can enter via di and leave
+// via dj (the partition a (di,dj) hop crosses), or NoPartition. If several
+// qualify the lowest ID is returned for determinism.
+func (s *Space) CommonPartition(di, dj DoorID) PartitionID {
+	if di == dj {
+		best := NoPartition
+		for v := range s.selfLoop[di] {
+			if best == NoPartition || v < best {
+				best = v
+			}
+		}
+		return best
+	}
+	a, b := &s.doors[di], &s.doors[dj]
+	best := NoPartition
+	for _, v := range a.enterable {
+		if contains(b.leaveable, v) && (best == NoPartition || v < best) {
+			best = v
+		}
+	}
+	return best
+}
+
+// Pt2DDist returns δpt2d(p, d): the intra-partition distance from point p to
+// door d when leaving p's host partition through d, +Inf if d is not a leave
+// door of the host partition.
+func (s *Space) Pt2DDist(p geom.Point, d DoorID) float64 {
+	host := s.HostPartition(p)
+	if host == NoPartition {
+		return math.Inf(1)
+	}
+	if !containsDoor(s.partitions[host].leaveDoors, d) {
+		return math.Inf(1)
+	}
+	return p.Dist(s.doors[d].Pos)
+}
+
+// D2PtDist returns δd2pt(d, p): the intra-partition distance from door d to
+// point p when entering p's host partition through d, +Inf if d is not an
+// enter door of the host partition.
+func (s *Space) D2PtDist(d DoorID, p geom.Point) float64 {
+	host := s.HostPartition(p)
+	if host == NoPartition {
+		return math.Inf(1)
+	}
+	if !containsDoor(s.partitions[host].enterDoors, d) {
+		return math.Inf(1)
+	}
+	return s.doors[d].Pos.Dist(p)
+}
+
+// SelfLoopDist returns δd2d(d,d) through partition v: 2× the longest
+// non-loop distance reachable inside v from door d. +Inf if the loop is
+// topologically impossible (d must be both an enter and a leave door of v).
+func (s *Space) SelfLoopDist(d DoorID, v PartitionID) float64 {
+	if dist, ok := s.selfLoop[d][v]; ok {
+		return dist
+	}
+	return math.Inf(1)
+}
+
+func intersects(a, b []PartitionID) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func contains(a []PartitionID, v PartitionID) bool {
+	for _, x := range a {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func containsDoor(a []DoorID, d DoorID) bool {
+	for _, x := range a {
+		if x == d {
+			return true
+		}
+	}
+	return false
+}
+
+// sortPartitionIDs sorts in place for deterministic iteration.
+func sortPartitionIDs(ids []PartitionID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+func sortDoorIDs(ids []DoorID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -1,0 +1,272 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"ikrq/internal/geom"
+)
+
+// twoRooms builds the smallest interesting space:
+//
+//	+------+------+
+//	|  v0  d0 v1  |
+//	+------+--d1--+
+//	              |
+//	        (v2 below v1, reached via d1)
+//
+// v0 and v1 share bidirectional door d0; v1 and v2 share d1.
+func twoRooms(t *testing.T) (*Space, PartitionID, PartitionID, PartitionID, DoorID, DoorID) {
+	t.Helper()
+	b := NewBuilder()
+	v0 := b.AddPartition("v0", KindRoom, geom.R(0, 0, 10, 10, 0))
+	v1 := b.AddPartition("v1", KindRoom, geom.R(10, 0, 20, 10, 0))
+	v2 := b.AddPartition("v2", KindRoom, geom.R(10, -10, 20, 0, 0))
+	d0 := b.AddDoor(geom.Pt(10, 5, 0), v0, v1)
+	d1 := b.AddDoor(geom.Pt(15, 0, 0), v1, v2)
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return s, v0, v1, v2, d0, d1
+}
+
+func TestBuildWiresTopologicalMappings(t *testing.T) {
+	s, v0, v1, v2, d0, d1 := twoRooms(t)
+
+	if got := s.Door(d0).Enterable(); len(got) != 2 || got[0] != v0 || got[1] != v1 {
+		t.Errorf("D2P⊢(d0) = %v, want [v0 v1]", got)
+	}
+	if got := s.Partition(v1).EnterDoors(); len(got) != 2 || got[0] != d0 || got[1] != d1 {
+		t.Errorf("P2D⊢(v1) = %v, want [d0 d1]", got)
+	}
+	if got := s.Partition(v2).LeaveDoors(); len(got) != 1 || got[0] != d1 {
+		t.Errorf("P2D⊣(v2) = %v, want [d1]", got)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestD2DDist(t *testing.T) {
+	s, _, _, _, d0, d1 := twoRooms(t)
+
+	want := math.Hypot(15-10, 0-5)
+	if got := s.D2DDist(d0, d1); math.Abs(got-want) > 1e-9 {
+		t.Errorf("δd2d(d0,d1) = %v, want %v", got, want)
+	}
+	// Symmetric through the shared partition v1.
+	if got := s.D2DDist(d1, d0); math.Abs(got-want) > 1e-9 {
+		t.Errorf("δd2d(d1,d0) = %v, want %v", got, want)
+	}
+}
+
+func TestD2DDistNoCommonPartition(t *testing.T) {
+	b := NewBuilder()
+	v0 := b.AddPartition("v0", KindRoom, geom.R(0, 0, 10, 10, 0))
+	v1 := b.AddPartition("v1", KindRoom, geom.R(10, 0, 20, 10, 0))
+	v2 := b.AddPartition("v2", KindRoom, geom.R(20, 0, 30, 10, 0))
+	v3 := b.AddPartition("v3", KindRoom, geom.R(30, 0, 40, 10, 0))
+	d0 := b.AddDoor(geom.Pt(10, 5, 0), v0, v1)
+	d1 := b.AddDoor(geom.Pt(30, 5, 0), v2, v3)
+	// Keep v1 and v2 reachable so Build does not reject the space.
+	b.AddDoor(geom.Pt(20, 5, 0), v1, v2)
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := s.D2DDist(d0, d1); !math.IsInf(got, 1) {
+		t.Errorf("δd2d across disjoint partitions = %v, want +Inf", got)
+	}
+}
+
+func TestDirectionalDoor(t *testing.T) {
+	b := NewBuilder()
+	v0 := b.AddPartition("security-front", KindHallway, geom.R(0, 0, 10, 10, 0))
+	v1 := b.AddPartition("airside", KindHallway, geom.R(10, 0, 20, 10, 0))
+	// One-way: can pass from v0 into v1, never back.
+	d0 := b.AddDirectionalDoor(geom.Pt(10, 5, 0), []PartitionID{v1}, []PartitionID{v0})
+	d1 := b.AddDoor(geom.Pt(15, 10, 0), v1) // exit door of v1 so v1 is leaveable
+	b.AddDoor(geom.Pt(0, 5, 0), v0)         // entrance so v0 is enterable
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Entering v1 via d0 then leaving via d1 is fine.
+	if got := s.D2DDist(d0, d1); math.IsInf(got, 1) {
+		t.Errorf("δd2d(d0,d1) = +Inf, want finite (one-way passage)")
+	}
+	// The reverse hop d1 -> d0 crosses v1 entering via d1 and leaving via
+	// d0, but d0 is not a leave door of v1.
+	if got := s.D2DDist(d1, d0); !math.IsInf(got, 1) {
+		t.Errorf("δd2d(d1,d0) = %v, want +Inf (door is one-way)", got)
+	}
+}
+
+func TestSelfLoopDistance(t *testing.T) {
+	b := NewBuilder()
+	hall := b.AddPartition("hall", KindHallway, geom.R(0, 0, 30, 10, 0))
+	shop := b.AddPartition("shop", KindRoom, geom.R(10, 10, 20, 20, 0))
+	d := b.AddDoor(geom.Pt(15, 10, 0), hall, shop)
+	b.AddDoor(geom.Pt(0, 5, 0), hall)
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Farthest corner of shop from (15,10): corners (10,20) and (20,20) at
+	// distance sqrt(25+100).
+	want := 2 * math.Hypot(5, 10)
+	if got := s.SelfLoopDist(d, shop); math.Abs(got-want) > 1e-9 {
+		t.Errorf("self-loop via shop = %v, want %v", got, want)
+	}
+	// The generic δd2d(d,d) picks the cheapest loop over all partitions the
+	// door can enter and leave; the loop via shop is cheaper than via the
+	// larger hall.
+	if got := s.D2DDist(d, d); math.Abs(got-want) > 1e-9 {
+		t.Errorf("δd2d(d,d) = %v, want %v (loop via shop)", got, want)
+	}
+	if got := s.SelfLoopDist(d, hall); got <= want {
+		t.Errorf("self-loop via hall = %v, want > loop via shop %v", got, want)
+	}
+}
+
+func TestSelfLoopImpossibleThroughOneWayDoor(t *testing.T) {
+	b := NewBuilder()
+	v0 := b.AddPartition("v0", KindHallway, geom.R(0, 0, 10, 10, 0))
+	v1 := b.AddPartition("v1", KindRoom, geom.R(10, 0, 20, 10, 0))
+	// d0 enters v1 but cannot leave it: no loop (d0,d0) through v1.
+	d0 := b.AddDirectionalDoor(geom.Pt(10, 5, 0), []PartitionID{v1, v0}, []PartitionID{v0})
+	b.AddDoor(geom.Pt(20, 5, 0), v1) // alternative exit keeps v1 leaveable
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := s.SelfLoopDist(d0, v1); !math.IsInf(got, 1) {
+		t.Errorf("self-loop through one-way door = %v, want +Inf", got)
+	}
+}
+
+func TestPt2DAndD2PtDist(t *testing.T) {
+	s, v0, _, _, d0, d1 := twoRooms(t)
+
+	p := geom.Pt(2, 5, 0) // inside v0
+	if got := s.HostPartition(p); got != v0 {
+		t.Fatalf("HostPartition = %v, want v0", got)
+	}
+	want := math.Hypot(8, 0)
+	if got := s.Pt2DDist(p, d0); math.Abs(got-want) > 1e-9 {
+		t.Errorf("δpt2d = %v, want %v", got, want)
+	}
+	// d1 is not a door of v0.
+	if got := s.Pt2DDist(p, d1); !math.IsInf(got, 1) {
+		t.Errorf("δpt2d to foreign door = %v, want +Inf", got)
+	}
+	if got := s.D2PtDist(d0, p); math.Abs(got-want) > 1e-9 {
+		t.Errorf("δd2pt = %v, want %v", got, want)
+	}
+}
+
+func TestHostPartitionOutside(t *testing.T) {
+	s, _, _, _, _, _ := twoRooms(t)
+	if got := s.HostPartition(geom.Pt(-5, -5, 0)); got != NoPartition {
+		t.Errorf("HostPartition outside = %v, want NoPartition", got)
+	}
+	if got := s.HostPartition(geom.Pt(5, 5, 3)); got != NoPartition {
+		t.Errorf("HostPartition wrong floor = %v, want NoPartition", got)
+	}
+}
+
+func TestCommonPartition(t *testing.T) {
+	s, _, v1, _, d0, d1 := twoRooms(t)
+	if got := s.CommonPartition(d0, d1); got != v1 {
+		t.Errorf("CommonPartition(d0,d1) = %v, want v1", got)
+	}
+	if got := s.CommonPartition(d0, d0); got == NoPartition {
+		t.Errorf("CommonPartition(d0,d0) = NoPartition, want a loopable partition")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		if _, err := NewBuilder().Build(); err == nil {
+			t.Error("Build of empty space succeeded, want error")
+		}
+	})
+	t.Run("no doors", func(t *testing.T) {
+		b := NewBuilder()
+		b.AddPartition("v", KindRoom, geom.R(0, 0, 1, 1, 0))
+		if _, err := b.Build(); err == nil {
+			t.Error("Build without doors succeeded, want error")
+		}
+	})
+	t.Run("doorless partition", func(t *testing.T) {
+		b := NewBuilder()
+		v0 := b.AddPartition("v0", KindRoom, geom.R(0, 0, 1, 1, 0))
+		b.AddPartition("orphan", KindRoom, geom.R(5, 5, 6, 6, 0))
+		b.AddDoor(geom.Pt(1, 0.5, 0), v0)
+		if _, err := b.Build(); err == nil {
+			t.Error("Build with doorless partition succeeded, want error")
+		}
+	})
+	t.Run("stairway non-adjacent floors", func(t *testing.T) {
+		b := NewBuilder()
+		v0 := b.AddPartition("s0", KindStaircase, geom.R(0, 0, 5, 5, 0))
+		v2 := b.AddPartition("s2", KindStaircase, geom.R(0, 0, 5, 5, 2))
+		d0 := b.AddDoor(geom.Pt(5, 2, 0), v0)
+		d2 := b.AddDoor(geom.Pt(5, 2, 2), v2)
+		b.AddStairway(d0, d2, 40)
+		if _, err := b.Build(); err == nil {
+			t.Error("Build with floor-skipping stairway succeeded, want error")
+		}
+	})
+	t.Run("negative stairway length", func(t *testing.T) {
+		b := NewBuilder()
+		v0 := b.AddPartition("s0", KindStaircase, geom.R(0, 0, 5, 5, 0))
+		v1 := b.AddPartition("s1", KindStaircase, geom.R(0, 0, 5, 5, 1))
+		d0 := b.AddDoor(geom.Pt(5, 2, 0), v0)
+		d1 := b.AddDoor(geom.Pt(5, 2, 1), v1)
+		b.AddStairway(d0, d1, -1)
+		if _, err := b.Build(); err == nil {
+			t.Error("Build with negative stairway length succeeded, want error")
+		}
+	})
+}
+
+func TestStairDoorIndexing(t *testing.T) {
+	b := NewBuilder()
+	v0 := b.AddPartition("s0", KindStaircase, geom.R(0, 0, 5, 5, 0))
+	v1 := b.AddPartition("s1", KindStaircase, geom.R(0, 0, 5, 5, 1))
+	d0 := b.AddDoor(geom.Pt(5, 2, 0), v0)
+	d1 := b.AddDoor(geom.Pt(5, 2, 1), v1)
+	b.AddStairway(d0, d1, 20)
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if s.Floors() != 2 {
+		t.Errorf("Floors = %d, want 2", s.Floors())
+	}
+	if got := s.StairDoorsOnFloor(0); len(got) != 1 || got[0] != d0 {
+		t.Errorf("StairDoorsOnFloor(0) = %v, want [d0]", got)
+	}
+	if got := s.StairDoorsOnFloor(1); len(got) != 1 || got[0] != d1 {
+		t.Errorf("StairDoorsOnFloor(1) = %v, want [d1]", got)
+	}
+	if got := s.StairDoorsOnFloor(7); got != nil {
+		t.Errorf("StairDoorsOnFloor(7) = %v, want nil", got)
+	}
+}
+
+func TestPartitionKindString(t *testing.T) {
+	cases := map[PartitionKind]string{
+		KindRoom:         "room",
+		KindHallway:      "hallway",
+		KindStaircase:    "staircase",
+		PartitionKind(9): "kind(9)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", uint8(k), got, want)
+		}
+	}
+}

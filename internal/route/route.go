@@ -1,0 +1,132 @@
+// Package route provides the route representation shared by the IKRQ search
+// algorithms: persistent (parent-pointer) door sequences that make stamp
+// expansion O(1), key-partition sequences KP with incremental hashing
+// (Definition 2's homogeneity classes), and the prime hashtable Hprime of
+// Algorithms 3 and 4.
+package route
+
+import (
+	"fmt"
+	"strings"
+
+	"ikrq/internal/model"
+)
+
+// Node is one element of a persistent route: the door appended and the
+// partition committed to after passing it. The start node has Door ==
+// model.NoDoor and Entered == the start point's host partition. Nodes are
+// immutable; many routes share prefixes.
+type Node struct {
+	Parent  *Node
+	Door    model.DoorID
+	Entered model.PartitionID
+	// Dist is the cumulative route distance δ from the start point up to
+	// and including the hop ending at Door.
+	Dist float64
+	// Depth counts doors on the route (start node: 0).
+	Depth int32
+}
+
+// NewStart returns the start node of a route beginning at a point hosted in
+// partition host.
+func NewStart(host model.PartitionID) *Node {
+	return &Node{Door: model.NoDoor, Entered: host}
+}
+
+// Append returns a new node extending n through door d into partition
+// entered, at cumulative distance dist.
+func (n *Node) Append(d model.DoorID, entered model.PartitionID, dist float64) *Node {
+	return &Node{Parent: n, Door: d, Entered: entered, Dist: dist, Depth: n.Depth + 1}
+}
+
+// Tail returns the last door of the route, or model.NoDoor for the bare
+// start node.
+func (n *Node) Tail() model.DoorID { return n.Door }
+
+// ContainsDoor reports whether door d appears anywhere on the route. The
+// regularity principle permits a door to reappear only as the immediate
+// tail, which callers check separately against Tail().
+func (n *Node) ContainsDoor(d model.DoorID) bool {
+	for cur := n; cur != nil; cur = cur.Parent {
+		if cur.Door == d {
+			return true
+		}
+	}
+	return false
+}
+
+// Doors returns the door sequence from the start to n.
+func (n *Node) Doors() []model.DoorID {
+	out := make([]model.DoorID, 0, n.Depth)
+	for cur := n; cur != nil; cur = cur.Parent {
+		if cur.Door != model.NoDoor {
+			out = append(out, cur.Door)
+		}
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// EnteredPartitions returns, aligned with Doors, the partition committed to
+// after each door.
+func (n *Node) EnteredPartitions() []model.PartitionID {
+	out := make([]model.PartitionID, 0, n.Depth)
+	for cur := n; cur != nil; cur = cur.Parent {
+		if cur.Door != model.NoDoor {
+			out = append(out, cur.Entered)
+		}
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// CrossedPartitions returns the partitions the route passes through, one
+// per hop: the start host for the first hop, then the previously entered
+// partition for each subsequent hop. A route with k doors crosses k
+// partitions (the partition entered through the final door has not been
+// crossed yet).
+func (n *Node) CrossedPartitions() []model.PartitionID {
+	entered := make([]model.PartitionID, 0, n.Depth+1)
+	for cur := n; cur != nil; cur = cur.Parent {
+		entered = append(entered, cur.Entered)
+	}
+	// entered is tail-to-start inclusive of the start node; reverse it.
+	for i, j := 0, len(entered)-1; i < j; i, j = i+1, j-1 {
+		entered[i], entered[j] = entered[j], entered[i]
+	}
+	// Crossed partitions are entered[0..len-2]: each hop crosses the
+	// partition entered before it.
+	if len(entered) == 0 {
+		return nil
+	}
+	return entered[:len(entered)-1]
+}
+
+// IsRegular verifies the regularity principle over the whole route: no door
+// appears twice except in consecutive positions. Used by tests and the
+// exhaustive baseline; the search enforces regularity incrementally.
+func (n *Node) IsRegular() bool {
+	doors := n.Doors()
+	last := make(map[model.DoorID]int, len(doors))
+	for i, d := range doors {
+		if j, ok := last[d]; ok && j != i-1 {
+			return false
+		}
+		last[d] = i
+	}
+	return true
+}
+
+// String renders the door sequence for diagnostics, e.g. "ps→d2→d5".
+func (n *Node) String() string {
+	var b strings.Builder
+	b.WriteString("ps")
+	for _, d := range n.Doors() {
+		fmt.Fprintf(&b, "→d%d", d)
+	}
+	return b.String()
+}

@@ -1,0 +1,269 @@
+package route
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ikrq/internal/model"
+)
+
+func TestNodeAppendAndDoors(t *testing.T) {
+	start := NewStart(1)
+	if start.Tail() != model.NoDoor || start.Depth != 0 {
+		t.Fatalf("start node malformed: %+v", start)
+	}
+	r := start.Append(2, 5, 8.3).Append(5, 3, 12.5)
+	if got := r.Doors(); len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Errorf("Doors = %v, want [2 5]", got)
+	}
+	if got := r.EnteredPartitions(); len(got) != 2 || got[0] != 5 || got[1] != 3 {
+		t.Errorf("EnteredPartitions = %v, want [5 3]", got)
+	}
+	if r.Dist != 12.5 || r.Depth != 2 {
+		t.Errorf("tail node: %+v", r)
+	}
+	if r.Tail() != 5 {
+		t.Errorf("Tail = %v, want 5", r.Tail())
+	}
+}
+
+func TestCrossedPartitions(t *testing.T) {
+	// Example 1 shape: ps in v1, through d2 into v2, through d5 into v5.
+	// The route crosses v1 (ps→d2) and v2 (d2→d5); v5 is entered but not
+	// yet crossed.
+	r := NewStart(1).Append(2, 2, 8.3).Append(5, 5, 12.5)
+	got := r.CrossedPartitions()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("CrossedPartitions = %v, want [1 2]", got)
+	}
+	if got := NewStart(7).CrossedPartitions(); len(got) != 0 {
+		t.Errorf("bare start crosses %v, want nothing", got)
+	}
+}
+
+func TestContainsDoorAndPrefixSharing(t *testing.T) {
+	base := NewStart(0).Append(1, 1, 1).Append(2, 2, 2)
+	a := base.Append(3, 3, 3)
+	b := base.Append(4, 4, 4)
+	if !a.ContainsDoor(1) || !a.ContainsDoor(3) || a.ContainsDoor(4) {
+		t.Error("ContainsDoor wrong on branch a")
+	}
+	if !b.ContainsDoor(4) || b.ContainsDoor(3) {
+		t.Error("ContainsDoor wrong on branch b")
+	}
+	// The shared prefix must be physically shared (persistence).
+	if a.Parent != base || b.Parent != base {
+		t.Error("prefix not shared")
+	}
+}
+
+func TestIsRegular(t *testing.T) {
+	mk := func(doors ...model.DoorID) *Node {
+		n := NewStart(0)
+		for _, d := range doors {
+			n = n.Append(d, 0, 0)
+		}
+		return n
+	}
+	if !mk(1, 2, 3).IsRegular() {
+		t.Error("plain route flagged irregular")
+	}
+	if !mk(1, 15, 15, 2).IsRegular() {
+		t.Error("one-hop loop flagged irregular")
+	}
+	if mk(13, 14, 14, 13).IsRegular() {
+		t.Error("door repeated non-consecutively flagged regular")
+	}
+}
+
+func TestNodeString(t *testing.T) {
+	r := NewStart(0).Append(2, 1, 1).Append(5, 2, 2)
+	if got := r.String(); got != "ps→d2→d5" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestKPSequenceTableII(t *testing.T) {
+	// All four routes of Table II share KP = ⟨v1, v2, v3, v5⟩.
+	// R1 crosses v1, v2, v3 (all key) then v5 is appended at connect.
+	kp := NewKP(1).Append(2).Append(3).Append(5)
+	want := []model.PartitionID{1, 2, 3, 5}
+	got := kp.Sequence()
+	if len(got) != 4 {
+		t.Fatalf("KP = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("KP = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKPConsecutiveDedupe(t *testing.T) {
+	kp := NewKP(1).Append(1) // start host crossed by first hop
+	if kp.Depth != 1 {
+		t.Errorf("consecutive duplicate not coalesced: %v", kp.Sequence())
+	}
+	kp = kp.Append(2).Append(2)
+	if kp.Depth != 2 {
+		t.Errorf("consecutive duplicate not coalesced: %v", kp.Sequence())
+	}
+	// Non-consecutive repeats are kept: ⟨v1, v2, v1⟩ is a valid KP.
+	kp = kp.Append(1)
+	if kp.Depth != 3 {
+		t.Errorf("non-consecutive repeat wrongly coalesced: %v", kp.Sequence())
+	}
+}
+
+func TestKPEqual(t *testing.T) {
+	a := NewKP(1).Append(2).Append(3)
+	b := NewKP(1).Append(2).Append(3)
+	c := NewKP(1).Append(3).Append(2)
+	if !a.Equal(b) {
+		t.Error("identical sequences not equal")
+	}
+	if a.Equal(c) {
+		t.Error("different sequences equal")
+	}
+	if a.Equal(nil) || (*KPNode)(nil).Equal(a) {
+		t.Error("nil comparisons wrong")
+	}
+	if !(*KPNode)(nil).Equal(nil) {
+		t.Error("nil should equal nil")
+	}
+	// Shared-prefix fast path.
+	base := NewKP(7).Append(8)
+	if !base.Append(9).Equal(base.Append(9)) {
+		t.Error("structurally equal branches not equal")
+	}
+}
+
+func TestKPEqualProperty(t *testing.T) {
+	build := func(parts []uint8) *KPNode {
+		if len(parts) == 0 {
+			return nil
+		}
+		kp := NewKP(model.PartitionID(parts[0]))
+		for _, p := range parts[1:] {
+			kp = kp.Append(model.PartitionID(p))
+		}
+		return kp
+	}
+	eqv := func(xs, ys []uint8) bool {
+		a, b := build(xs), build(ys)
+		// Equal must agree with sequence comparison.
+		sa, sb := a.Sequence(), b.Sequence()
+		same := len(sa) == len(sb)
+		if same {
+			for i := range sa {
+				if sa[i] != sb[i] {
+					same = false
+					break
+				}
+			}
+		}
+		return a.Equal(b) == same
+	}
+	if err := quick.Check(eqv, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrimeTableCheckUpdate(t *testing.T) {
+	pt := NewPrimeTable()
+	kp := NewKP(1).Append(2)
+
+	// Unknown class: check passes.
+	if !pt.Check(5, kp, 12.5) {
+		t.Error("check on empty table failed")
+	}
+	pt.Update(5, kp, 12.5)
+	if pt.Len() != 1 {
+		t.Errorf("Len = %d, want 1", pt.Len())
+	}
+	// The same route re-checks against its own record: not pruned.
+	if !pt.Check(5, kp, 12.5) {
+		t.Error("route pruned against itself")
+	}
+	// A longer homogeneous route (R4 of Example 8) is pruned.
+	if pt.Check(5, kp, 23.2) {
+		t.Error("longer homogeneous route not pruned")
+	}
+	// A shorter one passes and updates the record.
+	if !pt.Check(5, kp, 10.0) {
+		t.Error("shorter homogeneous route pruned")
+	}
+	pt.Update(5, kp, 10.0)
+	if pt.Check(5, kp, 12.5) {
+		t.Error("old prime route survived a better record")
+	}
+	if pt.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (update must not add a class)", pt.Len())
+	}
+}
+
+func TestPrimeTableDistinguishesClasses(t *testing.T) {
+	pt := NewPrimeTable()
+	kpA := NewKP(1).Append(2)
+	kpB := NewKP(1).Append(3)
+	pt.Update(5, kpA, 10)
+	// Different KP, same tail: unaffected.
+	if !pt.Check(5, kpB, 99) {
+		t.Error("different homogeneity class pruned")
+	}
+	// Same KP, different tail: unaffected.
+	if !pt.Check(6, kpA, 99) {
+		t.Error("different tail pruned")
+	}
+	pt.Update(5, kpB, 20)
+	if pt.Len() != 2 {
+		t.Errorf("Len = %d, want 2", pt.Len())
+	}
+}
+
+func TestPrimeTableHashCollisionSafety(t *testing.T) {
+	// Force two different KPs into the same bucket artificially by equal
+	// (hash, len): we cannot fabricate FNV collisions easily, so instead
+	// verify the equality walk distinguishes same-length different
+	// sequences even when stored under one map key via direct use.
+	a := NewKP(1).Append(2).Append(4)
+	b := NewKP(1).Append(2).Append(5)
+	if a.Hash == b.Hash {
+		t.Skip("accidental hash collision; equality walk covered elsewhere")
+	}
+	pt := NewPrimeTable()
+	pt.Update(9, a, 5)
+	if !pt.Check(9, b, 50) {
+		t.Error("distinct sequence pruned via collision")
+	}
+}
+
+func TestPrimeDominanceProperty(t *testing.T) {
+	// For random interleavings of updates, Check(d) must return true
+	// exactly when d is ≤ the minimum updated distance for that class.
+	prop := func(dists []float64, probe float64) bool {
+		pt := NewPrimeTable()
+		kp := NewKP(3)
+		min := math.Inf(1)
+		for _, d := range dists {
+			if d < 0 {
+				d = -d
+			}
+			pt.Update(1, kp, d)
+			if d < min {
+				min = d
+			}
+		}
+		if probe < 0 {
+			probe = -probe
+		}
+		if len(dists) == 0 {
+			return pt.Check(1, kp, probe)
+		}
+		return pt.Check(1, kp, probe) == (min >= probe-1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

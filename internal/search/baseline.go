@@ -1,0 +1,255 @@
+package search
+
+import (
+	"math"
+	"sort"
+
+	"ikrq/internal/keyword"
+	"ikrq/internal/model"
+	"ikrq/internal/route"
+)
+
+// Exhaustive enumerates every regular complete route within the distance
+// constraint by depth-first traversal, then applies prime filtering and
+// top-k ranking. It is the ground-truth oracle the search algorithms are
+// tested against; its cost is exponential, so it is only meant for small
+// spaces.
+//
+// When diversify is false the prime filter is skipped, which yields the
+// reference result for the ToE\P variant (homogeneous routes allowed).
+func (e *Engine) Exhaustive(req Request, diversify bool) (*Result, error) {
+	return e.ExhaustiveWith(req, diversify, Options{})
+}
+
+// ExhaustiveWith is Exhaustive honouring the extension options
+// (SoftDeltaSlack and PopularityWeight), the oracle for the beyond-paper
+// features.
+func (e *Engine) ExhaustiveWith(req Request, diversify bool, opt Options) (*Result, error) {
+	if err := e.Validate(req); err != nil {
+		return nil, err
+	}
+	bl := &baseline{
+		e:      e,
+		req:    req,
+		q:      e.x.CompileQuery(req.QW, req.Tau),
+		hostPs: e.s.HostPartition(req.Ps),
+		hostPt: e.s.HostPartition(req.Pt),
+		cap:    req.Delta * (1 + opt.SoftDeltaSlack),
+		gamma:  opt.PopularityWeight,
+	}
+	bl.maxRho = bl.q.MaxRelevance()
+
+	startSims := make([]float64, bl.q.Len())
+	if w := e.x.P2I(bl.hostPs); w != keyword.NoIWord {
+		bl.q.Absorb(startSims, w)
+	}
+	bl.dfs(route.NewStart(bl.hostPs), route.NewKP(bl.hostPs), bl.hostPs, startSims)
+
+	// Rank: prime filter per homogeneity class, then top-k by ψ.
+	routes := bl.completes
+	if diversify {
+		best := make(map[string]*complete)
+		for _, c := range routes {
+			key := kpKey(c.kp.Sequence())
+			if old, ok := best[key]; !ok || c.dist < old.dist ||
+				(c.dist == old.dist && lessDoors(c.node, old.node)) {
+				best[key] = c
+			}
+		}
+		routes = routes[:0]
+		for _, c := range best {
+			routes = append(routes, c)
+		}
+	}
+	sort.Slice(routes, func(i, j int) bool {
+		a, b := routes[i], routes[j]
+		if a.psi != b.psi {
+			return a.psi > b.psi
+		}
+		if a.dist != b.dist {
+			return a.dist < b.dist
+		}
+		return lessDoors(a.node, b.node)
+	})
+	if len(routes) > req.K {
+		routes = routes[:req.K]
+	}
+	res := &Result{Routes: make([]Route, len(routes))}
+	for i, c := range routes {
+		res.Routes[i] = Route{
+			Doors:   c.node.Doors(),
+			Entered: c.node.EnteredPartitions(),
+			KP:      c.kp.Sequence(),
+			Dist:    c.dist,
+			Rho:     c.rho,
+			Sims:    copySims(c.sims),
+			Psi:     c.psi,
+		}
+	}
+	return res, nil
+}
+
+type baseline struct {
+	e      *Engine
+	req    Request
+	q      *keyword.Query
+	hostPs model.PartitionID
+	hostPt model.PartitionID
+	maxRho float64
+	cap    float64
+	gamma  float64
+
+	completes []*complete
+}
+
+// psi mirrors searcher.psi: Equation 1 plus the popularity bonus.
+func (bl *baseline) psi(rho, dist float64, kp *route.KPNode) float64 {
+	v := score(bl.req.Alpha, rho, bl.maxRho, dist, bl.req.Delta)
+	if bl.gamma != 0 && bl.e.popularity != nil && kp != nil {
+		sum, n := 0.0, 0
+		for cur := kp; cur != nil; cur = cur.Parent {
+			sum += bl.e.popularity[cur.Part]
+			n++
+		}
+		v += bl.gamma * sum / float64(n)
+	}
+	return v
+}
+
+// dfs extends the partial route (node, kp, entered partition v, coverage
+// sims) in every regular direction within Δ, recording a completion
+// whenever the terminal's partition is reached.
+func (bl *baseline) dfs(n *route.Node, kp *route.KPNode, v model.PartitionID, sims []float64) {
+	s := bl.e.s
+
+	// Completion: when v hosts pt, append the terminal point.
+	if v == bl.hostPt {
+		var leg float64
+		if n.Tail() == model.NoDoor {
+			leg = bl.req.Ps.Dist(bl.req.Pt)
+		} else {
+			leg = s.Door(n.Tail()).Pos.Dist(bl.req.Pt)
+		}
+		if dist := n.Dist + leg; dist <= bl.cap {
+			fsims := copySims(sims)
+			if w := bl.e.x.P2I(bl.hostPt); w != keyword.NoIWord {
+				bl.q.Absorb(fsims, w)
+			}
+			rho := keyword.Relevance(fsims)
+			fkp := kp.Append(bl.hostPt)
+			bl.completes = append(bl.completes, &complete{
+				node: n,
+				kp:   fkp,
+				sims: fsims,
+				rho:  rho,
+				psi:  bl.psi(rho, dist, fkp),
+				dist: dist,
+			})
+		}
+	}
+
+	// Expansion mirrors the route semantics: leave doors of v plus
+	// stairway exits; regularity allows a door to reappear only as the
+	// immediate tail.
+	tail := n.Tail()
+	for _, dl := range bl.expansionDoors(v) {
+		if dl != tail && n.ContainsDoor(dl) {
+			continue
+		}
+		if dl == tail {
+			// Lemma 2: loops may only pass keyword-covering partitions —
+			// loops through other partitions yield provably dominated
+			// (non-prime) routes, so skipping them changes no result.
+			// Triple consecutive doors are dominated for the same reason.
+			if !bl.q.IsKeyPartition(v) {
+				continue
+			}
+			if p := n.Parent; p != nil && p.Door == dl {
+				continue
+			}
+		}
+		hop := bl.hopDist(n, v, dl)
+		if math.IsInf(hop, 1) {
+			continue
+		}
+		dist := n.Dist + hop
+		if dist > bl.cap {
+			continue
+		}
+		nkp := kp
+		if bl.q.IsKeyPartition(v) {
+			nkp = nkp.Append(v)
+		}
+		nsims := copySims(sims)
+		for _, lv := range s.Door(dl).Leaveable() {
+			if w := bl.e.x.P2I(lv); w != keyword.NoIWord {
+				bl.q.Absorb(nsims, w)
+			}
+		}
+		for _, vj := range bl.committed(v, dl) {
+			bl.dfs(n.Append(dl, vj, dist), nkp, vj, nsims)
+		}
+	}
+}
+
+func (bl *baseline) expansionDoors(v model.PartitionID) []model.DoorID {
+	s := bl.e.s
+	leaves := s.Partition(v).LeaveDoors()
+	if k := s.Partition(v).Kind; k != model.KindStaircase && k != model.KindElevator {
+		return leaves
+	}
+	out := append([]model.DoorID(nil), leaves...)
+	for _, anchor := range leaves {
+		for _, sw := range s.StairwaysFrom(anchor) {
+			out = append(out, sw.To)
+		}
+	}
+	return out
+}
+
+func (bl *baseline) committed(v model.PartitionID, dl model.DoorID) []model.PartitionID {
+	s := bl.e.s
+	var out []model.PartitionID
+	for _, vj := range s.Door(dl).Enterable() {
+		if vj == v {
+			continue
+		}
+		out = append(out, vj)
+	}
+	return out
+}
+
+func (bl *baseline) hopDist(n *route.Node, v model.PartitionID, dl model.DoorID) float64 {
+	s := bl.e.s
+	tail := n.Tail()
+	if tail == model.NoDoor {
+		return bl.req.Ps.Dist(s.Door(dl).Pos)
+	}
+	if tail == dl {
+		return s.SelfLoopDist(dl, v)
+	}
+	if d := s.D2DDistVia(tail, dl, v); !math.IsInf(d, 1) {
+		return d
+	}
+	// Stairway or lift hop.
+	if k := s.Partition(v).Kind; k != model.KindStaircase && k != model.KindElevator {
+		return math.Inf(1)
+	}
+	best := math.Inf(1)
+	tailPos := s.Door(tail).Pos
+	for _, anchor := range s.Partition(v).LeaveDoors() {
+		for _, sw := range s.StairwaysFrom(anchor) {
+			if sw.To != dl {
+				continue
+			}
+			walk := 0.0
+			if anchor != tail {
+				walk = tailPos.Dist(s.Door(anchor).Pos)
+			}
+			if c := walk + sw.Length; c < best {
+				best = c
+			}
+		}
+	}
+	return best
+}

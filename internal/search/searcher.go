@@ -1,0 +1,411 @@
+package search
+
+import (
+	"math"
+
+	"ikrq/internal/graph"
+	"ikrq/internal/keyword"
+	"ikrq/internal/model"
+	"ikrq/internal/route"
+)
+
+// searcher carries the per-query state of Algorithm 1.
+type searcher struct {
+	e   *Engine
+	req Request
+	opt Options
+
+	q      *keyword.Query
+	hostPs model.PartitionID
+	hostPt model.PartitionID
+	maxRho float64
+
+	// cap is the effective pruning/acceptance bound: Δ under the hard
+	// constraint, Δ·(1+SoftDeltaSlack) under the soft one. Ranking always
+	// uses Δ (Equation 1), so over-budget routes score negatively on the
+	// spatial term.
+	cap float64
+	// gamma is the popularity weight; popBonus adds γ·mean(popularity over
+	// KP) to every score.
+	gamma float64
+
+	queue stampHeap
+	prime *route.PrimeTable
+	top   *topK
+
+	// dn and df are the door sets Dn and Df of Algorithm 1: doors already
+	// screened by Pruning Rule 2, split into survivors and pruned doors.
+	dn, df []bool
+
+	// keyAlive tracks the global key-partition set P; Pruning Rule 3
+	// removes partitions permanently (KoE).
+	keyParts []model.PartitionID
+	keyAlive map[model.PartitionID]bool
+
+	seq   int64
+	stats Stats
+}
+
+func newSearcher(e *Engine, req Request, opt Options) *searcher {
+	sr := &searcher{
+		e:      e,
+		req:    req,
+		opt:    opt,
+		q:      e.x.CompileQuery(req.QW, req.Tau),
+		hostPs: e.s.HostPartition(req.Ps),
+		hostPt: e.s.HostPartition(req.Pt),
+		prime:  route.NewPrimeTable(),
+		dn:     make([]bool, e.s.NumDoors()),
+		df:     make([]bool, e.s.NumDoors()),
+	}
+	sr.maxRho = sr.q.MaxRelevance()
+	sr.cap = req.Delta * (1 + opt.SoftDeltaSlack)
+	sr.gamma = opt.PopularityWeight
+	sr.top = newTopK(req.K, !opt.DisablePrime)
+
+	// P ← (∪ I2P(κ(wQ).Wi)) \ v(ps) ∪ v(pt)   (Algorithm 1 line 3)
+	sr.keyAlive = make(map[model.PartitionID]bool)
+	for _, v := range sr.q.KeyPartitions() {
+		if v == sr.hostPs && v != sr.hostPt {
+			continue
+		}
+		if !sr.keyAlive[v] {
+			sr.keyAlive[v] = true
+			sr.keyParts = append(sr.keyParts, v)
+		}
+	}
+	if !sr.keyAlive[sr.hostPt] {
+		sr.keyAlive[sr.hostPt] = true
+		sr.keyParts = append(sr.keyParts, sr.hostPt)
+	}
+	return sr
+}
+
+// run executes the find-and-connect loop of Algorithm 1.
+func (sr *searcher) run() {
+	s0 := sr.initialStamp()
+	if sr.hostPs == sr.hostPt {
+		sr.tryDirectStart(s0)
+	}
+	sr.push(s0)
+
+	for len(sr.queue) > 0 {
+		if sr.opt.MaxExpansions > 0 && sr.stats.Pops >= sr.opt.MaxExpansions {
+			sr.stats.Truncated = true
+			break
+		}
+		si := heapPop(&sr.queue)
+		sr.stats.Pops++
+		var es []*stamp
+		if sr.opt.Algorithm == KoE {
+			es = sr.findKoE(si)
+		} else {
+			es = sr.findToE(si)
+		}
+		for _, sj := range es {
+			sr.connect(sj)
+		}
+	}
+}
+
+func (sr *searcher) initialStamp() *stamp {
+	sims := make([]float64, sr.q.Len())
+	if w := sr.e.x.P2I(sr.hostPs); w != keyword.NoIWord {
+		sr.q.Absorb(sims, w)
+	}
+	rho := keyword.Relevance(sims)
+	perfect := keyword.PerfectlyCovered(sims)
+	kp := route.NewKP(sr.hostPs)
+	s0 := &stamp{
+		node:         route.NewStart(sr.hostPs),
+		kp:           kp,
+		v:            sr.hostPs,
+		sims:         sims,
+		rho:          rho,
+		psi:          sr.psi(rho, 0, kp),
+		perfect:      perfect,
+		newlyPerfect: perfect,
+		seq:          sr.nextSeq(),
+	}
+	sr.stats.StampsCreated++
+	return s0
+}
+
+// psi scores a route state: Equation 1 plus the optional popularity bonus.
+func (sr *searcher) psi(rho, dist float64, kp *route.KPNode) float64 {
+	return score(sr.req.Alpha, rho, sr.maxRho, dist, sr.req.Delta) + sr.popBonus(kp)
+}
+
+// popBonus returns γ · mean popularity over the key-partition sequence.
+func (sr *searcher) popBonus(kp *route.KPNode) float64 {
+	if sr.gamma == 0 || sr.e.popularity == nil || kp == nil {
+		return 0
+	}
+	sum, n := 0.0, 0
+	for cur := kp; cur != nil; cur = cur.Parent {
+		sum += sr.e.popularity[cur.Part]
+		n++
+	}
+	return sr.gamma * sum / float64(n)
+}
+
+// tryDirectStart handles the degenerate route (ps, pt) when both points
+// share a partition; Algorithm 1 only connects stamps produced by find, so
+// the doorless route is offered to the collector explicitly.
+func (sr *searcher) tryDirectStart(s0 *stamp) {
+	dist := sr.req.Ps.Dist(sr.req.Pt)
+	if dist > sr.cap {
+		return
+	}
+	sims := s0.sims
+	if w := sr.e.x.P2I(sr.hostPt); w != keyword.NoIWord && sr.q.WouldImprove(sims, w) {
+		sims = copySims(sims)
+		sr.q.Absorb(sims, w)
+	}
+	rho := keyword.Relevance(sims)
+	kp := s0.kp.Append(sr.hostPt)
+	sr.offerComplete(&complete{
+		node: s0.node,
+		kp:   kp,
+		sims: sims,
+		rho:  rho,
+		psi:  sr.psi(rho, dist, kp),
+		dist: dist,
+	})
+}
+
+func (sr *searcher) nextSeq() int64 {
+	sr.seq++
+	return sr.seq
+}
+
+func (sr *searcher) push(s *stamp) {
+	heapPush(&sr.queue, s)
+	if len(sr.queue) > sr.stats.PeakQueue {
+		sr.stats.PeakQueue = len(sr.queue)
+	}
+}
+
+// primeCheck implements the Pruning Rule 5 gate; it always passes when the
+// rule is disabled (ToE\P).
+func (sr *searcher) primeCheck(tail model.DoorID, kp *route.KPNode, dist float64) bool {
+	if sr.opt.DisablePrime {
+		return true
+	}
+	return sr.prime.Check(tail, kp, dist)
+}
+
+func (sr *searcher) primeUpdate(tail model.DoorID, kp *route.KPNode, dist float64) {
+	if sr.opt.DisablePrime {
+		return
+	}
+	sr.prime.Update(tail, kp, dist)
+}
+
+// screenDoor applies Pruning Rule 2 with the Dn/Df caching of Algorithm 1.
+// It reports whether the door survives.
+func (sr *searcher) screenDoor(d model.DoorID) bool {
+	if sr.opt.DisableDistancePruning {
+		return true
+	}
+	if sr.df[d] {
+		return false
+	}
+	if sr.dn[d] {
+		return true
+	}
+	pos := sr.e.s.Door(d).Pos
+	if sr.e.sk.LowerBound(sr.req.Ps, pos)+sr.e.sk.LowerBound(pos, sr.req.Pt) > sr.cap {
+		sr.df[d] = true
+		sr.stats.PrunedRule2++
+		return false
+	}
+	sr.dn[d] = true
+	return true
+}
+
+// lbToPt returns |d, pt|L.
+func (sr *searcher) lbToPt(d model.DoorID) float64 {
+	return sr.e.sk.LowerBound(sr.e.s.Door(d).Pos, sr.req.Pt)
+}
+
+// makeStamp extends si through door dl into partition vj at cumulative
+// distance dist, maintaining sims, KP, ρ and ψ incrementally.
+func (sr *searcher) makeStamp(si *stamp, dl model.DoorID, vj model.PartitionID, dist float64) *stamp {
+	crossed := si.v
+	kp := si.kp
+	if sr.q.IsKeyPartition(crossed) {
+		kp = kp.Append(crossed)
+	}
+	sims := absorbInto(sr.q, sr.e.x, sr.e.s, si.sims, dl)
+	rho := si.rho
+	if len(sims) > 0 && &sims[0] != &si.sims[0] {
+		rho = keyword.Relevance(sims)
+	}
+	perfect := si.perfect || keyword.PerfectlyCovered(sims)
+	sj := &stamp{
+		node:         si.node.Append(dl, vj, dist),
+		kp:           kp,
+		v:            vj,
+		sims:         sims,
+		rho:          rho,
+		psi:          sr.psi(rho, dist, kp),
+		perfect:      perfect,
+		newlyPerfect: perfect && !si.perfect,
+		seq:          sr.nextSeq(),
+	}
+	sr.stats.StampsCreated++
+	return sj
+}
+
+// spliceStamp extends si along a multi-hop shortest path (KoE expansion or
+// connect completion), folding every hop into the stamp. It returns nil if
+// the spliced route violates global regularity.
+func (sr *searcher) spliceStamp(si *stamp, hops []graph.Hop, totalDist float64) *stamp {
+	// Global regularity: hops must not repeat doors of the existing route
+	// except the immediate tail loop, and must be internally regular.
+	if !sr.spliceIsRegular(si, hops) {
+		sr.stats.IrregularPaths++
+		return nil
+	}
+	cur := si
+	prevDist := si.dist()
+	_ = totalDist
+	// Distances along the path: recompute hop by hop from geometry so the
+	// stamp's cumulative distances stay exact.
+	for _, h := range hops {
+		hopDist := sr.hopDistance(cur, h.Door)
+		if math.IsInf(hopDist, 1) {
+			return nil // path inconsistent with the model; defensive
+		}
+		prevDist += hopDist
+		cur = sr.makeStamp(cur, h.Door, h.Part, prevDist)
+	}
+	return cur
+}
+
+// hopDistance returns the distance of extending cur through door dl:
+// δpt2d for the initial point hop, the self-loop distance for a repeated
+// tail, δd2d within the current partition otherwise — and, when the
+// current partition is a staircase and dl is the stairway's other end, the
+// stairway traversal cost.
+func (sr *searcher) hopDistance(cur *stamp, dl model.DoorID) float64 {
+	tail := cur.tail()
+	if tail == model.NoDoor {
+		return sr.req.Ps.Dist(sr.e.s.Door(dl).Pos)
+	}
+	if tail == dl {
+		return sr.e.s.SelfLoopDist(dl, cur.v)
+	}
+	if d := sr.e.s.D2DDistVia(tail, dl, cur.v); !math.IsInf(d, 1) {
+		return d
+	}
+	return sr.stairHopDistance(cur, dl)
+}
+
+// stairHopDistance handles hops that traverse a stairway anchored in the
+// stamp's staircase partition: walk to the anchor door, then the stairway.
+func (sr *searcher) stairHopDistance(cur *stamp, dl model.DoorID) float64 {
+	if k := sr.e.s.Partition(cur.v).Kind; k != model.KindStaircase && k != model.KindElevator {
+		return math.Inf(1)
+	}
+	tailPos := sr.e.s.Door(cur.tail()).Pos
+	best := math.Inf(1)
+	for _, anchor := range sr.e.s.Partition(cur.v).LeaveDoors() {
+		for _, sw := range sr.e.s.StairwaysFrom(anchor) {
+			if sw.To != dl {
+				continue
+			}
+			walk := 0.0
+			if anchor != cur.tail() {
+				walk = tailPos.Dist(sr.e.s.Door(anchor).Pos)
+			}
+			if c := walk + sw.Length; c < best {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+func (sr *searcher) spliceIsRegular(si *stamp, hops []graph.Hop) bool {
+	if !graph.RegularHops(hops) {
+		return false
+	}
+	tail := si.tail()
+	for i, h := range hops {
+		if h.Door == tail && i == 0 {
+			continue // immediate self-loop on the tail is the allowed repeat
+		}
+		if si.node.ContainsDoor(h.Door) {
+			return false
+		}
+	}
+	return true
+}
+
+// forbiddenFor returns the regularity door filter for paths continuing a
+// stamp: doors already on the route are excluded, except the tail itself
+// (its only legal reuse, the immediate self-loop, is validated by
+// spliceIsRegular afterwards).
+func (sr *searcher) forbiddenFor(si *stamp) graph.Forbidden {
+	tail := si.tail()
+	node := si.node
+	return func(d model.DoorID) bool {
+		if d == tail {
+			return false
+		}
+		return node.ContainsDoor(d)
+	}
+}
+
+// offerComplete runs the acceptance checks shared by every completion site
+// (Algorithm 5 lines 5–7 and 15–17) and records the route.
+func (sr *searcher) offerComplete(c *complete) {
+	if c.dist > sr.cap {
+		sr.stats.PrunedDelta++
+		return
+	}
+	if !sr.opt.DisableKBound && len(sr.top.all()) >= sr.req.K && c.psi <= sr.top.kbound() {
+		sr.stats.PrunedRule4++
+		return
+	}
+	if !sr.primeCheck(model.NoDoor, c.kp, c.dist) {
+		sr.stats.PrunedRule5++
+		return
+	}
+	sr.top.add(c)
+	sr.primeUpdate(model.NoDoor, c.kp, c.dist)
+}
+
+// result converts the collector's content into the public Result.
+func (sr *searcher) result() *Result {
+	cs := sr.top.results()
+	res := &Result{Routes: make([]Route, len(cs))}
+	for i, c := range cs {
+		res.Routes[i] = Route{
+			Doors:   c.node.Doors(),
+			Entered: c.node.EnteredPartitions(),
+			KP:      c.kp.Sequence(),
+			Dist:    c.dist,
+			Rho:     c.rho,
+			Sims:    copySims(c.sims),
+			Psi:     c.psi,
+		}
+	}
+	sr.stats.EstBytes = sr.estimateBytes()
+	res.Stats = sr.stats
+	return res
+}
+
+func (sr *searcher) estimateBytes() int64 {
+	const stampBytes = 96 // stamp struct + route node
+	const kpBytes = 40    // amortized KP node
+	const primeBytes = 96 // hashtable entry
+	per := int64(stampBytes + kpBytes + 8*len(sr.req.QW))
+	b := int64(sr.stats.StampsCreated)*per + int64(sr.prime.Len())*primeBytes
+	if sr.opt.Precompute {
+		b += sr.e.Matrix().Bytes()
+	}
+	return b
+}

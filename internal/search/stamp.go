@@ -1,0 +1,232 @@
+package search
+
+import (
+	"container/heap"
+	"sort"
+
+	"ikrq/internal/keyword"
+	"ikrq/internal/model"
+	"ikrq/internal/route"
+)
+
+// stamp is the five-tuple S(v, R, δ, ρ, ψ) of Algorithm 1, plus the
+// incremental structures the paper's description implies: the key-partition
+// sequence and the per-keyword best similarities.
+type stamp struct {
+	node *route.Node   // R: persistent door sequence (δ lives in node.Dist)
+	kp   *route.KPNode // KP(R)
+	v    model.PartitionID
+	sims []float64
+	rho  float64
+	psi  float64
+	// perfect records whether every query keyword is matched at similarity
+	// 1 (ρ = |QW|+1); newlyPerfect marks the stamp at which coverage first
+	// became perfect — connect() attempts the direct shortest-route
+	// completion exactly there (Algorithm 5 line 11).
+	perfect      bool
+	newlyPerfect bool
+	seq          int64 // creation order, the deterministic tiebreak
+}
+
+func (s *stamp) dist() float64      { return s.node.Dist }
+func (s *stamp) tail() model.DoorID { return s.node.Tail() }
+
+// stampHeap is a max-heap on ψ with deterministic tie-breaking (smaller
+// distance first, then creation order).
+type stampHeap []*stamp
+
+func (h stampHeap) Len() int { return len(h) }
+func (h stampHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.psi != b.psi {
+		return a.psi > b.psi
+	}
+	if a.node.Dist != b.node.Dist {
+		return a.node.Dist < b.node.Dist
+	}
+	return a.seq < b.seq
+}
+func (h stampHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *stampHeap) Push(x any)   { *h = append(*h, x.(*stamp)) }
+func (h *stampHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return s
+}
+
+// complete is a finished route kept by the top-k collector.
+type complete struct {
+	node *route.Node
+	kp   *route.KPNode
+	sims []float64
+	rho  float64
+	psi  float64
+	dist float64
+}
+
+// topK collects complete routes. With diversify set (the normal mode) it
+// keeps at most one route — the prime one — per homogeneity class; ToE\P
+// turns diversification off and simply keeps the k best routes, which is
+// what makes its results homogeneous (Fig. 16).
+type topK struct {
+	k         int
+	diversify bool
+
+	byClass map[classKey][]*complete // diversified mode
+	flat    []*complete              // ToE\P mode
+	seen    map[string]bool          // flat-mode door-sequence dedupe
+
+	kb float64 // cached k-th best ψ, 0 while fewer than k routes are known
+}
+
+type classKey struct {
+	hash uint64
+	len  int32
+}
+
+func newTopK(k int, diversify bool) *topK {
+	return &topK{
+		k:         k,
+		diversify: diversify,
+		byClass:   make(map[classKey][]*complete),
+		seen:      make(map[string]bool),
+	}
+}
+
+// kbound returns the current Pruning Rule 4 bound.
+func (t *topK) kbound() float64 { return t.kb }
+
+// add offers a complete route to the collector.
+func (t *topK) add(c *complete) {
+	if t.diversify {
+		key := classKey{hash: c.kp.Hash, len: c.kp.Depth}
+		entries := t.byClass[key]
+		replaced := false
+		for i, e := range entries {
+			if e.kp.Equal(c.kp) {
+				// Same homogeneity class: keep the prime (shortest) route.
+				if c.dist < e.dist {
+					entries[i] = c
+				}
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			t.byClass[key] = append(entries, c)
+		}
+	} else {
+		// A route can be completed twice (early shortest-route completion
+		// and later topological arrival); keep one copy of each exact door
+		// sequence.
+		key := doorsKey(c.node)
+		if t.seen[key] {
+			return
+		}
+		t.seen[key] = true
+		t.flat = append(t.flat, c)
+	}
+	t.recomputeBound()
+}
+
+func (t *topK) all() []*complete {
+	if !t.diversify {
+		return t.flat
+	}
+	out := make([]*complete, 0, len(t.byClass))
+	for _, entries := range t.byClass {
+		out = append(out, entries...)
+	}
+	return out
+}
+
+func (t *topK) recomputeBound() {
+	cs := t.all()
+	if len(cs) < t.k {
+		t.kb = 0
+		return
+	}
+	psis := make([]float64, len(cs))
+	for i, c := range cs {
+		psis[i] = c.psi
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(psis)))
+	t.kb = psis[t.k-1]
+}
+
+// results returns the final top-k routes, ordered by ψ descending with
+// deterministic tie-breaking.
+func (t *topK) results() []*complete {
+	cs := t.all()
+	sort.Slice(cs, func(i, j int) bool {
+		a, b := cs[i], cs[j]
+		if a.psi != b.psi {
+			return a.psi > b.psi
+		}
+		if a.dist != b.dist {
+			return a.dist < b.dist
+		}
+		return lessDoors(a.node, b.node)
+	})
+	if len(cs) > t.k {
+		cs = cs[:t.k]
+	}
+	return cs
+}
+
+func doorsKey(n *route.Node) string {
+	ds := n.Doors()
+	b := make([]byte, 0, len(ds)*4)
+	for _, d := range ds {
+		b = append(b, byte(d), byte(d>>8), byte(d>>16), byte(d>>24))
+	}
+	return string(b)
+}
+
+func lessDoors(a, b *route.Node) bool {
+	da, db := a.Doors(), b.Doors()
+	for i := 0; i < len(da) && i < len(db); i++ {
+		if da[i] != db[i] {
+			return da[i] < db[i]
+		}
+	}
+	return len(da) < len(db)
+}
+
+// heapPush wraps container/heap for the searcher.
+func heapPush(h *stampHeap, s *stamp) { heap.Push(h, s) }
+
+// heapPop wraps container/heap for the searcher.
+func heapPop(h *stampHeap) *stamp { return heap.Pop(h).(*stamp) }
+
+// copySims clones a similarity vector.
+func copySims(s []float64) []float64 {
+	out := make([]float64, len(s))
+	copy(out, s)
+	return out
+}
+
+// absorbInto returns sims with the i-words of the partitions leaveable
+// through door d folded in, copying only when something improves.
+func absorbInto(q *keyword.Query, x *keyword.Index, s *model.Space, sims []float64, d model.DoorID) []float64 {
+	improved := false
+	for _, v := range s.Door(d).Leaveable() {
+		if w := x.P2I(v); w != keyword.NoIWord && q.WouldImprove(sims, w) {
+			improved = true
+			break
+		}
+	}
+	if !improved {
+		return sims
+	}
+	out := copySims(sims)
+	for _, v := range s.Door(d).Leaveable() {
+		if w := x.P2I(v); w != keyword.NoIWord {
+			q.Absorb(out, w)
+		}
+	}
+	return out
+}

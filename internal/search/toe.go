@@ -1,0 +1,105 @@
+package search
+
+import (
+	"ikrq/internal/model"
+)
+
+// findToE implements ToE_find (Algorithm 2): expand the current stamp to
+// every accessible door of its last-reached partition, one hop at a time.
+func (sr *searcher) findToE(si *stamp) []*stamp {
+	// Pruning Rule 5 gate (Algorithm 2 line 3).
+	if !sr.primeCheck(si.tail(), si.kp, si.dist()) {
+		sr.stats.PrunedRule5++
+		return nil
+	}
+
+	var es []*stamp
+	tail := si.tail()
+	for _, dl := range sr.expansionDoors(si) {
+		// Regularity check (line 5): a door already on the route may only
+		// reappear as the immediate tail (the one-hop loop).
+		if dl != tail && si.node.ContainsDoor(dl) {
+			sr.stats.PrunedRegularity++
+			continue
+		}
+		// Pruning Rule 2 with the Dn/Df caches (lines 6–10).
+		if !sr.screenDoor(dl) {
+			continue
+		}
+		// Lemma 2 regularity (lines 12–13): the loop (dk, dk) is allowed
+		// only when the partition it passes covers a query keyword. A
+		// third consecutive pass of the same door (enter, back out, enter
+		// again) is always dominated and is disallowed outright.
+		if dl == tail {
+			if !sr.q.IsKeyPartition(si.v) {
+				sr.stats.PrunedRegularity++
+				continue
+			}
+			if p := si.node.Parent; p != nil && p.Door == dl {
+				sr.stats.PrunedRegularity++
+				continue
+			}
+		}
+		hop := sr.hopDistance(si, dl)
+		newDist := si.dist() + hop
+		// Distance constraint check (line 14) — always on; without it the
+		// expansion would be unbounded.
+		if newDist > sr.cap {
+			sr.stats.PrunedDelta++
+			continue
+		}
+		distLB := newDist + sr.lbToPt(dl)
+		// Pruning Rule 1 (lines 15–16).
+		if !sr.opt.DisableDistancePruning && distLB > sr.cap {
+			sr.stats.PrunedRule1++
+			continue
+		}
+		// Pruning Rule 4 (lines 17–18).
+		if !sr.opt.DisableKBound && psiUpperBound(sr.req.Alpha, distLB, sr.req.Delta)+sr.gamma <= sr.top.kbound() {
+			sr.stats.PrunedRule4++
+			continue
+		}
+		// Commit to each partition enterable through dl other than the one
+		// being left (line 11; usually exactly one). For stairway exits the
+		// staircase partition being exited through dl is skipped too.
+		for _, vj := range sr.committedPartitions(si, dl) {
+			sj := sr.makeStamp(si, dl, vj, newDist)
+			sr.primeUpdate(sj.tail(), sj.kp, sj.dist())
+			es = append(es, sj)
+		}
+	}
+	return es
+}
+
+// expansionDoors returns the doors reachable in one hop from the stamp's
+// partition: its leave doors plus, when the partition is a staircase, the
+// far ends of the stairways anchored at its doors.
+func (sr *searcher) expansionDoors(si *stamp) []model.DoorID {
+	leaves := sr.e.s.Partition(si.v).LeaveDoors()
+	if k := sr.e.s.Partition(si.v).Kind; k != model.KindStaircase && k != model.KindElevator {
+		return leaves
+	}
+	out := append([]model.DoorID(nil), leaves...)
+	for _, anchor := range leaves {
+		for _, sw := range sr.e.s.StairwaysFrom(anchor) {
+			out = append(out, sw.To)
+		}
+	}
+	return out
+}
+
+// committedPartitions returns the partitions a route commits to after
+// passing dl from the stamp's partition: D2P⊢(dl) minus the partition
+// being left. For stairway landings this includes the landing floor's
+// staircase partition itself, which is how a route continues over the next
+// stairway without detouring through the hallway.
+func (sr *searcher) committedPartitions(si *stamp, dl model.DoorID) []model.PartitionID {
+	var out []model.PartitionID
+	for _, vj := range sr.e.s.Door(dl).Enterable() {
+		if vj == si.v {
+			continue
+		}
+		out = append(out, vj)
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package text
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Hello, World! 42-times; done.")
+	want := []string{"hello", "world", "42", "times", "done"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tokenize = %v, want %v", got, want)
+		}
+	}
+	if out := Tokenize("!!!"); len(out) != 0 {
+		t.Errorf("Tokenize(punct) = %v, want empty", out)
+	}
+}
+
+func TestTokenizeNeverEmptyTokens(t *testing.T) {
+	prop := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok == "" || tok != strings.ToLower(tok) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRAKEClassicExample(t *testing.T) {
+	// The multi-word phrase should outscore single common words: "deep
+	// dish pizza" co-occurs, so its words get high degree.
+	doc := "deep dish pizza is a famous pizza. the deep dish pizza of chicago"
+	phrases := RAKE(doc)
+	if len(phrases) == 0 {
+		t.Fatal("no phrases")
+	}
+	if phrases[0].Text() != "deep dish pizza" {
+		t.Errorf("top phrase = %q, want 'deep dish pizza' (all: %v)", phrases[0].Text(), phrases)
+	}
+	// Member words of the long phrase score deg/freq > 1.
+	if phrases[0].Score <= 3 {
+		t.Errorf("top score = %v, want > 3", phrases[0].Score)
+	}
+}
+
+func TestRAKEStopwordsDelimit(t *testing.T) {
+	phrases := RAKE("coffee and tea")
+	texts := make([]string, len(phrases))
+	for i, p := range phrases {
+		texts[i] = p.Text()
+	}
+	sort.Strings(texts)
+	if len(texts) != 2 || texts[0] != "coffee" || texts[1] != "tea" {
+		t.Errorf("phrases = %v, want [coffee tea]", texts)
+	}
+}
+
+func TestRAKEDeterministic(t *testing.T) {
+	doc := "fresh roasted coffee beans and espresso drinks with fresh milk"
+	a, b := RAKE(doc), RAKE(doc)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i].Text() != b[i].Text() || a[i].Score != b[i].Score {
+			t.Fatal("nondeterministic order")
+		}
+	}
+}
+
+func TestKeywordCandidatesDistinct(t *testing.T) {
+	ws := KeywordCandidates("pizza pizza pizza and pasta")
+	seen := map[string]bool{}
+	for _, w := range ws {
+		if seen[w] {
+			t.Fatalf("duplicate candidate %q in %v", w, ws)
+		}
+		seen[w] = true
+	}
+	if !seen["pizza"] || !seen["pasta"] {
+		t.Errorf("candidates = %v", ws)
+	}
+}
+
+func TestCorpusIDF(t *testing.T) {
+	c := NewCorpus([]string{
+		"coffee espresso latte",
+		"coffee tea",
+		"sneakers shoes",
+	})
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	// "coffee" appears in 2 docs, "sneakers" in 1: rarer term has higher
+	// IDF.
+	if c.IDF("sneakers") <= c.IDF("coffee") {
+		t.Errorf("IDF(sneakers)=%v should exceed IDF(coffee)=%v",
+			c.IDF("sneakers"), c.IDF("coffee"))
+	}
+	// Unknown terms get the maximum (smoothed) IDF.
+	if c.IDF("quantum") <= c.IDF("sneakers") {
+		t.Errorf("unknown-term IDF not maximal")
+	}
+}
+
+func TestTFIDFRanksDistinctiveTermsFirst(t *testing.T) {
+	docs := []string{
+		"coffee latte mocha coffee beans",
+		"coffee tea biscuits",
+		"coffee sandwiches salads",
+	}
+	c := NewCorpus(docs)
+	ranked := c.TFIDF(docs[0])
+	if len(ranked) == 0 {
+		t.Fatal("no terms")
+	}
+	// "coffee" occurs everywhere, so document-specific terms must outrank
+	// it despite its higher term frequency... coffee has tf 2/5 here, but
+	// idf log(4/4)=0, so its score is 0.
+	for _, s := range ranked {
+		if s.Term == "coffee" && s.Score != 0 {
+			t.Errorf("coffee score = %v, want 0 (appears in every doc)", s.Score)
+		}
+	}
+	if ranked[0].Term == "coffee" {
+		t.Errorf("ubiquitous term ranked first: %v", ranked)
+	}
+}
+
+func TestTFIDFSkipsStopwords(t *testing.T) {
+	c := NewCorpus([]string{"the quick brown fox", "the lazy dog"})
+	for _, s := range c.TFIDF("the quick brown fox") {
+		if IsStopword(s.Term) {
+			t.Errorf("stopword %q in TF-IDF output", s.Term)
+		}
+	}
+}
+
+func TestExtractTWords(t *testing.T) {
+	docs := map[string][]string{
+		"beanhouse": {
+			"Beanhouse serves single origin espresso and pour over coffee",
+			"Beanhouse roasts arabica beans daily with seasonal pastries",
+		},
+		"solefitters": {
+			"Solefitters stocks running shoes and trail sneakers",
+		},
+	}
+	var all []string
+	for _, ds := range docs {
+		all = append(all, ds...)
+	}
+	c := NewCorpus(all)
+
+	tw := ExtractTWords(c, "beanhouse", docs["beanhouse"], 5)
+	if len(tw) == 0 || len(tw) > 5 {
+		t.Fatalf("ExtractTWords = %v", tw)
+	}
+	for _, w := range tw {
+		if w == "beanhouse" {
+			t.Error("brand name leaked into its own t-words")
+		}
+		if IsStopword(w) {
+			t.Errorf("stopword %q extracted", w)
+		}
+	}
+	joined := strings.Join(tw, " ")
+	if !strings.Contains(joined, "espresso") && !strings.Contains(joined, "coffee") &&
+		!strings.Contains(joined, "arabica") {
+		t.Errorf("extracted t-words miss the salient terms: %v", tw)
+	}
+}
+
+func TestExtractTWordsCap(t *testing.T) {
+	doc := "alpha beta gamma delta epsilon zeta eta theta iota kappa"
+	c := NewCorpus([]string{doc, "unrelated words here"})
+	tw := ExtractTWords(c, "brand", []string{doc}, 3)
+	if len(tw) != 3 {
+		t.Errorf("cap not applied: %v", tw)
+	}
+}
+
+func TestPhraseScoreNonNegativeProperty(t *testing.T) {
+	prop := func(s string) bool {
+		for _, p := range RAKE(s) {
+			if p.Score < 0 || math.IsNaN(p.Score) || len(p.Words) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
