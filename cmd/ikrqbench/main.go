@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ikrqbench [-fig fig05] [-quick] [-seed 1] [-instances 10] [-runs 5]
+//	ikrqbench [-fig fig05] [-quick] [-seed 1] [-instances 10] [-runs 5] [-workers 1]
 //
 // Without -fig every figure runs in presentation order. -quick shrinks the
 // workload for a fast smoke pass. Full ToE\P figures run under an
@@ -27,6 +27,7 @@ func main() {
 		instances = flag.Int("instances", 0, "query instances per setting (default: paper's 10, quick: 3)")
 		runs      = flag.Int("runs", 0, "runs per instance (default: paper's 5, quick: 1)")
 		cap       = flag.Int("cap", 0, "expansion cap for ToE\\P (default 300000, quick 50000)")
+		workers   = flag.Int("workers", 1, "batch-executor workers per figure cell (>1 shortens sweeps but adds timing contention)")
 	)
 	flag.Parse()
 
@@ -42,6 +43,9 @@ func main() {
 	}
 	if *cap > 0 {
 		cfg.CapExpansions = *cap
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
 	}
 	env := bench.NewEnv(cfg)
 	all := env.All()

@@ -1,0 +1,3 @@
+module ikrq
+
+go 1.24

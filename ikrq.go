@@ -10,7 +10,8 @@
 //   - indoor space modelling (partitions, doors, stairways) via SpaceBuilder,
 //   - two-level indoor keywords (i-words and t-words) via KeywordBuilder,
 //   - the query engine with the paper's two search algorithms (ToE and KoE)
-//     and all ablation variants via Engine,
+//     and all ablation variants via Engine, including the pooled concurrent
+//     batch front-end Engine.SearchBatch,
 //   - the evaluation-scale data generators via NewSyntheticMall and
 //     NewRealMall.
 //
@@ -104,6 +105,14 @@ type (
 	Request = search.Request
 	// Options selects the algorithm and ablation switches.
 	Options = search.Options
+	// BatchOptions configures the concurrent fan-out of Engine.SearchBatch,
+	// which runs many requests over a worker pool sharing one engine and
+	// returns results identical to a serial Search loop.
+	BatchOptions = search.BatchOptions
+	// Executor is the pooled per-engine query-execution layer; Engine.Search
+	// and Engine.SearchBatch run on it implicitly, and Engine.Executor
+	// exposes it directly.
+	Executor = search.Executor
 	// Result is a ranked list of routes plus search statistics.
 	Result = search.Result
 	// Route is one returned route.

@@ -1,0 +1,158 @@
+package keyword
+
+import (
+	"sync"
+	"testing"
+
+	"ikrq/internal/model"
+)
+
+// cacheIndex builds a small index with a few i-words and shared t-words.
+func cacheIndex(t testing.TB) *Index {
+	t.Helper()
+	b := NewIndexBuilder(8)
+	words := map[string][]string{
+		"starbucks": {"coffee", "latte"},
+		"costa":     {"coffee", "tea"},
+		"apple":     {"phone", "laptop"},
+		"zara":      {"coat"},
+	}
+	v := model.PartitionID(0)
+	for _, name := range []string{"starbucks", "costa", "apple", "zara"} {
+		b.AssignPartition(v, b.DefineIWord(name, words[name]))
+		v++
+	}
+	x, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestQueryCacheHitSharesInstance(t *testing.T) {
+	x := cacheIndex(t)
+	c := NewQueryCache(x, 8)
+	a := c.Get([]string{"coffee", "coat"}, 0.2)
+	b := c.Get([]string{"coffee", "coat"}, 0.2)
+	if a != b {
+		t.Error("identical queries compiled twice")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+}
+
+func TestQueryCacheKeyDiscriminates(t *testing.T) {
+	x := cacheIndex(t)
+	c := NewQueryCache(x, 8)
+	base := c.Get([]string{"coffee", "coat"}, 0.2)
+	if c.Get([]string{"coffee", "coat"}, 0.3) == base {
+		t.Error("different τ aliased")
+	}
+	if c.Get([]string{"coat", "coffee"}, 0.2) == base {
+		t.Error("different keyword order aliased (sims are positional)")
+	}
+	if c.Get([]string{"coffee"}, 0.2) == base {
+		t.Error("different keyword list aliased")
+	}
+}
+
+func TestQueryCacheEvictsLRU(t *testing.T) {
+	x := cacheIndex(t)
+	c := NewQueryCache(x, 2)
+	q1 := c.Get([]string{"coffee"}, 0.2)
+	c.Get([]string{"tea"}, 0.2)
+	c.Get([]string{"coffee"}, 0.2) // refresh q1
+	c.Get([]string{"coat"}, 0.2)   // evicts "tea", not the refreshed "coffee"
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if c.Get([]string{"coffee"}, 0.2) != q1 {
+		t.Error("recently used entry evicted")
+	}
+	_, missesBefore := c.Stats()
+	c.Get([]string{"tea"}, 0.2)
+	if _, misses := c.Stats(); misses != missesBefore+1 {
+		t.Error("evicted entry still served from cache")
+	}
+}
+
+func TestQueryCacheCapacityFloor(t *testing.T) {
+	x := cacheIndex(t)
+	c := NewQueryCache(x, 0)
+	c.Get([]string{"coffee"}, 0.2)
+	c.Get([]string{"tea"}, 0.2)
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (capacity floored at 1)", c.Len())
+	}
+}
+
+// TestQueryCacheConcurrentGet is the -race gate: concurrent hits and misses
+// on overlapping keys must be safe and converge on shared instances.
+func TestQueryCacheConcurrentGet(t *testing.T) {
+	x := cacheIndex(t)
+	c := NewQueryCache(x, 16)
+	keys := [][]string{
+		{"coffee"}, {"tea"}, {"coat"}, {"coffee", "coat"}, {"phone", "latte"},
+	}
+	var wg sync.WaitGroup
+	got := make([][]*Query, 8)
+	for g := range got {
+		got[g] = make([]*Query, len(keys))
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				for ki, k := range keys {
+					got[g][ki] = c.Get(k, 0.2)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for ki := range keys {
+		for g := 1; g < len(got); g++ {
+			if got[g][ki] != got[0][ki] {
+				t.Errorf("key %v: goroutines ended on different instances", keys[ki])
+			}
+		}
+	}
+}
+
+func TestCacheKeyUnambiguous(t *testing.T) {
+	// Length-prefixing must keep distinct lists distinct for any content.
+	if cacheKey([]string{"ab", "c"}, 0.2) == cacheKey([]string{"a", "bc"}, 0.2) {
+		t.Error("key collision across word boundaries")
+	}
+	if cacheKey([]string{"a"}, 0.2) == cacheKey([]string{"a", ""}, 0.2) {
+		t.Error("key collision with empty trailing keyword")
+	}
+	// Keywords are unrestricted strings: embedded NULs or digit/colon runs
+	// must not alias a different list.
+	if cacheKey([]string{"a\x00b"}, 0.2) == cacheKey([]string{"a", "b"}, 0.2) {
+		t.Error("key collision with embedded NUL")
+	}
+	if cacheKey([]string{"1:a"}, 0.2) == cacheKey([]string{"a"}, 0.2) {
+		t.Error("key collision with digit/colon prefix in keyword")
+	}
+}
+
+func BenchmarkCompileQueryCached(b *testing.B) {
+	x := cacheIndex(b)
+	c := NewQueryCache(x, 16)
+	qw := []string{"coffee", "coat"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Get(qw, 0.2)
+	}
+}
+
+func BenchmarkCompileQueryUncached(b *testing.B) {
+	x := cacheIndex(b)
+	qw := []string{"coffee", "coat"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.CompileQuery(qw, 0.2)
+	}
+}

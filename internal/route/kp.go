@@ -117,6 +117,13 @@ func NewPrimeTable() *PrimeTable {
 	return &PrimeTable{m: make(map[primeKey][]primeEntry)}
 }
 
+// Reset empties the table while keeping its allocated buckets, so a pooled
+// executor can reuse one table across queries without reallocating.
+func (t *PrimeTable) Reset() {
+	clear(t.m)
+	t.n = 0
+}
+
 func makeKey(tail model.DoorID, kp *KPNode) primeKey {
 	k := primeKey{tail: tail}
 	if kp != nil {

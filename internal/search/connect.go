@@ -68,7 +68,7 @@ func (sr *searcher) finalizeAtTerminal(sj *stamp) {
 	}
 	sims := sj.sims
 	if w := sr.e.x.P2I(sr.hostPt); w != keyword.NoIWord && sr.q.WouldImprove(sims, w) {
-		sims = copySims(sims)
+		sims = sr.cloneSims(sims)
 		sr.q.Absorb(sims, w)
 	}
 	rho := keyword.Relevance(sims)
@@ -96,7 +96,7 @@ func (sr *searcher) finalizeViaShortestRoute(sj *stamp) {
 	}
 	// spliceStamp rebuilds the hop distances from geometry; the final
 	// door-to-pt leg is added by finalizeAtTerminal.
-	sf := sr.spliceStamp(sj, path.Hops, 0)
+	sf := sr.spliceStamp(sj, path.Hops)
 	if sf == nil {
 		return
 	}

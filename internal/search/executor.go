@@ -1,0 +1,221 @@
+package search
+
+import (
+	"sync"
+	"time"
+
+	"ikrq/internal/keyword"
+	"ikrq/internal/model"
+	"ikrq/internal/route"
+)
+
+// Executor runs queries against one Engine through a sync.Pool of per-query
+// scratch state. The searcher of Algorithm 1 needs a bundle of allocations
+// per query — the door bitmaps Dn/Df sized to the space, the stamp priority
+// queue, the prime hashtable, the top-k collector, the key-partition set and
+// thousands of stamp structs and sims vectors — and none of it outlives the
+// query: result() copies everything that escapes. The executor keeps those
+// bundles alive between queries so a loaded engine allocates per request
+// instead of per stamp.
+//
+// Executors are safe for concurrent use; each in-flight query holds its own
+// scratch bundle, and the pool grows to the peak concurrency level.
+type Executor struct {
+	e    *Engine
+	pool sync.Pool
+}
+
+func newExecutor(e *Engine) *Executor {
+	ex := &Executor{e: e}
+	ex.pool.New = func() any { return new(execScratch) }
+	return ex
+}
+
+// Engine returns the engine the executor runs against.
+func (ex *Executor) Engine() *Engine { return ex.e }
+
+// Search runs one query on pooled scratch. It is the implementation behind
+// Engine.Search; results are identical to a searcher built from scratch.
+func (ex *Executor) Search(req Request, opt Options) (*Result, error) {
+	if err := ex.e.validate(req, opt); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	sc := ex.pool.Get().(*execScratch)
+	sr := sc.prepare(ex.e, ex.e.qcache.Get(req.QW, req.Tau), req, opt)
+	sr.run()
+	res := sr.result()
+	sc.release()
+	ex.pool.Put(sc)
+	res.Stats.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// execScratch is one reusable bundle of per-query state. prepare() sizes and
+// clears every component for the incoming query; release() drops references
+// into the finished query's route trees so an idle bundle does not pin them.
+type execScratch struct {
+	sr searcher
+
+	dn, df   []bool
+	queue    stampHeap
+	prime    *route.PrimeTable
+	top      *topK
+	keyAlive map[model.PartitionID]bool
+	keyParts []model.PartitionID
+
+	sims   simsArena
+	stamps stampArena
+}
+
+// prepare readies the scratch for a query and returns its searcher. The
+// compiled query q is supplied by the caller (normally from the engine's
+// query cache) and is only read, never written. release() is the single
+// owner of clearing; prepare only sizes and configures.
+func (sc *execScratch) prepare(e *Engine, q *keyword.Query, req Request, opt Options) *searcher {
+	sc.release() // no-op on a fresh or already-released scratch
+	nd := e.s.NumDoors()
+	if cap(sc.dn) < nd {
+		sc.dn = make([]bool, nd)
+		sc.df = make([]bool, nd)
+	} else {
+		sc.dn = sc.dn[:nd]
+		sc.df = sc.df[:nd]
+		clear(sc.dn)
+		clear(sc.df)
+	}
+	if sc.prime == nil {
+		sc.prime = route.NewPrimeTable()
+	}
+	if sc.top == nil {
+		sc.top = newTopK(req.K, !opt.DisablePrime)
+	} else {
+		sc.top.reset(req.K, !opt.DisablePrime)
+	}
+	if sc.keyAlive == nil {
+		sc.keyAlive = make(map[model.PartitionID]bool)
+	}
+
+	sr := &sc.sr
+	*sr = searcher{
+		e:        e,
+		req:      req,
+		opt:      opt,
+		q:        q,
+		hostPs:   e.s.HostPartition(req.Ps),
+		hostPt:   e.s.HostPartition(req.Pt),
+		prime:    sc.prime,
+		top:      sc.top,
+		dn:       sc.dn,
+		df:       sc.df,
+		keyAlive: sc.keyAlive,
+		queue:    sc.queue[:0],
+		scratch:  sc,
+	}
+	sr.maxRho = q.MaxRelevance()
+	sr.cap = req.Delta * (1 + opt.SoftDeltaSlack)
+	sr.gamma = opt.PopularityWeight
+	sr.initKeyPartitions(sc.keyParts[:0])
+	sc.keyParts = sr.keyParts
+	return sr
+}
+
+// release clears the references a finished query left in the scratch (queued
+// stamps, completed routes, prime entries, arena-held stamps) so the pooled
+// bundle retains only its raw capacity. It is the single owner of the
+// clearing invariant — every reference-holding field added to execScratch
+// must be dropped here — and is idempotent, so prepare() can call it as a
+// safety net and Executor.Search before returning a bundle to the pool.
+func (sc *execScratch) release() {
+	if q := sc.sr.queue; cap(q) > cap(sc.queue) {
+		sc.queue = q // adopt the grown backing array
+	}
+	clear(sc.queue[:cap(sc.queue)])
+	sc.queue = sc.queue[:0]
+	if sc.prime != nil {
+		sc.prime.Reset()
+	}
+	if sc.top != nil {
+		sc.top.reset(0, true)
+	}
+	clear(sc.keyAlive)
+	sc.keyParts = sc.keyParts[:0]
+	sc.stamps.reset()
+	sc.sims.reset()
+	sc.sr = searcher{}
+}
+
+// simsArena bump-allocates the per-keyword similarity vectors attached to
+// stamps. Sims never outlive the query — result() copies the vectors of the
+// winning routes — so the whole arena resets in O(1) and its chunks are
+// reused by the next query on this scratch.
+type simsArena struct {
+	chunks [][]float64
+	ci     int // index of the chunk currently allocated from
+	off    int // next free slot in that chunk
+}
+
+const simsChunkLen = 4096
+
+func (a *simsArena) reset() { a.ci, a.off = 0, 0 }
+
+// alloc returns a zeroed vector of length n with full-capacity protection
+// (appends by callers would be a bug; the cap fence turns them into copies).
+func (a *simsArena) alloc(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	if n > simsChunkLen {
+		return make([]float64, n)
+	}
+	for {
+		if a.ci >= len(a.chunks) {
+			a.chunks = append(a.chunks, make([]float64, simsChunkLen))
+		}
+		if a.off+n <= simsChunkLen {
+			s := a.chunks[a.ci][a.off : a.off+n : a.off+n]
+			a.off += n
+			clear(s)
+			return s
+		}
+		a.ci++
+		a.off = 0
+	}
+}
+
+// stampArena bump-allocates stamp structs. Like sims, stamps die with the
+// query; reset() zeroes the used prefix so recycled stamps do not pin the
+// previous query's route and KP trees while the scratch sits in the pool.
+type stampArena struct {
+	chunks [][]stamp
+	ci     int
+	off    int
+}
+
+const stampChunkLen = 512
+
+func (a *stampArena) reset() {
+	for i := 0; i <= a.ci && i < len(a.chunks); i++ {
+		n := len(a.chunks[i])
+		if i == a.ci {
+			n = a.off
+		}
+		clear(a.chunks[i][:n])
+	}
+	a.ci, a.off = 0, 0
+}
+
+func (a *stampArena) alloc() *stamp {
+	for {
+		if a.ci >= len(a.chunks) {
+			a.chunks = append(a.chunks, make([]stamp, stampChunkLen))
+		}
+		if a.off < stampChunkLen {
+			s := &a.chunks[a.ci][a.off]
+			a.off++
+			return s
+		}
+		a.ci++
+		a.off = 0
+	}
+}

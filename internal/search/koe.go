@@ -63,7 +63,7 @@ func (sr *searcher) findKoE(si *stamp) []*stamp {
 			if !ok || len(hops) == 0 {
 				continue
 			}
-			sj := sr.spliceStamp(si, hops, 0)
+			sj := sr.spliceStamp(si, hops)
 			if sj == nil {
 				continue
 			}

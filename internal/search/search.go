@@ -237,7 +237,14 @@ func kpKey(kp []model.PartitionID) string {
 
 // Engine binds a space, its keyword index and the derived distance
 // structures, and runs IKRQ queries. Engines are safe for concurrent
-// Search calls; the KoE* matrix is built lazily on first use.
+// Search and SearchBatch calls; the KoE* matrix is built lazily on first
+// use and shared by every query thereafter.
+//
+// The engine separates two layers: the immutable index layer (space,
+// keyword index, pathfinder, skeleton, KoE* matrix) and the execution
+// layer — a pooled Executor holding reusable per-query scratch plus a
+// bounded cache of compiled queries — so repeated queries are
+// allocation-light.
 type Engine struct {
 	s  *model.Space
 	x  *keyword.Index
@@ -247,15 +254,33 @@ type Engine struct {
 	matOnce sync.Once
 	mat     *graph.Matrix
 
+	qcache *keyword.QueryCache
+	exec   *Executor
+
 	// popularity, when set, holds a visit-popularity score in [0,1] per
 	// partition, used by Options.PopularityWeight.
 	popularity []float64
 }
 
+// defaultQueryCacheCap bounds the engine's compiled-query cache. Compiled
+// queries are small (a few candidate sets plus lookup maps), so a few
+// hundred cover a realistic hot set of repeated storefront keyword lists.
+const defaultQueryCacheCap = 256
+
 // NewEngine builds an engine for the given space and keyword index.
 func NewEngine(s *model.Space, x *keyword.Index) *Engine {
-	return &Engine{s: s, x: x, pf: graph.NewPathFinder(s), sk: graph.NewSkeleton(s)}
+	e := &Engine{s: s, x: x, pf: graph.NewPathFinder(s), sk: graph.NewSkeleton(s)}
+	e.qcache = keyword.NewQueryCache(x, defaultQueryCacheCap)
+	e.exec = newExecutor(e)
+	return e
 }
+
+// Executor exposes the engine's pooled query executor.
+func (e *Engine) Executor() *Executor { return e.exec }
+
+// QueryCache exposes the engine's compiled-query cache (for stats and
+// tests).
+func (e *Engine) QueryCache() *keyword.QueryCache { return e.qcache }
 
 // SetPopularity attaches per-partition popularity scores (clamped to
 // [0,1]); missing entries default to 0. Popularity affects ranking only
@@ -319,24 +344,44 @@ func (e *Engine) Validate(req Request) error {
 	return nil
 }
 
-// Search runs one IKRQ query with the given options.
-func (e *Engine) Search(req Request, opt Options) (*Result, error) {
-	if err := e.Validate(req); err != nil {
-		return nil, err
-	}
+// validateOptions reports the first problem with an option combination.
+func validateOptions(opt Options) error {
 	if opt.Algorithm == KoE && opt.DisablePrime {
-		return nil, errors.New("search: KoE is formulated on prime routes; DisablePrime does not apply")
+		return errors.New("search: KoE is formulated on prime routes; DisablePrime does not apply")
 	}
 	if opt.Precompute && opt.Algorithm != KoE {
-		return nil, errors.New("search: Precompute (KoE*) requires the KoE algorithm")
+		return errors.New("search: Precompute (KoE*) requires the KoE algorithm")
 	}
 	if opt.SoftDeltaSlack < 0 {
-		return nil, errors.New("search: SoftDeltaSlack must be ≥ 0")
+		return errors.New("search: SoftDeltaSlack must be ≥ 0")
 	}
 	if opt.PopularityWeight < 0 {
-		return nil, errors.New("search: PopularityWeight must be ≥ 0")
+		return errors.New("search: PopularityWeight must be ≥ 0")
 	}
+	return nil
+}
 
+// validate combines request and option validation.
+func (e *Engine) validate(req Request, opt Options) error {
+	if err := e.Validate(req); err != nil {
+		return err
+	}
+	return validateOptions(opt)
+}
+
+// Search runs one IKRQ query with the given options on the engine's pooled
+// executor.
+func (e *Engine) Search(req Request, opt Options) (*Result, error) {
+	return e.exec.Search(req, opt)
+}
+
+// searchFresh runs a query with per-call allocation of all scratch state and
+// no compiled-query cache — the seed's execution path, kept as the baseline
+// the pooled executor is benchmarked against.
+func (e *Engine) searchFresh(req Request, opt Options) (*Result, error) {
+	if err := e.validate(req, opt); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	sr := newSearcher(e, req, opt)
 	sr.run()

@@ -42,10 +42,18 @@ type searcher struct {
 	keyParts []model.PartitionID
 	keyAlive map[model.PartitionID]bool
 
+	// scratch, when non-nil, supplies pooled stamp and sims storage; a nil
+	// scratch falls back to plain per-call allocation (the seed behavior,
+	// kept as the benchmark baseline).
+	scratch *execScratch
+
 	seq   int64
 	stats Stats
 }
 
+// newSearcher builds a searcher with fresh allocations for everything —
+// the pre-executor construction path, retained for the pooled-vs-fresh
+// benchmarks and as the reference for what prepare() must reproduce.
 func newSearcher(e *Engine, req Request, opt Options) *searcher {
 	sr := &searcher{
 		e:      e,
@@ -62,23 +70,57 @@ func newSearcher(e *Engine, req Request, opt Options) *searcher {
 	sr.cap = req.Delta * (1 + opt.SoftDeltaSlack)
 	sr.gamma = opt.PopularityWeight
 	sr.top = newTopK(req.K, !opt.DisablePrime)
-
-	// P ← (∪ I2P(κ(wQ).Wi)) \ v(ps) ∪ v(pt)   (Algorithm 1 line 3)
 	sr.keyAlive = make(map[model.PartitionID]bool)
+	sr.initKeyPartitions(nil)
+	return sr
+}
+
+// initKeyPartitions computes P ← (∪ I2P(κ(wQ).Wi)) \ v(ps) ∪ v(pt)
+// (Algorithm 1 line 3) into buf, which pooled callers pass to reuse its
+// capacity. sr.keyAlive must be empty.
+func (sr *searcher) initKeyPartitions(buf []model.PartitionID) {
 	for _, v := range sr.q.KeyPartitions() {
 		if v == sr.hostPs && v != sr.hostPt {
 			continue
 		}
 		if !sr.keyAlive[v] {
 			sr.keyAlive[v] = true
-			sr.keyParts = append(sr.keyParts, v)
+			buf = append(buf, v)
 		}
 	}
 	if !sr.keyAlive[sr.hostPt] {
 		sr.keyAlive[sr.hostPt] = true
-		sr.keyParts = append(sr.keyParts, sr.hostPt)
+		buf = append(buf, sr.hostPt)
 	}
-	return sr
+	sr.keyParts = buf
+}
+
+// newSims returns a zeroed similarity vector of length n, arena-backed when
+// the searcher runs on pooled scratch.
+func (sr *searcher) newSims(n int) []float64 {
+	if sr.scratch != nil {
+		return sr.scratch.sims.alloc(n)
+	}
+	return make([]float64, n)
+}
+
+// cloneSims copies a similarity vector into query-lifetime storage. Vectors
+// that escape into results are copied again by result(), so arena backing is
+// safe here.
+func (sr *searcher) cloneSims(s []float64) []float64 {
+	out := sr.newSims(len(s))
+	copy(out, s)
+	return out
+}
+
+// newStamp returns a blank stamp (arena-backed on pooled scratch) and counts
+// it in the stats.
+func (sr *searcher) newStamp() *stamp {
+	sr.stats.StampsCreated++
+	if sr.scratch != nil {
+		return sr.scratch.stamps.alloc()
+	}
+	return new(stamp)
 }
 
 // run executes the find-and-connect loop of Algorithm 1.
@@ -109,14 +151,15 @@ func (sr *searcher) run() {
 }
 
 func (sr *searcher) initialStamp() *stamp {
-	sims := make([]float64, sr.q.Len())
+	sims := sr.newSims(sr.q.Len())
 	if w := sr.e.x.P2I(sr.hostPs); w != keyword.NoIWord {
 		sr.q.Absorb(sims, w)
 	}
 	rho := keyword.Relevance(sims)
 	perfect := keyword.PerfectlyCovered(sims)
 	kp := route.NewKP(sr.hostPs)
-	s0 := &stamp{
+	s0 := sr.newStamp()
+	*s0 = stamp{
 		node:         route.NewStart(sr.hostPs),
 		kp:           kp,
 		v:            sr.hostPs,
@@ -127,7 +170,6 @@ func (sr *searcher) initialStamp() *stamp {
 		newlyPerfect: perfect,
 		seq:          sr.nextSeq(),
 	}
-	sr.stats.StampsCreated++
 	return s0
 }
 
@@ -159,7 +201,7 @@ func (sr *searcher) tryDirectStart(s0 *stamp) {
 	}
 	sims := s0.sims
 	if w := sr.e.x.P2I(sr.hostPt); w != keyword.NoIWord && sr.q.WouldImprove(sims, w) {
-		sims = copySims(sims)
+		sims = sr.cloneSims(sims)
 		sr.q.Absorb(sims, w)
 	}
 	rho := keyword.Relevance(sims)
@@ -237,13 +279,14 @@ func (sr *searcher) makeStamp(si *stamp, dl model.DoorID, vj model.PartitionID, 
 	if sr.q.IsKeyPartition(crossed) {
 		kp = kp.Append(crossed)
 	}
-	sims := absorbInto(sr.q, sr.e.x, sr.e.s, si.sims, dl)
+	sims := sr.absorbThroughDoor(si.sims, dl)
 	rho := si.rho
 	if len(sims) > 0 && &sims[0] != &si.sims[0] {
 		rho = keyword.Relevance(sims)
 	}
 	perfect := si.perfect || keyword.PerfectlyCovered(sims)
-	sj := &stamp{
+	sj := sr.newStamp()
+	*sj = stamp{
 		node:         si.node.Append(dl, vj, dist),
 		kp:           kp,
 		v:            vj,
@@ -254,14 +297,37 @@ func (sr *searcher) makeStamp(si *stamp, dl model.DoorID, vj model.PartitionID, 
 		newlyPerfect: perfect && !si.perfect,
 		seq:          sr.nextSeq(),
 	}
-	sr.stats.StampsCreated++
 	return sj
+}
+
+// absorbThroughDoor returns sims with the i-words of the partitions
+// leaveable through door d folded in, copying (into the sims arena on
+// pooled scratch) only when something improves.
+func (sr *searcher) absorbThroughDoor(sims []float64, d model.DoorID) []float64 {
+	q, x, s := sr.q, sr.e.x, sr.e.s
+	improved := false
+	for _, v := range s.Door(d).Leaveable() {
+		if w := x.P2I(v); w != keyword.NoIWord && q.WouldImprove(sims, w) {
+			improved = true
+			break
+		}
+	}
+	if !improved {
+		return sims
+	}
+	out := sr.cloneSims(sims)
+	for _, v := range s.Door(d).Leaveable() {
+		if w := x.P2I(v); w != keyword.NoIWord {
+			q.Absorb(out, w)
+		}
+	}
+	return out
 }
 
 // spliceStamp extends si along a multi-hop shortest path (KoE expansion or
 // connect completion), folding every hop into the stamp. It returns nil if
 // the spliced route violates global regularity.
-func (sr *searcher) spliceStamp(si *stamp, hops []graph.Hop, totalDist float64) *stamp {
+func (sr *searcher) spliceStamp(si *stamp, hops []graph.Hop) *stamp {
 	// Global regularity: hops must not repeat doors of the existing route
 	// except the immediate tail loop, and must be internally regular.
 	if !sr.spliceIsRegular(si, hops) {
@@ -270,7 +336,6 @@ func (sr *searcher) spliceStamp(si *stamp, hops []graph.Hop, totalDist float64) 
 	}
 	cur := si
 	prevDist := si.dist()
-	_ = totalDist
 	// Distances along the path: recompute hop by hop from geometry so the
 	// stamp's cumulative distances stay exact.
 	for _, h := range hops {

@@ -4,7 +4,6 @@ import (
 	"container/heap"
 	"sort"
 
-	"ikrq/internal/keyword"
 	"ikrq/internal/model"
 	"ikrq/internal/route"
 )
@@ -94,6 +93,19 @@ func newTopK(k int, diversify bool) *topK {
 		byClass:   make(map[classKey][]*complete),
 		seen:      make(map[string]bool),
 	}
+}
+
+// reset empties the collector for reuse, keeping map buckets and the flat
+// slice's capacity. The full capacity of flat is cleared so recycled
+// collectors do not pin completed routes of an earlier query.
+func (t *topK) reset(k int, diversify bool) {
+	t.k = k
+	t.diversify = diversify
+	t.kb = 0
+	clear(t.byClass)
+	clear(t.seen)
+	clear(t.flat[:cap(t.flat)])
+	t.flat = t.flat[:0]
 }
 
 // kbound returns the current Pruning Rule 4 bound.
@@ -202,31 +214,10 @@ func heapPush(h *stampHeap, s *stamp) { heap.Push(h, s) }
 // heapPop wraps container/heap for the searcher.
 func heapPop(h *stampHeap) *stamp { return heap.Pop(h).(*stamp) }
 
-// copySims clones a similarity vector.
+// copySims clones a similarity vector into garbage-collected memory; used
+// where the copy escapes the query (results) or no arena is available.
 func copySims(s []float64) []float64 {
 	out := make([]float64, len(s))
 	copy(out, s)
-	return out
-}
-
-// absorbInto returns sims with the i-words of the partitions leaveable
-// through door d folded in, copying only when something improves.
-func absorbInto(q *keyword.Query, x *keyword.Index, s *model.Space, sims []float64, d model.DoorID) []float64 {
-	improved := false
-	for _, v := range s.Door(d).Leaveable() {
-		if w := x.P2I(v); w != keyword.NoIWord && q.WouldImprove(sims, w) {
-			improved = true
-			break
-		}
-	}
-	if !improved {
-		return sims
-	}
-	out := copySims(sims)
-	for _, v := range s.Door(d).Leaveable() {
-		if w := x.P2I(v); w != keyword.NoIWord {
-			q.Absorb(out, w)
-		}
-	}
 	return out
 }
