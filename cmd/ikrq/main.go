@@ -1,14 +1,17 @@
-// Command ikrq runs a single IKRQ query against a generated mall and
-// prints the returned routes.
+// Command ikrq runs a single IKRQ query against a generated mall — or
+// against a baked snapshot — and prints the returned routes.
 //
 // Usage:
 //
 //	ikrq -floors 5 -seed 1 -k 7 -qw "coffee,latte" -alg KoE -eta 1.6
+//	ikrq -snapshot mall.ikrq -qw "coffee,latte" -alg "KoE*"
 //
 // Without -qw the query keywords are drawn from the generated vocabulary
 // (the realistic case: users query words that exist in the venue's
 // catalogue). With -real the simulated Hangzhou mall replaces the
-// synthetic space.
+// synthetic space. With -snapshot the engine is loaded from a file baked
+// by `ikrqgen -snapshot` instead of being rebuilt (-floors/-real/-s2t are
+// ignored; query points are sampled from the loaded space).
 package main
 
 import (
@@ -37,35 +40,20 @@ func main() {
 		tau    = flag.Float64("tau", 0.2, "candidate similarity threshold τ")
 		algStr = flag.String("alg", "ToE", "variant: "+variantList())
 		stats  = flag.Bool("stats", false, "print search statistics")
+		snap   = flag.String("snapshot", "", "serve from this baked snapshot instead of generating a space")
 	)
 	flag.Parse()
 
 	var (
-		mall *ikrq.Mall
-		voc  *ikrq.Vocabulary
-		idx  *ikrq.KeywordIndex
-		err  error
+		engine *ikrq.Engine
+		req    ikrq.Request
+		err    error
 	)
-	if *real {
-		mall, voc, idx, err = ikrq.NewRealMall(*seed)
+	if *snap != "" {
+		engine, req, err = fromSnapshot(*snap, *seed, *k, *qwLen, *beta, *eta, *alpha, *tau)
 	} else {
-		mall, voc, idx, err = ikrq.NewSyntheticMall(*floors, *seed)
+		engine, req, err = fromGenerated(*real, *floors, *seed, *k, *qwLen, *beta, *s2t, *eta, *alpha, *tau)
 	}
-	if err != nil {
-		fatal(err)
-	}
-	engine := ikrq.NewEngine(mall.Space, idx)
-	qgen := ikrq.NewQueryGen(mall, idx, voc, engine, *seed+17)
-
-	cfg := gen.DefaultQueryConfig(*seed + 17)
-	cfg.K = *k
-	cfg.QWLen = *qwLen
-	cfg.Beta = *beta
-	cfg.S2T = *s2t
-	cfg.Eta = *eta
-	cfg.Alpha = *alpha
-	cfg.Tau = *tau
-	req, err := qgen.Instance(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -101,6 +89,58 @@ func main() {
 			st.PrunedRule5, st.PrunedRegularity, st.PrunedDelta,
 			float64(st.EstBytes)/(1<<20))
 	}
+}
+
+// fromGenerated builds the engine and query instance from a generated
+// space, the original workflow.
+func fromGenerated(real bool, floors int, seed uint64, k, qwLen int, beta, s2t, eta, alpha, tau float64) (*ikrq.Engine, ikrq.Request, error) {
+	var (
+		mall *ikrq.Mall
+		voc  *ikrq.Vocabulary
+		idx  *ikrq.KeywordIndex
+		err  error
+	)
+	if real {
+		mall, voc, idx, err = ikrq.NewRealMall(seed)
+	} else {
+		mall, voc, idx, err = ikrq.NewSyntheticMall(floors, seed)
+	}
+	if err != nil {
+		return nil, ikrq.Request{}, err
+	}
+	engine := ikrq.NewEngine(mall.Space, idx)
+	qgen := ikrq.NewQueryGen(mall, idx, voc, engine, seed+17)
+
+	cfg := gen.DefaultQueryConfig(seed + 17)
+	cfg.K = k
+	cfg.QWLen = qwLen
+	cfg.Beta = beta
+	cfg.S2T = s2t
+	cfg.Eta = eta
+	cfg.Alpha = alpha
+	cfg.Tau = tau
+	req, err := qgen.Instance(cfg)
+	return engine, req, err
+}
+
+// fromSnapshot loads a baked engine and samples a query from its index
+// layer (no Mall/Vocabulary bookkeeping exists for a snapshot, so the
+// δs2t-targeted generator does not apply; the sampler stretches the query
+// across the space instead).
+func fromSnapshot(path string, seed uint64, k, qwLen int, beta, eta, alpha, tau float64) (*ikrq.Engine, ikrq.Request, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, ikrq.Request{}, err
+	}
+	defer f.Close()
+	engine, err := ikrq.LoadEngine(f)
+	if err != nil {
+		return nil, ikrq.Request{}, err
+	}
+	smp := gen.NewSampler(engine.Space(), engine.Keywords(), engine.PathFinder(), seed+17)
+	cfg := gen.SampleConfig{K: k, QWLen: qwLen, Beta: beta, Eta: eta, Alpha: alpha, Tau: tau}
+	req, err := smp.Instance(cfg)
+	return engine, req, err
 }
 
 // describeRoute renders a route as ps →(partition)→ door →…→ pt with the

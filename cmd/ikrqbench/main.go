@@ -4,11 +4,16 @@
 // Usage:
 //
 //	ikrqbench [-fig fig05] [-quick] [-seed 1] [-instances 10] [-runs 5] [-workers 1]
+//	ikrqbench -snapshot mall.ikrq [-quick]
 //
 // Without -fig every figure runs in presentation order. -quick shrinks the
 // workload for a fast smoke pass. Full ToE\P figures run under an
 // expansion cap (reported in the output) because the unpruned variant is
 // intentionally explosive — the paper itself measures it at up to 10^6 ms.
+//
+// With -snapshot the harness benchmarks serving from a baked index (see
+// `ikrqgen -snapshot`): the cold-start cost of loading versus rebuilding,
+// then every Table III variant over queries sampled from the loaded space.
 package main
 
 import (
@@ -28,6 +33,7 @@ func main() {
 		runs      = flag.Int("runs", 0, "runs per instance (default: paper's 5, quick: 1)")
 		cap       = flag.Int("cap", 0, "expansion cap for ToE\\P (default 300000, quick 50000)")
 		workers   = flag.Int("workers", 1, "batch-executor workers per figure cell (>1 shortens sweeps but adds timing contention)")
+		snap      = flag.String("snapshot", "", "benchmark serving from this baked snapshot instead of the figure suite")
 	)
 	flag.Parse()
 
@@ -46,6 +52,15 @@ func main() {
 	}
 	if *workers > 0 {
 		cfg.Workers = *workers
+	}
+	if *snap != "" {
+		rep, err := bench.RunSnapshot(*snap, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ikrqbench: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Fprint(os.Stdout)
+		return
 	}
 	env := bench.NewEnv(cfg)
 	all := env.All()

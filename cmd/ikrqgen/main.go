@@ -1,65 +1,39 @@
-// Command ikrqgen generates an evaluation space and reports (or dumps) its
-// structure: partition/door counts per floor, keyword statistics, and
-// optionally the full space as JSON for external tooling.
+// Command ikrqgen generates an evaluation space and reports, dumps, or
+// bakes it: partition/door counts per floor, keyword statistics, the full
+// space as JSON for external tooling, or a binary engine snapshot that
+// cmd/ikrq and cmd/ikrqbench can serve from without rebuilding the index.
 //
 // Usage:
 //
-//	ikrqgen -floors 5 -seed 1          # statistics only
-//	ikrqgen -real -json > mall.json    # dump the simulated Hangzhou mall
+//	ikrqgen -floors 5 -seed 1                     # statistics only
+//	ikrqgen -real -json > mall.json               # dump the simulated Hangzhou mall
+//	ikrqgen -real -snapshot mall.ikrq -matrix     # bake a snapshot incl. the KoE* matrix
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"ikrq"
+	"ikrq/internal/export"
 	"ikrq/internal/keyword"
-	"ikrq/internal/model"
 )
-
-type jsonSpace struct {
-	Floors     int             `json:"floors"`
-	Partitions []jsonPartition `json:"partitions"`
-	Doors      []jsonDoor      `json:"doors"`
-	Stairways  []jsonStairway  `json:"stairways"`
-}
-
-type jsonPartition struct {
-	ID     int32      `json:"id"`
-	Name   string     `json:"name"`
-	Kind   string     `json:"kind"`
-	Floor  int        `json:"floor"`
-	Bounds [4]float64 `json:"bounds"` // minX, minY, maxX, maxY
-	IWord  string     `json:"iword,omitempty"`
-	TWords []string   `json:"twords,omitempty"`
-}
-
-type jsonDoor struct {
-	ID        int32   `json:"id"`
-	X         float64 `json:"x"`
-	Y         float64 `json:"y"`
-	Floor     int     `json:"floor"`
-	Enterable []int32 `json:"enterable"`
-	Leaveable []int32 `json:"leaveable"`
-	Stair     bool    `json:"stair,omitempty"`
-}
-
-type jsonStairway struct {
-	From   int32   `json:"from"`
-	To     int32   `json:"to"`
-	Length float64 `json:"length"`
-}
 
 func main() {
 	var (
-		floors = flag.Int("floors", 5, "synthetic floors")
-		real   = flag.Bool("real", false, "simulated Hangzhou mall")
-		seed   = flag.Uint64("seed", 1, "generation seed")
-		asJSON = flag.Bool("json", false, "dump the space as JSON to stdout")
+		floors   = flag.Int("floors", 5, "synthetic floors")
+		real     = flag.Bool("real", false, "simulated Hangzhou mall")
+		seed     = flag.Uint64("seed", 1, "generation seed")
+		asJSON   = flag.Bool("json", false, "dump the space as JSON to stdout")
+		snapPath = flag.String("snapshot", "", "bake the engine to this snapshot file")
+		matrix   = flag.Bool("matrix", false, "precompute the KoE* all-pairs matrix into the snapshot")
 	)
 	flag.Parse()
+	if *asJSON && *snapPath != "" {
+		fatal(fmt.Errorf("-json and -snapshot are mutually exclusive; run ikrqgen twice with the same -seed"))
+	}
 
 	var (
 		mall *ikrq.Mall
@@ -73,13 +47,19 @@ func main() {
 		mall, voc, idx, err = ikrq.NewSyntheticMall(*floors, *seed)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ikrqgen:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	s := mall.Space
 
 	if *asJSON {
-		dump(s, idx)
+		if err := export.Encode(os.Stdout, s, idx); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *snapPath != "" {
+		bake(*snapPath, *matrix, mall, idx)
 		return
 	}
 
@@ -97,47 +77,47 @@ func main() {
 		idx.NumIWords(), idx.NumTWords(), len(voc.Brands), voc.AvgTWords(), voc.DistinctTWords)
 }
 
-func dump(s *model.Space, idx *keyword.Index) {
-	out := jsonSpace{Floors: s.Floors()}
-	for _, p := range s.Partitions() {
-		jp := jsonPartition{
-			ID:    int32(p.ID),
-			Name:  p.Name,
-			Kind:  p.Kind.String(),
-			Floor: p.Floor(),
-			Bounds: [4]float64{p.Bounds.MinX, p.Bounds.MinY,
-				p.Bounds.MaxX, p.Bounds.MaxY},
-		}
-		if w := idx.P2I(p.ID); w != keyword.NoIWord {
-			jp.IWord = idx.IWord(w)
-			for _, t := range idx.I2T(w) {
-				jp.TWords = append(jp.TWords, idx.TWord(t))
-			}
-		}
-		out.Partitions = append(out.Partitions, jp)
+// bake builds the engine (optionally forcing the KoE* matrix) and writes
+// the snapshot, reporting what each stage cost so operators can see what a
+// load will save.
+func bake(path string, withMatrix bool, mall *ikrq.Mall, idx *ikrq.KeywordIndex) {
+	t0 := time.Now()
+	engine := ikrq.NewEngine(mall.Space, idx)
+	build := time.Since(t0)
+	var matrixTime time.Duration
+	if withMatrix {
+		t1 := time.Now()
+		engine.PrecomputeMatrix()
+		matrixTime = time.Since(t1)
 	}
-	for _, d := range s.Doors() {
-		jd := jsonDoor{
-			ID: int32(d.ID), X: d.Pos.X, Y: d.Pos.Y, Floor: d.Floor(),
-			Stair: d.Stair,
-		}
-		for _, v := range d.Enterable() {
-			jd.Enterable = append(jd.Enterable, int32(v))
-		}
-		for _, v := range d.Leaveable() {
-			jd.Leaveable = append(jd.Leaveable, int32(v))
-		}
-		out.Doors = append(out.Doors, jd)
+
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
 	}
-	for _, sw := range s.Stairways() {
-		out.Stairways = append(out.Stairways, jsonStairway{
-			From: int32(sw.From), To: int32(sw.To), Length: sw.Length,
-		})
+	t2 := time.Now()
+	if err := ikrq.SaveSnapshot(f, engine); err != nil {
+		f.Close()
+		fatal(err)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fmt.Fprintln(os.Stderr, "ikrqgen:", err)
-		os.Exit(1)
+	if err := f.Close(); err != nil {
+		fatal(err)
 	}
+	info, err := os.Stat(path)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("baked %s: %.1f MB in %v (index build %v", path,
+		float64(info.Size())/(1<<20), time.Since(t2), build)
+	if withMatrix {
+		fmt.Printf(", KoE* matrix %v", matrixTime)
+	} else {
+		fmt.Printf(", no KoE* matrix — pass -matrix to bake it")
+	}
+	fmt.Println(")")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ikrqgen:", err)
+	os.Exit(1)
 }

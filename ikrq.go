@@ -32,14 +32,44 @@
 //	    Ps: ikrq.At(2, 5, 0), Pt: ikrq.At(28, 5, 0),
 //	    Delta: 60, QW: []string{"coffee"}, K: 3, Alpha: 0.5, Tau: 0.2,
 //	}, ikrq.Options{Algorithm: ikrq.ToE})
+//
+// # Snapshots
+//
+// Building an engine derives the whole index layer — the state-graph
+// pathfinder, the skeleton lower bounds and (for KoE*) the Θ(states²)
+// all-pairs matrix — which is wasted work when the same space is served on
+// every process start. SaveSnapshot persists a built engine's index layer
+// to a versioned binary container and LoadEngine assembles a serving
+// engine from it without recomputation:
+//
+//	var buf bytes.Buffer
+//	_ = ikrq.SaveSnapshot(&buf, engine) // bake once …
+//	engine2, _ := ikrq.LoadEngine(&buf) // … load everywhere
+//
+// A loaded engine returns results identical to a freshly built one.
+//
+// # Eager vs. lazy KoE* matrix
+//
+// The KoE* variant routes over a precomputed all-pairs shortest-route
+// matrix. By default an engine builds it lazily on the first KoE* query:
+// workloads that never run KoE* pay nothing, but that first query absorbs
+// the full all-pairs sweep (hundreds of milliseconds to seconds, and
+// Θ(states²) memory). Engine.PrecomputeMatrix forces the matrix eagerly —
+// call it at service start-up to keep construction cost out of serving
+// latency, and before SaveSnapshot to bake the matrix into the snapshot so
+// loaded engines never compute it at all. SaveSnapshot includes the matrix
+// section exactly when the engine has built one.
 package ikrq
 
 import (
+	"io"
+
 	"ikrq/internal/gen"
 	"ikrq/internal/geom"
 	"ikrq/internal/keyword"
 	"ikrq/internal/model"
 	"ikrq/internal/search"
+	"ikrq/internal/snapshot"
 )
 
 // Geometry.
@@ -98,7 +128,12 @@ func NewKeywordBuilder(numPartitions int) *KeywordBuilder {
 
 // Query engine.
 type (
-	// Engine runs IKRQ queries against one space + keyword index.
+	// Engine runs IKRQ queries against one space + keyword index. Besides
+	// Search and SearchBatch it exposes the index-layer seams used by
+	// snapshotting: Engine.PrecomputeMatrix forces the KoE* all-pairs
+	// matrix eagerly (see the package docs for the eager-vs-lazy
+	// tradeoff), and SaveSnapshot / LoadEngine persist and restore the
+	// whole index layer.
 	Engine = search.Engine
 	// Request is one IKRQ(ps, pt, Δ, QW, k) instance with the scoring
 	// parameters α and τ.
@@ -133,8 +168,24 @@ const (
 	KoE = search.KoE
 )
 
-// NewEngine builds a query engine.
+// NewEngine builds a query engine, deriving the index layer (state graph,
+// skeleton lower bounds) from scratch. To reuse a previously built index
+// layer, bake it with SaveSnapshot and assemble engines with LoadEngine.
 func NewEngine(s *Space, x *KeywordIndex) *Engine { return search.NewEngine(s, x) }
+
+// SaveSnapshot writes the engine's immutable index layer — space, keyword
+// index, state graph, skeleton, and the KoE* matrix if the engine has
+// built it (call Engine.PrecomputeMatrix first to force it) — to w in the
+// versioned binary snapshot format (see internal/snapshot and DESIGN.md
+// §6).
+func SaveSnapshot(w io.Writer, e *Engine) error { return snapshot.SaveEngine(w, e) }
+
+// LoadEngine assembles a ready-to-serve engine from a snapshot written by
+// SaveSnapshot, skipping all index derivation. The decoder rejects corrupt,
+// truncated or newer-versioned input with an error. A loaded engine
+// returns results identical to one freshly built over the same space and
+// keyword index.
+func LoadEngine(r io.Reader) (*Engine, error) { return snapshot.LoadEngine(r) }
 
 // OptionsFor returns the Options for a Table III variant name such as
 // "ToE", "KoE", "ToE\\D" or "KoE*".

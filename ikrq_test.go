@@ -1,7 +1,9 @@
 package ikrq_test
 
 import (
+	"bytes"
 	"math"
+	"reflect"
 	"testing"
 
 	"ikrq"
@@ -71,6 +73,41 @@ func TestFacadeVariants(t *testing.T) {
 		if len(res.Routes) == 0 {
 			t.Errorf("%s: no routes", v)
 		}
+	}
+}
+
+func TestFacadeSnapshotRoundTrip(t *testing.T) {
+	engine, req := buildFacadeMall(t)
+	engine.PrecomputeMatrix()
+
+	var buf bytes.Buffer
+	if err := ikrq.SaveSnapshot(&buf, engine); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	loaded, err := ikrq.LoadEngine(&buf)
+	if err != nil {
+		t.Fatalf("LoadEngine: %v", err)
+	}
+	for _, v := range ikrq.Variants() {
+		opt, err := ikrq.OptionsFor(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := engine.Search(req, opt)
+		if err != nil {
+			t.Fatalf("%s fresh: %v", v, err)
+		}
+		got, err := loaded.Search(req, opt)
+		if err != nil {
+			t.Fatalf("%s loaded: %v", v, err)
+		}
+		if !reflect.DeepEqual(got.Routes, want.Routes) {
+			t.Errorf("%s: loaded engine routes differ from fresh engine", v)
+		}
+	}
+
+	if _, err := ikrq.LoadEngine(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Error("LoadEngine accepted garbage")
 	}
 }
 

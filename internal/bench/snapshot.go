@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ikrq/internal/gen"
+	"ikrq/internal/search"
+	"ikrq/internal/snapshot"
+)
+
+// SnapshotReport benchmarks serving from a baked snapshot: what the cold
+// start costs versus rebuilding the same index layer from scratch, and the
+// per-variant query latency of the loaded engine over sampled instances.
+type SnapshotReport struct {
+	Path      string
+	Bytes     int64
+	HasMatrix bool
+
+	// LoadTime is the cold start from the snapshot; RebuildTime derives
+	// the same index layer (state graph, skeleton, and — when the snapshot
+	// carries one — the KoE* matrix) from scratch.
+	LoadTime    time.Duration
+	RebuildTime time.Duration
+
+	// Fig holds per-variant average latency (ms) by instance index.
+	Fig *Figure
+}
+
+// RunSnapshot loads path, measures cold start against a rebuild, and runs
+// every Table III variant over cfg.Instances sampled queries (cfg.Runs
+// repetitions each, fanned over cfg.Workers).
+func RunSnapshot(path string, cfg Config) (*SnapshotReport, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &SnapshotReport{Path: path, Bytes: info.Size()}
+
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	eng, err := snapshot.LoadEngine(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	rep.LoadTime = time.Since(t0)
+	rep.HasMatrix = eng.MatrixIfReady() != nil
+
+	// Rebuild the equivalent index layer from the loaded space for the
+	// comparison the snapshot exists to win.
+	t1 := time.Now()
+	rebuilt := search.NewEngine(eng.Space(), eng.Keywords())
+	if rep.HasMatrix {
+		rebuilt.PrecomputeMatrix()
+	}
+	rep.RebuildTime = time.Since(t1)
+
+	smp := gen.NewSampler(eng.Space(), eng.Keywords(), eng.PathFinder(), cfg.Seed+17)
+	scfg := gen.DefaultSampleConfig()
+	reqs, err := smp.Instances(cfg.Instances, scfg)
+	if err != nil {
+		return nil, err
+	}
+
+	env := NewEnv(cfg)
+	w := &Workload{Engine: eng}
+	fig := &Figure{
+		ID:     "snapshot",
+		Title:  fmt.Sprintf("query latency served from %s", path),
+		XLabel: "instance",
+		YLabel: "avg time (ms)",
+	}
+	for _, v := range search.Variants() {
+		opt, err := env.optionsFor(v)
+		if err != nil {
+			return nil, err
+		}
+		series := Series{Name: string(v)}
+		if opt.MaxExpansions > 0 {
+			series.Note = fmt.Sprintf("capped at %d expansions", opt.MaxExpansions)
+		}
+		for i, req := range reqs {
+			m, err := env.measure(w, []search.Request{req}, opt)
+			if err != nil {
+				return nil, err
+			}
+			series.X = append(series.X, float64(i))
+			series.Y = append(series.Y, ms(m.AvgTime))
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	rep.Fig = fig
+	return rep, nil
+}
+
+// Fprint renders the report: the cold-start comparison followed by the
+// latency table.
+func (r *SnapshotReport) Fprint(w io.Writer) {
+	matrix := "no KoE* matrix (lazy build on first KoE* query)"
+	if r.HasMatrix {
+		matrix = "includes KoE* matrix"
+	}
+	fmt.Fprintf(w, "== snapshot: %s ==\n", r.Path)
+	fmt.Fprintf(w, "size: %.1f MB, %s\n", float64(r.Bytes)/(1<<20), matrix)
+	speedup := float64(r.RebuildTime) / float64(r.LoadTime)
+	fmt.Fprintf(w, "cold start: load %v vs rebuild %v (%.1fx)\n\n",
+		r.LoadTime.Round(time.Millisecond), r.RebuildTime.Round(time.Millisecond), speedup)
+	r.Fig.Fprint(w)
+}

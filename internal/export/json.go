@@ -1,0 +1,202 @@
+// Package export serializes an indoor space and its keyword index to the
+// JSON interchange document that cmd/ikrqgen emits for external tooling
+// (floorplan viewers, analysis notebooks), and rebuilds a Space plus Index
+// from such a document. Unlike internal/snapshot — the versioned binary
+// format that persists a full engine including derived distance structures
+// — the JSON document carries only the human-meaningful inputs and is meant
+// to be read and edited by people and other programs.
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ikrq/internal/geom"
+	"ikrq/internal/keyword"
+	"ikrq/internal/model"
+)
+
+// Doc is the top-level JSON document.
+type Doc struct {
+	Floors     int         `json:"floors"`
+	Partitions []Partition `json:"partitions"`
+	Doors      []Door      `json:"doors"`
+	Stairways  []Stairway  `json:"stairways"`
+}
+
+// Partition is one partition with its keyword attachment inlined.
+type Partition struct {
+	ID     int32      `json:"id"`
+	Name   string     `json:"name"`
+	Kind   string     `json:"kind"`
+	Floor  int        `json:"floor"`
+	Bounds [4]float64 `json:"bounds"` // minX, minY, maxX, maxY
+	IWord  string     `json:"iword,omitempty"`
+	TWords []string   `json:"twords,omitempty"`
+}
+
+// Door is one door with its D2P mappings.
+type Door struct {
+	ID        int32   `json:"id"`
+	X         float64 `json:"x"`
+	Y         float64 `json:"y"`
+	Floor     int     `json:"floor"`
+	Enterable []int32 `json:"enterable"`
+	Leaveable []int32 `json:"leaveable"`
+	Stair     bool    `json:"stair,omitempty"`
+}
+
+// Stairway is one inter-floor connection.
+type Stairway struct {
+	From   int32   `json:"from"`
+	To     int32   `json:"to"`
+	Length float64 `json:"length"`
+	Lift   bool    `json:"lift,omitempty"`
+}
+
+// Marshal renders the space and index as a document.
+func Marshal(s *model.Space, x *keyword.Index) *Doc {
+	out := &Doc{Floors: s.Floors()}
+	for _, p := range s.Partitions() {
+		jp := Partition{
+			ID:    int32(p.ID),
+			Name:  p.Name,
+			Kind:  p.Kind.String(),
+			Floor: p.Floor(),
+			Bounds: [4]float64{p.Bounds.MinX, p.Bounds.MinY,
+				p.Bounds.MaxX, p.Bounds.MaxY},
+		}
+		if w := x.P2I(p.ID); w != keyword.NoIWord {
+			jp.IWord = x.IWord(w)
+			for _, t := range x.I2T(w) {
+				jp.TWords = append(jp.TWords, x.TWord(t))
+			}
+		}
+		out.Partitions = append(out.Partitions, jp)
+	}
+	for _, d := range s.Doors() {
+		jd := Door{
+			ID: int32(d.ID), X: d.Pos.X, Y: d.Pos.Y, Floor: d.Floor(),
+			Stair: d.Stair,
+		}
+		for _, v := range d.Enterable() {
+			jd.Enterable = append(jd.Enterable, int32(v))
+		}
+		for _, v := range d.Leaveable() {
+			jd.Leaveable = append(jd.Leaveable, int32(v))
+		}
+		out.Doors = append(out.Doors, jd)
+	}
+	for _, sw := range s.Stairways() {
+		out.Stairways = append(out.Stairways, Stairway{
+			From: int32(sw.From), To: int32(sw.To), Length: sw.Length, Lift: sw.Lift,
+		})
+	}
+	return out
+}
+
+// Encode writes the document for (s, x) to w as indented JSON.
+func Encode(w io.Writer, s *model.Space, x *keyword.Index) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Marshal(s, x))
+}
+
+// Decode parses a document from r.
+func Decode(r io.Reader) (*Doc, error) {
+	var d Doc
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("export: %w", err)
+	}
+	return &d, nil
+}
+
+// kindFromString inverts model.PartitionKind.String.
+func kindFromString(s string) (model.PartitionKind, error) {
+	switch s {
+	case "room":
+		return model.KindRoom, nil
+	case "hallway":
+		return model.KindHallway, nil
+	case "staircase":
+		return model.KindStaircase, nil
+	case "elevator":
+		return model.KindElevator, nil
+	default:
+		return 0, fmt.Errorf("export: unknown partition kind %q", s)
+	}
+}
+
+// Build reconstructs a Space and KeywordIndex from the document. IDs must
+// be dense and positional (the form Marshal writes); the builder re-runs
+// the full topology validation. Keyword IDs are reassigned in partition
+// order, so the rebuilt index is semantically equal to the original —
+// same words, mappings and query results — though internal word IDs may
+// differ from the index that produced the document.
+func (d *Doc) Build() (*model.Space, *keyword.Index, error) {
+	// Translate into the model layer's record form and let its builder
+	// replay (model.SpaceFromRecord) own all structural validation.
+	rec := &model.SpaceRecord{
+		Partitions: make([]model.PartitionRecord, 0, len(d.Partitions)),
+		Doors:      make([]model.DoorRecord, 0, len(d.Doors)),
+		Stairways:  make([]model.Stairway, 0, len(d.Stairways)),
+	}
+	for i, p := range d.Partitions {
+		if int(p.ID) != i {
+			return nil, nil, fmt.Errorf("export: partition IDs must be dense, got %d at position %d", p.ID, i)
+		}
+		kind, err := kindFromString(p.Kind)
+		if err != nil {
+			return nil, nil, err
+		}
+		rec.Partitions = append(rec.Partitions, model.PartitionRecord{
+			Name:   p.Name,
+			Kind:   kind,
+			Bounds: geom.R(p.Bounds[0], p.Bounds[1], p.Bounds[2], p.Bounds[3], p.Floor),
+		})
+	}
+	for i, dr := range d.Doors {
+		if int(dr.ID) != i {
+			return nil, nil, fmt.Errorf("export: door IDs must be dense, got %d at position %d", dr.ID, i)
+		}
+		enter := make([]model.PartitionID, len(dr.Enterable))
+		for j, v := range dr.Enterable {
+			enter[j] = model.PartitionID(v)
+		}
+		leave := make([]model.PartitionID, len(dr.Leaveable))
+		for j, v := range dr.Leaveable {
+			leave[j] = model.PartitionID(v)
+		}
+		rec.Doors = append(rec.Doors, model.DoorRecord{
+			Pos:       geom.Pt(dr.X, dr.Y, dr.Floor),
+			Enterable: enter,
+			Leaveable: leave,
+			Stair:     dr.Stair,
+		})
+	}
+	for _, sw := range d.Stairways {
+		rec.Stairways = append(rec.Stairways, model.Stairway{
+			From: model.DoorID(sw.From), To: model.DoorID(sw.To),
+			Length: sw.Length, Lift: sw.Lift,
+		})
+	}
+	s, err := model.SpaceFromRecord(rec)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	kb := keyword.NewIndexBuilder(s.NumPartitions())
+	for _, p := range d.Partitions {
+		if p.IWord == "" {
+			continue
+		}
+		kb.AssignPartition(model.PartitionID(p.ID), kb.DefineIWord(p.IWord, p.TWords))
+	}
+	x, err := kb.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, x, nil
+}

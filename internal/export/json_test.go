@@ -1,0 +1,136 @@
+package export_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ikrq/internal/export"
+	"ikrq/internal/gen"
+	"ikrq/internal/keyword"
+	"ikrq/internal/model"
+)
+
+func TestJSONRoundTripSyntheticMall(t *testing.T) {
+	mall, _, idx, err := gen.SyntheticMall(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mall.Space
+
+	var buf bytes.Buffer
+	if err := export.Encode(&buf, s, idx); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	doc, err := export.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if doc.Floors != s.Floors() ||
+		len(doc.Partitions) != s.NumPartitions() ||
+		len(doc.Doors) != s.NumDoors() ||
+		len(doc.Stairways) != len(s.Stairways()) {
+		t.Fatalf("document shape differs from space")
+	}
+
+	s2, x2, err := doc.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := s2.Validate(); err != nil {
+		t.Fatalf("rebuilt space fails validation: %v", err)
+	}
+	if s2.NumPartitions() != s.NumPartitions() || s2.NumDoors() != s.NumDoors() ||
+		s2.Floors() != s.Floors() {
+		t.Fatal("rebuilt space shape differs")
+	}
+	for i := 0; i < s.NumPartitions(); i++ {
+		a, b := s.Partition(model.PartitionID(i)), s2.Partition(model.PartitionID(i))
+		if a.Name != b.Name || a.Kind != b.Kind || a.Bounds != b.Bounds {
+			t.Fatalf("partition %d differs after JSON round trip", i)
+		}
+	}
+	for i := 0; i < s.NumDoors(); i++ {
+		a, b := s.Door(model.DoorID(i)), s2.Door(model.DoorID(i))
+		if a.Pos != b.Pos || a.Stair != b.Stair ||
+			!reflect.DeepEqual(a.Enterable(), b.Enterable()) ||
+			!reflect.DeepEqual(a.Leaveable(), b.Leaveable()) {
+			t.Fatalf("door %d differs after JSON round trip", i)
+		}
+	}
+	if !reflect.DeepEqual(s.Stairways(), s2.Stairways()) {
+		t.Fatal("stairways differ after JSON round trip")
+	}
+
+	// Keyword semantics survive even though internal IDs may be renumbered:
+	// every partition keeps its i-word spelling and t-word set.
+	for i := 0; i < s.NumPartitions(); i++ {
+		v := model.PartitionID(i)
+		w1, w2 := idx.P2I(v), x2.P2I(v)
+		if (w1 == keyword.NoIWord) != (w2 == keyword.NoIWord) {
+			t.Fatalf("partition %d i-word presence differs", i)
+		}
+		if w1 == keyword.NoIWord {
+			continue
+		}
+		if idx.IWord(w1) != x2.IWord(w2) {
+			t.Fatalf("partition %d i-word differs: %q vs %q", i, idx.IWord(w1), x2.IWord(w2))
+		}
+		t1 := make(map[string]bool)
+		for _, tw := range idx.I2T(w1) {
+			t1[idx.TWord(tw)] = true
+		}
+		t2 := make(map[string]bool)
+		for _, tw := range x2.I2T(w2) {
+			t2[x2.TWord(tw)] = true
+		}
+		if !reflect.DeepEqual(t1, t2) {
+			t.Fatalf("partition %d t-word set differs", i)
+		}
+	}
+}
+
+func TestBuildRejectsBadDocuments(t *testing.T) {
+	mall, _, idx, err := gen.SyntheticMall(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := export.Marshal(mall.Space, idx)
+
+	reencode := func(mutate func(*export.Doc)) *export.Doc {
+		var buf bytes.Buffer
+		if err := export.Encode(&buf, mall.Space, idx); err != nil {
+			t.Fatal(err)
+		}
+		doc, err := export.Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(doc)
+		return doc
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*export.Doc)
+	}{
+		{"non-dense partition id", func(d *export.Doc) { d.Partitions[0].ID = 7 }},
+		{"non-dense door id", func(d *export.Doc) { d.Doors[0].ID = 7 }},
+		{"unknown kind", func(d *export.Doc) { d.Partitions[0].Kind = "atrium" }},
+		{"stairway to missing door", func(d *export.Doc) { d.Stairways[0].To = 9999 }},
+		{"door to missing partition", func(d *export.Doc) { d.Doors[0].Enterable[0] = 9999 }},
+	}
+	for _, tc := range cases {
+		doc := reencode(tc.mutate)
+		if _, _, err := doc.Build(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if _, _, err := base.Build(); err != nil {
+		t.Errorf("unmutated document rejected: %v", err)
+	}
+
+	if _, err := export.Decode(bytes.NewReader([]byte("{not json"))); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}

@@ -1,0 +1,162 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"ikrq/internal/geom"
+	"ikrq/internal/graph"
+	"ikrq/internal/keyword"
+	"ikrq/internal/model"
+	"ikrq/internal/search"
+)
+
+// SampleConfig parameterizes Sampler.Instance. Unlike QueryConfig it has no
+// δs2t target: a bare index layer carries no workload bookkeeping, so the
+// sampler stretches the start-terminal distance as far as the space allows
+// and derives Δ from the actual distance.
+type SampleConfig struct {
+	// K is the result count.
+	K int
+	// QWLen is |QW|.
+	QWLen int
+	// Beta is the fraction of i-words in QW.
+	Beta float64
+	// Eta scales the distance constraint: Δ = η · δ(ps, pt).
+	Eta float64
+	// Alpha and Tau are the scoring parameters.
+	Alpha, Tau float64
+}
+
+// DefaultSampleConfig mirrors Table IV's bold defaults (minus δs2t).
+func DefaultSampleConfig() SampleConfig {
+	return SampleConfig{K: 7, QWLen: 4, Beta: 0.6, Eta: 1.6, Alpha: 0.5, Tau: 0.2}
+}
+
+// Sampler draws IKRQ instances from a bare index layer — space, keyword
+// index and pathfinder — without the Mall and Vocabulary bookkeeping the
+// full QueryGen needs. That is exactly the situation when serving from a
+// baked snapshot (see internal/snapshot): the generated-mall metadata is
+// gone, only the index survives, and queries must be synthesized from it.
+type Sampler struct {
+	s   *model.Space
+	x   *keyword.Index
+	pf  *graph.PathFinder
+	rng *geom.Rand
+
+	// circulation lists the partitions query points are placed in:
+	// hallway cells when the space has them, otherwise anything walkable.
+	circulation []model.PartitionID
+	iwords      []string
+	twords      []string
+}
+
+// NewSampler builds a sampler over an index layer. The PathFinder is
+// normally shared with the engine serving the space.
+func NewSampler(s *model.Space, x *keyword.Index, pf *graph.PathFinder, seed uint64) *Sampler {
+	sp := &Sampler{s: s, x: x, pf: pf, rng: geom.NewRand(seed)}
+	for _, p := range s.Partitions() {
+		if p.Kind == model.KindHallway {
+			sp.circulation = append(sp.circulation, p.ID)
+		}
+	}
+	if len(sp.circulation) == 0 {
+		for _, p := range s.Partitions() {
+			if p.Kind != model.KindStaircase && p.Kind != model.KindElevator {
+				sp.circulation = append(sp.circulation, p.ID)
+			}
+		}
+	}
+	for i := 0; i < x.NumIWords(); i++ {
+		sp.iwords = append(sp.iwords, x.IWord(keyword.IWordID(i)))
+	}
+	for i := 0; i < x.NumTWords(); i++ {
+		sp.twords = append(sp.twords, x.TWord(keyword.TWordID(i)))
+	}
+	return sp
+}
+
+func (sp *Sampler) point(v model.PartitionID) geom.Point {
+	b := sp.s.Partition(v).Bounds
+	// Inset so the point is strictly interior even for thin partitions.
+	dx := math.Min(0.5, b.Width()/4)
+	dy := math.Min(0.5, b.Height()/4)
+	return geom.Pt(
+		sp.rng.InRange(b.MinX+dx, b.MaxX-dx),
+		sp.rng.InRange(b.MinY+dy, b.MaxY-dy),
+		b.Floor,
+	)
+}
+
+// Instance draws one feasible query: start and terminal points in distinct
+// circulation partitions (keeping the farthest of a few candidate pairs, so
+// routes cross a meaningful stretch of the space), Δ = η · δ(ps, pt), and
+// keywords sampled from the index with i-word fraction β.
+func (sp *Sampler) Instance(cfg SampleConfig) (search.Request, error) {
+	if len(sp.iwords) == 0 && len(sp.twords) == 0 {
+		return search.Request{}, fmt.Errorf("gen: index has no keywords to sample")
+	}
+	var (
+		bestPs, bestPt geom.Point
+		bestDist       = math.Inf(-1)
+	)
+	for attempt := 0; attempt < 16; attempt++ {
+		vs := sp.circulation[sp.rng.Intn(len(sp.circulation))]
+		vt := sp.circulation[sp.rng.Intn(len(sp.circulation))]
+		if vs == vt && len(sp.circulation) > 1 {
+			continue
+		}
+		ps, pt := sp.point(vs), sp.point(vt)
+		d := sp.pf.PointToPoint(ps, pt)
+		if math.IsInf(d, 1) || d <= 0 {
+			continue
+		}
+		if d > bestDist {
+			bestDist = d
+			bestPs, bestPt = ps, pt
+		}
+	}
+	if math.IsInf(bestDist, -1) {
+		return search.Request{}, fmt.Errorf("gen: could not place a connected query point pair")
+	}
+	return search.Request{
+		Ps:    bestPs,
+		Pt:    bestPt,
+		Delta: cfg.Eta * bestDist,
+		QW:    sp.Keywords(cfg.QWLen, cfg.Beta),
+		K:     cfg.K,
+		Alpha: cfg.Alpha,
+		Tau:   cfg.Tau,
+	}, nil
+}
+
+// Instances draws n queries.
+func (sp *Sampler) Instances(n int, cfg SampleConfig) ([]search.Request, error) {
+	out := make([]search.Request, 0, n)
+	for i := 0; i < n; i++ {
+		r, err := sp.Instance(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Keywords samples a query keyword list from the index vocabulary with
+// i-word fraction beta.
+func (sp *Sampler) Keywords(n int, beta float64) []string {
+	out := make([]string, n)
+	for i := range out {
+		useI := sp.rng.Float64() < beta
+		switch {
+		case useI && len(sp.iwords) > 0:
+			out[i] = sp.iwords[sp.rng.Intn(len(sp.iwords))]
+		case len(sp.twords) > 0:
+			out[i] = sp.twords[sp.rng.Intn(len(sp.twords))]
+		default:
+			out[i] = sp.iwords[sp.rng.Intn(len(sp.iwords))]
+		}
+	}
+	return out
+}

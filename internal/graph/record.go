@@ -1,0 +1,229 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"ikrq/internal/model"
+)
+
+// This file is the graph layer's half of the snapshot seam (see
+// internal/snapshot): the three precomputed distance structures — the state
+// graph, the skeleton closure and the KoE* all-pairs matrix — each export a
+// flat record and restore from one without repeating their construction
+// work. The state enumeration is cheap, but arc weights, the Floyd–Warshall
+// closure and the n×n all-pairs Dijkstra sweep dominate engine build time,
+// which is exactly what loading a snapshot skips.
+
+// StateRecord is one (door, entered-partition) state; its position in
+// PathFinderRecord.States is its StateID.
+type StateRecord struct {
+	Door model.DoorID
+	Part model.PartitionID
+}
+
+// ArcRecord is one weighted arc of the state graph.
+type ArcRecord struct {
+	To StateID
+	W  float64
+}
+
+// PathFinderRecord is the serializable form of a PathFinder: the state
+// table and the adjacency lists flattened into one arc vector with
+// per-state counts.
+type PathFinderRecord struct {
+	States    []StateRecord
+	ArcCounts []int32 // len == len(States); ArcCounts[i] arcs belong to state i
+	Arcs      []ArcRecord
+}
+
+// Export captures the state graph as a record sharing no memory with the
+// finder.
+func (pf *PathFinder) Export() *PathFinderRecord {
+	rec := &PathFinderRecord{
+		States:    make([]StateRecord, len(pf.states)),
+		ArcCounts: make([]int32, len(pf.states)),
+	}
+	total := 0
+	for _, as := range pf.adj {
+		total += len(as)
+	}
+	rec.Arcs = make([]ArcRecord, 0, total)
+	for i, st := range pf.states {
+		rec.States[i] = StateRecord{Door: st.door, Part: st.part}
+		rec.ArcCounts[i] = int32(len(pf.adj[i]))
+		for _, a := range pf.adj[i] {
+			rec.Arcs = append(rec.Arcs, ArcRecord{To: a.to, W: a.w})
+		}
+	}
+	return rec
+}
+
+// PathFinderFromState restores a PathFinder for s from a record: states and
+// arcs are adopted as-is (no re-enumeration, no weight recomputation) after
+// validating every ID against the space, and the per-door state index is
+// rebuilt.
+func PathFinderFromState(s *model.Space, rec *PathFinderRecord) (*PathFinder, error) {
+	if rec == nil {
+		return nil, fmt.Errorf("graph: nil pathfinder record")
+	}
+	if len(rec.ArcCounts) != len(rec.States) {
+		return nil, fmt.Errorf("graph: pathfinder record has %d states but %d arc counts",
+			len(rec.States), len(rec.ArcCounts))
+	}
+	pf := &PathFinder{
+		s:          s,
+		states:     make([]state, len(rec.States)),
+		doorStates: make([][]StateID, s.NumDoors()),
+		adj:        make([][]arc, len(rec.States)),
+	}
+	for i, st := range rec.States {
+		if int(st.Door) < 0 || int(st.Door) >= s.NumDoors() {
+			return nil, fmt.Errorf("graph: state %d references missing door %d", i, st.Door)
+		}
+		if int(st.Part) < 0 || int(st.Part) >= s.NumPartitions() {
+			return nil, fmt.Errorf("graph: state %d references missing partition %d", i, st.Part)
+		}
+		pf.states[i] = state{door: st.Door, part: st.Part}
+		pf.doorStates[st.Door] = append(pf.doorStates[st.Door], StateID(i))
+	}
+	off := 0
+	for i, n := range rec.ArcCounts {
+		if n < 0 || off+int(n) > len(rec.Arcs) {
+			return nil, fmt.Errorf("graph: pathfinder record arc counts overflow the arc table")
+		}
+		as := make([]arc, n)
+		for j := 0; j < int(n); j++ {
+			a := rec.Arcs[off+j]
+			if int(a.To) < 0 || int(a.To) >= len(rec.States) {
+				return nil, fmt.Errorf("graph: arc from state %d targets missing state %d", i, a.To)
+			}
+			if a.W < 0 || math.IsNaN(a.W) || math.IsInf(a.W, 0) {
+				return nil, fmt.Errorf("graph: arc from state %d has invalid weight %v", i, a.W)
+			}
+			as[j] = arc{to: a.To, w: a.W}
+		}
+		pf.adj[i] = as
+		off += int(n)
+	}
+	if off != len(rec.Arcs) {
+		return nil, fmt.Errorf("graph: pathfinder record has %d unclaimed arcs", len(rec.Arcs)-off)
+	}
+	return pf, nil
+}
+
+// SkeletonRecord is the serializable form of a Skeleton: the staircase-door
+// order and the Floyd–Warshall-closed δs2s matrix, row-major. +Inf entries
+// (disconnected skeleton components) are preserved.
+type SkeletonRecord struct {
+	Doors []model.DoorID
+	Dist  []float64 // len(Doors)² row-major
+}
+
+// Export captures the skeleton closure as a record.
+func (sk *Skeleton) Export() *SkeletonRecord {
+	n := len(sk.doors)
+	rec := &SkeletonRecord{
+		Doors: append([]model.DoorID(nil), sk.doors...),
+		Dist:  make([]float64, 0, n*n),
+	}
+	for i := 0; i < n; i++ {
+		rec.Dist = append(rec.Dist, sk.d[i]...)
+	}
+	return rec
+}
+
+// SkeletonFromState restores a Skeleton for s from a record, adopting the
+// closed δs2s matrix instead of re-running Floyd–Warshall.
+func SkeletonFromState(s *model.Space, rec *SkeletonRecord) (*Skeleton, error) {
+	if rec == nil {
+		return nil, fmt.Errorf("graph: nil skeleton record")
+	}
+	n := len(rec.Doors)
+	if len(rec.Dist) != n*n {
+		return nil, fmt.Errorf("graph: skeleton record has %d doors but %d distances (want %d)",
+			n, len(rec.Dist), n*n)
+	}
+	sk := &Skeleton{s: s, idx: make(map[model.DoorID]int, n)}
+	for i, d := range rec.Doors {
+		if int(d) < 0 || int(d) >= s.NumDoors() {
+			return nil, fmt.Errorf("graph: skeleton record references missing door %d", d)
+		}
+		if !s.Door(d).Stair {
+			return nil, fmt.Errorf("graph: skeleton record lists non-stair door %d", d)
+		}
+		if _, dup := sk.idx[d]; dup {
+			return nil, fmt.Errorf("graph: skeleton record lists door %d twice", d)
+		}
+		sk.idx[d] = i
+		sk.doors = append(sk.doors, d)
+	}
+	sk.d = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := rec.Dist[i*n : (i+1)*n]
+		for j, v := range row {
+			if v < 0 || math.IsNaN(v) || (i == j && v != 0) {
+				return nil, fmt.Errorf("graph: skeleton record δs2s[%d][%d] is invalid: %v", i, j, v)
+			}
+		}
+		sk.d[i] = append([]float64(nil), row...)
+	}
+	return sk, nil
+}
+
+// MatrixRecord is the serializable form of the KoE* all-pairs Matrix: the
+// row-major distance and next-hop tables. It is by far the largest snapshot
+// section — Θ(states²), the same order the paper reports for KoE*'s memory
+// in Fig. 14 — and also the most expensive to recompute, so persisting it
+// is what makes snapshot loading beat a rebuild by a wide margin.
+type MatrixRecord struct {
+	N    int32
+	Dist []float64 // N² row-major, +Inf for unreachable
+	Next []StateID // N² row-major, NoState for unreachable
+}
+
+// Export captures the all-pairs tables as a record.
+func (m *Matrix) Export() *MatrixRecord {
+	return &MatrixRecord{
+		N:    int32(m.n),
+		Dist: append([]float64(nil), m.dist...),
+		Next: append([]StateID(nil), m.next...),
+	}
+}
+
+// MatrixFromState restores a Matrix over pf from a record, adopting the
+// precomputed tables instead of re-running the n-source Dijkstra sweep. The
+// record's dimension must match the finder's state count.
+func MatrixFromState(pf *PathFinder, rec *MatrixRecord) (*Matrix, error) {
+	if rec == nil {
+		return nil, fmt.Errorf("graph: nil matrix record")
+	}
+	n := int(rec.N)
+	if n != pf.NumStates() {
+		return nil, fmt.Errorf("graph: matrix record is %d×%d but the state graph has %d states",
+			n, n, pf.NumStates())
+	}
+	if len(rec.Dist) != n*n || len(rec.Next) != n*n {
+		return nil, fmt.Errorf("graph: matrix record tables have %d/%d entries (want %d)",
+			len(rec.Dist), len(rec.Next), n*n)
+	}
+	for i, nx := range rec.Next {
+		if nx != NoState && (int(nx) < 0 || int(nx) >= n) {
+			return nil, fmt.Errorf("graph: matrix record next[%d] references missing state %d", i, nx)
+		}
+	}
+	for i, d := range rec.Dist {
+		if d < 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("graph: matrix record dist[%d] is invalid: %v", i, d)
+		}
+	}
+	return &Matrix{
+		pf:   pf,
+		n:    n,
+		dist: append([]float64(nil), rec.Dist...),
+		next: append([]StateID(nil), rec.Next...),
+	}, nil
+}
+
+// Finder returns the PathFinder the matrix was computed over.
+func (m *Matrix) Finder() *PathFinder { return m.pf }

@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ikrq/internal/geom"
+	"ikrq/internal/model"
+)
+
+func TestPathFinderRecordRoundTrip(t *testing.T) {
+	s, _ := towerSpace(t)
+	pf := NewPathFinder(s)
+	got, err := PathFinderFromState(s, pf.Export())
+	if err != nil {
+		t.Fatalf("PathFinderFromState: %v", err)
+	}
+	if got.NumStates() != pf.NumStates() {
+		t.Fatalf("state count: %d vs %d", got.NumStates(), pf.NumStates())
+	}
+	for i := 0; i < pf.NumStates(); i++ {
+		d1, p1 := pf.State(StateID(i))
+		d2, p2 := got.State(StateID(i))
+		if d1 != d2 || p1 != p2 {
+			t.Fatalf("state %d differs: (%d,%d) vs (%d,%d)", i, d1, p1, d2, p2)
+		}
+	}
+	if !reflect.DeepEqual(got.adj, pf.adj) {
+		t.Fatal("adjacency lists differ after round trip")
+	}
+	if !reflect.DeepEqual(got.doorStates, pf.doorStates) {
+		t.Fatal("door-state index differs after round trip")
+	}
+	// Behavioral check: identical shortest distances across floors.
+	a := geom.Pt(1, 1, 0)
+	b := geom.Pt(15, 5, 1)
+	if d1, d2 := pf.PointToPoint(a, b), got.PointToPoint(a, b); d1 != d2 {
+		t.Fatalf("PointToPoint differs: %v vs %v", d1, d2)
+	}
+}
+
+func TestPathFinderFromStateRejectsBadInput(t *testing.T) {
+	s, _ := towerSpace(t)
+	pf := NewPathFinder(s)
+	cases := []struct {
+		name   string
+		mutate func(*PathFinderRecord)
+	}{
+		{"count mismatch", func(r *PathFinderRecord) { r.ArcCounts = r.ArcCounts[:1] }},
+		{"missing door", func(r *PathFinderRecord) { r.States[0].Door = 99 }},
+		{"missing partition", func(r *PathFinderRecord) { r.States[0].Part = 99 }},
+		{"arc overflow", func(r *PathFinderRecord) { r.ArcCounts[0] += 5 }},
+		{"unclaimed arcs", func(r *PathFinderRecord) { r.ArcCounts[0] -= 1 }},
+		{"arc to missing state", func(r *PathFinderRecord) { r.Arcs[0].To = 9999 }},
+		{"negative weight", func(r *PathFinderRecord) { r.Arcs[0].W = -1 }},
+		{"NaN weight", func(r *PathFinderRecord) { r.Arcs[0].W = math.NaN() }},
+	}
+	for _, tc := range cases {
+		rec := pf.Export()
+		tc.mutate(rec)
+		if _, err := PathFinderFromState(s, rec); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := PathFinderFromState(s, nil); err == nil {
+		t.Error("nil record accepted")
+	}
+}
+
+func TestSkeletonRecordRoundTrip(t *testing.T) {
+	s, stairDoors := towerSpace(t)
+	sk := NewSkeleton(s)
+	got, err := SkeletonFromState(s, sk.Export())
+	if err != nil {
+		t.Fatalf("SkeletonFromState: %v", err)
+	}
+	if d1, d2 := sk.S2S(stairDoors[0], stairDoors[1]), got.S2S(stairDoors[0], stairDoors[1]); d1 != d2 {
+		t.Fatalf("S2S differs: %v vs %v", d1, d2)
+	}
+	a := geom.Pt(5, 5, 0)
+	b := geom.Pt(15, 5, 1)
+	if d1, d2 := sk.LowerBound(a, b), got.LowerBound(a, b); d1 != d2 {
+		t.Fatalf("LowerBound differs: %v vs %v", d1, d2)
+	}
+	for v := 0; v < s.NumPartitions(); v++ {
+		id := model.PartitionID(v)
+		if d1, d2 := sk.PartitionBound(a, id, b), got.PartitionBound(a, id, b); d1 != d2 {
+			t.Fatalf("PartitionBound via %d differs: %v vs %v", v, d1, d2)
+		}
+	}
+}
+
+func TestSkeletonFromStateRejectsBadInput(t *testing.T) {
+	s, _ := towerSpace(t)
+	sk := NewSkeleton(s)
+	cases := []struct {
+		name   string
+		mutate func(*SkeletonRecord)
+	}{
+		{"size mismatch", func(r *SkeletonRecord) { r.Dist = r.Dist[:1] }},
+		{"missing door", func(r *SkeletonRecord) { r.Doors[0] = 99 }},
+		{"non-stair door", func(r *SkeletonRecord) { r.Doors[0] = 0 }},
+		{"duplicate door", func(r *SkeletonRecord) { r.Doors[1] = r.Doors[0] }},
+		{"negative distance", func(r *SkeletonRecord) { r.Dist[1] = -4 }},
+		{"nonzero diagonal", func(r *SkeletonRecord) { r.Dist[0] = 3 }},
+	}
+	for _, tc := range cases {
+		rec := sk.Export()
+		tc.mutate(rec)
+		if _, err := SkeletonFromState(s, rec); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestMatrixRecordRoundTrip(t *testing.T) {
+	s, _ := towerSpace(t)
+	pf := NewPathFinder(s)
+	m := NewMatrix(pf)
+	got, err := MatrixFromState(pf, m.Export())
+	if err != nil {
+		t.Fatalf("MatrixFromState: %v", err)
+	}
+	if got.Finder() != pf {
+		t.Fatal("restored matrix lost its pathfinder")
+	}
+	n := pf.NumStates()
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			d1, d2 := m.Dist(StateID(a), StateID(b)), got.Dist(StateID(a), StateID(b))
+			if d1 != d2 && !(math.IsInf(d1, 1) && math.IsInf(d2, 1)) {
+				t.Fatalf("Dist(%d,%d) differs: %v vs %v", a, b, d1, d2)
+			}
+			h1, ok1 := m.Path(StateID(a), StateID(b))
+			h2, ok2 := got.Path(StateID(a), StateID(b))
+			if ok1 != ok2 || !reflect.DeepEqual(h1, h2) {
+				t.Fatalf("Path(%d,%d) differs", a, b)
+			}
+		}
+	}
+}
+
+func TestMatrixFromStateRejectsBadInput(t *testing.T) {
+	s, _ := towerSpace(t)
+	pf := NewPathFinder(s)
+	m := NewMatrix(pf)
+	cases := []struct {
+		name   string
+		mutate func(*MatrixRecord)
+	}{
+		{"dimension mismatch", func(r *MatrixRecord) { r.N-- }},
+		{"short dist table", func(r *MatrixRecord) { r.Dist = r.Dist[:3] }},
+		{"short next table", func(r *MatrixRecord) { r.Next = r.Next[:3] }},
+		{"next out of range", func(r *MatrixRecord) { r.Next[0] = 9999 }},
+		{"negative distance", func(r *MatrixRecord) { r.Dist[1] = -1 }},
+		{"NaN distance", func(r *MatrixRecord) { r.Dist[1] = math.NaN() }},
+	}
+	for _, tc := range cases {
+		rec := m.Export()
+		tc.mutate(rec)
+		if _, err := MatrixFromState(pf, rec); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

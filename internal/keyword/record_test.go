@@ -1,0 +1,106 @@
+package keyword
+
+import (
+	"reflect"
+	"testing"
+
+	"ikrq/internal/model"
+)
+
+func recordIndex(t *testing.T) *Index {
+	t.Helper()
+	b := NewIndexBuilder(5)
+	coffee := b.DefineIWord("espresso-bar", []string{"coffee", "latte", "beans"})
+	toys := b.DefineIWord("toy-store", []string{"lego", "games"})
+	anon := b.DefineIWord("kiosk", nil) // i-word with no t-words
+	b.AssignPartition(0, coffee)
+	b.AssignPartition(2, toys)
+	b.AssignPartition(3, coffee) // two partitions share an i-word
+	b.AssignPartition(4, anon)
+	x, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return x
+}
+
+func TestIndexRecordRoundTrip(t *testing.T) {
+	x := recordIndex(t)
+	got, err := IndexFromRecord(x.Export())
+	if err != nil {
+		t.Fatalf("IndexFromRecord: %v", err)
+	}
+	if got.NumIWords() != x.NumIWords() || got.NumTWords() != x.NumTWords() ||
+		got.NumPartitions() != x.NumPartitions() {
+		t.Fatalf("shape mismatch")
+	}
+	for i := 0; i < x.NumIWords(); i++ {
+		id := IWordID(i)
+		if got.IWord(id) != x.IWord(id) {
+			t.Fatalf("i-word %d spelling differs", i)
+		}
+		if !reflect.DeepEqual(got.I2T(id), x.I2T(id)) {
+			t.Fatalf("I2T(%d) differs: %v vs %v", i, got.I2T(id), x.I2T(id))
+		}
+		if !reflect.DeepEqual(got.I2P(id), x.I2P(id)) {
+			t.Fatalf("I2P(%d) differs: %v vs %v", i, got.I2P(id), x.I2P(id))
+		}
+		if back, ok := got.LookupIWord(x.IWord(id)); !ok || back != id {
+			t.Fatalf("LookupIWord(%q) = %d,%v", x.IWord(id), back, ok)
+		}
+	}
+	for ti := 0; ti < x.NumTWords(); ti++ {
+		id := TWordID(ti)
+		if got.TWord(id) != x.TWord(id) {
+			t.Fatalf("t-word %d spelling differs", ti)
+		}
+		if !reflect.DeepEqual(got.T2I(id), x.T2I(id)) {
+			t.Fatalf("T2I(%d) differs: %v vs %v", ti, got.T2I(id), x.T2I(id))
+		}
+		if back, ok := got.LookupTWord(x.TWord(id)); !ok || back != id {
+			t.Fatalf("LookupTWord(%q) = %d,%v", x.TWord(id), back, ok)
+		}
+	}
+	for v := 0; v < x.NumPartitions(); v++ {
+		if got.P2I(model.PartitionID(v)) != x.P2I(model.PartitionID(v)) {
+			t.Fatalf("P2I(%d) differs", v)
+		}
+	}
+}
+
+func TestIndexRecordSharesNoMemory(t *testing.T) {
+	x := recordIndex(t)
+	rec := x.Export()
+	rec.IWords[0] = "mutated"
+	rec.I2T[0][0] = 99
+	rec.P2I[0] = 1
+	if x.IWord(0) == "mutated" || x.I2T(0)[0] == 99 || x.P2I(0) == 1 {
+		t.Fatal("Export shares memory with the index")
+	}
+}
+
+func TestIndexFromRecordRejectsBadInput(t *testing.T) {
+	x := recordIndex(t)
+	cases := []struct {
+		name   string
+		mutate func(*IndexRecord)
+	}{
+		{"i2t row count mismatch", func(r *IndexRecord) { r.I2T = r.I2T[:1] }},
+		{"duplicate i-word", func(r *IndexRecord) { r.IWords[1] = r.IWords[0] }},
+		{"duplicate t-word", func(r *IndexRecord) { r.TWords[1] = r.TWords[0] }},
+		{"i-word/t-word clash", func(r *IndexRecord) { r.TWords[0] = r.IWords[0] }},
+		{"t-word id out of range", func(r *IndexRecord) { r.I2T[0][0] = 99 }},
+		{"unsorted i2t row", func(r *IndexRecord) { r.I2T[0][0], r.I2T[0][1] = r.I2T[0][1], r.I2T[0][0] }},
+		{"p2i out of range", func(r *IndexRecord) { r.P2I[0] = 99 }},
+	}
+	for _, tc := range cases {
+		rec := x.Export()
+		tc.mutate(rec)
+		if _, err := IndexFromRecord(rec); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := IndexFromRecord(nil); err == nil {
+		t.Error("nil record accepted")
+	}
+}

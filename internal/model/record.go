@@ -1,0 +1,99 @@
+package model
+
+import (
+	"fmt"
+
+	"ikrq/internal/geom"
+)
+
+// SpaceRecord is the flat, serializable form of a Space: exactly the input
+// the Builder consumes, with IDs implied by position. It is the model
+// layer's half of the snapshot seam (see internal/snapshot): Export turns a
+// built Space into a record, SpaceFromRecord replays the record through the
+// Builder and revalidates, so a restored Space is indistinguishable from
+// the original — same dense IDs, same sorted mappings, same derived
+// structures.
+type SpaceRecord struct {
+	Partitions []PartitionRecord
+	Doors      []DoorRecord
+	Stairways  []Stairway
+}
+
+// PartitionRecord is the buildable description of one partition. Its
+// position in SpaceRecord.Partitions is its PartitionID.
+type PartitionRecord struct {
+	Name   string
+	Kind   PartitionKind
+	Bounds geom.Rect
+}
+
+// DoorRecord is the buildable description of one door. Its position in
+// SpaceRecord.Doors is its DoorID.
+type DoorRecord struct {
+	Pos       geom.Point
+	Enterable []PartitionID // D2P⊢(d)
+	Leaveable []PartitionID // D2P⊣(d)
+	Stair     bool
+}
+
+// Export captures the space as a record. The record shares no memory with
+// the space and can outlive it.
+func (s *Space) Export() *SpaceRecord {
+	rec := &SpaceRecord{
+		Partitions: make([]PartitionRecord, len(s.partitions)),
+		Doors:      make([]DoorRecord, len(s.doors)),
+		Stairways:  append([]Stairway(nil), s.stairways...),
+	}
+	for i := range s.partitions {
+		p := &s.partitions[i]
+		rec.Partitions[i] = PartitionRecord{Name: p.Name, Kind: p.Kind, Bounds: p.Bounds}
+	}
+	for i := range s.doors {
+		d := &s.doors[i]
+		rec.Doors[i] = DoorRecord{
+			Pos:       d.Pos,
+			Enterable: append([]PartitionID(nil), d.enterable...),
+			Leaveable: append([]PartitionID(nil), d.leaveable...),
+			Stair:     d.Stair,
+		}
+	}
+	return rec
+}
+
+// SpaceFromRecord rebuilds a Space from a record by replaying it through
+// the Builder, which re-runs the full topology validation and recomputes
+// the (cheap) derived structures — self-loop distances and stair-door
+// indexes. IDs are positional, so a round-tripped space preserves every
+// PartitionID and DoorID.
+func SpaceFromRecord(rec *SpaceRecord) (*Space, error) {
+	if rec == nil {
+		return nil, fmt.Errorf("model: nil space record")
+	}
+	b := NewBuilder()
+	for i := range rec.Partitions {
+		p := &rec.Partitions[i]
+		b.AddPartition(p.Name, p.Kind, p.Bounds)
+	}
+	for i := range rec.Doors {
+		d := &rec.Doors[i]
+		b.AddDirectionalDoor(d.Pos, d.Enterable, d.Leaveable)
+	}
+	for _, sw := range rec.Stairways {
+		if int(sw.From) < 0 || int(sw.From) >= len(rec.Doors) ||
+			int(sw.To) < 0 || int(sw.To) >= len(rec.Doors) {
+			return nil, fmt.Errorf("model: stairway %d->%d references missing door", sw.From, sw.To)
+		}
+		if sw.Lift {
+			b.AddLift(sw.From, sw.To, sw.Length)
+		} else {
+			b.AddStairway(sw.From, sw.To, sw.Length)
+		}
+	}
+	// Stair flags beyond the ones stairways imply (explicitly marked doors).
+	for i := range rec.Doors {
+		if rec.Doors[i].Stair {
+			b.MarkStairDoor(DoorID(i))
+		}
+	}
+	return b.Build()
+}

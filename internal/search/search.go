@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ikrq/internal/geom"
@@ -252,7 +253,7 @@ type Engine struct {
 	sk *graph.Skeleton
 
 	matOnce sync.Once
-	mat     *graph.Matrix
+	mat     atomic.Pointer[graph.Matrix]
 
 	qcache *keyword.QueryCache
 	exec   *Executor
@@ -267,9 +268,45 @@ type Engine struct {
 // hundred cover a realistic hot set of repeated storefront keyword lists.
 const defaultQueryCacheCap = 256
 
-// NewEngine builds an engine for the given space and keyword index.
+// NewEngine builds an engine for the given space and keyword index,
+// deriving every distance structure from scratch: the state-graph
+// PathFinder, the skeleton lower bounds, and (lazily, on first KoE* query
+// or PrecomputeMatrix call) the all-pairs matrix. To skip the derivation —
+// e.g. when loading a baked snapshot — use NewEngineFromParts.
 func NewEngine(s *model.Space, x *keyword.Index) *Engine {
-	e := &Engine{s: s, x: x, pf: graph.NewPathFinder(s), sk: graph.NewSkeleton(s)}
+	return assemble(s, x, graph.NewPathFinder(s), graph.NewSkeleton(s), nil)
+}
+
+// NewEngineFromParts assembles an engine from an already-built index layer
+// instead of deriving it: the space, keyword index, state-graph pathfinder
+// and skeleton are adopted as-is, and mat (optional, may be nil) seeds the
+// KoE* matrix slot so no query ever pays the all-pairs computation. It is
+// the assembly path behind snapshot loading and validates that the parts
+// belong together.
+func NewEngineFromParts(s *model.Space, x *keyword.Index, pf *graph.PathFinder, sk *graph.Skeleton, mat *graph.Matrix) (*Engine, error) {
+	if s == nil || x == nil || pf == nil || sk == nil {
+		return nil, errors.New("search: NewEngineFromParts requires space, index, pathfinder and skeleton")
+	}
+	if pf.Space() != s {
+		return nil, errors.New("search: pathfinder was built for a different space")
+	}
+	if x.NumPartitions() != s.NumPartitions() {
+		return nil, fmt.Errorf("search: keyword index covers %d partitions, space has %d",
+			x.NumPartitions(), s.NumPartitions())
+	}
+	if mat != nil && mat.Finder() != pf {
+		return nil, errors.New("search: matrix was computed over a different state graph")
+	}
+	e := assemble(s, x, pf, sk, mat)
+	return e, nil
+}
+
+// assemble wires the execution layer around an index layer.
+func assemble(s *model.Space, x *keyword.Index, pf *graph.PathFinder, sk *graph.Skeleton, mat *graph.Matrix) *Engine {
+	e := &Engine{s: s, x: x, pf: pf, sk: sk}
+	if mat != nil {
+		e.matOnce.Do(func() { e.mat.Store(mat) })
+	}
 	e.qcache = keyword.NewQueryCache(x, defaultQueryCacheCap)
 	e.exec = newExecutor(e)
 	return e
@@ -317,9 +354,23 @@ func (e *Engine) Skeleton() *graph.Skeleton { return e.sk }
 
 // Matrix returns the lazily built all-pairs matrix used by KoE*.
 func (e *Engine) Matrix() *graph.Matrix {
-	e.matOnce.Do(func() { e.mat = graph.NewMatrix(e.pf) })
-	return e.mat
+	e.matOnce.Do(func() { e.mat.Store(graph.NewMatrix(e.pf)) })
+	return e.mat.Load()
 }
+
+// PrecomputeMatrix forces the KoE* all-pairs matrix eagerly and returns it.
+// By default the matrix is built lazily on the first KoE* query, which
+// keeps engines cheap for workloads that never run KoE* but makes that
+// first query pay the Θ(states²) sweep; services bake it at start-up (or at
+// snapshot time, see internal/snapshot) by calling PrecomputeMatrix so
+// serving latency never includes index construction.
+func (e *Engine) PrecomputeMatrix() *graph.Matrix { return e.Matrix() }
+
+// MatrixIfReady returns the KoE* matrix if it has already been built (or
+// was supplied via NewEngineFromParts), without triggering the computation.
+// Snapshot writing uses it to persist the matrix exactly when the engine
+// has one.
+func (e *Engine) MatrixIfReady() *graph.Matrix { return e.mat.Load() }
 
 // Validate reports the first problem with a request, or nil.
 func (e *Engine) Validate(req Request) error {

@@ -1,0 +1,74 @@
+package snapshot
+
+import (
+	"fmt"
+	"io"
+
+	"ikrq/internal/graph"
+	"ikrq/internal/keyword"
+	"ikrq/internal/model"
+	"ikrq/internal/search"
+)
+
+// SaveEngine writes e's immutable index layer to w. The KoE* matrix section
+// is included exactly when the engine has built it — call
+// Engine.PrecomputeMatrix first to bake a snapshot that spares every future
+// load the all-pairs computation.
+func SaveEngine(w io.Writer, e *search.Engine) error {
+	snap := &Snapshot{
+		Space:      e.Space().Export(),
+		Keywords:   e.Keywords().Export(),
+		PathFinder: e.PathFinder().Export(),
+		Skeleton:   e.Skeleton().Export(),
+	}
+	if m := e.MatrixIfReady(); m != nil {
+		snap.Matrix = m.Export()
+	}
+	return Encode(w, snap)
+}
+
+// LoadEngine decodes a snapshot from r and assembles a ready-to-serve
+// engine from its parts: the space record is replayed through the model
+// builder (revalidating the topology), and the pathfinder, skeleton and
+// matrix adopt their persisted states instead of recomputing them. A loaded
+// engine returns results identical to one freshly built over the same space
+// and keyword index.
+func LoadEngine(r io.Reader) (*search.Engine, error) {
+	snap, err := Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	return AssembleEngine(snap)
+}
+
+// AssembleEngine builds an engine from already-decoded records.
+func AssembleEngine(snap *Snapshot) (*search.Engine, error) {
+	s, err := model.SpaceFromRecord(snap.Space)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: restoring space: %w", err)
+	}
+	x, err := keyword.IndexFromRecord(snap.Keywords)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: restoring keyword index: %w", err)
+	}
+	pf, err := graph.PathFinderFromState(s, snap.PathFinder)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: restoring state graph: %w", err)
+	}
+	sk, err := graph.SkeletonFromState(s, snap.Skeleton)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: restoring skeleton: %w", err)
+	}
+	var mat *graph.Matrix
+	if snap.Matrix != nil {
+		mat, err = graph.MatrixFromState(pf, snap.Matrix)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: restoring KoE* matrix: %w", err)
+		}
+	}
+	e, err := search.NewEngineFromParts(s, x, pf, sk, mat)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return e, nil
+}

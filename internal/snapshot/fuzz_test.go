@@ -1,0 +1,43 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"testing"
+
+	"ikrq/internal/snapshot"
+)
+
+// FuzzSnapshotDecode feeds arbitrary bytes to the container decoder and,
+// when decoding succeeds, to engine assembly. The contract under test:
+// corrupt, truncated, version-bumped or otherwise hostile input must come
+// back as an error — the decoder may never panic, hang, or let an invalid
+// structure reach the search layer.
+func FuzzSnapshotDecode(f *testing.F) {
+	e := tinyEngine(f)
+	e.PrecomputeMatrix()
+	valid := snapshotBytes(f, e)
+
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:12])
+	f.Add([]byte(snapshot.Magic))
+	f.Add([]byte{})
+	// Version bump.
+	bumped := append([]byte(nil), valid...)
+	bumped[9] = 0x7f
+	f.Add(bumped)
+	// Flipped payload byte (checksum mismatch).
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0xff
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := snapshot.Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A structurally valid container may still describe an inconsistent
+		// index layer; assembly must reject it with an error, not a panic.
+		_, _ = snapshot.AssembleEngine(snap)
+	})
+}

@@ -1,0 +1,480 @@
+// Package snapshot defines the versioned binary container that persists an
+// IKRQ engine's immutable index layer — the indoor space, the keyword
+// index, the state-graph pathfinder, the skeleton lower-bound closure and
+// (optionally) the KoE* all-pairs matrix — so an engine can be built once,
+// baked to a file, and assembled on the next start without recomputation.
+//
+// Container layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       8     magic "IKRQSNAP"
+//	8       2     format version (currently 1)
+//	10      2     section count
+//	then per section:
+//	        4     tag (4 ASCII bytes: "SPAC", "KWRD", "PATH", "SKEL", "MATX")
+//	        8     payload length in bytes
+//	        4     CRC-32 (IEEE) of the payload
+//	        n     payload
+//
+// The SPAC, KWRD, PATH and SKEL sections are required; MATX is present
+// exactly when the engine had built its KoE* matrix at save time. Decoding
+// is strict: bad magic, an unknown version (forward incompatibility), an
+// unknown tag, a checksum mismatch, truncation, or any malformed payload
+// yields an error — never a panic — and the per-layer FromRecord
+// constructors revalidate every ID before an engine is assembled. See
+// DESIGN.md §6 for the compatibility policy.
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"ikrq/internal/graph"
+	"ikrq/internal/keyword"
+	"ikrq/internal/model"
+)
+
+// Magic identifies an IKRQ snapshot stream.
+const Magic = "IKRQSNAP"
+
+// Version is the current container format version. Decoders reject any
+// other version: the format promises backward reading within a version and
+// an explicit bump (with migration notes in DESIGN.md §6) for any change.
+const Version uint16 = 1
+
+// Section tags.
+const (
+	tagSpace      = "SPAC"
+	tagKeywords   = "KWRD"
+	tagPathFinder = "PATH"
+	tagSkeleton   = "SKEL"
+	tagMatrix     = "MATX"
+)
+
+// Decoding errors. All decoder failures wrap one of these, so callers can
+// distinguish "not a snapshot" from "snapshot from a newer build" from
+// "damaged snapshot".
+var (
+	// ErrBadMagic means the stream does not start with the snapshot magic.
+	ErrBadMagic = errors.New("snapshot: bad magic (not an IKRQ snapshot)")
+	// ErrVersion means the snapshot was written by a newer (or otherwise
+	// unknown) format version; re-bake it with this build.
+	ErrVersion = errors.New("snapshot: unsupported format version")
+	// ErrChecksum means a section's payload does not match its CRC.
+	ErrChecksum = errors.New("snapshot: section checksum mismatch")
+	// ErrCorrupt covers every other malformation: truncation, unknown or
+	// duplicate sections, counts or IDs that do not fit the payload.
+	ErrCorrupt = errors.New("snapshot: corrupt")
+)
+
+// Snapshot holds the decoded (or to-be-encoded) records of one engine's
+// index layer. Matrix is nil when the snapshot carries no KoE* matrix.
+type Snapshot struct {
+	Space      *model.SpaceRecord
+	Keywords   *keyword.IndexRecord
+	PathFinder *graph.PathFinderRecord
+	Skeleton   *graph.SkeletonRecord
+	Matrix     *graph.MatrixRecord
+}
+
+// Encode writes snap to w in the container format.
+func Encode(w io.Writer, snap *Snapshot) error {
+	if snap == nil || snap.Space == nil || snap.Keywords == nil ||
+		snap.PathFinder == nil || snap.Skeleton == nil {
+		return errors.New("snapshot: encode requires space, keyword, pathfinder and skeleton records")
+	}
+	type section struct {
+		tag     string
+		payload []byte
+	}
+	sections := []section{
+		{tagSpace, encodeSpace(snap.Space)},
+		{tagKeywords, encodeKeywords(snap.Keywords)},
+		{tagPathFinder, encodePathFinder(snap.PathFinder)},
+		{tagSkeleton, encodeSkeleton(snap.Skeleton)},
+	}
+	if snap.Matrix != nil {
+		sections = append(sections, section{tagMatrix, encodeMatrix(snap.Matrix)})
+	}
+
+	var hdr writer
+	hdr.buf = append(hdr.buf, Magic...)
+	hdr.buf = append(hdr.buf, byte(Version), byte(Version>>8))
+	hdr.buf = append(hdr.buf, byte(len(sections)), byte(len(sections)>>8))
+	if _, err := w.Write(hdr.buf); err != nil {
+		return err
+	}
+	for _, s := range sections {
+		var sh writer
+		sh.buf = append(sh.buf, s.tag...)
+		sh.u64(uint64(len(s.payload)))
+		sh.u32(crc32.ChecksumIEEE(s.payload))
+		if _, err := w.Write(sh.buf); err != nil {
+			return err
+		}
+		if _, err := w.Write(s.payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode reads a snapshot from r, verifying magic, version and every
+// section checksum, and fully validating each payload's structure. It never
+// panics on malformed input.
+func Decode(rd io.Reader) (*Snapshot, error) {
+	b, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, err
+	}
+	return decodeBytes(b)
+}
+
+func decodeBytes(b []byte) (*Snapshot, error) {
+	if len(b) < len(Magic)+4 {
+		return nil, fmt.Errorf("%w: %d-byte stream is shorter than the header", ErrCorrupt, len(b))
+	}
+	if string(b[:len(Magic)]) != Magic {
+		return nil, ErrBadMagic
+	}
+	ver := uint16(b[8]) | uint16(b[9])<<8
+	if ver != Version {
+		return nil, fmt.Errorf("%w: snapshot has version %d, this build reads version %d",
+			ErrVersion, ver, Version)
+	}
+	nSections := int(uint16(b[10]) | uint16(b[11])<<8)
+	off := len(Magic) + 4
+
+	snap := &Snapshot{}
+	seen := make(map[string]bool, nSections)
+	for i := 0; i < nSections; i++ {
+		if off+16 > len(b) {
+			return nil, fmt.Errorf("%w: truncated section header (%d of %d)", ErrCorrupt, i+1, nSections)
+		}
+		tag := string(b[off : off+4])
+		length := uint64(b[off+4]) | uint64(b[off+5])<<8 | uint64(b[off+6])<<16 | uint64(b[off+7])<<24 |
+			uint64(b[off+8])<<32 | uint64(b[off+9])<<40 | uint64(b[off+10])<<48 | uint64(b[off+11])<<56
+		sum := uint32(b[off+12]) | uint32(b[off+13])<<8 | uint32(b[off+14])<<16 | uint32(b[off+15])<<24
+		off += 16
+		if length > uint64(len(b)-off) {
+			return nil, fmt.Errorf("%w: section %s claims %d bytes, %d remain", ErrCorrupt, tag, length, len(b)-off)
+		}
+		payload := b[off : off+int(length)]
+		off += int(length)
+		if crc32.ChecksumIEEE(payload) != sum {
+			return nil, fmt.Errorf("%w: section %s", ErrChecksum, tag)
+		}
+		if seen[tag] {
+			return nil, fmt.Errorf("%w: duplicate section %s", ErrCorrupt, tag)
+		}
+		seen[tag] = true
+
+		var derr error
+		switch tag {
+		case tagSpace:
+			snap.Space, derr = decodeSpace(payload)
+		case tagKeywords:
+			snap.Keywords, derr = decodeKeywords(payload)
+		case tagPathFinder:
+			snap.PathFinder, derr = decodePathFinder(payload)
+		case tagSkeleton:
+			snap.Skeleton, derr = decodeSkeleton(payload)
+		case tagMatrix:
+			snap.Matrix, derr = decodeMatrix(payload)
+		default:
+			return nil, fmt.Errorf("%w: unknown section %q", ErrCorrupt, tag)
+		}
+		if derr != nil {
+			return nil, fmt.Errorf("section %s: %w", tag, derr)
+		}
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after last section", ErrCorrupt, len(b)-off)
+	}
+	if snap.Space == nil || snap.Keywords == nil || snap.PathFinder == nil || snap.Skeleton == nil {
+		return nil, fmt.Errorf("%w: missing required section", ErrCorrupt)
+	}
+	return snap, nil
+}
+
+// --- space section ---
+
+func encodeSpace(rec *model.SpaceRecord) []byte {
+	var w writer
+	w.u32(uint32(len(rec.Partitions)))
+	for i := range rec.Partitions {
+		p := &rec.Partitions[i]
+		w.str(p.Name)
+		w.u8(uint8(p.Kind))
+		w.f64(p.Bounds.MinX)
+		w.f64(p.Bounds.MinY)
+		w.f64(p.Bounds.MaxX)
+		w.f64(p.Bounds.MaxY)
+		w.i32(int32(p.Bounds.Floor))
+	}
+	w.u32(uint32(len(rec.Doors)))
+	for i := range rec.Doors {
+		d := &rec.Doors[i]
+		w.f64(d.Pos.X)
+		w.f64(d.Pos.Y)
+		w.i32(int32(d.Pos.Floor))
+		if d.Stair {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+		w.u32(uint32(len(d.Enterable)))
+		for _, v := range d.Enterable {
+			w.i32(int32(v))
+		}
+		w.u32(uint32(len(d.Leaveable)))
+		for _, v := range d.Leaveable {
+			w.i32(int32(v))
+		}
+	}
+	w.u32(uint32(len(rec.Stairways)))
+	for _, sw := range rec.Stairways {
+		w.i32(int32(sw.From))
+		w.i32(int32(sw.To))
+		w.f64(sw.Length)
+		if sw.Lift {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+	}
+	return w.buf
+}
+
+func decodeSpace(b []byte) (*model.SpaceRecord, error) {
+	r := &reader{b: b}
+	rec := &model.SpaceRecord{}
+	// Minimum encoded sizes: a partition is name-len(4) + kind(1) +
+	// bounds(32) + floor(4) = 41 bytes, a door pos(20) + stair(1) + two
+	// empty ID lists(8) = 29, so hostile counts cannot size allocations
+	// beyond what the payload could actually hold.
+	np := r.count(41)
+	rec.Partitions = make([]model.PartitionRecord, 0, np)
+	for i := 0; i < np && r.err == nil; i++ {
+		var p model.PartitionRecord
+		p.Name = r.str()
+		p.Kind = model.PartitionKind(r.u8())
+		p.Bounds.MinX = r.f64()
+		p.Bounds.MinY = r.f64()
+		p.Bounds.MaxX = r.f64()
+		p.Bounds.MaxY = r.f64()
+		p.Bounds.Floor = int(r.i32())
+		rec.Partitions = append(rec.Partitions, p)
+	}
+	nd := r.count(29)
+	rec.Doors = make([]model.DoorRecord, 0, nd)
+	for i := 0; i < nd && r.err == nil; i++ {
+		var d model.DoorRecord
+		d.Pos.X = r.f64()
+		d.Pos.Y = r.f64()
+		d.Pos.Floor = int(r.i32())
+		d.Stair = r.u8() != 0
+		ne := r.count(4)
+		for j := 0; j < ne && r.err == nil; j++ {
+			d.Enterable = append(d.Enterable, model.PartitionID(r.i32()))
+		}
+		nl := r.count(4)
+		for j := 0; j < nl && r.err == nil; j++ {
+			d.Leaveable = append(d.Leaveable, model.PartitionID(r.i32()))
+		}
+		rec.Doors = append(rec.Doors, d)
+	}
+	ns := r.count(17)
+	for i := 0; i < ns && r.err == nil; i++ {
+		var sw model.Stairway
+		sw.From = model.DoorID(r.i32())
+		sw.To = model.DoorID(r.i32())
+		sw.Length = r.f64()
+		sw.Lift = r.u8() != 0
+		rec.Stairways = append(rec.Stairways, sw)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// --- keyword section ---
+
+func encodeKeywords(rec *keyword.IndexRecord) []byte {
+	var w writer
+	w.u32(uint32(len(rec.IWords)))
+	for _, s := range rec.IWords {
+		w.str(s)
+	}
+	w.u32(uint32(len(rec.TWords)))
+	for _, s := range rec.TWords {
+		w.str(s)
+	}
+	for _, row := range rec.I2T {
+		w.u32(uint32(len(row)))
+		for _, t := range row {
+			w.i32(int32(t))
+		}
+	}
+	w.u32(uint32(len(rec.P2I)))
+	for _, v := range rec.P2I {
+		w.i32(int32(v))
+	}
+	return w.buf
+}
+
+func decodeKeywords(b []byte) (*keyword.IndexRecord, error) {
+	r := &reader{b: b}
+	rec := &keyword.IndexRecord{}
+	ni := r.count(4)
+	for i := 0; i < ni && r.err == nil; i++ {
+		rec.IWords = append(rec.IWords, r.str())
+	}
+	nt := r.count(4)
+	for i := 0; i < nt && r.err == nil; i++ {
+		rec.TWords = append(rec.TWords, r.str())
+	}
+	rec.I2T = make([][]keyword.TWordID, 0, ni)
+	for i := 0; i < ni && r.err == nil; i++ {
+		n := r.count(4)
+		var row []keyword.TWordID
+		for j := 0; j < n && r.err == nil; j++ {
+			row = append(row, keyword.TWordID(r.i32()))
+		}
+		rec.I2T = append(rec.I2T, row)
+	}
+	np := r.count(4)
+	for i := 0; i < np && r.err == nil; i++ {
+		rec.P2I = append(rec.P2I, keyword.IWordID(r.i32()))
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// --- pathfinder section ---
+
+func encodePathFinder(rec *graph.PathFinderRecord) []byte {
+	var w writer
+	w.u32(uint32(len(rec.States)))
+	for _, st := range rec.States {
+		w.i32(int32(st.Door))
+		w.i32(int32(st.Part))
+	}
+	for _, n := range rec.ArcCounts {
+		w.u32(uint32(n))
+	}
+	w.u32(uint32(len(rec.Arcs)))
+	for _, a := range rec.Arcs {
+		w.i32(int32(a.To))
+		w.f64(a.W)
+	}
+	return w.buf
+}
+
+func decodePathFinder(b []byte) (*graph.PathFinderRecord, error) {
+	r := &reader{b: b}
+	rec := &graph.PathFinderRecord{}
+	ns := r.count(8)
+	rec.States = make([]graph.StateRecord, 0, ns)
+	for i := 0; i < ns && r.err == nil; i++ {
+		rec.States = append(rec.States, graph.StateRecord{
+			Door: model.DoorID(r.i32()),
+			Part: model.PartitionID(r.i32()),
+		})
+	}
+	rec.ArcCounts = make([]int32, 0, ns)
+	for i := 0; i < ns && r.err == nil; i++ {
+		rec.ArcCounts = append(rec.ArcCounts, r.i32())
+	}
+	na := r.count(12)
+	rec.Arcs = make([]graph.ArcRecord, 0, na)
+	for i := 0; i < na && r.err == nil; i++ {
+		rec.Arcs = append(rec.Arcs, graph.ArcRecord{
+			To: graph.StateID(r.i32()),
+			W:  r.f64(),
+		})
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// --- skeleton section ---
+
+func encodeSkeleton(rec *graph.SkeletonRecord) []byte {
+	var w writer
+	w.u32(uint32(len(rec.Doors)))
+	for _, d := range rec.Doors {
+		w.i32(int32(d))
+	}
+	for _, v := range rec.Dist {
+		w.f64(v)
+	}
+	return w.buf
+}
+
+func decodeSkeleton(b []byte) (*graph.SkeletonRecord, error) {
+	r := &reader{b: b}
+	rec := &graph.SkeletonRecord{}
+	n := r.count(4)
+	for i := 0; i < n && r.err == nil; i++ {
+		rec.Doors = append(rec.Doors, model.DoorID(r.i32()))
+	}
+	if r.err == nil {
+		if want := n * n; want*8 != len(r.b)-r.off {
+			r.fail("skeleton matrix wants %d cells, payload has %d bytes", want, len(r.b)-r.off)
+		} else {
+			rec.Dist = r.f64s(want)
+		}
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// --- matrix section ---
+
+func encodeMatrix(rec *graph.MatrixRecord) []byte {
+	var w writer
+	w.u32(uint32(rec.N))
+	for _, v := range rec.Dist {
+		w.f64(v)
+	}
+	for _, v := range rec.Next {
+		w.i32(int32(v))
+	}
+	return w.buf
+}
+
+func decodeMatrix(b []byte) (*graph.MatrixRecord, error) {
+	r := &reader{b: b}
+	rec := &graph.MatrixRecord{}
+	n := int(r.u32())
+	if r.err == nil {
+		if n < 0 || n > 1<<20 || n*n > (len(r.b)-r.off)/12 {
+			r.fail("matrix dimension %d does not fit the payload", n)
+		}
+	}
+	rec.N = int32(n)
+	if r.err == nil {
+		cells := n * n
+		rec.Dist = r.f64s(cells)
+		if raw := r.i32s(cells); raw != nil {
+			rec.Next = make([]graph.StateID, cells)
+			for i, v := range raw {
+				rec.Next[i] = graph.StateID(v)
+			}
+		}
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}

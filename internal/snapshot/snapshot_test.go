@@ -1,0 +1,298 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"ikrq/internal/gen"
+	"ikrq/internal/geom"
+	"ikrq/internal/keyword"
+	"ikrq/internal/model"
+	"ikrq/internal/search"
+	"ikrq/internal/snapshot"
+)
+
+// tinyEngine builds a minimal two-floor engine for container-level tests:
+// two hallways, a named shop, and a staircase per floor.
+func tinyEngine(t testing.TB) *search.Engine {
+	t.Helper()
+	b := model.NewBuilder()
+	var stairDoors []model.DoorID
+	shopNames := []string{"espresso-bar", "toy-store"}
+	var shops []model.PartitionID
+	for f := 0; f < 2; f++ {
+		hA := b.AddPartition("hA", model.KindHallway, geom.R(0, 0, 10, 10, f))
+		hB := b.AddPartition("hB", model.KindHallway, geom.R(10, 0, 20, 10, f))
+		st := b.AddPartition("stair", model.KindStaircase, geom.R(20, 0, 25, 5, f))
+		shop := b.AddPartition(shopNames[f], model.KindRoom, geom.R(0, 10, 10, 20, f))
+		b.AddDoor(geom.Pt(10, 5, f), hA, hB)
+		stairDoors = append(stairDoors, b.AddDoor(geom.Pt(20, 2.5, f), hB, st))
+		b.AddDoor(geom.Pt(5, 10, f), hA, shop)
+		shops = append(shops, shop)
+	}
+	b.AddStairway(stairDoors[0], stairDoors[1], 20)
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	kb := keyword.NewIndexBuilder(s.NumPartitions())
+	kb.AssignPartition(shops[0], kb.DefineIWord("espresso-bar", []string{"coffee", "latte"}))
+	kb.AssignPartition(shops[1], kb.DefineIWord("toy-store", []string{"lego", "coffee"}))
+	x, err := kb.Build()
+	if err != nil {
+		t.Fatalf("keyword Build: %v", err)
+	}
+	return search.NewEngine(s, x)
+}
+
+func snapshotBytes(t testing.TB, e *search.Engine) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := snapshot.SaveEngine(&buf, e); err != nil {
+		t.Fatalf("SaveEngine: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestSaveLoadTinyEngine(t *testing.T) {
+	e := tinyEngine(t)
+	e.PrecomputeMatrix()
+	data := snapshotBytes(t, e)
+
+	loaded, err := snapshot.LoadEngine(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("LoadEngine: %v", err)
+	}
+	if loaded.MatrixIfReady() == nil {
+		t.Fatal("loaded engine did not adopt the persisted KoE* matrix")
+	}
+	req := search.Request{
+		Ps: geom.Pt(1, 5, 0), Pt: geom.Pt(18, 5, 1),
+		Delta: 200, QW: []string{"coffee", "lego"}, K: 3, Alpha: 0.5, Tau: 0.2,
+	}
+	for _, v := range search.Variants() {
+		opt, err := search.OptionsFor(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := e.Search(req, opt)
+		if err != nil {
+			t.Fatalf("%s fresh: %v", v, err)
+		}
+		got, err := loaded.Search(req, opt)
+		if err != nil {
+			t.Fatalf("%s loaded: %v", v, err)
+		}
+		if !reflect.DeepEqual(got.Routes, want.Routes) {
+			t.Fatalf("%s: loaded engine routes differ\nfresh: %+v\nloaded: %+v", v, want.Routes, got.Routes)
+		}
+	}
+}
+
+func TestSaveWithoutMatrixOmitsSection(t *testing.T) {
+	e := tinyEngine(t)
+	data := snapshotBytes(t, e)
+	snap, err := snapshot.Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if snap.Matrix != nil {
+		t.Fatal("engine without a built matrix wrote a MATX section")
+	}
+	loaded, err := snapshot.AssembleEngine(snap)
+	if err != nil {
+		t.Fatalf("AssembleEngine: %v", err)
+	}
+	if loaded.MatrixIfReady() != nil {
+		t.Fatal("loaded engine claims a matrix that was never persisted")
+	}
+	// KoE* still works — the matrix is built lazily as on a fresh engine.
+	req := search.Request{
+		Ps: geom.Pt(1, 5, 0), Pt: geom.Pt(18, 5, 1),
+		Delta: 200, QW: []string{"coffee"}, K: 2, Alpha: 0.5, Tau: 0.2,
+	}
+	opt, _ := search.OptionsFor(search.VariantKoEStar)
+	if _, err := loaded.Search(req, opt); err != nil {
+		t.Fatalf("KoE* on matrix-less snapshot: %v", err)
+	}
+}
+
+func TestDecodeRejectsCorruptInput(t *testing.T) {
+	e := tinyEngine(t)
+	e.PrecomputeMatrix()
+	data := snapshotBytes(t, e)
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   error
+	}{
+		{"empty", func(b []byte) []byte { return nil }, snapshot.ErrCorrupt},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }, snapshot.ErrBadMagic},
+		{"version bump", func(b []byte) []byte { b[8] = 0xfe; b[9] = 0x01; return b }, snapshot.ErrVersion},
+		{"payload flip", func(b []byte) []byte { b[len(b)/2] ^= 0xff; return b }, snapshot.ErrChecksum},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-7] }, snapshot.ErrCorrupt},
+		{"header only", func(b []byte) []byte { return b[:12] }, snapshot.ErrCorrupt},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 1, 2, 3) }, snapshot.ErrCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mutated := tc.mutate(append([]byte(nil), data...))
+			_, err := snapshot.Decode(bytes.NewReader(mutated))
+			if err == nil {
+				t.Fatal("corrupt snapshot accepted")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error %v does not wrap %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// oracleRoundTrip saves eng (with its matrix), loads it back, and verifies
+// every Table III variant returns identical routes and identical work
+// counters on both engines for every request.
+func oracleRoundTrip(t *testing.T, eng *search.Engine, reqs []search.Request, capExpansions int) {
+	t.Helper()
+	data := snapshotBytes(t, eng)
+	t.Logf("snapshot: %.1f MB", float64(len(data))/(1<<20))
+	loaded, err := snapshot.LoadEngine(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("LoadEngine: %v", err)
+	}
+	for _, v := range search.Variants() {
+		opt, err := search.OptionsFor(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.DisablePrime {
+			opt.MaxExpansions = capExpansions // keep the unpruned variant finite
+		}
+		for i, req := range reqs {
+			want, err := eng.Search(req, opt)
+			if err != nil {
+				t.Fatalf("%s req %d fresh: %v", v, i, err)
+			}
+			got, err := loaded.Search(req, opt)
+			if err != nil {
+				t.Fatalf("%s req %d loaded: %v", v, i, err)
+			}
+			if !reflect.DeepEqual(got.Routes, want.Routes) {
+				t.Fatalf("%s req %d: loaded engine routes differ", v, i)
+			}
+			if got.Stats.Pops != want.Stats.Pops ||
+				got.Stats.StampsCreated != want.Stats.StampsCreated ||
+				got.Stats.Recomputations != want.Stats.Recomputations {
+				t.Fatalf("%s req %d: loaded engine did different work: pops %d/%d stamps %d/%d recomp %d/%d",
+					v, i, got.Stats.Pops, want.Stats.Pops,
+					got.Stats.StampsCreated, want.Stats.StampsCreated,
+					got.Stats.Recomputations, want.Stats.Recomputations)
+			}
+		}
+	}
+}
+
+func TestRoundTripOracleSynthetic(t *testing.T) {
+	mall, voc, idx, err := gen.SyntheticMall(2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := search.NewEngine(mall.Space, idx)
+	eng.PrecomputeMatrix()
+	qg := gen.NewQueryGen(mall, idx, voc, eng.PathFinder(), 23)
+	cfg := gen.DefaultQueryConfig(23)
+	cfg.Instances = 3
+	reqs, err := qg.Instances(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleRoundTrip(t, eng, reqs, 50_000)
+}
+
+func TestRoundTripOracleReal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-mall oracle (KoE* matrix over ~2700 states) skipped in -short")
+	}
+	mall, voc, idx, err := gen.RealMall(gen.RealConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := search.NewEngine(mall.Space, idx)
+	eng.PrecomputeMatrix()
+	qg := gen.NewQueryGen(mall, idx, voc, eng.PathFinder(), 23)
+	cfg := gen.DefaultQueryConfig(23)
+	cfg.Alpha = 0.7 // Section V-B default for the real dataset
+	cfg.Instances = 2
+	reqs, err := qg.Instances(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleRoundTrip(t, eng, reqs, 50_000)
+}
+
+// TestColdStartSpeedup is the load-vs-rebuild gate: assembling an engine
+// from a snapshot that includes the KoE* matrix must beat deriving the same
+// index layer from scratch by a wide margin (the all-pairs sweep alone
+// dwarfs decode time; the observed ratio is >20x, asserted at 5x to stay
+// robust on loaded CI machines).
+func TestColdStartSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short")
+	}
+	mall, _, idx, err := gen.SyntheticMall(2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	eng := search.NewEngine(mall.Space, idx)
+	eng.PrecomputeMatrix()
+	rebuild := time.Since(t0)
+
+	data := snapshotBytes(t, eng)
+
+	t1 := time.Now()
+	loaded, err := snapshot.LoadEngine(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := time.Since(t1)
+	if loaded.MatrixIfReady() == nil {
+		t.Fatal("snapshot lost the matrix")
+	}
+	t.Logf("rebuild=%v load=%v speedup=%.1fx snapshot=%.1fMB",
+		rebuild, load, float64(rebuild)/float64(load), float64(len(data))/(1<<20))
+	if load*5 > rebuild {
+		t.Errorf("load (%v) is not ≥5x faster than rebuild (%v)", load, rebuild)
+	}
+}
+
+// BenchmarkEngineColdStart compares the two ways to get a serving engine:
+// deriving the index layer from scratch (skeleton + state graph + KoE*
+// matrix dominate) versus assembling it from a baked snapshot.
+func BenchmarkEngineColdStart(b *testing.B) {
+	mall, _, idx, err := gen.SyntheticMall(2, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm := search.NewEngine(mall.Space, idx)
+	warm.PrecomputeMatrix()
+	data := snapshotBytes(b, warm)
+
+	b.Run("rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := search.NewEngine(mall.Space, idx)
+			e.PrecomputeMatrix()
+		}
+	})
+	b.Run("snapshot", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := snapshot.LoadEngine(bytes.NewReader(data)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
