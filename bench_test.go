@@ -13,6 +13,7 @@ import (
 
 	"ikrq/internal/bench"
 	"ikrq/internal/gen"
+	"ikrq/internal/model"
 	"ikrq/internal/search"
 )
 
@@ -67,6 +68,54 @@ func BenchmarkFig20RealHomogRate(b *testing.B) {
 }
 func BenchmarkSweepAlpha(b *testing.B) { runFigure(b, env().SweepAlpha) }
 func BenchmarkSweepTau(b *testing.B)   { runFigure(b, env().SweepTau) }
+
+// BenchmarkConditionsOverlayVsRebuild measures the tentpole win of the
+// Conditions overlay: answering a closure scenario by attaching an overlay
+// to the query (unchanged engine) versus rebuilding a door-filtered engine
+// and querying it — the same ~seconds-scale derivation cost
+// BenchmarkEngineColdStart's rebuild path pays. The overlay turns a
+// per-scenario index rebuild into a per-query flag.
+func BenchmarkConditionsOverlayVsRebuild(b *testing.B) {
+	mall, voc, idx, err := gen.SyntheticMall(2, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := search.NewEngine(mall.Space, idx)
+	qg := gen.NewQueryGen(mall, idx, voc, eng.PathFinder(), 23)
+	cfg := gen.DefaultQueryConfig(23)
+	cfg.Instances = 1
+	reqs, err := qg.Instances(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := reqs[0]
+	cond := gen.SampleConditions(mall.Space, 99, gen.ConditionsConfig{Closures: 4, Rebuildable: true})
+	opt := search.Options{Algorithm: search.ToE}
+
+	b.Run("overlay", func(b *testing.B) {
+		r := req
+		r.Conditions = cond
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Search(r, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rebuild+query", func(b *testing.B) {
+		rec := mall.Space.Export()
+		for i := 0; i < b.N; i++ {
+			frec, _ := rec.WithoutDoors(cond.ClosedDoors())
+			fs, err := model.SpaceFromRecord(frec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			feng := search.NewEngine(fs, idx)
+			if _, err := feng.Search(req, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
 
 // BenchmarkAblationConnect quantifies the DESIGN.md §4.1 deviation: the
 // exact connect (finalized stamps re-queued) versus the paper-literal

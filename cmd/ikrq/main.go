@@ -5,6 +5,7 @@
 //
 //	ikrq -floors 5 -seed 1 -k 7 -qw "coffee,latte" -alg KoE -eta 1.6
 //	ikrq -snapshot mall.ikrq -qw "coffee,latte" -alg "KoE*"
+//	ikrq -floors 3 -close "12,40" -delay "7:30" -qw coffee
 //
 // Without -qw the query keywords are drawn from the generated vocabulary
 // (the realistic case: users query words that exist in the venue's
@@ -12,6 +13,10 @@
 // synthetic space. With -snapshot the engine is loaded from a file baked
 // by `ikrqgen -snapshot` instead of being rebuilt (-floors/-real/-s2t are
 // ignored; query points are sampled from the loaded space).
+//
+// -close and -delay overlay live venue conditions on the query without
+// rebuilding anything: -close "3,17" closes doors 3 and 17, -delay
+// "12:30,40:15.5" charges +30m per pass of door 12 and +15.5m for door 40.
 package main
 
 import (
@@ -21,38 +26,43 @@ import (
 	"strings"
 
 	"ikrq"
-	"ikrq/internal/gen"
-	"ikrq/internal/search"
+	"ikrq/internal/cli"
 )
 
 func main() {
 	var (
-		floors = flag.Int("floors", 5, "synthetic space floors")
-		real   = flag.Bool("real", false, "use the simulated Hangzhou mall")
-		seed   = flag.Uint64("seed", 1, "generation seed")
-		k      = flag.Int("k", 7, "result count")
-		qwFlag = flag.String("qw", "", "comma-separated query keywords (default: sampled)")
-		qwLen  = flag.Int("qwlen", 4, "sampled keyword count when -qw is empty")
-		beta   = flag.Float64("beta", 0.6, "i-word fraction for sampled keywords")
-		s2t    = flag.Float64("s2t", 1500, "target start-terminal distance δs2t (m)")
-		eta    = flag.Float64("eta", 1.6, "distance constraint factor: Δ = η·δ(ps,pt)")
-		alpha  = flag.Float64("alpha", 0.5, "keyword/distance tradeoff α")
-		tau    = flag.Float64("tau", 0.2, "candidate similarity threshold τ")
-		algStr = flag.String("alg", "ToE", "variant: "+variantList())
-		stats  = flag.Bool("stats", false, "print search statistics")
-		snap   = flag.String("snapshot", "", "serve from this baked snapshot instead of generating a space")
+		floors   = flag.Int("floors", 5, "synthetic space floors")
+		real     = flag.Bool("real", false, "use the simulated Hangzhou mall")
+		seed     = flag.Uint64("seed", 1, "generation seed")
+		k        = flag.Int("k", 7, "result count")
+		qwFlag   = flag.String("qw", "", "comma-separated query keywords (default: sampled)")
+		qwLen    = flag.Int("qwlen", 4, "sampled keyword count when -qw is empty")
+		beta     = flag.Float64("beta", 0.6, "i-word fraction for sampled keywords")
+		s2t      = flag.Float64("s2t", 1500, "target start-terminal distance δs2t (m)")
+		eta      = flag.Float64("eta", 1.6, "distance constraint factor: Δ = η·δ(ps,pt)")
+		alpha    = flag.Float64("alpha", 0.5, "keyword/distance tradeoff α")
+		tau      = flag.Float64("tau", 0.2, "candidate similarity threshold τ")
+		algStr   = flag.String("alg", "ToE", "variant: "+cli.VariantList())
+		stats    = flag.Bool("stats", false, "print search statistics")
+		snap     = flag.String("snapshot", "", "serve from this baked snapshot instead of generating a space")
+		closeStr = flag.String("close", "", "closed doors, e.g. \"3,17\"")
+		delayStr = flag.String("delay", "", "door traversal penalties, e.g. \"12:30,40:15.5\" (meters per pass)")
 	)
 	flag.Parse()
 
+	spec := cli.QuerySpec{
+		Seed: *seed + 17, K: *k, QWLen: *qwLen, Beta: *beta,
+		S2T: *s2t, Eta: *eta, Alpha: *alpha, Tau: *tau,
+	}
 	var (
 		engine *ikrq.Engine
 		req    ikrq.Request
 		err    error
 	)
 	if *snap != "" {
-		engine, req, err = fromSnapshot(*snap, *seed, *k, *qwLen, *beta, *eta, *alpha, *tau)
+		engine, req, err = cli.SnapshotSetup(*snap, spec)
 	} else {
-		engine, req, err = fromGenerated(*real, *floors, *seed, *k, *qwLen, *beta, *s2t, *eta, *alpha, *tau)
+		engine, req, err = cli.GeneratedSetup(*real, *floors, *seed, spec)
 	}
 	if err != nil {
 		fatal(err)
@@ -60,8 +70,12 @@ func main() {
 	if *qwFlag != "" {
 		req.QW = strings.Split(*qwFlag, ",")
 	}
+	req.Conditions, err = cli.ParseConditions(*closeStr, *delayStr)
+	if err != nil {
+		fatal(err)
+	}
 
-	opt, err := ikrq.OptionsFor(ikrq.Variant(*algStr))
+	_, opt, err := cli.ParseVariant(*algStr)
 	if err != nil {
 		fatal(err)
 	}
@@ -72,6 +86,9 @@ func main() {
 
 	fmt.Printf("IKRQ(ps=%v, pt=%v, Δ=%.0fm, QW=%v, k=%d) via %s\n",
 		req.Ps, req.Pt, req.Delta, req.QW, req.K, *algStr)
+	if !req.Conditions.Empty() {
+		fmt.Printf("live %v\n", req.Conditions)
+	}
 	if len(res.Routes) == 0 {
 		fmt.Println("no routes within the distance constraint")
 		return
@@ -83,64 +100,12 @@ func main() {
 	}
 	if *stats {
 		st := res.Stats
-		fmt.Printf("stats: %v, pops=%d stamps=%d peakQ=%d pruned[R1=%d R2=%d R3=%d R4=%d R5=%d reg=%d Δ=%d] mem≈%.2fMB\n",
+		fmt.Printf("stats: %v, pops=%d stamps=%d peakQ=%d pruned[R1=%d R2=%d R3=%d R4=%d R5=%d reg=%d Δ=%d closed=%d] mem≈%.2fMB\n",
 			st.Elapsed, st.Pops, st.StampsCreated, st.PeakQueue,
 			st.PrunedRule1, st.PrunedRule2, st.PrunedRule3, st.PrunedRule4,
-			st.PrunedRule5, st.PrunedRegularity, st.PrunedDelta,
+			st.PrunedRule5, st.PrunedRegularity, st.PrunedDelta, st.PrunedClosed,
 			float64(st.EstBytes)/(1<<20))
 	}
-}
-
-// fromGenerated builds the engine and query instance from a generated
-// space, the original workflow.
-func fromGenerated(real bool, floors int, seed uint64, k, qwLen int, beta, s2t, eta, alpha, tau float64) (*ikrq.Engine, ikrq.Request, error) {
-	var (
-		mall *ikrq.Mall
-		voc  *ikrq.Vocabulary
-		idx  *ikrq.KeywordIndex
-		err  error
-	)
-	if real {
-		mall, voc, idx, err = ikrq.NewRealMall(seed)
-	} else {
-		mall, voc, idx, err = ikrq.NewSyntheticMall(floors, seed)
-	}
-	if err != nil {
-		return nil, ikrq.Request{}, err
-	}
-	engine := ikrq.NewEngine(mall.Space, idx)
-	qgen := ikrq.NewQueryGen(mall, idx, voc, engine, seed+17)
-
-	cfg := gen.DefaultQueryConfig(seed + 17)
-	cfg.K = k
-	cfg.QWLen = qwLen
-	cfg.Beta = beta
-	cfg.S2T = s2t
-	cfg.Eta = eta
-	cfg.Alpha = alpha
-	cfg.Tau = tau
-	req, err := qgen.Instance(cfg)
-	return engine, req, err
-}
-
-// fromSnapshot loads a baked engine and samples a query from its index
-// layer (no Mall/Vocabulary bookkeeping exists for a snapshot, so the
-// δs2t-targeted generator does not apply; the sampler stretches the query
-// across the space instead).
-func fromSnapshot(path string, seed uint64, k, qwLen int, beta, eta, alpha, tau float64) (*ikrq.Engine, ikrq.Request, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, ikrq.Request{}, err
-	}
-	defer f.Close()
-	engine, err := ikrq.LoadEngine(f)
-	if err != nil {
-		return nil, ikrq.Request{}, err
-	}
-	smp := gen.NewSampler(engine.Space(), engine.Keywords(), engine.PathFinder(), seed+17)
-	cfg := gen.SampleConfig{K: k, QWLen: qwLen, Beta: beta, Eta: eta, Alpha: alpha, Tau: tau}
-	req, err := smp.Instance(cfg)
-	return engine, req, err
 }
 
 // describeRoute renders a route as ps →(partition)→ door →…→ pt with the
@@ -158,15 +123,6 @@ func describeRoute(e *ikrq.Engine, r *ikrq.Route) string {
 	}
 	b.WriteString(" → pt")
 	return b.String()
-}
-
-func variantList() string {
-	vs := search.Variants()
-	out := make([]string, len(vs))
-	for i, v := range vs {
-		out[i] = string(v)
-	}
-	return strings.Join(out, " ")
 }
 
 func fatal(err error) {

@@ -14,6 +14,11 @@
 // With -snapshot the harness benchmarks serving from a baked index (see
 // `ikrqgen -snapshot`): the cold-start cost of loading versus rebuilding,
 // then every Table III variant over queries sampled from the loaded space.
+// -close and -delay (same syntax as cmd/ikrq) overlay live venue
+// conditions on every sampled query, measuring a degraded venue served
+// from the unchanged bake. The `conditions` figure of the main suite
+// compares that overlay path against rebuilding a door-filtered engine
+// per closure scenario.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"os"
 
 	"ikrq/internal/bench"
+	"ikrq/internal/cli"
 )
 
 func main() {
@@ -34,8 +40,20 @@ func main() {
 		cap       = flag.Int("cap", 0, "expansion cap for ToE\\P (default 300000, quick 50000)")
 		workers   = flag.Int("workers", 1, "batch-executor workers per figure cell (>1 shortens sweeps but adds timing contention)")
 		snap      = flag.String("snapshot", "", "benchmark serving from this baked snapshot instead of the figure suite")
+		closeStr  = flag.String("close", "", "with -snapshot: closed doors overlaid on every query, e.g. \"3,17\"")
+		delayStr  = flag.String("delay", "", "with -snapshot: door penalties overlaid on every query, e.g. \"12:30,40:15.5\"")
 	)
 	flag.Parse()
+
+	cond, err := cli.ParseConditions(*closeStr, *delayStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ikrqbench: %v\n", err)
+		os.Exit(2)
+	}
+	if cond != nil && *snap == "" {
+		fmt.Fprintln(os.Stderr, "ikrqbench: -close/-delay require -snapshot (the figure suite samples its own scenarios)")
+		os.Exit(2)
+	}
 
 	cfg := bench.DefaultConfig(*seed)
 	if *quick {
@@ -54,7 +72,7 @@ func main() {
 		cfg.Workers = *workers
 	}
 	if *snap != "" {
-		rep, err := bench.RunSnapshot(*snap, cfg)
+		rep, err := bench.RunSnapshot(*snap, cfg, cond)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ikrqbench: %v\n", err)
 			os.Exit(1)

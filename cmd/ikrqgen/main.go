@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"ikrq"
+	"ikrq/internal/cli"
 	"ikrq/internal/export"
 	"ikrq/internal/keyword"
 )
@@ -35,17 +36,7 @@ func main() {
 		fatal(fmt.Errorf("-json and -snapshot are mutually exclusive; run ikrqgen twice with the same -seed"))
 	}
 
-	var (
-		mall *ikrq.Mall
-		voc  *ikrq.Vocabulary
-		idx  *ikrq.KeywordIndex
-		err  error
-	)
-	if *real {
-		mall, voc, idx, err = ikrq.NewRealMall(*seed)
-	} else {
-		mall, voc, idx, err = ikrq.NewSyntheticMall(*floors, *seed)
-	}
+	mall, voc, idx, err := cli.Mall(*real, *floors, *seed)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,92 @@
+// Closures: maintenance-day rerouting with a live Conditions overlay.
+//
+// A two-corridor mall offers two ways from the entrance to the food court,
+// each passing a coffee shop. The example runs the same query three times
+// against ONE engine — normal day, the north corridor closed for
+// maintenance, and the closure plus a congested security gate — showing
+// routes adapt per query with no engine rebuild.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ikrq"
+)
+
+func main() {
+	// ---- Indoor space: two parallel corridors, a connector at each end.
+	//
+	//	entr -- north0 --dN-- north1 -- exitN
+	//	  |                               |
+	//	entr -- south0 --dS-- south1 -- court   (gate dG on south1→court)
+	//
+	//	espresso-bar on north0, drip-lab on south0.
+	b := ikrq.NewSpaceBuilder()
+	entr := b.AddPartition("entrance", ikrq.KindHallway, ikrq.Rect(0, 0, 10, 30, 0))
+	north0 := b.AddPartition("north-0", ikrq.KindHallway, ikrq.Rect(10, 20, 40, 30, 0))
+	north1 := b.AddPartition("north-1", ikrq.KindHallway, ikrq.Rect(40, 20, 70, 30, 0))
+	south0 := b.AddPartition("south-0", ikrq.KindHallway, ikrq.Rect(10, 0, 40, 10, 0))
+	south1 := b.AddPartition("south-1", ikrq.KindHallway, ikrq.Rect(40, 0, 70, 10, 0))
+	court := b.AddPartition("food-court", ikrq.KindHallway, ikrq.Rect(70, 0, 90, 30, 0))
+	espresso := b.AddPartition("espresso-bar", ikrq.KindRoom, ikrq.Rect(10, 30, 30, 40, 0))
+	drip := b.AddPartition("drip-lab", ikrq.KindRoom, ikrq.Rect(10, -10, 30, 0, 0))
+
+	b.AddDoor(ikrq.At(10, 25, 0), entr, north0)
+	b.AddDoor(ikrq.At(10, 5, 0), entr, south0)
+	dN := b.AddDoor(ikrq.At(40, 25, 0), north0, north1) // north connector
+	b.AddDoor(ikrq.At(40, 5, 0), south0, south1)
+	b.AddDoor(ikrq.At(70, 25, 0), north1, court)
+	dG := b.AddDoor(ikrq.At(70, 5, 0), south1, court) // security gate
+	b.AddDoor(ikrq.At(20, 30, 0), north0, espresso)
+	b.AddDoor(ikrq.At(20, 0, 0), south0, drip)
+
+	space, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	kb := ikrq.NewKeywordBuilder(space.NumPartitions())
+	kb.AssignPartition(espresso, kb.DefineIWord("espresso-bar", []string{"coffee", "espresso"}))
+	kb.AssignPartition(drip, kb.DefineIWord("drip-lab", []string{"coffee", "filter"}))
+	index, err := kb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine := ikrq.NewEngine(space, index)
+
+	req := ikrq.Request{
+		Ps: ikrq.At(5, 15, 0), Pt: ikrq.At(85, 15, 0),
+		Delta: 260, QW: []string{"coffee"}, K: 2, Alpha: 0.5, Tau: 0.2,
+	}
+	opt := ikrq.Options{Algorithm: ikrq.ToE}
+
+	scenarios := []struct {
+		name string
+		cond *ikrq.Conditions
+	}{
+		{"normal day", nil},
+		{"north corridor closed (maintenance)", ikrq.NewConditions().Close(dN)},
+		{"closure + congested gate (+60m queue)",
+			ikrq.NewConditions().Close(dN).Delay(dG, 60)},
+	}
+	for _, sc := range scenarios {
+		req.Conditions = sc.cond
+		res, err := engine.Search(req, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s ==\n", sc.name)
+		if len(res.Routes) == 0 {
+			fmt.Println("  no route within Δ")
+			continue
+		}
+		for i, r := range res.Routes {
+			fmt.Printf("  #%d ψ=%.3f δ=%.1fm via", i+1, r.Psi, r.Dist)
+			for _, v := range r.Entered {
+				fmt.Printf(" %s", space.Partition(v).Name)
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -59,6 +59,25 @@
 // latency, and before SaveSnapshot to bake the matrix into the snapshot so
 // loaded engines never compute it at all. SaveSnapshot includes the matrix
 // section exactly when the engine has built one.
+//
+// # Live venue conditions
+//
+// Real venues are not static: shops close after hours, corridors get
+// blocked for maintenance, security gates queue. A Conditions overlay
+// describes such a situation — a set of closed doors plus per-door
+// traversal penalties in walking meters — and rides on the Request, so
+// every query can see a different live state of the same engine without
+// rebuilding anything:
+//
+//	cond := ikrq.NewConditions().Close(12, 40).Delay(7, 30)
+//	res, _ := engine.Search(ikrq.Request{ ..., Conditions: cond }, opt)
+//
+// Closures only remove edges and penalties only increase costs, so the
+// statically precomputed lower bounds (skeleton, KoE* matrix) remain
+// admissible and the search stays exact: with an overlay of closures the
+// results are identical to a freshly built engine whose space omits those
+// doors, and reported route distances include every penalty paid. See
+// DESIGN.md §7 for the admissibility argument.
 package ikrq
 
 import (
@@ -97,6 +116,10 @@ type (
 	DoorID = model.DoorID
 	// PartitionKind classifies partitions (room / hallway / staircase).
 	PartitionKind = model.PartitionKind
+	// Conditions is a per-query live-venue overlay: closed doors plus
+	// additive per-door traversal penalties, applied at query time against
+	// the unchanged index (see the package docs, "Live venue conditions").
+	Conditions = model.Conditions
 )
 
 // Partition kinds.
@@ -108,6 +131,13 @@ const (
 
 // NewSpaceBuilder returns an empty space builder.
 func NewSpaceBuilder() *SpaceBuilder { return model.NewBuilder() }
+
+// NewConditions returns an empty live-venue overlay; chain Close and Delay
+// to describe closures and congestion, then attach it to a Request:
+//
+//	cond := ikrq.NewConditions().Close(atriumDoor).Delay(gateDoor, 45)
+//	res, _ := engine.Search(ikrq.Request{ ..., Conditions: cond }, opt)
+func NewConditions() *Conditions { return model.NewConditions() }
 
 // Keyword layer.
 type (

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"ikrq/internal/gen"
+	"ikrq/internal/model"
+	"ikrq/internal/search"
+)
+
+// FigConditions compares the two ways to answer queries when a venue's
+// live state diverges from the index — doors closed for maintenance,
+// gates congested:
+//
+//   - overlay: attach a Conditions overlay to each query against the
+//     unchanged engine (this PR's path), and
+//   - rebuild: construct a fresh engine over a space that physically omits
+//     the closed doors, then query it (the only option before overlays —
+//     and what the overlay's per-query cost must be weighed against; the
+//     rebuild series includes the per-scenario engine construction, the
+//     same cost BenchmarkEngineColdStart's rebuild path measures).
+//
+// Penalties cannot be expressed by a rebuild at all, so the rebuild series
+// covers the closure part of each scenario only; the overlay series
+// carries closures and penalties.
+func (e *Env) FigConditions() (*Figure, error) {
+	w, err := e.Synthetic(3)
+	if err != nil {
+		return nil, err
+	}
+	reqs, err := e.instances(w, nil)
+	if err != nil {
+		return nil, err
+	}
+	scfg := gen.DefaultConditionsConfig()
+	opt, err := e.optionsFor(search.VariantToE)
+	if err != nil {
+		return nil, err
+	}
+
+	fig := &Figure{
+		ID:     "conditions",
+		Title:  "Live closures: per-query overlay vs engine rebuild (ToE)",
+		XLabel: "scenario",
+		YLabel: "time (ms)",
+	}
+	overlay := Series{Name: "overlay"}
+	rebuild := Series{Name: "rebuild+query"}
+	rec := w.Engine.Space().Export()
+
+	scenarios := e.Cfg.Instances
+	if scenarios > len(reqs) {
+		scenarios = len(reqs)
+	}
+	for i := 0; i < scenarios; i++ {
+		cond := gen.SampleConditions(w.Engine.Space(), e.Cfg.Seed+uint64(100+i), scfg)
+
+		// Overlay path: same engine, conditions ride on the request.
+		req := reqs[i]
+		req.Conditions = cond
+		t0 := time.Now()
+		for r := 0; r < e.Cfg.Runs; r++ {
+			if _, err := w.Engine.Search(req, opt); err != nil {
+				return nil, err
+			}
+		}
+		overlay.X = append(overlay.X, float64(i+1))
+		overlay.Y = append(overlay.Y, ms(time.Since(t0)/time.Duration(e.Cfg.Runs)))
+
+		// Rebuild path: filter the space, rebuild the whole engine, query.
+		t1 := time.Now()
+		for r := 0; r < e.Cfg.Runs; r++ {
+			frec, _ := rec.WithoutDoors(cond.ClosedDoors())
+			fs, err := model.SpaceFromRecord(frec)
+			if err != nil {
+				return nil, fmt.Errorf("bench: closure scenario %d not rebuildable: %w", i, err)
+			}
+			feng := search.NewEngine(fs, w.Engine.Keywords())
+			if _, err := feng.Search(reqs[i], opt); err != nil {
+				return nil, err
+			}
+		}
+		rebuild.X = append(rebuild.X, float64(i+1))
+		rebuild.Y = append(rebuild.Y, ms(time.Since(t1)/time.Duration(e.Cfg.Runs)))
+	}
+	fig.Series = append(fig.Series, overlay, rebuild)
+	return fig, nil
+}

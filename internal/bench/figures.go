@@ -342,25 +342,26 @@ func (e *Env) SweepTau() (*Figure, error) {
 // All returns every figure in paper order, keyed by ID.
 func (e *Env) All() map[string]func() (*Figure, error) {
 	return map[string]func() (*Figure, error){
-		"fig04": e.Fig04Default,
-		"fig05": e.Fig05K,
-		"fig06": e.Fig06QW,
-		"fig07": e.Fig07QWMem,
-		"fig08": e.Fig08Eta,
-		"fig09": e.Fig09EtaMem,
-		"fig10": e.Fig10Beta,
-		"fig11": e.Fig11Floors,
-		"fig12": e.Fig12S2T,
-		"fig13": e.Fig13KoEStar,
-		"fig14": e.Fig14KoEStarMem,
-		"fig15": e.Fig15NoPrime,
-		"fig16": e.Fig16HomogRate,
-		"fig17": e.Fig17RealQW,
-		"fig18": e.Fig18RealQWMem,
-		"fig19": e.Fig19RealEta,
-		"fig20": e.Fig20RealHomogRate,
-		"alpha": e.SweepAlpha,
-		"tau":   e.SweepTau,
+		"fig04":      e.Fig04Default,
+		"fig05":      e.Fig05K,
+		"fig06":      e.Fig06QW,
+		"fig07":      e.Fig07QWMem,
+		"fig08":      e.Fig08Eta,
+		"fig09":      e.Fig09EtaMem,
+		"fig10":      e.Fig10Beta,
+		"fig11":      e.Fig11Floors,
+		"fig12":      e.Fig12S2T,
+		"fig13":      e.Fig13KoEStar,
+		"fig14":      e.Fig14KoEStarMem,
+		"fig15":      e.Fig15NoPrime,
+		"fig16":      e.Fig16HomogRate,
+		"fig17":      e.Fig17RealQW,
+		"fig18":      e.Fig18RealQWMem,
+		"fig19":      e.Fig19RealEta,
+		"fig20":      e.Fig20RealHomogRate,
+		"alpha":      e.SweepAlpha,
+		"tau":        e.SweepTau,
+		"conditions": e.FigConditions,
 	}
 }
 
@@ -369,6 +370,6 @@ func Order() []string {
 	return []string{
 		"fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-		"fig18", "fig19", "fig20", "alpha", "tau",
+		"fig18", "fig19", "fig20", "alpha", "tau", "conditions",
 	}
 }

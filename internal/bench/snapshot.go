@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ikrq/internal/gen"
+	"ikrq/internal/model"
 	"ikrq/internal/search"
 	"ikrq/internal/snapshot"
 )
@@ -31,8 +32,11 @@ type SnapshotReport struct {
 
 // RunSnapshot loads path, measures cold start against a rebuild, and runs
 // every Table III variant over cfg.Instances sampled queries (cfg.Runs
-// repetitions each, fanned over cfg.Workers).
-func RunSnapshot(path string, cfg Config) (*SnapshotReport, error) {
+// repetitions each, fanned over cfg.Workers). A non-nil cond overlays live
+// venue conditions (closures/penalties) on every sampled query, which is
+// how `ikrqbench -snapshot -close/-delay` measures serving a degraded
+// venue from an unchanged bake.
+func RunSnapshot(path string, cfg Config, cond *model.Conditions) (*SnapshotReport, error) {
 	info, err := os.Stat(path)
 	if err != nil {
 		return nil, err
@@ -67,12 +71,24 @@ func RunSnapshot(path string, cfg Config) (*SnapshotReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cond != nil {
+		if err := cond.Validate(eng.Space().NumDoors()); err != nil {
+			return nil, err
+		}
+		for i := range reqs {
+			reqs[i].Conditions = cond
+		}
+	}
 
 	env := NewEnv(cfg)
 	w := &Workload{Engine: eng}
+	title := fmt.Sprintf("query latency served from %s", path)
+	if !cond.Empty() {
+		title += " under " + cond.String()
+	}
 	fig := &Figure{
 		ID:     "snapshot",
-		Title:  fmt.Sprintf("query latency served from %s", path),
+		Title:  title,
 		XLabel: "instance",
 		YLabel: "avg time (ms)",
 	}

@@ -1,0 +1,46 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"ikrq/internal/search"
+)
+
+func TestParseConditions(t *testing.T) {
+	cond, err := ParseConditions("", "")
+	if err != nil || cond != nil {
+		t.Fatalf("empty specs: got %v, %v", cond, err)
+	}
+	cond, err = ParseConditions("3, 17", "12:30,40:15.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cond.Closed(3) || !cond.Closed(17) || cond.Closed(12) {
+		t.Errorf("closures wrong: %v", cond.ClosedDoors())
+	}
+	if cond.Penalty(12) != 30 || cond.Penalty(40) != 15.5 {
+		t.Errorf("penalties wrong: %v", cond)
+	}
+
+	for _, bad := range []struct{ c, d string }{
+		{"x", ""}, {"", "12"}, {"", "12:abc"}, {"", "12:-3"}, {"", "12:+Inf"},
+	} {
+		if _, err := ParseConditions(bad.c, bad.d); err == nil {
+			t.Errorf("ParseConditions(%q, %q) accepted", bad.c, bad.d)
+		}
+	}
+}
+
+func TestParseVariant(t *testing.T) {
+	v, opt, err := ParseVariant("KoE*")
+	if err != nil || v != search.VariantKoEStar || !opt.Precompute {
+		t.Fatalf("KoE*: %v %+v %v", v, opt, err)
+	}
+	if _, _, err := ParseVariant("nope"); err == nil {
+		t.Error("unknown variant accepted")
+	}
+	if list := VariantList(); !strings.Contains(list, "ToE\\P") || !strings.Contains(list, "KoE*") {
+		t.Errorf("VariantList = %q", list)
+	}
+}

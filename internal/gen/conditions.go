@@ -1,0 +1,107 @@
+package gen
+
+import (
+	"ikrq/internal/geom"
+	"ikrq/internal/model"
+)
+
+// ConditionsConfig parameterizes the live-venue scenario sampler.
+type ConditionsConfig struct {
+	// Closures is the number of doors to close (maintenance, after-hours).
+	Closures int
+	// Delays is the number of doors to penalize (congestion, queueing).
+	Delays int
+	// MinDelay and MaxDelay bound the sampled penalties in walking meters.
+	MinDelay, MaxDelay float64
+	// Rebuildable restricts closures to doors whose removal keeps the
+	// space buildable (every partition retains an enter and a leave door
+	// and no stairway loses an anchor) — the set the closure-oracle tests
+	// and the overlay-vs-rebuild benchmark need, since they construct a
+	// comparison space that physically omits the closed doors.
+	Rebuildable bool
+}
+
+// DefaultConditionsConfig is a moderate maintenance-day scenario.
+func DefaultConditionsConfig() ConditionsConfig {
+	return ConditionsConfig{Closures: 3, Delays: 3, MinDelay: 10, MaxDelay: 60, Rebuildable: true}
+}
+
+// RebuildableClosures returns the doors that can be closed while leaving
+// the space buildable without them: non-stair doors (removing a stairway
+// anchor would drop the stairway and strand the staircase partition) for
+// which every enterable partition keeps another enter door and every
+// leaveable partition keeps another leave door.
+func RebuildableClosures(s *model.Space) []model.DoorID {
+	var out []model.DoorID
+	for i := range s.Doors() {
+		d := s.Door(model.DoorID(i))
+		if d.Stair {
+			continue
+		}
+		ok := true
+		for _, v := range d.Enterable() {
+			if len(s.Partition(v).EnterDoors()) < 2 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, v := range d.Leaveable() {
+				if len(s.Partition(v).LeaveDoors()) < 2 {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			out = append(out, d.ID)
+		}
+	}
+	return out
+}
+
+// SampleConditions draws a live-venue overlay for the space: cfg.Closures
+// closed doors (from the rebuildable set when cfg.Rebuildable, otherwise
+// any door) and cfg.Delays penalized doors with penalties uniform in
+// [MinDelay, MaxDelay]. Closed doors are never also penalized, and each
+// count is capped by the doors actually available. The draw is
+// deterministic in the seed.
+func SampleConditions(s *model.Space, seed uint64, cfg ConditionsConfig) *model.Conditions {
+	rng := geom.NewRand(seed)
+	cond := model.NewConditions()
+
+	var pool []model.DoorID
+	if cfg.Rebuildable {
+		pool = RebuildableClosures(s)
+	} else {
+		pool = make([]model.DoorID, s.NumDoors())
+		for i := range pool {
+			pool[i] = model.DoorID(i)
+		}
+	}
+	taken := make(map[model.DoorID]bool)
+	for n := 0; n < cfg.Closures && len(taken) < len(pool); {
+		d := pool[rng.Intn(len(pool))]
+		if taken[d] {
+			continue
+		}
+		taken[d] = true
+		cond.Close(d)
+		n++
+	}
+	// Delay candidates: any door not already closed, drawn without
+	// replacement so cfg.Delays is met exactly whenever enough doors exist.
+	open := make([]model.DoorID, 0, s.NumDoors()-len(taken))
+	for i := 0; i < s.NumDoors(); i++ {
+		if !taken[model.DoorID(i)] {
+			open = append(open, model.DoorID(i))
+		}
+	}
+	for n := 0; n < cfg.Delays && len(open) > 0; n++ {
+		i := rng.Intn(len(open))
+		cond.Delay(open[i], rng.InRange(cfg.MinDelay, cfg.MaxDelay))
+		open[i] = open[len(open)-1]
+		open = open[:len(open)-1]
+	}
+	return cond
+}

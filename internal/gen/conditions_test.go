@@ -1,0 +1,62 @@
+package gen
+
+import (
+	"testing"
+
+	"ikrq/internal/model"
+)
+
+func TestSampleConditionsRebuildable(t *testing.T) {
+	mall, _, _, err := SyntheticMall(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConditionsConfig()
+	cond := SampleConditions(mall.Space, 41, cfg)
+	if got := cond.NumClosed(); got != cfg.Closures {
+		t.Fatalf("closed %d doors, want %d", got, cfg.Closures)
+	}
+	if got := len(cond.DelayedDoors()); got != cfg.Delays {
+		t.Fatalf("delayed %d doors, want %d", got, cfg.Delays)
+	}
+	for _, d := range cond.DelayedDoors() {
+		if p := cond.Penalty(d); p < cfg.MinDelay || p > cfg.MaxDelay {
+			t.Errorf("door %d penalty %v outside [%v,%v]", d, p, cfg.MinDelay, cfg.MaxDelay)
+		}
+		if cond.Closed(d) {
+			t.Errorf("door %d both closed and delayed", d)
+		}
+	}
+	// The rebuildable guarantee: the space must build without the closures.
+	frec, _ := mall.Space.Export().WithoutDoors(cond.ClosedDoors())
+	if _, err := model.SpaceFromRecord(frec); err != nil {
+		t.Fatalf("sampled closures break the rebuild: %v", err)
+	}
+	if err := cond.Validate(mall.Space.NumDoors()); err != nil {
+		t.Fatalf("sampled overlay invalid: %v", err)
+	}
+
+	// Determinism: same seed, same scenario.
+	again := SampleConditions(mall.Space, 41, cfg)
+	if cond.String() != again.String() {
+		t.Errorf("sampler not deterministic:\n%v\n%v", cond, again)
+	}
+}
+
+func TestRebuildableClosuresExcludeStairAndLastDoors(t *testing.T) {
+	mall, _, _, err := SyntheticMall(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mall.Space
+	for _, d := range RebuildableClosures(s) {
+		if s.Door(d).Stair {
+			t.Errorf("stair door %d offered as closable", d)
+		}
+		for _, v := range s.Door(d).Enterable() {
+			if len(s.Partition(v).EnterDoors()) < 2 {
+				t.Errorf("door %d is partition %d's only enter door", d, v)
+			}
+		}
+	}
+}

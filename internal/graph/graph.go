@@ -1,7 +1,8 @@
 // Package graph provides the distance infrastructure of the IKRQ search:
 //
 //   - PathFinder: shortest "regular" routes over the door connectivity
-//     graph, with forbidden-door sets. The graph's nodes are (door,
+//     graph under a query-time cost model (Costs: blocked doors plus
+//     additive door delays). The graph's nodes are (door,
 //     entered-partition) states, mirroring the paper's stamp semantics: a
 //     route that reaches door d has committed to one of the partitions
 //     enterable through d, and its next hop must leave that partition. This
@@ -185,11 +186,50 @@ type Forbidden func(model.DoorID) bool
 // NoForbidden allows every door.
 func NoForbidden(model.DoorID) bool { return false }
 
+// Costs is the query-time door cost model the shortest-path entry points
+// evaluate against the immutable state graph. It generalizes the original
+// forbidden-door hook: Block removes doors (the regularity constraint plus
+// any Conditions-overlay closures) and Delay adds a per-traversal penalty
+// to a door (congestion/queueing overlays). The zero value applies the
+// static costs unchanged.
+//
+// Because Block only removes edges and Delay only increases arc costs,
+// distances computed under the zero Costs are admissible lower bounds of
+// distances under any non-zero Costs — the invariant that keeps the
+// statically built Skeleton bounds and Matrix entries sound under live
+// venue conditions (DESIGN.md §7).
+type Costs struct {
+	// Block reports doors that may not be traversed. nil blocks nothing.
+	Block Forbidden
+	// Delay returns the additive traversal penalty charged every time a
+	// path passes the door. nil means no penalties.
+	Delay func(model.DoorID) float64
+}
+
+// ForbidOnly wraps a plain door filter in a Costs with no penalties.
+func ForbidOnly(f Forbidden) Costs { return Costs{Block: f} }
+
+func (c Costs) blocked(d model.DoorID) bool { return c.Block != nil && c.Block(d) }
+
+func (c Costs) delay(d model.DoorID) float64 {
+	if c.Delay == nil {
+		return 0
+	}
+	return c.Delay(d)
+}
+
 // dijkstra runs a multi-seed Dijkstra and returns per-state distances,
-// parent states and originating seed indices. Arcs into forbidden doors are
-// skipped; seed states are admitted regardless (their legality is the
-// caller's concern).
-func (pf *PathFinder) dijkstra(seeds []Seed, forbidden Forbidden) (dist []float64, parent []StateID, seedOf []int32) {
+// parent states and originating seed indices. Arcs into blocked doors are
+// skipped and every arc pays the arrival door's delay on top of its static
+// weight; seed states are admitted with their given costs regardless (their
+// legality — and any delay owed for passing the seed door — is the caller's
+// concern).
+//
+// Ties on distance break on the arrival state's (door, partition), which
+// makes the chosen shortest-path tree deterministic and invariant under any
+// order-preserving renumbering of doors — the property the closure-oracle
+// tests rely on when comparing against a rebuilt, door-filtered space.
+func (pf *PathFinder) dijkstra(seeds []Seed, costs Costs) (dist []float64, parent []StateID, seedOf []int32) {
 	n := len(pf.states)
 	dist = make([]float64, n)
 	parent = make([]StateID, n)
@@ -208,7 +248,7 @@ func (pf *PathFinder) dijkstra(seeds []Seed, forbidden Forbidden) (dist []float6
 			dist[sd.State] = sd.Cost
 			seedOf[sd.State] = int32(si)
 			parent[sd.State] = NoState
-			heap.Push(pq, heapItem{state: sd.State, dist: sd.Cost})
+			heap.Push(pq, pf.item(sd.State, sd.Cost))
 		}
 	}
 	for pq.Len() > 0 {
@@ -217,19 +257,26 @@ func (pf *PathFinder) dijkstra(seeds []Seed, forbidden Forbidden) (dist []float6
 			continue
 		}
 		for _, a := range pf.adj[it.state] {
-			if forbidden != nil && forbidden(pf.states[a.to].door) {
+			door := pf.states[a.to].door
+			if costs.blocked(door) {
 				continue
 			}
-			nd := it.dist + a.w
+			nd := it.dist + a.w + costs.delay(door)
 			if nd < dist[a.to] {
 				dist[a.to] = nd
 				parent[a.to] = it.state
 				seedOf[a.to] = seedOf[it.state]
-				heap.Push(pq, heapItem{state: a.to, dist: nd})
+				heap.Push(pq, pf.item(a.to, nd))
 			}
 		}
 	}
 	return dist, parent, seedOf
+}
+
+// item builds a heap entry carrying the state's (door, partition) tiebreak.
+func (pf *PathFinder) item(s StateID, d float64) heapItem {
+	st := pf.states[s]
+	return heapItem{state: s, dist: d, door: st.door, part: st.part}
 }
 
 // reconstruct walks parents from target back to its seed and returns the
@@ -302,9 +349,9 @@ type Tree struct {
 }
 
 // ShortestTree computes shortest paths from the seeds to every reachable
-// state under the forbidden-door constraint.
-func (pf *PathFinder) ShortestTree(seeds []Seed, forbidden Forbidden) *Tree {
-	dist, parent, seedOf := pf.dijkstra(seeds, forbidden)
+// state under the cost model.
+func (pf *PathFinder) ShortestTree(seeds []Seed, costs Costs) *Tree {
+	dist, parent, seedOf := pf.dijkstra(seeds, costs)
 	return &Tree{pf: pf, dist: dist, parent: parent, seedOf: seedOf, seeds: seeds}
 }
 
@@ -320,14 +367,14 @@ func (t *Tree) PathTo(s StateID) ([]Hop, bool) {
 	return t.pf.reconstruct(s, t.parent, t.seedOf, t.seeds), true
 }
 
-// ShortestToStates finds the cheapest path from the seeds to any state in
-// targets. It returns the best target and path, or ok=false when none is
-// reachable.
-func (pf *PathFinder) ShortestToStates(seeds []Seed, targets map[StateID]struct{}, forbidden Forbidden) (StateID, Path, bool) {
-	dist, parent, seedOf := pf.dijkstra(seeds, forbidden)
+// ShortestToStates finds the cheapest path from the seeds to any of the
+// target states (ties break on list order). It returns the best target and
+// path, or ok=false when none is reachable.
+func (pf *PathFinder) ShortestToStates(seeds []Seed, targets []StateID, costs Costs) (StateID, Path, bool) {
+	dist, parent, seedOf := pf.dijkstra(seeds, costs)
 	best := NoState
 	bestD := math.Inf(1)
-	for t := range targets {
+	for _, t := range targets {
 		if dist[t] < bestD {
 			bestD = dist[t]
 			best = t
@@ -340,16 +387,16 @@ func (pf *PathFinder) ShortestToStates(seeds []Seed, targets map[StateID]struct{
 }
 
 // ShortestToState finds the cheapest path from the seeds to one state.
-func (pf *PathFinder) ShortestToState(seeds []Seed, target StateID, forbidden Forbidden) (Path, bool) {
-	_, p, ok := pf.ShortestToStates(seeds, map[StateID]struct{}{target: {}}, forbidden)
+func (pf *PathFinder) ShortestToState(seeds []Seed, target StateID, costs Costs) (Path, bool) {
+	_, p, ok := pf.ShortestToStates(seeds, []StateID{target}, costs)
 	return p, ok
 }
 
 // ShortestToPoint finds the cheapest route from the seeds to point pt,
 // whose host partition must be hostPt: the route ends at some door state
 // (d, hostPt) plus the in-partition leg |d, pt|.
-func (pf *PathFinder) ShortestToPoint(seeds []Seed, pt geom.Point, hostPt model.PartitionID, forbidden Forbidden) (Path, bool) {
-	dist, parent, seedOf := pf.dijkstra(seeds, forbidden)
+func (pf *PathFinder) ShortestToPoint(seeds []Seed, pt geom.Point, hostPt model.PartitionID, costs Costs) (Path, bool) {
+	dist, parent, seedOf := pf.dijkstra(seeds, costs)
 	best := NoState
 	bestD := math.Inf(1)
 	for _, sid := range pf.targetStatesForPoint(hostPt) {
@@ -389,7 +436,7 @@ func (pf *PathFinder) PointToPoint(a, b geom.Point) float64 {
 	if hostA == hostB {
 		best = a.Dist(b)
 	}
-	if p, ok := pf.ShortestToPoint(pf.SeedsFromPointIn(a, hostA), b, hostB, nil); ok && p.Dist < best {
+	if p, ok := pf.ShortestToPoint(pf.SeedsFromPointIn(a, hostA), b, hostB, Costs{}); ok && p.Dist < best {
 		best = p.Dist
 	}
 	return best
@@ -405,7 +452,7 @@ func (pf *PathFinder) DistancesFromPoint(p geom.Point) []float64 {
 		out[i] = math.Inf(1)
 	}
 	seeds := pf.SeedsFromPoint(p)
-	dist, _, _ := pf.dijkstra(seeds, nil)
+	dist, _, _ := pf.dijkstra(seeds, Costs{})
 	for sid, d := range dist {
 		door := pf.states[sid].door
 		if d < out[door] {
@@ -433,14 +480,29 @@ func RegularHops(hops []Hop) bool {
 type heapItem struct {
 	state StateID
 	dist  float64
+	// door and part order equal-distance pops deterministically. Comparing
+	// doors (not StateIDs) keeps the order invariant under door-preserving
+	// renumberings, so a space rebuilt without some doors explores ties the
+	// same way the overlaid original does.
+	door model.DoorID
+	part model.PartitionID
 }
 
 type stateHeap []heapItem
 
-func (h stateHeap) Len() int           { return len(h) }
-func (h stateHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
-func (h stateHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *stateHeap) Push(x any)        { *h = append(*h, x.(heapItem)) }
+func (h stateHeap) Len() int { return len(h) }
+func (h stateHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	if a.door != b.door {
+		return a.door < b.door
+	}
+	return a.part < b.part
+}
+func (h stateHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *stateHeap) Push(x any)   { *h = append(*h, x.(heapItem)) }
 func (h *stateHeap) Pop() any {
 	old := *h
 	n := len(old)

@@ -63,7 +63,7 @@ func TestShortestToPointAlongCorridor(t *testing.T) {
 
 	ps := geom.Pt(2, 5, 0)  // in h0
 	pt := geom.Pt(28, 5, 0) // in h2
-	path, ok := pf.ShortestToPoint(pf.SeedsFromPoint(ps), pt, parts[2], NoForbidden)
+	path, ok := pf.ShortestToPoint(pf.SeedsFromPoint(ps), pt, parts[2], Costs{})
 	if !ok {
 		t.Fatal("no path found")
 	}
@@ -89,7 +89,7 @@ func TestSelfLoopExitsDeadEnd(t *testing.T) {
 	// out is the self-loop (d2, d2), an ordinary arc of the state graph.
 	seeds := pf.SeedFromState(d2, shop)
 	pt := geom.Pt(25, 5, 0)
-	path, ok := pf.ShortestToPoint(seeds, pt, parts[2], NoForbidden)
+	path, ok := pf.ShortestToPoint(seeds, pt, parts[2], Costs{})
 	if !ok {
 		t.Fatal("no path out of dead end")
 	}
@@ -109,7 +109,7 @@ func TestForbiddenDoorBlocksPath(t *testing.T) {
 	ps := geom.Pt(2, 5, 0)
 	pt := geom.Pt(28, 5, 0)
 	forbidden := func(d model.DoorID) bool { return d == doors[1] }
-	if _, ok := pf.ShortestToPoint(pf.SeedsFromPoint(ps), pt, parts[2], forbidden); ok {
+	if _, ok := pf.ShortestToPoint(pf.SeedsFromPoint(ps), pt, parts[2], ForbidOnly(forbidden)); ok {
 		t.Error("path found through the only (forbidden) connector")
 	}
 	_ = s
@@ -155,7 +155,7 @@ func TestCrossFloorRouting(t *testing.T) {
 	ps := geom.Pt(15, 5, 0) // h1 on floor 0
 	pt := geom.Pt(15, 5, 1) // h1 on floor 1
 	hostPt := s.HostPartition(pt)
-	path, ok := pf.ShortestToPoint(pf.SeedsFromPoint(ps), pt, hostPt, NoForbidden)
+	path, ok := pf.ShortestToPoint(pf.SeedsFromPoint(ps), pt, hostPt, Costs{})
 	if !ok {
 		t.Fatal("no cross-floor path")
 	}
@@ -290,7 +290,7 @@ func TestMatrixAgreesWithDijkstra(t *testing.T) {
 	pf := NewPathFinder(s)
 	m := NewMatrix(pf)
 	for a := 0; a < pf.NumStates(); a++ {
-		dist, _, _ := pf.dijkstra([]Seed{{State: StateID(a)}}, nil)
+		dist, _, _ := pf.dijkstra([]Seed{{State: StateID(a)}}, Costs{})
 		for b := 0; b < pf.NumStates(); b++ {
 			md := m.Dist(StateID(a), StateID(b))
 			if math.IsInf(dist[b], 1) != math.IsInf(md, 1) {
@@ -321,10 +321,10 @@ func TestMatrixPathReconstruction(t *testing.T) {
 		t.Errorf("Dist = %v", d)
 	}
 	// PathIfAllowed rejects paths through forbidden doors.
-	if _, _, ok := m.PathIfAllowed(a, b, func(d model.DoorID) bool { return d == doors[1] }); ok {
+	if _, _, ok := m.PathIfAllowed(a, b, ForbidOnly(func(d model.DoorID) bool { return d == doors[1] })); ok {
 		t.Error("PathIfAllowed returned a path through a forbidden door")
 	}
-	if _, _, ok := m.PathIfAllowed(a, b, NoForbidden); !ok {
+	if _, _, ok := m.PathIfAllowed(a, b, Costs{}); !ok {
 		t.Error("PathIfAllowed rejected a clean path")
 	}
 }
@@ -345,7 +345,7 @@ func TestShortestToStates(t *testing.T) {
 	ps := geom.Pt(2, 5, 0)
 	target := pf.StateOf(doors[2], parts[3]) // door d2 entered into shop
 	got, path, ok := pf.ShortestToStates(pf.SeedsFromPoint(ps),
-		map[StateID]struct{}{target: {}}, NoForbidden)
+		[]StateID{target}, Costs{})
 	if !ok || got != target {
 		t.Fatalf("ShortestToStates failed: ok=%v", ok)
 	}

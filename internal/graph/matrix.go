@@ -32,7 +32,7 @@ func NewMatrix(pf *PathFinder) *Matrix {
 		m.next[i] = NoState
 	}
 	for src := 0; src < n; src++ {
-		dist, parent, _ := pf.dijkstra([]Seed{{State: StateID(src)}}, nil)
+		dist, parent, _ := pf.dijkstra([]Seed{{State: StateID(src)}}, Costs{})
 		row := src * n
 		for t := 0; t < n; t++ {
 			if math.IsInf(dist[t], 1) {
@@ -77,20 +77,29 @@ func (m *Matrix) Path(a, b StateID) ([]Hop, bool) {
 	return hops, true
 }
 
-// PathIfAllowed returns the precomputed path only when none of its doors is
-// forbidden; otherwise ok is false and the caller must recompute with a
-// constrained Dijkstra (the recomputation KoE* pays for on regularity
-// failures).
-func (m *Matrix) PathIfAllowed(a, b StateID, forbidden Forbidden) ([]Hop, float64, bool) {
+// PathIfAllowed returns the precomputed path only when the cost model
+// leaves it exact: no door on it is blocked (regularity exclusions,
+// overlay closures) and no door on it carries a delay. Otherwise ok is
+// false and the caller must recompute with a constrained Dijkstra — the
+// recomputation KoE* pays on regularity failures and, under a live
+// overlay, on paths the overlay invalidates.
+//
+// The delay guard is what degrades the matrix from an exact-distance
+// source to a lower-bound source under an overlay: the stored path is the
+// static optimum, and when none of its own doors is penalized its cost is
+// unchanged while every alternative can only have grown, so it remains
+// optimal; a penalized door on the path voids that argument (some detour
+// may now be cheaper), hence the fallback. Closures and delays elsewhere in
+// the graph never invalidate it. Matrix.Dist stays untouched either way and
+// is always an admissible lower bound of the overlaid distance.
+func (m *Matrix) PathIfAllowed(a, b StateID, costs Costs) ([]Hop, float64, bool) {
 	hops, ok := m.Path(a, b)
 	if !ok {
 		return nil, 0, false
 	}
-	if forbidden != nil {
-		for _, h := range hops {
-			if forbidden(h.Door) {
-				return nil, 0, false
-			}
+	for _, h := range hops {
+		if costs.blocked(h.Door) || costs.delay(h.Door) > 0 {
+			return nil, 0, false
 		}
 	}
 	return hops, m.Dist(a, b), true

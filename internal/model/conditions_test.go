@@ -1,0 +1,146 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ikrq/internal/geom"
+)
+
+func TestConditionsNilSafety(t *testing.T) {
+	var c *Conditions
+	if !c.Empty() {
+		t.Error("nil overlay not Empty")
+	}
+	if c.Closed(3) {
+		t.Error("nil overlay closes a door")
+	}
+	if c.Penalty(3) != 0 {
+		t.Error("nil overlay has a penalty")
+	}
+	if c.HasDelays() {
+		t.Error("nil overlay HasDelays")
+	}
+	if c.NumClosed() != 0 || c.ClosedDoors() != nil || c.DelayedDoors() != nil {
+		t.Error("nil overlay reports content")
+	}
+	if err := c.Validate(10); err != nil {
+		t.Errorf("nil overlay invalid: %v", err)
+	}
+}
+
+func TestConditionsAccumulate(t *testing.T) {
+	c := NewConditions().Close(7, 3).Delay(5, 10).Delay(5, 2.5).Close(3)
+	if !c.Closed(3) || !c.Closed(7) || c.Closed(5) {
+		t.Errorf("closures wrong: %v", c.ClosedDoors())
+	}
+	if got := c.ClosedDoors(); len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Errorf("ClosedDoors = %v, want sorted [3 7]", got)
+	}
+	if got := c.Penalty(5); got != 12.5 {
+		t.Errorf("Penalty(5) = %v, want accumulated 12.5", got)
+	}
+	if c.Empty() || !c.HasDelays() {
+		t.Error("flags wrong")
+	}
+	if s := c.String(); !strings.Contains(s, "d5:+12.5m") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestConditionsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cond *Conditions
+		ok   bool
+	}{
+		{"empty", NewConditions(), true},
+		{"in-range", NewConditions().Close(0, 9).Delay(4, 1), true},
+		{"close out of range", NewConditions().Close(10), false},
+		{"close negative", NewConditions().Close(-1), false},
+		{"delay out of range", NewConditions().Delay(10, 5), false},
+		{"delay negative", NewConditions().Delay(2, -1), false},
+		{"delay NaN", NewConditions().Delay(2, math.NaN()), false},
+		{"delay Inf", NewConditions().Delay(2, math.Inf(1)), false},
+	}
+	for _, tc := range cases {
+		err := tc.cond.Validate(10)
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: Validate = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+// twoFloorRecordSpace builds a small two-floor space whose record the
+// WithoutDoors tests filter: two hallways and a shop per floor, a
+// staircase connecting them.
+func twoFloorRecordSpace(t *testing.T) (*Space, []DoorID) {
+	t.Helper()
+	b := NewBuilder()
+	var doors []DoorID
+	var stairDoors []DoorID
+	for f := 0; f < 2; f++ {
+		hA := b.AddPartition("hA", KindHallway, geom.R(0, 0, 10, 10, f))
+		hB := b.AddPartition("hB", KindHallway, geom.R(10, 0, 20, 10, f))
+		st := b.AddPartition("st", KindStaircase, geom.R(20, 0, 25, 5, f))
+		shop := b.AddPartition("shop", KindRoom, geom.R(0, 10, 10, 20, f))
+		doors = append(doors, b.AddDoor(geom.Pt(10, 5, f), hA, hB)) // 0: connector
+		sd := b.AddDoor(geom.Pt(20, 2.5, f), hB, st)                // 1: stair door
+		doors = append(doors, sd)
+		stairDoors = append(stairDoors, sd)
+		doors = append(doors, b.AddDoor(geom.Pt(5, 10, f), hA, shop)) // 2: shop door
+		// A second door into the shop so one can be removed rebuildably.
+		doors = append(doors, b.AddDoor(geom.Pt(8, 10, f), hA, shop)) // 3: spare shop door
+	}
+	b.AddStairway(stairDoors[0], stairDoors[1], 20)
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return s, doors
+}
+
+func TestWithoutDoorsRemapsAndRebuilds(t *testing.T) {
+	s, doors := twoFloorRecordSpace(t)
+	rec := s.Export()
+
+	// Remove floor 0's spare shop door (ID doors[3] == 3).
+	frec, remap := rec.WithoutDoors([]DoorID{doors[3]})
+	if len(frec.Doors) != len(rec.Doors)-1 {
+		t.Fatalf("filtered record has %d doors, want %d", len(frec.Doors), len(rec.Doors)-1)
+	}
+	if remap[doors[3]] != NoDoor {
+		t.Errorf("removed door remaps to %d, want NoDoor", remap[doors[3]])
+	}
+	// Monotone: surviving doors keep their relative order.
+	prev := NoDoor
+	for old, nw := range remap {
+		if nw == NoDoor {
+			continue
+		}
+		if nw <= prev {
+			t.Fatalf("remap not monotone at door %d: %d after %d", old, nw, prev)
+		}
+		prev = nw
+	}
+	fs, err := SpaceFromRecord(frec)
+	if err != nil {
+		t.Fatalf("filtered space does not build: %v", err)
+	}
+	if fs.NumDoors() != s.NumDoors()-1 {
+		t.Errorf("filtered space has %d doors", fs.NumDoors())
+	}
+	if len(fs.Stairways()) != len(s.Stairways()) {
+		t.Errorf("stairways changed: %d vs %d", len(fs.Stairways()), len(s.Stairways()))
+	}
+
+	// Removing a stairway anchor drops the stairway with it.
+	frec2, remap2 := rec.WithoutDoors([]DoorID{doors[1]})
+	if len(frec2.Stairways) != 0 {
+		t.Errorf("stairway survived its anchor's removal")
+	}
+	if remap2[doors[1]] != NoDoor {
+		t.Errorf("anchor door still mapped")
+	}
+}

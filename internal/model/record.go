@@ -60,6 +60,53 @@ func (s *Space) Export() *SpaceRecord {
 	return rec
 }
 
+// WithoutDoors returns a copy of the record with the given doors removed:
+// the door entries are dropped, remaining doors are renumbered densely, and
+// stairways anchored at a removed door disappear with it. The second result
+// maps every original DoorID to its ID in the filtered record, with NoDoor
+// for removed doors — monotone, so door-ID order comparisons are preserved.
+//
+// This is the "rebuild the venue without those doors" path that a
+// Conditions overlay exists to avoid: the closure-oracle tests and the
+// overlay-vs-rebuild benchmark build an engine from the filtered record and
+// check that overlay search on the original engine answers identically.
+// Whether the filtered space is still buildable (every partition keeps an
+// enter and a leave door) is decided by Build via SpaceFromRecord.
+func (rec *SpaceRecord) WithoutDoors(closed []DoorID) (*SpaceRecord, []DoorID) {
+	drop := make(map[DoorID]struct{}, len(closed))
+	for _, d := range closed {
+		drop[d] = struct{}{}
+	}
+	remap := make([]DoorID, len(rec.Doors))
+	out := &SpaceRecord{Partitions: append([]PartitionRecord(nil), rec.Partitions...)}
+	for i := range rec.Doors {
+		if _, gone := drop[DoorID(i)]; gone {
+			remap[i] = NoDoor
+			continue
+		}
+		remap[i] = DoorID(len(out.Doors))
+		d := rec.Doors[i]
+		out.Doors = append(out.Doors, DoorRecord{
+			Pos:       d.Pos,
+			Enterable: append([]PartitionID(nil), d.Enterable...),
+			Leaveable: append([]PartitionID(nil), d.Leaveable...),
+			Stair:     d.Stair,
+		})
+	}
+	for _, sw := range rec.Stairways {
+		if int(sw.From) < 0 || int(sw.From) >= len(remap) ||
+			int(sw.To) < 0 || int(sw.To) >= len(remap) {
+			continue // dangling reference; SpaceFromRecord would reject it anyway
+		}
+		from, to := remap[sw.From], remap[sw.To]
+		if from == NoDoor || to == NoDoor {
+			continue
+		}
+		out.Stairways = append(out.Stairways, Stairway{From: from, To: to, Length: sw.Length, Lift: sw.Lift})
+	}
+	return out, remap
+}
+
 // SpaceFromRecord rebuilds a Space from a record by replaying it through
 // the Builder, which re-runs the full topology validation and recomputes
 // the (cheap) derived structures — self-loop distances and stair-door

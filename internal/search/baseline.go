@@ -13,7 +13,8 @@ import (
 // constraint by depth-first traversal, then applies prime filtering and
 // top-k ranking. It is the ground-truth oracle the search algorithms are
 // tested against; its cost is exponential, so it is only meant for small
-// spaces.
+// spaces. The request's Conditions overlay is honoured: closed doors are
+// never expanded and every hop pays its door's traversal penalty.
 //
 // When diversify is false the prime filter is skipped, which yields the
 // reference result for the ToE\P variant (homogeneous routes allowed).
@@ -45,15 +46,18 @@ func (e *Engine) ExhaustiveWith(req Request, diversify bool, opt Options) (*Resu
 	}
 	bl.dfs(route.NewStart(bl.hostPs), route.NewKP(bl.hostPs), bl.hostPs, startSims)
 
-	// Rank: prime filter per homogeneity class, then top-k by ψ.
+	// Rank: prime filter per homogeneity class, then top-k by ψ. The class
+	// key is built into one reused buffer per ranking pass (string(buf) map
+	// lookups don't allocate) instead of a fresh byte slice per check.
 	routes := bl.completes
 	if diversify {
 		best := make(map[string]*complete)
+		var buf []byte
 		for _, c := range routes {
-			key := kpKey(c.kp.Sequence())
-			if old, ok := best[key]; !ok || c.dist < old.dist ||
+			buf = appendKPNodeKey(buf[:0], c.kp)
+			if old, ok := best[string(buf)]; !ok || c.dist < old.dist ||
 				(c.dist == old.dist && lessDoors(c.node, old.node)) {
-				best[key] = c
+				best[string(buf)] = c
 			}
 		}
 		routes = routes[:0]
@@ -153,6 +157,9 @@ func (bl *baseline) dfs(n *route.Node, kp *route.KPNode, v model.PartitionID, si
 	// immediate tail.
 	tail := n.Tail()
 	for _, dl := range bl.expansionDoors(v) {
+		if bl.req.Conditions.Closed(dl) {
+			continue
+		}
 		if dl != tail && n.ContainsDoor(dl) {
 			continue
 		}
@@ -221,15 +228,16 @@ func (bl *baseline) committed(v model.PartitionID, dl model.DoorID) []model.Part
 
 func (bl *baseline) hopDist(n *route.Node, v model.PartitionID, dl model.DoorID) float64 {
 	s := bl.e.s
+	delay := bl.req.Conditions.Penalty(dl)
 	tail := n.Tail()
 	if tail == model.NoDoor {
-		return bl.req.Ps.Dist(s.Door(dl).Pos)
+		return bl.req.Ps.Dist(s.Door(dl).Pos) + delay
 	}
 	if tail == dl {
-		return s.SelfLoopDist(dl, v)
+		return s.SelfLoopDist(dl, v) + delay
 	}
 	if d := s.D2DDistVia(tail, dl, v); !math.IsInf(d, 1) {
-		return d
+		return d + delay
 	}
 	// Stairway or lift hop.
 	if k := s.Partition(v).Kind; k != model.KindStaircase && k != model.KindElevator {
@@ -251,5 +259,5 @@ func (bl *baseline) hopDist(n *route.Node, v model.PartitionID, dl model.DoorID)
 			}
 		}
 	}
-	return best
+	return best + delay
 }

@@ -90,7 +90,7 @@ func (sr *searcher) finalizeViaShortestRoute(sj *stamp) {
 	if len(seeds) == 0 || seeds[0].State < 0 {
 		return
 	}
-	path, ok := sr.e.pf.ShortestToPoint(seeds, sr.req.Pt, sr.hostPt, sr.forbiddenFor(sj))
+	path, ok := sr.e.pf.ShortestToPoint(seeds, sr.req.Pt, sr.hostPt, sr.costsFor(sj))
 	if !ok {
 		return
 	}

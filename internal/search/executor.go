@@ -64,6 +64,13 @@ type execScratch struct {
 	keyAlive map[model.PartitionID]bool
 	keyParts []model.PartitionID
 
+	// condClosed and condDelay back the searcher's dense views of the
+	// request's Conditions overlay. They hold no references (plain bools and
+	// floats), so release() leaves them alone; initOverlay resizes and
+	// clears them whenever a query actually carries an overlay.
+	condClosed []bool
+	condDelay  []float64
+
 	sims   simsArena
 	stamps stampArena
 }
@@ -117,6 +124,13 @@ func (sc *execScratch) prepare(e *Engine, q *keyword.Query, req Request, opt Opt
 	sr.gamma = opt.PopularityWeight
 	sr.initKeyPartitions(sc.keyParts[:0])
 	sc.keyParts = sr.keyParts
+	sr.initOverlay(sc.condClosed, sc.condDelay)
+	if sr.condClosed != nil {
+		sc.condClosed = sr.condClosed // adopt (possibly grown) backing
+	}
+	if sr.condDelay != nil {
+		sc.condDelay = sr.condDelay
+	}
 	return sr
 }
 

@@ -24,14 +24,15 @@ func (sr *searcher) findKoE(si *stamp) []*stamp {
 		return nil
 	}
 
-	seeds := sr.koeSeeds(si)
-	forbidden := sr.forbiddenFor(si)
+	seeds := sr.overlaySeeds(sr.koeSeeds(si))
+	costs := sr.costsFor(si)
 	// One shortest-path tree from the stamp serves every candidate
 	// partition and door (plain KoE); KoE* reads the matrix instead and
-	// only falls back to the tree on regularity collisions.
+	// only falls back to the tree on regularity collisions or when the
+	// overlay invalidates the precomputed path.
 	var tree *graph.Tree
 	if !sr.opt.Precompute {
-		tree = sr.e.pf.ShortestTree(seeds, forbidden)
+		tree = sr.e.pf.ShortestTree(seeds, costs)
 	}
 	var es []*stamp
 	for _, vj := range targets {
@@ -59,7 +60,7 @@ func (sr *searcher) findKoE(si *stamp) []*stamp {
 			if target == graph.NoState {
 				continue
 			}
-			hops, ok := sr.koePath(si, seeds, tree, target, forbidden)
+			hops, ok := sr.koePath(si, seeds, tree, target, costs)
 			if !ok || len(hops) == 0 {
 				continue
 			}
@@ -137,9 +138,12 @@ func (sr *searcher) koeSeeds(si *stamp) []graph.Seed {
 
 // koePath finds the shortest regular hop sequence from the stamp to the
 // target state. KoE* consults the precomputed matrix first and recomputes
-// only when the stored path collides with the route's doors (Section V-A3);
-// plain KoE reads the stamp's shortest-path tree.
-func (sr *searcher) koePath(si *stamp, seeds []graph.Seed, tree *graph.Tree, target graph.StateID, forbidden graph.Forbidden) ([]graph.Hop, bool) {
+// only when the stored path collides with the route's doors (Section V-A3)
+// or when the conditions overlay invalidates it — a closed or penalized
+// door on the path voids the matrix's exactness, so the tail is recomputed
+// on the fly under the full cost model; plain KoE reads the stamp's
+// shortest-path tree.
+func (sr *searcher) koePath(si *stamp, seeds []graph.Seed, tree *graph.Tree, target graph.StateID, costs graph.Costs) ([]graph.Hop, bool) {
 	if sr.opt.Precompute {
 		if si.tail() != model.NoDoor {
 			from := sr.e.pf.StateOf(si.tail(), si.v)
@@ -147,13 +151,13 @@ func (sr *searcher) koePath(si *stamp, seeds []graph.Seed, tree *graph.Tree, tar
 				if from == target {
 					return nil, false
 				}
-				if hops, _, ok := sr.e.Matrix().PathIfAllowed(from, target, forbidden); ok {
+				if hops, _, ok := sr.e.Matrix().PathIfAllowed(from, target, costs); ok {
 					return hops, true
 				}
 				sr.stats.Recomputations++
 			}
 		}
-		path, ok := sr.e.pf.ShortestToState(seeds, target, forbidden)
+		path, ok := sr.e.pf.ShortestToState(seeds, target, costs)
 		if !ok {
 			return nil, false
 		}

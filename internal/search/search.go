@@ -143,6 +143,16 @@ type Request struct {
 	K      int
 	Alpha  float64
 	Tau    float64
+
+	// Conditions, when non-nil, overlays live venue state on the query:
+	// closed doors no route may pass and per-door traversal penalties added
+	// to δ on every pass. The overlay is applied at query time against the
+	// unchanged index layer — closures and penalties only remove edges or
+	// increase costs, so the static lower bounds behind Pruning Rules 1–4
+	// stay admissible and the search stays exact without any rebuild
+	// (DESIGN.md §7). Distinct concurrent queries may carry distinct
+	// overlays against one shared engine.
+	Conditions *model.Conditions
 }
 
 // Route is one returned route with its scores.
@@ -183,6 +193,7 @@ type Stats struct {
 	PrunedRule5      int // prime routes
 	PrunedRegularity int // regularity principle incl. Lemma 2
 	PrunedDelta      int // plain δ > Δ constraint
+	PrunedClosed     int // expansions blocked by overlay closures (per screening, not per door)
 
 	// Recomputations counts KoE* matrix paths rejected by the regularity
 	// check and recomputed on the fly.
@@ -213,28 +224,33 @@ func (r *Result) HomogeneousRate() float64 {
 		return 0
 	}
 	counts := make(map[string]int)
-	keys := make([]string, len(r.Routes))
+	var buf []byte
 	for i := range r.Routes {
-		k := kpKey(r.Routes[i].KP)
-		keys[i] = k
-		counts[k]++
+		buf = appendKPKey(buf[:0], r.Routes[i].KP)
+		counts[string(buf)]++ // string(buf) map keys don't allocate on lookup
 	}
 	homog := 0
-	for _, k := range keys {
-		if counts[k] > 1 {
+	for i := range r.Routes {
+		buf = appendKPKey(buf[:0], r.Routes[i].KP)
+		if counts[string(buf)] > 1 {
 			homog++
 		}
 	}
 	return float64(homog) / float64(len(r.Routes))
 }
 
-func kpKey(kp []model.PartitionID) string {
-	b := make([]byte, 0, len(kp)*4)
+// appendKPKey appends the homogeneity-class key of a KP sequence to dst and
+// returns the extended buffer. Callers reuse one buffer across checks (the
+// pooled executor scratch owns one for the collector) instead of allocating
+// a fresh byte slice per key.
+func appendKPKey(dst []byte, kp []model.PartitionID) []byte {
 	for _, v := range kp {
-		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		dst = append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 	}
-	return string(b)
+	return dst
 }
+
+func kpKey(kp []model.PartitionID) string { return string(appendKPKey(nil, kp)) }
 
 // Engine binds a space, its keyword index and the derived distance
 // structures, and runs IKRQ queries. Engines are safe for concurrent
@@ -391,6 +407,9 @@ func (e *Engine) Validate(req Request) error {
 	}
 	if e.s.HostPartition(req.Pt) == model.NoPartition {
 		return fmt.Errorf("search: terminal point %v is outside every partition", req.Pt)
+	}
+	if err := req.Conditions.Validate(e.s.NumDoors()); err != nil {
+		return fmt.Errorf("search: %w", err)
 	}
 	return nil
 }

@@ -37,6 +37,14 @@ type searcher struct {
 	// screened by Pruning Rule 2, split into survivors and pruned doors.
 	dn, df []bool
 
+	// condClosed and condDelay are the dense door-indexed views of the
+	// request's Conditions overlay (nil when the overlay has no closures /
+	// no delays). Pooled searches back them with executor scratch; the
+	// overlay itself is immutable for the query's duration, so concurrent
+	// searches with distinct overlays never share these sets.
+	condClosed []bool
+	condDelay  []float64
+
 	// keyAlive tracks the global key-partition set P; Pruning Rule 3
 	// removes partitions permanently (KoE).
 	keyParts []model.PartitionID
@@ -72,7 +80,53 @@ func newSearcher(e *Engine, req Request, opt Options) *searcher {
 	sr.top = newTopK(req.K, !opt.DisablePrime)
 	sr.keyAlive = make(map[model.PartitionID]bool)
 	sr.initKeyPartitions(nil)
+	sr.initOverlay(nil, nil)
 	return sr
+}
+
+// initOverlay materializes the request's Conditions into dense door sets.
+// closedBuf and delayBuf supply reusable backing storage (pooled callers
+// pass the executor scratch's buffers; fresh searchers pass nil); only the
+// sets the overlay actually needs are sized and cleared.
+func (sr *searcher) initOverlay(closedBuf []bool, delayBuf []float64) {
+	cond := sr.req.Conditions
+	if cond.Empty() {
+		return
+	}
+	nd := sr.e.s.NumDoors()
+	if cond.NumClosed() > 0 {
+		if cap(closedBuf) < nd {
+			closedBuf = make([]bool, nd)
+		} else {
+			closedBuf = closedBuf[:nd]
+			clear(closedBuf)
+		}
+		cond.ForEachClosed(func(d model.DoorID) { closedBuf[d] = true })
+		sr.condClosed = closedBuf
+	}
+	if cond.NumDelayed() > 0 {
+		if cap(delayBuf) < nd {
+			delayBuf = make([]float64, nd)
+		} else {
+			delayBuf = delayBuf[:nd]
+			clear(delayBuf)
+		}
+		cond.ForEachDelay(func(d model.DoorID, p float64) { delayBuf[d] = p })
+		sr.condDelay = delayBuf
+	}
+}
+
+// doorClosed reports whether the overlay closes door d.
+func (sr *searcher) doorClosed(d model.DoorID) bool {
+	return sr.condClosed != nil && sr.condClosed[d]
+}
+
+// doorDelay returns the overlay's additive traversal penalty for door d.
+func (sr *searcher) doorDelay(d model.DoorID) float64 {
+	if sr.condDelay == nil {
+		return 0
+	}
+	return sr.condDelay[d]
 }
 
 // initKeyPartitions computes P ← (∪ I2P(κ(wQ).Wi)) \ v(ps) ∪ v(pt)
@@ -244,9 +298,17 @@ func (sr *searcher) primeUpdate(tail model.DoorID, kp *route.KPNode, dist float6
 	sr.prime.Update(tail, kp, dist)
 }
 
-// screenDoor applies Pruning Rule 2 with the Dn/Df caching of Algorithm 1.
-// It reports whether the door survives.
+// screenDoor screens a door for expansion: overlay closures first (a closed
+// door never survives, independent of any ablation switch), then Pruning
+// Rule 2 with the Dn/Df caching of Algorithm 1, tightened by the door's
+// overlay penalty — a route passing d pays delay(d) at least once, so
+// |ps,d|L + delay(d) + |d,pt|L stays a valid lower bound. It reports
+// whether the door survives.
 func (sr *searcher) screenDoor(d model.DoorID) bool {
+	if sr.doorClosed(d) {
+		sr.stats.PrunedClosed++
+		return false
+	}
 	if sr.opt.DisableDistancePruning {
 		return true
 	}
@@ -257,7 +319,7 @@ func (sr *searcher) screenDoor(d model.DoorID) bool {
 		return true
 	}
 	pos := sr.e.s.Door(d).Pos
-	if sr.e.sk.LowerBound(sr.req.Ps, pos)+sr.e.sk.LowerBound(pos, sr.req.Pt) > sr.cap {
+	if sr.e.sk.LowerBound(sr.req.Ps, pos)+sr.doorDelay(d)+sr.e.sk.LowerBound(pos, sr.req.Pt) > sr.cap {
 		sr.df[d] = true
 		sr.stats.PrunedRule2++
 		return false
@@ -353,19 +415,22 @@ func (sr *searcher) spliceStamp(si *stamp, hops []graph.Hop) *stamp {
 // δpt2d for the initial point hop, the self-loop distance for a repeated
 // tail, δd2d within the current partition otherwise — and, when the
 // current partition is a staircase and dl is the stairway's other end, the
-// stairway traversal cost.
+// stairway traversal cost. Every variant pays the overlay's traversal
+// penalty for dl on top (a +Inf geometric distance stays +Inf), matching
+// the delay the graph cost model charges per arc, so spliced stamps carry
+// exactly the distances the Dijkstra paths were chosen by.
 func (sr *searcher) hopDistance(cur *stamp, dl model.DoorID) float64 {
 	tail := cur.tail()
 	if tail == model.NoDoor {
-		return sr.req.Ps.Dist(sr.e.s.Door(dl).Pos)
+		return sr.req.Ps.Dist(sr.e.s.Door(dl).Pos) + sr.doorDelay(dl)
 	}
 	if tail == dl {
-		return sr.e.s.SelfLoopDist(dl, cur.v)
+		return sr.e.s.SelfLoopDist(dl, cur.v) + sr.doorDelay(dl)
 	}
 	if d := sr.e.s.D2DDistVia(tail, dl, cur.v); !math.IsInf(d, 1) {
-		return d
+		return d + sr.doorDelay(dl)
 	}
-	return sr.stairHopDistance(cur, dl)
+	return sr.stairHopDistance(cur, dl) + sr.doorDelay(dl)
 }
 
 // stairHopDistance handles hops that traverse a stairway anchored in the
@@ -422,6 +487,46 @@ func (sr *searcher) forbiddenFor(si *stamp) graph.Forbidden {
 		}
 		return node.ContainsDoor(d)
 	}
+}
+
+// costsFor returns the query-time cost model for shortest paths continuing
+// a stamp: the regularity exclusions plus the overlay's closed doors and
+// traversal penalties.
+func (sr *searcher) costsFor(si *stamp) graph.Costs {
+	c := graph.Costs{Block: sr.forbiddenFor(si)}
+	if closed := sr.condClosed; closed != nil {
+		reg := c.Block
+		c.Block = func(d model.DoorID) bool { return closed[d] || reg(d) }
+	}
+	if delay := sr.condDelay; delay != nil {
+		c.Delay = func(d model.DoorID) float64 { return delay[d] }
+	}
+	return c
+}
+
+// overlaySeeds applies the conditions overlay to a seed set: seeds whose
+// door the overlay closes are dropped, and EmitHop seeds — which pass their
+// door as a new hop of the route — pay the door's penalty in their initial
+// cost. Seeds continuing from a stamp's tail (EmitHop false) are unchanged:
+// the tail's penalty was paid when it was appended, and a stamp can never
+// end at a closed door (closed doors are screened before every expansion).
+// The adjustment is in place; callers own the seed slice.
+func (sr *searcher) overlaySeeds(seeds []graph.Seed) []graph.Seed {
+	if sr.condClosed == nil && sr.condDelay == nil {
+		return seeds
+	}
+	out := seeds[:0]
+	for _, sd := range seeds {
+		if sd.State != graph.NoState && sd.EmitHop {
+			d, _ := sr.e.pf.State(sd.State)
+			if sr.doorClosed(d) {
+				continue
+			}
+			sd.Cost += sr.doorDelay(d)
+		}
+		out = append(out, sd)
+	}
+	return out
 }
 
 // offerComplete runs the acceptance checks shared by every completion site

@@ -77,6 +77,7 @@ type topK struct {
 	byClass map[classKey][]*complete // diversified mode
 	flat    []*complete              // ToE\P mode
 	seen    map[string]bool          // flat-mode door-sequence dedupe
+	keyBuf  []byte                   // reused dedupe-key scratch (pooled with the collector)
 
 	kb float64 // cached k-th best ψ, 0 while fewer than k routes are known
 }
@@ -119,8 +120,12 @@ func (t *topK) add(c *complete) {
 		replaced := false
 		for i, e := range entries {
 			if e.kp.Equal(c.kp) {
-				// Same homogeneity class: keep the prime (shortest) route.
-				if c.dist < e.dist {
+				// Same homogeneity class: keep the prime (shortest) route,
+				// breaking exact distance ties on the door sequence — the
+				// same deterministic rule the exhaustive baseline applies,
+				// and one that survives order-preserving door renumbering
+				// (the closure-oracle comparison against a rebuilt space).
+				if c.dist < e.dist || (c.dist == e.dist && lessDoors(c.node, e.node)) {
 					entries[i] = c
 				}
 				replaced = true
@@ -133,12 +138,14 @@ func (t *topK) add(c *complete) {
 	} else {
 		// A route can be completed twice (early shortest-route completion
 		// and later topological arrival); keep one copy of each exact door
-		// sequence.
-		key := doorsKey(c.node)
-		if t.seen[key] {
+		// sequence. The key is built into the collector's reused scratch —
+		// string(buf) map lookups don't allocate; only a genuinely new
+		// sequence pays for its key copy on insert.
+		t.keyBuf = appendDoorsKey(t.keyBuf[:0], c.node)
+		if t.seen[string(t.keyBuf)] {
 			return
 		}
-		t.seen[key] = true
+		t.seen[string(t.keyBuf)] = true
 		t.flat = append(t.flat, c)
 	}
 	t.recomputeBound()
@@ -189,13 +196,28 @@ func (t *topK) results() []*complete {
 	return cs
 }
 
-func doorsKey(n *route.Node) string {
-	ds := n.Doors()
-	b := make([]byte, 0, len(ds)*4)
-	for _, d := range ds {
-		b = append(b, byte(d), byte(d>>8), byte(d>>16), byte(d>>24))
+// appendKPNodeKey is appendKPKey for a linked KP node, walking parents
+// (tail-to-head order, equally unique) without materializing the sequence.
+func appendKPNodeKey(dst []byte, kp *route.KPNode) []byte {
+	for cur := kp; cur != nil; cur = cur.Parent {
+		v := cur.Part
+		dst = append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 	}
-	return string(b)
+	return dst
+}
+
+// appendDoorsKey appends a canonical byte key of the route's door sequence
+// to dst (tail-to-start order, which is just as unique and avoids the
+// Doors() slice allocation) and returns the extended buffer.
+func appendDoorsKey(dst []byte, n *route.Node) []byte {
+	for cur := n; cur != nil; cur = cur.Parent {
+		if cur.Door == model.NoDoor {
+			continue
+		}
+		d := cur.Door
+		dst = append(dst, byte(d), byte(d>>8), byte(d>>16), byte(d>>24))
+	}
+	return dst
 }
 
 func lessDoors(a, b *route.Node) bool {
