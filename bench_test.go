@@ -69,6 +69,44 @@ func BenchmarkFig20RealHomogRate(b *testing.B) {
 func BenchmarkSweepAlpha(b *testing.B) { runFigure(b, env().SweepAlpha) }
 func BenchmarkSweepTau(b *testing.B)   { runFigure(b, env().SweepTau) }
 
+// BenchmarkSearch* measure the per-query hot path of the core Table III
+// variants on the 2-floor synthetic mall (run with -benchmem): one batch of
+// generated query instances per iteration. These are the allocation gates
+// for the graph kernel — ToE exercises the stamp machinery, KoE the
+// multi-seed Dijkstra trees, KoE* the matrix reads plus tail recomputes.
+func benchSearchVariant(b *testing.B, v search.Variant) {
+	w, err := env().Synthetic(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := gen.DefaultQueryConfig(17)
+	cfg.Instances = 3
+	reqs, err := w.QGen.Instances(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt, err := search.OptionsFor(v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if opt.Precompute {
+		w.Engine.PrecomputeMatrix() // pay the build outside the timer
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range reqs {
+			if _, err := w.Engine.Search(r, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkSearchToE(b *testing.B)     { benchSearchVariant(b, search.VariantToE) }
+func BenchmarkSearchKoE(b *testing.B)     { benchSearchVariant(b, search.VariantKoE) }
+func BenchmarkSearchKoEStar(b *testing.B) { benchSearchVariant(b, search.VariantKoEStar) }
+
 // BenchmarkConditionsOverlayVsRebuild measures the tentpole win of the
 // Conditions overlay: answering a closure scenario by attaching an overlay
 // to the query (unchanged engine) versus rebuilding a door-filtered engine

@@ -5,6 +5,17 @@
 //
 //	ikrqbench [-fig fig05] [-quick] [-seed 1] [-instances 10] [-runs 5] [-workers 1]
 //	ikrqbench -snapshot mall.ikrq [-quick]
+//	ikrqbench -benchjson BENCH.json
+//
+// Every mode accepts -cpuprofile/-memprofile, which write pprof profiles
+// covering the whole run — the first stop for diagnosing a kernel
+// regression without editing code.
+//
+// With -benchjson the harness skips the figure suite and instead measures
+// the per-query hot path of every Table III variant plus the all-pairs
+// matrix build, writing machine-readable per-variant ns/op, B/op and
+// allocs/op to the given file (the BENCH.json tracked at the repo root)
+// and a summary table to stdout.
 //
 // Without -fig every figure runs in presentation order. -quick shrinks the
 // workload for a fast smoke pass. Full ToE\P figures run under an
@@ -25,34 +36,75 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ikrq/internal/bench"
 	"ikrq/internal/cli"
 )
 
-func main() {
+func main() { os.Exit(mainImpl()) }
+
+// mainImpl holds the real entry point and reports the exit code, so the
+// deferred profile writers run on every path — os.Exit in main would skip
+// them and leave -cpuprofile/-memprofile output truncated on failing runs.
+func mainImpl() int {
 	var (
-		figID     = flag.String("fig", "", "single figure to run (fig04..fig20, alpha, tau)")
-		quick     = flag.Bool("quick", false, "reduced workload")
-		seed      = flag.Uint64("seed", 1, "workload seed")
-		instances = flag.Int("instances", 0, "query instances per setting (default: paper's 10, quick: 3)")
-		runs      = flag.Int("runs", 0, "runs per instance (default: paper's 5, quick: 1)")
-		cap       = flag.Int("cap", 0, "expansion cap for ToE\\P (default 300000, quick 50000)")
-		workers   = flag.Int("workers", 1, "batch-executor workers per figure cell (>1 shortens sweeps but adds timing contention)")
-		snap      = flag.String("snapshot", "", "benchmark serving from this baked snapshot instead of the figure suite")
-		closeStr  = flag.String("close", "", "with -snapshot: closed doors overlaid on every query, e.g. \"3,17\"")
-		delayStr  = flag.String("delay", "", "with -snapshot: door penalties overlaid on every query, e.g. \"12:30,40:15.5\"")
+		figID      = flag.String("fig", "", "single figure to run (fig04..fig20, alpha, tau)")
+		quick      = flag.Bool("quick", false, "reduced workload")
+		seed       = flag.Uint64("seed", 1, "workload seed")
+		instances  = flag.Int("instances", 0, "query instances per setting (default: paper's 10, quick: 3)")
+		runs       = flag.Int("runs", 0, "runs per instance (default: paper's 5, quick: 1)")
+		cap        = flag.Int("cap", 0, "expansion cap for ToE\\P (default 300000, quick 50000)")
+		workers    = flag.Int("workers", 1, "batch-executor workers per figure cell (>1 shortens sweeps but adds timing contention)")
+		snap       = flag.String("snapshot", "", "benchmark serving from this baked snapshot instead of the figure suite")
+		closeStr   = flag.String("close", "", "with -snapshot: closed doors overlaid on every query, e.g. \"3,17\"")
+		delayStr   = flag.String("delay", "", "with -snapshot: door penalties overlaid on every query, e.g. \"12:30,40:15.5\"")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		benchJSON  = flag.String("benchjson", "", "measure the Table III hot paths and write per-variant ns/op, B/op, allocs/op to this file (BENCH.json)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ikrqbench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "ikrqbench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ikrqbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // profile live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "ikrqbench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	cond, err := cli.ParseConditions(*closeStr, *delayStr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ikrqbench: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 	if cond != nil && *snap == "" {
 		fmt.Fprintln(os.Stderr, "ikrqbench: -close/-delay require -snapshot (the figure suite samples its own scenarios)")
-		os.Exit(2)
+		return 2
 	}
 
 	cfg := bench.DefaultConfig(*seed)
@@ -71,14 +123,37 @@ func main() {
 	if *workers > 0 {
 		cfg.Workers = *workers
 	}
+	if *benchJSON != "" {
+		rep, err := bench.RunPerf(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ikrqbench: %v\n", err)
+			return 1
+		}
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ikrqbench: %v\n", err)
+			return 1
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "ikrqbench: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "ikrqbench: %v\n", err)
+			return 1
+		}
+		rep.Fprint(os.Stdout)
+		return 0
+	}
 	if *snap != "" {
 		rep, err := bench.RunSnapshot(*snap, cfg, cond)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ikrqbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		rep.Fprint(os.Stdout)
-		return
+		return 0
 	}
 	env := bench.NewEnv(cfg)
 	all := env.All()
@@ -87,7 +162,7 @@ func main() {
 	if *figID != "" {
 		if all[*figID] == nil {
 			fmt.Fprintf(os.Stderr, "ikrqbench: unknown figure %q; known: %v\n", *figID, bench.Order())
-			os.Exit(2)
+			return 2
 		}
 		ids = []string{*figID}
 	}
@@ -95,8 +170,9 @@ func main() {
 		fig, err := all[id]()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ikrqbench: %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 		fig.Fprint(os.Stdout)
 	}
+	return 0
 }

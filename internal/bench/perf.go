@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"ikrq/internal/gen"
+	"ikrq/internal/graph"
+	"ikrq/internal/search"
+)
+
+// This file is the machine-readable perf surface: RunPerf measures the
+// per-query hot path of every Table III variant plus the all-pairs matrix
+// build on the standard 2-floor synthetic workload, and PerfReport
+// marshals the result as BENCH.json. The committed BENCH.json at the repo
+// root is regenerated with `ikrqbench -benchjson BENCH.json` whenever the
+// kernel changes, so the allocation/latency trajectory is tracked in
+// version control instead of scattered across PR descriptions.
+
+// PerfEntry is one measured configuration. Values are per query (the
+// benchmark loop runs a fixed request batch per iteration and divides).
+type PerfEntry struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	Iterations  int    `json:"iterations"`
+}
+
+// PerfReport is the BENCH.json payload.
+type PerfReport struct {
+	// Suite identifies the workload shape so numbers are only compared
+	// like-for-like across PRs.
+	Suite      string `json:"suite"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	Queries    int    `json:"queries_per_op"`
+
+	// CapExpansions is the ToE\P expansion cap the run used (300000
+	// default, 50000 with -quick). The cap changes ToE\P's workload, so
+	// entries are only comparable across reports with equal caps — which is
+	// why it is recorded instead of baked into Suite.
+	CapExpansions int `json:"cap_expansions"`
+
+	// Variants holds one entry per Table III variant, per query.
+	Variants []PerfEntry `json:"variants"`
+
+	// SeedKernel repeats the variant sweep on an engine pinned to the
+	// retained seed shortest-path kernel (internal/graph/refkernel.go).
+	// The ref kernel is frozen, so this column is a stable baseline: the
+	// delta against Variants is the workspace kernel's win, comparable
+	// across PRs.
+	SeedKernel []PerfEntry `json:"seed_kernel"`
+
+	// MatrixBuild measures one full all-pairs KoE* matrix construction
+	// (parallel across GoMaxProcs workers), per build.
+	MatrixBuild PerfEntry `json:"matrix_build"`
+}
+
+// RunPerf measures the perf report on the standard workload. Profiles are
+// the caller's concern (cmd/ikrqbench wires -cpuprofile/-memprofile around
+// it).
+func RunPerf(cfg Config) (*PerfReport, error) {
+	env := NewEnv(cfg)
+	w, err := env.Synthetic(2)
+	if err != nil {
+		return nil, err
+	}
+	qcfg := gen.DefaultQueryConfig(cfg.Seed + 17)
+	qcfg.Instances = 3
+	reqs, err := w.QGen.Instances(qcfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &PerfReport{
+		Suite:         "synthetic-2floor/table3",
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		GoVersion:     runtime.Version(),
+		Queries:       len(reqs),
+		CapExpansions: cfg.CapExpansions,
+	}
+	rep.Variants, err = measureVariants(w.Engine, reqs, cfg.CapExpansions)
+	if err != nil {
+		return nil, err
+	}
+	refPF := graph.NewPathFinder(w.Mall.Space)
+	refPF.UseReferenceKernel()
+	refEng, err := search.NewEngineFromParts(w.Mall.Space, w.Index, refPF, graph.NewSkeleton(w.Mall.Space), nil)
+	if err != nil {
+		return nil, err
+	}
+	rep.SeedKernel, err = measureVariants(refEng, reqs, cfg.CapExpansions)
+	if err != nil {
+		return nil, err
+	}
+	pf := w.Engine.PathFinder()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			graph.NewMatrix(pf)
+		}
+	})
+	rep.MatrixBuild = perQuery("NewMatrix", r, 1)
+	return rep, nil
+}
+
+// measureVariants benchmarks the request batch on every Table III variant.
+func measureVariants(eng *search.Engine, reqs []search.Request, capExpansions int) ([]PerfEntry, error) {
+	var out []PerfEntry
+	for _, v := range search.Variants() {
+		opt, err := search.OptionsFor(v)
+		if err != nil {
+			return nil, err
+		}
+		if opt.DisablePrime {
+			opt.MaxExpansions = capExpansions // keep the unpruned variant finite
+		}
+		if opt.Precompute {
+			eng.PrecomputeMatrix() // pay the build outside the timer
+		}
+		var searchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, req := range reqs {
+					if _, err := eng.Search(req, opt); err != nil {
+						searchErr = err
+						b.FailNow()
+					}
+				}
+			}
+		})
+		if searchErr != nil {
+			return nil, fmt.Errorf("bench: %s: %w", v, searchErr)
+		}
+		out = append(out, perQuery(string(v), r, len(reqs)))
+	}
+	return out, nil
+}
+
+// perQuery divides a batch benchmark result down to per-query numbers.
+func perQuery(name string, r testing.BenchmarkResult, batch int) PerfEntry {
+	return PerfEntry{
+		Name:        name,
+		NsPerOp:     r.NsPerOp() / int64(batch),
+		AllocsPerOp: r.AllocsPerOp() / int64(batch),
+		BytesPerOp:  r.AllocedBytesPerOp() / int64(batch),
+		Iterations:  r.N,
+	}
+}
+
+// WriteJSON writes the report as indented JSON (the BENCH.json format).
+func (r *PerfReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Fprint prints a human-readable summary table of the report.
+func (r *PerfReport) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "perf suite %s (GOMAXPROCS=%d, %s, %d queries/op, ToE\\P cap %d)\n",
+		r.Suite, r.GoMaxProcs, r.GoVersion, r.Queries, r.CapExpansions)
+	fmt.Fprintf(w, "%-12s %14s %14s %14s\n", "variant", "ns/op", "B/op", "allocs/op")
+	for _, e := range r.Variants {
+		fmt.Fprintf(w, "%-12s %14d %14d %14d\n", e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	}
+	for _, e := range r.SeedKernel {
+		fmt.Fprintf(w, "%-12s %14d %14d %14d (seed kernel)\n", e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	}
+	e := r.MatrixBuild
+	fmt.Fprintf(w, "%-12s %14d %14d %14d\n", e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+}

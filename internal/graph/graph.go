@@ -20,8 +20,8 @@
 package graph
 
 import (
-	"container/heap"
 	"math"
+	"sync"
 
 	"ikrq/internal/geom"
 	"ikrq/internal/model"
@@ -44,13 +44,24 @@ type arc struct {
 }
 
 // PathFinder holds the state graph of a space. Construction is O(states +
-// arcs); the structure is immutable and safe for concurrent use, while each
-// query allocates its own scratch space.
+// arcs); the structure is immutable and safe for concurrent use. Shortest
+// paths run on a Workspace — either one the caller owns (the ...WS entry
+// points, allocation-free across runs) or one drawn from the finder's
+// internal pool (the plain entry points).
 type PathFinder struct {
 	s          *model.Space
 	states     []state
 	doorStates [][]StateID // states per door
 	adj        [][]arc
+
+	// wsPool backs the non-WS entry points so casual callers (the query
+	// generator, examples) still reuse kernel scratch across calls.
+	wsPool sync.Pool
+
+	// useRef routes every shortest-path run through the retained seed
+	// kernel (refkernel.go). Differential-testing seam only; see
+	// UseReferenceKernel.
+	useRef bool
 }
 
 // NewPathFinder builds the state graph for s.
@@ -218,43 +229,61 @@ func (c Costs) delay(d model.DoorID) float64 {
 	return c.Delay(d)
 }
 
-// dijkstra runs a multi-seed Dijkstra and returns per-state distances,
-// parent states and originating seed indices. Arcs into blocked doors are
-// skipped and every arc pays the arrival door's delay on top of its static
-// weight; seed states are admitted with their given costs regardless (their
-// legality — and any delay owed for passing the seed door — is the caller's
-// concern).
+// dijkstra runs a multi-seed Dijkstra into ws: per-state distances, parent
+// states and originating seed indices, all epoch-stamped so the workspace
+// resets in O(1) between runs. Arcs into blocked doors are skipped and every
+// arc pays the arrival door's delay on top of its static weight; seed states
+// are admitted with their given costs regardless (their legality — and any
+// delay owed for passing the seed door — is the caller's concern).
+//
+// When targets is non-empty the run stops as soon as every reachable target
+// has been settled (popped at its final distance): distances and parents of
+// the targets are exact, while states the frontier never reached past the
+// last target stay unmarked. Callers that read arbitrary states afterwards
+// (ShortestTree, DistancesFromPoint, the matrix sweep) pass nil and exhaust
+// the graph. Unreachable targets never settle, so the run degrades to full
+// exhaustion and terminates when the frontier empties.
 //
 // Ties on distance break on the arrival state's (door, partition), which
 // makes the chosen shortest-path tree deterministic and invariant under any
 // order-preserving renumbering of doors — the property the closure-oracle
-// tests rely on when comparing against a rebuilt, door-filtered space.
-func (pf *PathFinder) dijkstra(seeds []Seed, costs Costs) (dist []float64, parent []StateID, seedOf []int32) {
-	n := len(pf.states)
-	dist = make([]float64, n)
-	parent = make([]StateID, n)
-	seedOf = make([]int32, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		parent[i] = NoState
-		seedOf[i] = -1
+// tests rely on when comparing against a rebuilt, door-filtered space. The
+// tie-break is a strict total order over live queue items, so the pop
+// sequence — and with it every dist/parent table — is byte-identical to the
+// seed kernel's, heap arity and early exit notwithstanding (enforced by the
+// kernel-equivalence oracles against refkernel.go).
+func (pf *PathFinder) dijkstra(ws *Workspace, seeds []Seed, costs Costs, targets []StateID) {
+	ws.begin(len(pf.states))
+	remaining := 0
+	for _, t := range targets {
+		if t == NoState {
+			continue
+		}
+		if ws.target[t] != ws.epoch {
+			ws.target[t] = ws.epoch
+			remaining++
+		}
 	}
-	pq := &stateHeap{}
 	for si, sd := range seeds {
 		if sd.State == NoState {
 			continue
 		}
-		if sd.Cost < dist[sd.State] {
-			dist[sd.State] = sd.Cost
-			seedOf[sd.State] = int32(si)
-			parent[sd.State] = NoState
-			heap.Push(pq, pf.item(sd.State, sd.Cost))
+		if sd.Cost < ws.distAt(sd.State) {
+			ws.set(sd.State, sd.Cost, NoState, int32(si))
+			ws.heapPush(pf.item(sd.State, sd.Cost))
 		}
 	}
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(heapItem)
-		if it.dist > dist[it.state] {
+	for len(ws.heap) > 0 {
+		it := ws.heapPop()
+		if it.dist > ws.dist[it.state] { // stale entry; mark is set for every pushed state
 			continue
+		}
+		if remaining > 0 && ws.target[it.state] == ws.epoch {
+			ws.target[it.state] = 0 // settled; 0 never equals a live epoch
+			remaining--
+			if remaining == 0 {
+				return // every requested target is final
+			}
 		}
 		for _, a := range pf.adj[it.state] {
 			door := pf.states[a.to].door
@@ -262,16 +291,41 @@ func (pf *PathFinder) dijkstra(seeds []Seed, costs Costs) (dist []float64, paren
 				continue
 			}
 			nd := it.dist + a.w + costs.delay(door)
-			if nd < dist[a.to] {
-				dist[a.to] = nd
-				parent[a.to] = it.state
-				seedOf[a.to] = seedOf[it.state]
-				heap.Push(pq, pf.item(a.to, nd))
+			if nd < ws.distAt(a.to) {
+				ws.set(a.to, nd, it.state, ws.seedOf[it.state])
+				ws.heapPush(pf.item(a.to, nd))
 			}
 		}
 	}
-	return dist, parent, seedOf
 }
+
+// runDijkstra dispatches a shortest-path run to the workspace kernel or, on
+// a finder switched by UseReferenceKernel, to the retained seed kernel (which
+// ignores targets — the seed never terminated early).
+func (pf *PathFinder) runDijkstra(ws *Workspace, seeds []Seed, costs Costs, targets []StateID) {
+	if pf.useRef {
+		pf.refDijkstra(ws, seeds, costs)
+		return
+	}
+	pf.dijkstra(ws, seeds, costs, targets)
+}
+
+// getWS draws a pooled workspace for the non-WS entry points.
+func (pf *PathFinder) getWS() *Workspace {
+	if v := pf.wsPool.Get(); v != nil {
+		return v.(*Workspace)
+	}
+	return NewWorkspace()
+}
+
+func (pf *PathFinder) putWS(ws *Workspace) { pf.wsPool.Put(ws) }
+
+// UseReferenceKernel permanently switches this finder to the seed
+// shortest-path kernel retained in refkernel.go. It exists solely for the
+// kernel-equivalence oracles, which diff the workspace kernel against the
+// seed implementation on engines that differ in nothing else. Call it once,
+// before the finder serves any query; it is not synchronized.
+func (pf *PathFinder) UseReferenceKernel() { pf.useRef = true }
 
 // item builds a heap entry carrying the state's (door, partition) tiebreak.
 func (pf *PathFinder) item(s StateID, d float64) heapItem {
@@ -279,25 +333,27 @@ func (pf *PathFinder) item(s StateID, d float64) heapItem {
 	return heapItem{state: s, dist: d, door: st.door, part: st.part}
 }
 
-// reconstruct walks parents from target back to its seed and returns the
-// hop sequence. The seed state's own door is included iff its seed has
-// EmitHop set.
-func (pf *PathFinder) reconstruct(target StateID, parent []StateID, seedOf []int32, seeds []Seed) []Hop {
-	var rev []Hop
+// reconstructInto appends the hop sequence from the seeds to target onto
+// dst (reversing in place, so dst's existing prefix is preserved) and
+// returns the extended slice. The seed state's own door is included iff its
+// seed has EmitHop set. target must have been reached by ws's current run.
+func (pf *PathFinder) reconstructInto(dst []Hop, ws *Workspace, target StateID, seeds []Seed) []Hop {
+	start := len(dst)
 	cur := target
-	for parent[cur] != NoState {
+	for ws.parent[cur] != NoState {
 		st := pf.states[cur]
-		rev = append(rev, Hop{Door: st.door, Part: st.part})
-		cur = parent[cur]
+		dst = append(dst, Hop{Door: st.door, Part: st.part})
+		cur = ws.parent[cur]
 	}
-	if si := seedOf[cur]; si >= 0 && seeds[si].EmitHop {
+	if si := ws.seedOf[cur]; si >= 0 && seeds[si].EmitHop {
 		st := pf.states[cur]
-		rev = append(rev, Hop{Door: st.door, Part: st.part})
+		dst = append(dst, Hop{Door: st.door, Part: st.part})
 	}
+	rev := dst[start:]
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
 	}
-	return rev
+	return dst
 }
 
 // SeedsFromPoint builds the Dijkstra seeds for routes starting at point p:
@@ -313,7 +369,12 @@ func (pf *PathFinder) SeedsFromPoint(p geom.Point) []Seed {
 
 // SeedsFromPointIn is SeedsFromPoint with the host partition already known.
 func (pf *PathFinder) SeedsFromPointIn(p geom.Point, host model.PartitionID) []Seed {
-	var seeds []Seed
+	return pf.AppendSeedsFromPointIn(nil, p, host)
+}
+
+// AppendSeedsFromPointIn is SeedsFromPointIn appending into a caller-owned
+// buffer, so per-query scratch can absorb the seed allocation.
+func (pf *PathFinder) AppendSeedsFromPointIn(dst []Seed, p geom.Point, host model.PartitionID) []Seed {
 	for _, d := range pf.s.Partition(host).LeaveDoors() {
 		cost := p.Dist(pf.s.Door(d).Pos)
 		if math.IsInf(cost, 1) {
@@ -323,10 +384,10 @@ func (pf *PathFinder) SeedsFromPointIn(p geom.Point, host model.PartitionID) []S
 			if pf.states[sid].part == host {
 				continue
 			}
-			seeds = append(seeds, Seed{State: sid, Cost: cost, EmitHop: true})
+			dst = append(dst, Seed{State: sid, Cost: cost, EmitHop: true})
 		}
 	}
-	return seeds
+	return dst
 }
 
 // SeedFromState builds the single seed for routes continuing from a stamp
@@ -340,55 +401,115 @@ func (pf *PathFinder) SeedFromState(d model.DoorID, v model.PartitionID) []Seed 
 // computation: distances and parents for every state, from which paths to
 // any number of targets can be read without re-running Dijkstra. KoE uses
 // one Tree per stamp expansion to route to all candidate partitions.
+//
+// A tree reads straight out of the workspace that computed it. Trees from
+// ShortestTree own a private workspace and stay valid indefinitely; trees
+// from ShortestTreeWS borrow the caller's workspace and are valid only
+// until its next run (reads after that panic rather than return stale
+// distances).
 type Tree struct {
-	pf     *PathFinder
-	dist   []float64
-	parent []StateID
-	seedOf []int32
-	seeds  []Seed
+	pf    *PathFinder
+	ws    *Workspace
+	epoch uint32
+	seeds []Seed
 }
 
 // ShortestTree computes shortest paths from the seeds to every reachable
-// state under the cost model.
+// state under the cost model. The tree owns its storage; use ShortestTreeWS
+// on a long-lived workspace to make repeated tree builds allocation-free.
 func (pf *PathFinder) ShortestTree(seeds []Seed, costs Costs) *Tree {
-	dist, parent, seedOf := pf.dijkstra(seeds, costs)
-	return &Tree{pf: pf, dist: dist, parent: parent, seedOf: seedOf, seeds: seeds}
+	t := pf.ShortestTreeWS(NewWorkspace(), seeds, costs)
+	return &Tree{pf: t.pf, ws: t.ws, epoch: t.epoch, seeds: t.seeds}
+}
+
+// ShortestTreeWS is ShortestTree on a caller-owned workspace. The returned
+// tree (itself stored in the workspace) borrows the workspace's tables and
+// is invalidated by its next run.
+func (pf *PathFinder) ShortestTreeWS(ws *Workspace, seeds []Seed, costs Costs) *Tree {
+	pf.runDijkstra(ws, seeds, costs, nil)
+	ws.tree = Tree{pf: pf, ws: ws, epoch: ws.epoch, seeds: seeds}
+	return &ws.tree
+}
+
+func (t *Tree) check() {
+	if t.ws.epoch != t.epoch {
+		panic("graph: Tree read after its workspace ran another query")
+	}
 }
 
 // Dist returns the tree distance to a state (+Inf when unreachable).
-func (t *Tree) Dist(s StateID) float64 { return t.dist[s] }
+func (t *Tree) Dist(s StateID) float64 {
+	t.check()
+	return t.ws.distAt(s)
+}
 
 // PathTo reconstructs the hop sequence to a state; ok is false when the
 // state is unreachable.
-func (t *Tree) PathTo(s StateID) ([]Hop, bool) {
-	if s == NoState || math.IsInf(t.dist[s], 1) {
-		return nil, false
+func (t *Tree) PathTo(s StateID) ([]Hop, bool) { return t.AppendPathTo(nil, s) }
+
+// AppendPathTo is PathTo appending into a caller-owned buffer; it returns
+// dst unchanged when the state is unreachable.
+func (t *Tree) AppendPathTo(dst []Hop, s StateID) ([]Hop, bool) {
+	t.check()
+	if s == NoState || math.IsInf(t.ws.distAt(s), 1) {
+		return dst, false
 	}
-	return t.pf.reconstruct(s, t.parent, t.seedOf, t.seeds), true
+	return t.pf.reconstructInto(dst, t.ws, s, t.seeds), true
 }
 
 // ShortestToStates finds the cheapest path from the seeds to any of the
 // target states (ties break on list order). It returns the best target and
 // path, or ok=false when none is reachable.
 func (pf *PathFinder) ShortestToStates(seeds []Seed, targets []StateID, costs Costs) (StateID, Path, bool) {
-	dist, parent, seedOf := pf.dijkstra(seeds, costs)
+	ws := pf.getWS()
+	best, p, ok := pf.ShortestToStatesWS(ws, seeds, targets, costs)
+	if ok {
+		p.Hops = append([]Hop(nil), p.Hops...) // unborrow before the workspace is pooled
+	}
+	pf.putWS(ws)
+	return best, p, ok
+}
+
+// ShortestToStatesWS is ShortestToStates on a caller-owned workspace. The
+// target set drives early termination: the run stops once every reachable
+// target is settled instead of exhausting the graph. The returned path's
+// hops borrow the workspace and are valid until its next run.
+func (pf *PathFinder) ShortestToStatesWS(ws *Workspace, seeds []Seed, targets []StateID, costs Costs) (StateID, Path, bool) {
+	pf.runDijkstra(ws, seeds, costs, targets)
 	best := NoState
 	bestD := math.Inf(1)
 	for _, t := range targets {
-		if dist[t] < bestD {
-			bestD = dist[t]
+		if t == NoState {
+			continue
+		}
+		if d := ws.distAt(t); d < bestD {
+			bestD = d
 			best = t
 		}
 	}
 	if best == NoState {
 		return NoState, Path{}, false
 	}
-	return best, Path{Hops: pf.reconstruct(best, parent, seedOf, seeds), Dist: bestD}, true
+	ws.hops = pf.reconstructInto(ws.hops[:0], ws, best, seeds)
+	return best, Path{Hops: ws.hops, Dist: bestD}, true
 }
 
 // ShortestToState finds the cheapest path from the seeds to one state.
 func (pf *PathFinder) ShortestToState(seeds []Seed, target StateID, costs Costs) (Path, bool) {
-	_, p, ok := pf.ShortestToStates(seeds, []StateID{target}, costs)
+	ws := pf.getWS()
+	p, ok := pf.ShortestToStateWS(ws, seeds, target, costs)
+	if ok {
+		p.Hops = append([]Hop(nil), p.Hops...)
+	}
+	pf.putWS(ws)
+	return p, ok
+}
+
+// ShortestToStateWS is ShortestToState on a caller-owned workspace, with
+// single-target early termination; the path's hops borrow the workspace.
+func (pf *PathFinder) ShortestToStateWS(ws *Workspace, seeds []Seed, target StateID, costs Costs) (Path, bool) {
+	ws.tbuf = append(ws.tbuf[:0], target)
+	_, p, ok := pf.ShortestToStatesWS(ws, seeds, ws.tbuf, costs)
 	return p, ok
 }
 
@@ -396,12 +517,27 @@ func (pf *PathFinder) ShortestToState(seeds []Seed, target StateID, costs Costs)
 // whose host partition must be hostPt: the route ends at some door state
 // (d, hostPt) plus the in-partition leg |d, pt|.
 func (pf *PathFinder) ShortestToPoint(seeds []Seed, pt geom.Point, hostPt model.PartitionID, costs Costs) (Path, bool) {
-	dist, parent, seedOf := pf.dijkstra(seeds, costs)
+	ws := pf.getWS()
+	p, ok := pf.ShortestToPointWS(ws, seeds, pt, hostPt, costs)
+	if ok {
+		p.Hops = append([]Hop(nil), p.Hops...)
+	}
+	pf.putWS(ws)
+	return p, ok
+}
+
+// ShortestToPointWS is ShortestToPoint on a caller-owned workspace. The
+// run terminates once every entry state of pt's host partition is settled
+// (all of them, because the final door-to-point leg differs per state); the
+// path's hops borrow the workspace.
+func (pf *PathFinder) ShortestToPointWS(ws *Workspace, seeds []Seed, pt geom.Point, hostPt model.PartitionID, costs Costs) (Path, bool) {
+	ws.tbuf = pf.appendTargetStatesForPoint(ws.tbuf[:0], hostPt)
+	pf.runDijkstra(ws, seeds, costs, ws.tbuf)
 	best := NoState
 	bestD := math.Inf(1)
-	for _, sid := range pf.targetStatesForPoint(hostPt) {
+	for _, sid := range ws.tbuf {
 		leg := pf.s.Door(pf.states[sid].door).Pos.Dist(pt)
-		if d := dist[sid] + leg; d < bestD {
+		if d := ws.distAt(sid) + leg; d < bestD {
 			bestD = d
 			best = sid
 		}
@@ -409,17 +545,17 @@ func (pf *PathFinder) ShortestToPoint(seeds []Seed, pt geom.Point, hostPt model.
 	if best == NoState {
 		return Path{}, false
 	}
-	return Path{Hops: pf.reconstruct(best, parent, seedOf, seeds), Dist: bestD}, true
+	ws.hops = pf.reconstructInto(ws.hops[:0], ws, best, seeds)
+	return Path{Hops: ws.hops, Dist: bestD}, true
 }
 
-func (pf *PathFinder) targetStatesForPoint(host model.PartitionID) []StateID {
-	var ts []StateID
+func (pf *PathFinder) appendTargetStatesForPoint(dst []StateID, host model.PartitionID) []StateID {
 	for _, d := range pf.s.Partition(host).EnterDoors() {
 		if sid := pf.StateOf(d, host); sid != NoState {
-			ts = append(ts, sid)
+			dst = append(dst, sid)
 		}
 	}
-	return ts
+	return dst
 }
 
 // PointToPoint returns the indoor shortest distance between two points,
@@ -451,14 +587,17 @@ func (pf *PathFinder) DistancesFromPoint(p geom.Point) []float64 {
 	for i := range out {
 		out[i] = math.Inf(1)
 	}
+	ws := pf.getWS()
 	seeds := pf.SeedsFromPoint(p)
-	dist, _, _ := pf.dijkstra(seeds, Costs{})
-	for sid, d := range dist {
+	pf.runDijkstra(ws, seeds, Costs{}, nil)
+	for sid := range pf.states {
+		d := ws.distAt(StateID(sid))
 		door := pf.states[sid].door
 		if d < out[door] {
 			out[door] = d
 		}
 	}
+	pf.putWS(ws)
 	return out
 }
 
@@ -486,27 +625,4 @@ type heapItem struct {
 	// same way the overlaid original does.
 	door model.DoorID
 	part model.PartitionID
-}
-
-type stateHeap []heapItem
-
-func (h stateHeap) Len() int { return len(h) }
-func (h stateHeap) Less(i, j int) bool {
-	a, b := h[i], h[j]
-	if a.dist != b.dist {
-		return a.dist < b.dist
-	}
-	if a.door != b.door {
-		return a.door < b.door
-	}
-	return a.part < b.part
-}
-func (h stateHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *stateHeap) Push(x any)   { *h = append(*h, x.(heapItem)) }
-func (h *stateHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
 }

@@ -289,15 +289,17 @@ func TestMatrixAgreesWithDijkstra(t *testing.T) {
 	s, _, _ := corridorSpace(t)
 	pf := NewPathFinder(s)
 	m := NewMatrix(pf)
+	ws := NewWorkspace()
 	for a := 0; a < pf.NumStates(); a++ {
-		dist, _, _ := pf.dijkstra([]Seed{{State: StateID(a)}}, Costs{})
+		pf.dijkstra(ws, []Seed{{State: StateID(a)}}, Costs{}, nil)
 		for b := 0; b < pf.NumStates(); b++ {
 			md := m.Dist(StateID(a), StateID(b))
-			if math.IsInf(dist[b], 1) != math.IsInf(md, 1) {
+			db := ws.distAt(StateID(b))
+			if math.IsInf(db, 1) != math.IsInf(md, 1) {
 				t.Fatalf("reachability mismatch %d->%d", a, b)
 			}
-			if !math.IsInf(md, 1) && math.Abs(md-dist[b]) > 1e-9 {
-				t.Fatalf("matrix %d->%d = %v, dijkstra %v", a, b, md, dist[b])
+			if !math.IsInf(md, 1) && math.Abs(md-db) > 1e-9 {
+				t.Fatalf("matrix %d->%d = %v, dijkstra %v", a, b, md, db)
 			}
 		}
 	}

@@ -1,0 +1,204 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"ikrq/internal/geom"
+	"ikrq/internal/model"
+)
+
+// kernelSpaces returns the test spaces the kernel oracles sweep: the flat
+// corridor, the two-floor tower, and a disconnected pair of strips (for
+// unreachable targets).
+func kernelSpaces(t *testing.T) map[string]*model.Space {
+	t.Helper()
+	corridor, _, _ := corridorSpace(t)
+	tower, _ := towerSpace(t)
+	return map[string]*model.Space{
+		"corridor": corridor,
+		"tower":    tower,
+		"split":    splitSpace(t),
+	}
+}
+
+// splitSpace builds two corridor fragments with no connection between them,
+// so cross-fragment states are mutually unreachable.
+func splitSpace(t *testing.T) *model.Space {
+	t.Helper()
+	b := model.NewBuilder()
+	a0 := b.AddPartition("a0", model.KindHallway, geom.R(0, 0, 10, 10, 0))
+	a1 := b.AddPartition("a1", model.KindHallway, geom.R(10, 0, 20, 10, 0))
+	c0 := b.AddPartition("c0", model.KindHallway, geom.R(40, 0, 50, 10, 0))
+	c1 := b.AddPartition("c1", model.KindHallway, geom.R(50, 0, 60, 10, 0))
+	b.AddDoor(geom.Pt(10, 5, 0), a0, a1)
+	b.AddDoor(geom.Pt(50, 5, 0), c0, c1)
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return s
+}
+
+// kernelCostCases are the cost models the oracles run under: unconstrained,
+// a blocked door, a delayed door, and both at once.
+func kernelCostCases(s *model.Space) map[string]Costs {
+	nd := s.NumDoors()
+	blockOne := func(d model.DoorID) bool { return int(d) == nd/2 }
+	delayOne := func(d model.DoorID) float64 {
+		if int(d) == nd-1 {
+			return 7.5
+		}
+		return 0
+	}
+	return map[string]Costs{
+		"zero":        {},
+		"block":       {Block: blockOne},
+		"delay":       {Delay: delayOne},
+		"block+delay": {Block: blockOne, Delay: delayOne},
+	}
+}
+
+// TestKernelMatchesReference diffs the workspace kernel against the
+// retained seed kernel state by state: same reachability, distances,
+// parents and seed attribution for every source state under every cost
+// case. One workspace per kernel is reused across all runs, so the test
+// also exercises the O(1) epoch reset between unrelated queries.
+func TestKernelMatchesReference(t *testing.T) {
+	for name, s := range kernelSpaces(t) {
+		t.Run(name, func(t *testing.T) {
+			pf := NewPathFinder(s)
+			ws, ref := NewWorkspace(), NewWorkspace()
+			for costName, costs := range kernelCostCases(s) {
+				for src := 0; src < pf.NumStates(); src++ {
+					seeds := []Seed{{State: StateID(src), Cost: 1.25, EmitHop: true}}
+					pf.dijkstra(ws, seeds, costs, nil)
+					pf.refDijkstra(ref, seeds, costs)
+					for st := 0; st < pf.NumStates(); st++ {
+						sid := StateID(st)
+						dw, dr := ws.distAt(sid), ref.distAt(sid)
+						if math.IsInf(dw, 1) != math.IsInf(dr, 1) {
+							t.Fatalf("%s src %d state %d: reachability %v vs ref %v", costName, src, st, dw, dr)
+						}
+						if math.IsInf(dw, 1) {
+							continue
+						}
+						if dw != dr {
+							t.Fatalf("%s src %d state %d: dist %v vs ref %v", costName, src, st, dw, dr)
+						}
+						if ws.parent[sid] != ref.parent[sid] {
+							t.Fatalf("%s src %d state %d: parent %d vs ref %d", costName, src, st, ws.parent[sid], ref.parent[sid])
+						}
+						if ws.seedOf[sid] != ref.seedOf[sid] {
+							t.Fatalf("%s src %d state %d: seedOf %d vs ref %d", costName, src, st, ws.seedOf[sid], ref.seedOf[sid])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestKernelEarlyTerminationExact asserts the target-set early exit returns
+// exactly the full run's answer: for every (source, target) pair the
+// targeted run's distance and reconstructed hop sequence equal the
+// exhaustive reference's, including unreachable targets (which degrade to
+// full exhaustion, not a wrong answer).
+func TestKernelEarlyTerminationExact(t *testing.T) {
+	for name, s := range kernelSpaces(t) {
+		t.Run(name, func(t *testing.T) {
+			pf := NewPathFinder(s)
+			pfRef := NewPathFinder(s)
+			pfRef.UseReferenceKernel()
+			ws, wsRef := NewWorkspace(), NewWorkspace()
+			for src := 0; src < pf.NumStates(); src++ {
+				for dst := 0; dst < pf.NumStates(); dst++ {
+					seeds := []Seed{{State: StateID(src), EmitHop: true}}
+					got, okG := pf.ShortestToStateWS(ws, seeds, StateID(dst), Costs{})
+					want, okW := pfRef.ShortestToStateWS(wsRef, seeds, StateID(dst), Costs{})
+					if okG != okW {
+						t.Fatalf("%d->%d: ok %v vs ref %v", src, dst, okG, okW)
+					}
+					if !okG {
+						continue
+					}
+					if got.Dist != want.Dist {
+						t.Fatalf("%d->%d: dist %v vs ref %v", src, dst, got.Dist, want.Dist)
+					}
+					if len(got.Hops) != len(want.Hops) {
+						t.Fatalf("%d->%d: %d hops vs ref %d", src, dst, len(got.Hops), len(want.Hops))
+					}
+					for i := range got.Hops {
+						if got.Hops[i] != want.Hops[i] {
+							t.Fatalf("%d->%d hop %d: %+v vs ref %+v", src, dst, i, got.Hops[i], want.Hops[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWorkspaceEpochWrap forces the uint32 epoch wraparound and checks the
+// stamp arrays are cleared rather than colliding with stale marks.
+func TestWorkspaceEpochWrap(t *testing.T) {
+	s, parts, doors := corridorSpace(t)
+	pf := NewPathFinder(s)
+	ws := NewWorkspace()
+	target := pf.StateOf(doors[2], parts[3])
+	seeds := []Seed{{State: pf.StateOf(doors[0], parts[1])}}
+	want, ok := pf.ShortestToStateWS(ws, seeds, target, Costs{})
+	if !ok {
+		t.Fatal("corridor target unreachable")
+	}
+	wantDist := want.Dist
+	ws.epoch = ^uint32(0) - 1 // two runs from wrapping
+	for i := 0; i < 4; i++ {
+		got, ok := pf.ShortestToStateWS(ws, seeds, target, Costs{})
+		if !ok || got.Dist != wantDist {
+			t.Fatalf("run %d across epoch wrap: dist %v ok=%v, want %v", i, got.Dist, ok, wantDist)
+		}
+	}
+	if ws.epoch == 0 {
+		t.Fatal("epoch stayed 0 after wrap")
+	}
+}
+
+// TestTreeReadAfterReusePanics pins the borrow contract: a tree from
+// ShortestTreeWS must panic, not return stale data, once its workspace has
+// run another query.
+func TestTreeReadAfterReusePanics(t *testing.T) {
+	s, parts, doors := corridorSpace(t)
+	pf := NewPathFinder(s)
+	ws := NewWorkspace()
+	seeds := []Seed{{State: pf.StateOf(doors[0], parts[1])}}
+	tree := pf.ShortestTreeWS(ws, seeds, Costs{})
+	if d := tree.Dist(pf.StateOf(doors[1], parts[2])); math.IsInf(d, 1) {
+		t.Fatal("live tree should reach d1")
+	}
+	pf.dijkstra(ws, seeds, Costs{}, nil) // reuse the workspace
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dist on an invalidated tree did not panic")
+		}
+	}()
+	tree.Dist(0)
+}
+
+// TestShortestTreeOwnsItsStorage pins the opposite contract: a tree from
+// the plain ShortestTree entry point stays valid across later queries on
+// the same finder (its workspace is private, not pooled).
+func TestShortestTreeOwnsItsStorage(t *testing.T) {
+	s, parts, doors := corridorSpace(t)
+	pf := NewPathFinder(s)
+	seeds := []Seed{{State: pf.StateOf(doors[0], parts[1])}}
+	tree := pf.ShortestTree(seeds, Costs{})
+	target := pf.StateOf(doors[1], parts[2])
+	want := tree.Dist(target)
+	for i := 0; i < 3; i++ { // churn the finder's pooled workspaces
+		pf.ShortestToState(seeds, target, Costs{})
+	}
+	if got := tree.Dist(target); got != want {
+		t.Fatalf("owned tree changed under pooled churn: %v, want %v", got, want)
+	}
+}

@@ -2,6 +2,9 @@ package graph
 
 import (
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"ikrq/internal/model"
 )
@@ -21,8 +24,22 @@ type Matrix struct {
 	next []StateID // n×n row-major: next state on the shortest path
 }
 
-// NewMatrix precomputes the all-pairs tables with one Dijkstra per state.
+// NewMatrix precomputes the all-pairs tables with one Dijkstra per state,
+// fanned out over GOMAXPROCS workers. Each worker owns a private kernel
+// workspace and writes disjoint rows, and rows are independent single-source
+// computations, so the result is byte-identical to a sequential build
+// regardless of scheduling (asserted by TestNewMatrixParallelDeterministic).
 func NewMatrix(pf *PathFinder) *Matrix {
+	return newMatrixWorkers(pf, runtime.GOMAXPROCS(0))
+}
+
+// matrixRowChunk is the number of source rows a worker claims per grab:
+// large enough to amortize the atomic, small enough to balance uneven rows.
+const matrixRowChunk = 16
+
+// newMatrixWorkers is NewMatrix with an explicit worker count (the
+// determinism test pins it; production always passes GOMAXPROCS).
+func newMatrixWorkers(pf *PathFinder, workers int) *Matrix {
 	n := pf.NumStates()
 	m := &Matrix{pf: pf, n: n}
 	m.dist = make([]float64, n*n)
@@ -31,18 +48,57 @@ func NewMatrix(pf *PathFinder) *Matrix {
 		m.dist[i] = math.Inf(1)
 		m.next[i] = NoState
 	}
-	for src := 0; src < n; src++ {
-		dist, parent, _ := pf.dijkstra([]Seed{{State: StateID(src)}}, Costs{})
-		row := src * n
-		for t := 0; t < n; t++ {
-			if math.IsInf(dist[t], 1) {
+	if workers > (n+matrixRowChunk-1)/matrixRowChunk {
+		workers = (n + matrixRowChunk - 1) / matrixRowChunk
+	}
+	if workers <= 1 {
+		m.buildRows(NewWorkspace(), 0, n)
+		return m
+	}
+	var nextRow atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := NewWorkspace()
+			for {
+				hi := int(nextRow.Add(matrixRowChunk))
+				lo := hi - matrixRowChunk
+				if lo >= n {
+					return
+				}
+				if hi > n {
+					hi = n
+				}
+				m.buildRows(ws, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	return m
+}
+
+// buildRows fills the table rows for sources [lo, hi) on one workspace.
+// Rows of distinct workers are disjoint, so no synchronization is needed
+// beyond the completion barrier.
+func (m *Matrix) buildRows(ws *Workspace, lo, hi int) {
+	pf := m.pf
+	seed := make([]Seed, 1)
+	for src := lo; src < hi; src++ {
+		seed[0] = Seed{State: StateID(src)}
+		pf.runDijkstra(ws, seed, Costs{}, nil)
+		row := src * m.n
+		for t := 0; t < m.n; t++ {
+			d := ws.distAt(StateID(t))
+			if math.IsInf(d, 1) {
 				continue
 			}
-			m.dist[row+t] = dist[t]
+			m.dist[row+t] = d
 			// Walk the parent chain backward to find the first hop from src.
 			cur := StateID(t)
-			for parent[cur] != NoState && parent[cur] != StateID(src) {
-				cur = parent[cur]
+			for ws.parent[cur] != NoState && ws.parent[cur] != StateID(src) {
+				cur = ws.parent[cur]
 			}
 			if cur == StateID(src) {
 				m.next[row+t] = StateID(t) // degenerate: src == t
@@ -51,7 +107,6 @@ func NewMatrix(pf *PathFinder) *Matrix {
 			}
 		}
 	}
-	return m
 }
 
 // Dist returns the precomputed shortest distance between two states.
@@ -60,21 +115,31 @@ func (m *Matrix) Dist(a, b StateID) float64 { return m.dist[int(a)*m.n+int(b)] }
 // Path reconstructs the precomputed shortest hop sequence from a to b
 // (excluding a's own door). ok is false when b is unreachable.
 func (m *Matrix) Path(a, b StateID) ([]Hop, bool) {
-	if math.IsInf(m.Dist(a, b), 1) {
+	hops, ok := m.AppendPath(nil, a, b)
+	if !ok {
 		return nil, false
 	}
-	var hops []Hop
+	return hops, true
+}
+
+// AppendPath is Path appending into a caller-owned buffer. On failure the
+// returned slice may carry a partial suffix past dst's original length;
+// callers reusing a buffer re-slice it anyway.
+func (m *Matrix) AppendPath(dst []Hop, a, b StateID) ([]Hop, bool) {
+	if math.IsInf(m.Dist(a, b), 1) {
+		return dst, false
+	}
 	cur := a
 	for cur != b {
 		nxt := m.next[int(cur)*m.n+int(b)]
 		if nxt == NoState {
-			return nil, false
+			return dst, false
 		}
 		d, p := m.pf.State(nxt)
-		hops = append(hops, Hop{Door: d, Part: p})
+		dst = append(dst, Hop{Door: d, Part: p})
 		cur = nxt
 	}
-	return hops, true
+	return dst, true
 }
 
 // PathIfAllowed returns the precomputed path only when the cost model
@@ -93,16 +158,27 @@ func (m *Matrix) Path(a, b StateID) ([]Hop, bool) {
 // the graph never invalidate it. Matrix.Dist stays untouched either way and
 // is always an admissible lower bound of the overlaid distance.
 func (m *Matrix) PathIfAllowed(a, b StateID, costs Costs) ([]Hop, float64, bool) {
-	hops, ok := m.Path(a, b)
+	hops, d, ok := m.AppendPathIfAllowed(nil, a, b, costs)
 	if !ok {
 		return nil, 0, false
 	}
-	for _, h := range hops {
+	return hops, d, true
+}
+
+// AppendPathIfAllowed is PathIfAllowed appending into a caller-owned
+// buffer (same partial-suffix caveat as AppendPath).
+func (m *Matrix) AppendPathIfAllowed(dst []Hop, a, b StateID, costs Costs) ([]Hop, float64, bool) {
+	start := len(dst)
+	dst, ok := m.AppendPath(dst, a, b)
+	if !ok {
+		return dst, 0, false
+	}
+	for _, h := range dst[start:] {
 		if costs.blocked(h.Door) || costs.delay(h.Door) > 0 {
-			return nil, 0, false
+			return dst, 0, false
 		}
 	}
-	return hops, m.Dist(a, b), true
+	return dst, m.Dist(a, b), true
 }
 
 // Bytes estimates the resident size of the matrix tables, reported by the

@@ -120,17 +120,13 @@ type SkeletonRecord struct {
 	Dist  []float64 // len(Doors)² row-major
 }
 
-// Export captures the skeleton closure as a record.
+// Export captures the skeleton closure as a record. The skeleton already
+// stores δs2s flat row-major, exactly the record layout.
 func (sk *Skeleton) Export() *SkeletonRecord {
-	n := len(sk.doors)
-	rec := &SkeletonRecord{
+	return &SkeletonRecord{
 		Doors: append([]model.DoorID(nil), sk.doors...),
-		Dist:  make([]float64, 0, n*n),
+		Dist:  append([]float64(nil), sk.d...),
 	}
-	for i := 0; i < n; i++ {
-		rec.Dist = append(rec.Dist, sk.d[i]...)
-	}
-	return rec
 }
 
 // SkeletonFromState restores a Skeleton for s from a record, adopting the
@@ -158,16 +154,14 @@ func SkeletonFromState(s *model.Space, rec *SkeletonRecord) (*Skeleton, error) {
 		sk.idx[d] = i
 		sk.doors = append(sk.doors, d)
 	}
-	sk.d = make([][]float64, n)
 	for i := 0; i < n; i++ {
-		row := rec.Dist[i*n : (i+1)*n]
-		for j, v := range row {
-			if v < 0 || math.IsNaN(v) || (i == j && v != 0) {
+		for j := 0; j < n; j++ {
+			if v := rec.Dist[i*n+j]; v < 0 || math.IsNaN(v) || (i == j && v != 0) {
 				return nil, fmt.Errorf("graph: skeleton record δs2s[%d][%d] is invalid: %v", i, j, v)
 			}
 		}
-		sk.d[i] = append([]float64(nil), row...)
 	}
+	sk.d = append([]float64(nil), rec.Dist...)
 	return sk, nil
 }
 

@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// This file retains the seed shortest-path kernel verbatim: freshly
+// allocated O(states) tables per run and container/heap's interface-typed
+// binary heap. It is dead weight on every production path — the workspace
+// kernel (workspace.go, PathFinder.dijkstra) replaced it — and exists only
+// as the reference implementation the kernel-equivalence oracles diff
+// against: a finder switched with UseReferenceKernel runs every shortest
+// path through refDijkstra, so two engines differing in nothing but the
+// kernel must return byte-identical routes and work counters.
+
+// refDijkstra runs the seed kernel and copies its result into ws so
+// downstream reads (reconstruction, matrix row extraction) are uniform
+// across kernels. It never terminates early — the seed always exhausted the
+// graph — which is exactly what makes it the oracle for the workspace
+// kernel's target-set early exit.
+func (pf *PathFinder) refDijkstra(ws *Workspace, seeds []Seed, costs Costs) {
+	n := len(pf.states)
+	dist := make([]float64, n)
+	parent := make([]StateID, n)
+	seedOf := make([]int32, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = NoState
+		seedOf[i] = -1
+	}
+	pq := &refHeap{}
+	for si, sd := range seeds {
+		if sd.State == NoState {
+			continue
+		}
+		if sd.Cost < dist[sd.State] {
+			dist[sd.State] = sd.Cost
+			seedOf[sd.State] = int32(si)
+			parent[sd.State] = NoState
+			heap.Push(pq, pf.item(sd.State, sd.Cost))
+		}
+	}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		if it.dist > dist[it.state] {
+			continue
+		}
+		for _, a := range pf.adj[it.state] {
+			door := pf.states[a.to].door
+			if costs.blocked(door) {
+				continue
+			}
+			nd := it.dist + a.w + costs.delay(door)
+			if nd < dist[a.to] {
+				dist[a.to] = nd
+				parent[a.to] = it.state
+				seedOf[a.to] = seedOf[it.state]
+				heap.Push(pq, pf.item(a.to, nd))
+			}
+		}
+	}
+	ws.begin(n)
+	for i := range dist {
+		if !math.IsInf(dist[i], 1) {
+			ws.set(StateID(i), dist[i], parent[i], seedOf[i])
+		}
+	}
+}
+
+// refHeap is the seed's container/heap priority queue (boxed items, binary
+// layout) with the same (dist, door, partition) tie-break as the workspace
+// kernel's flat heap.
+type refHeap []heapItem
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	return heapLess(h[i], h[j])
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(heapItem)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -23,8 +23,14 @@ type Skeleton struct {
 	s     *model.Space
 	doors []model.DoorID       // all staircase doors
 	idx   map[model.DoorID]int // door -> matrix index
-	d     [][]float64          // δs2s, Floyd–Warshall closed
+	// d is δs2s, Floyd–Warshall closed, flat row-major (stride len(doors)):
+	// one allocation, and the LowerBound hot loop walks a contiguous row
+	// instead of chasing per-row slice headers.
+	d []float64
 }
+
+// at returns δs2s by matrix index.
+func (sk *Skeleton) at(i, j int) float64 { return sk.d[i*len(sk.doors)+j] }
 
 // NewSkeleton computes δs2s for the space's staircase doors with
 // Floyd–Warshall. The staircase-door count is small (staircases × floors),
@@ -38,14 +44,12 @@ func NewSkeleton(s *model.Space) *Skeleton {
 		}
 	}
 	n := len(sk.doors)
-	sk.d = make([][]float64, n)
-	for i := range sk.d {
-		sk.d[i] = make([]float64, n)
-		for j := range sk.d[i] {
-			if i == j {
-				continue
+	sk.d = make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				sk.d[i*n+j] = math.Inf(1)
 			}
-			sk.d[i][j] = math.Inf(1)
 		}
 	}
 	// Same-floor hops are Euclidean (a lower bound of walking between two
@@ -58,9 +62,9 @@ func NewSkeleton(s *model.Space) *Skeleton {
 				continue
 			}
 			w := a.Dist(b)
-			if w < sk.d[i][j] {
-				sk.d[i][j] = w
-				sk.d[j][i] = w
+			if w < sk.d[i*n+j] {
+				sk.d[i*n+j] = w
+				sk.d[j*n+i] = w
 			}
 		}
 	}
@@ -71,20 +75,22 @@ func NewSkeleton(s *model.Space) *Skeleton {
 		if !iok || !jok {
 			continue
 		}
-		if sw.Length < sk.d[i][j] {
-			sk.d[i][j] = sw.Length
-			sk.d[j][i] = sw.Length
+		if sw.Length < sk.d[i*n+j] {
+			sk.d[i*n+j] = sw.Length
+			sk.d[j*n+i] = sw.Length
 		}
 	}
 	for k := 0; k < n; k++ {
+		krow := sk.d[k*n : (k+1)*n]
 		for i := 0; i < n; i++ {
-			dik := sk.d[i][k]
+			dik := sk.d[i*n+k]
 			if math.IsInf(dik, 1) {
 				continue
 			}
-			for j := 0; j < n; j++ {
-				if v := dik + sk.d[k][j]; v < sk.d[i][j] {
-					sk.d[i][j] = v
+			irow := sk.d[i*n : (i+1)*n]
+			for j, dkj := range krow {
+				if v := dik + dkj; v < irow[j] {
+					irow[j] = v
 				}
 			}
 		}
@@ -100,7 +106,7 @@ func (sk *Skeleton) S2S(a, b model.DoorID) float64 {
 	if !iok || !jok {
 		return math.Inf(1)
 	}
-	return sk.d[i][j]
+	return sk.at(i, j)
 }
 
 // LowerBound returns |a,b|L.
@@ -114,7 +120,7 @@ func (sk *Skeleton) LowerBound(a, b geom.Point) float64 {
 		ia := sk.idx[sdA]
 		for _, sdB := range sk.s.StairDoorsOnFloor(b.Floor) {
 			ib := sk.idx[sdB]
-			v := da + sk.d[ia][ib] + b.PlanarDist(sk.s.Door(sdB).Pos)
+			v := da + sk.at(ia, ib) + b.PlanarDist(sk.s.Door(sdB).Pos)
 			if v < best {
 				best = v
 			}

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"ikrq/internal/graph"
 	"ikrq/internal/keyword"
 	"ikrq/internal/model"
 )
@@ -86,11 +87,15 @@ func (sr *searcher) finalizeAtTerminal(sj *stamp) {
 // finalizeViaShortestRoute completes a fully covering stamp with the
 // shortest regular route to pt (Algorithm 5 lines 11–17).
 func (sr *searcher) finalizeViaShortestRoute(sj *stamp) {
-	seeds := sr.e.pf.SeedFromState(sj.tail(), sj.v)
-	if len(seeds) == 0 || seeds[0].State < 0 {
+	sr.seedBuf = append(sr.seedBuf[:0], graph.Seed{State: sr.e.pf.StateOf(sj.tail(), sj.v)})
+	seeds := sr.seedBuf
+	if seeds[0].State < 0 {
 		return
 	}
-	path, ok := sr.e.pf.ShortestToPoint(seeds, sr.req.Pt, sr.hostPt, sr.costsFor(sj))
+	// The completion Dijkstra runs on the searcher's workspace and stops
+	// once every entry state of pt's partition is settled; the path borrows
+	// the workspace and is spliced before the next kernel run.
+	path, ok := sr.e.pf.ShortestToPointWS(sr.ws, seeds, sr.req.Pt, sr.hostPt, sr.costsFor(sj))
 	if !ok {
 		return
 	}

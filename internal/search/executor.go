@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"ikrq/internal/graph"
 	"ikrq/internal/keyword"
 	"ikrq/internal/model"
 	"ikrq/internal/route"
@@ -64,6 +65,24 @@ type execScratch struct {
 	keyAlive map[model.PartitionID]bool
 	keyParts []model.PartitionID
 
+	// ws is the shortest-path kernel workspace every Dijkstra of a query on
+	// this bundle runs in: epoch-stamped tables reset in O(1), so the graph
+	// kernel allocates nothing after the bundle's first query. Its arrays
+	// hold no references; release() leaves it alone.
+	ws *graph.Workspace
+
+	// Per-expansion buffers mirrored into the searcher (see the field docs
+	// there). es holds stamp pointers and is cleared on release; the rest
+	// are value slices whose capacity is simply retained. koeRemoved is the
+	// pooled KoE candidate-removal set, cleared per expansion.
+	seeds      []graph.Seed
+	hops       []graph.Hop
+	es         []*stamp
+	expand     []model.DoorID
+	commit     []model.PartitionID
+	koeTargets []model.PartitionID
+	koeRemoved map[model.PartitionID]bool
+
 	// condClosed and condDelay back the searcher's dense views of the
 	// request's Conditions overlay. They hold no references (plain bools and
 	// floats), so release() leaves them alone; initOverlay resizes and
@@ -102,22 +121,36 @@ func (sc *execScratch) prepare(e *Engine, q *keyword.Query, req Request, opt Opt
 	if sc.keyAlive == nil {
 		sc.keyAlive = make(map[model.PartitionID]bool)
 	}
+	if sc.ws == nil {
+		sc.ws = graph.NewWorkspace()
+	}
+	if sc.koeRemoved == nil {
+		sc.koeRemoved = make(map[model.PartitionID]bool)
+	}
 
 	sr := &sc.sr
 	*sr = searcher{
-		e:        e,
-		req:      req,
-		opt:      opt,
-		q:        q,
-		hostPs:   e.s.HostPartition(req.Ps),
-		hostPt:   e.s.HostPartition(req.Pt),
-		prime:    sc.prime,
-		top:      sc.top,
-		dn:       sc.dn,
-		df:       sc.df,
-		keyAlive: sc.keyAlive,
-		queue:    sc.queue[:0],
-		scratch:  sc,
+		e:            e,
+		req:          req,
+		opt:          opt,
+		q:            q,
+		hostPs:       e.s.HostPartition(req.Ps),
+		hostPt:       e.s.HostPartition(req.Pt),
+		prime:        sc.prime,
+		top:          sc.top,
+		dn:           sc.dn,
+		df:           sc.df,
+		keyAlive:     sc.keyAlive,
+		queue:        sc.queue[:0],
+		ws:           sc.ws,
+		seedBuf:      sc.seeds[:0],
+		hopBuf:       sc.hops[:0],
+		esBuf:        sc.es[:0],
+		expandBuf:    sc.expand[:0],
+		commitBuf:    sc.commit[:0],
+		koeTargetBuf: sc.koeTargets[:0],
+		koeRemoved:   sc.koeRemoved,
+		scratch:      sc,
 	}
 	sr.maxRho = q.MaxRelevance()
 	sr.cap = req.Delta * (1 + opt.SoftDeltaSlack)
@@ -154,9 +187,35 @@ func (sc *execScratch) release() {
 	}
 	clear(sc.keyAlive)
 	sc.keyParts = sc.keyParts[:0]
+	// Adopt grown per-expansion buffers back from the searcher. es holds
+	// stamp pointers (which pin route and KP trees) and is cleared to full
+	// capacity; the rest are plain values, their capacity is simply kept.
+	// koeRemoved is cleared per expansion by koeTargets, but clear it here
+	// too so an idle bundle holds no stale marks.
+	sc.es = adoptGrown(sc.es, sc.sr.esBuf)
+	clear(sc.es[:cap(sc.es)])
+	sc.seeds = adoptGrown(sc.seeds, sc.sr.seedBuf)
+	sc.hops = adoptGrown(sc.hops, sc.sr.hopBuf)
+	sc.expand = adoptGrown(sc.expand, sc.sr.expandBuf)
+	sc.commit = adoptGrown(sc.commit, sc.sr.commitBuf)
+	sc.koeTargets = adoptGrown(sc.koeTargets, sc.sr.koeTargetBuf)
+	if sc.koeRemoved != nil {
+		clear(sc.koeRemoved)
+	}
 	sc.stamps.reset()
 	sc.sims.reset()
 	sc.sr = searcher{}
+}
+
+// adoptGrown keeps the larger of a pooled buffer and the searcher's
+// (possibly reallocated) working copy, truncated for the next query.
+// Callers whose element type holds pointers must clear the result's full
+// capacity themselves (see es above).
+func adoptGrown[T any](pooled, grown []T) []T {
+	if cap(grown) > cap(pooled) {
+		pooled = grown
+	}
+	return pooled[:0]
 }
 
 // simsArena bump-allocates the per-keyword similarity vectors attached to

@@ -1,0 +1,8 @@
+package search
+
+// SearchFreshForTest exposes the per-call-allocation search path to the
+// external oracle tests (package search_test), which compare it against the
+// pooled executor after scratch-layout changes.
+func SearchFreshForTest(e *Engine, req Request, opt Options) (*Result, error) {
+	return e.searchFresh(req, opt)
+}

@@ -1,0 +1,163 @@
+// Kernel-equivalence oracle: the acceptance gate for the zero-allocation
+// graph kernel. Two engines over the same space and keyword index — one on
+// the workspace kernel (flat 4-ary heap, epoch reset, early termination),
+// one whose PathFinder is pinned to the seed kernel retained in
+// internal/graph/refkernel.go — must return byte-identical routes AND
+// identical work counters for every Table III variant, on both evaluation
+// malls, with and without live-conditions overlays. External test package
+// for the same reason as the closure oracle: it drives the generated malls.
+package search_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ikrq/internal/gen"
+	"ikrq/internal/graph"
+	"ikrq/internal/keyword"
+	"ikrq/internal/model"
+	"ikrq/internal/search"
+)
+
+// refKernelEngine assembles an engine that differs from search.NewEngine(s, x)
+// in exactly one way: every shortest path runs on the seed kernel.
+func refKernelEngine(t *testing.T, s *model.Space, x *keyword.Index) *search.Engine {
+	t.Helper()
+	pf := graph.NewPathFinder(s)
+	pf.UseReferenceKernel()
+	eng, err := search.NewEngineFromParts(s, x, pf, graph.NewSkeleton(s), nil)
+	if err != nil {
+		t.Fatalf("assembling reference-kernel engine: %v", err)
+	}
+	return eng
+}
+
+// kernelConditions are the overlay scenarios the oracle sweeps: none,
+// closures only, delays only, and both.
+func kernelConditions(s *model.Space, seed uint64) map[string]*model.Conditions {
+	return map[string]*model.Conditions{
+		"bare":     nil,
+		"closures": gen.SampleConditions(s, seed, gen.ConditionsConfig{Closures: 4}),
+		"delays":   gen.SampleConditions(s, seed+1, gen.ConditionsConfig{Delays: 4, MinDelay: 5, MaxDelay: 60}),
+		"mixed":    gen.SampleConditions(s, seed+2, gen.ConditionsConfig{Closures: 3, Delays: 3, MinDelay: 5, MaxDelay: 60}),
+	}
+}
+
+// kernelOracle runs every variant × overlay × request on both engines and
+// requires identical routes and stats (Elapsed excepted — it is the one
+// field that measures the kernels rather than the search).
+func kernelOracle(t *testing.T, eng, ref *search.Engine, reqs []search.Request, conds map[string]*model.Conditions, capExpansions int) {
+	t.Helper()
+	for _, v := range search.Variants() {
+		opt, err := search.OptionsFor(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.DisablePrime {
+			opt.MaxExpansions = capExpansions // keep the unpruned variant finite
+		}
+		for condName, cond := range conds {
+			for i, req := range reqs {
+				req.Conditions = cond
+				got, err := eng.Search(req, opt)
+				if err != nil {
+					t.Fatalf("%s/%s req %d: %v", v, condName, i, err)
+				}
+				want, err := ref.Search(req, opt)
+				if err != nil {
+					t.Fatalf("%s/%s req %d (ref): %v", v, condName, i, err)
+				}
+				if !reflect.DeepEqual(got.Routes, want.Routes) {
+					t.Errorf("%s/%s req %d: routes diverged from the seed kernel\n got: %+v\nwant: %+v",
+						v, condName, i, got.Routes, want.Routes)
+				}
+				gs, ws := got.Stats, want.Stats
+				gs.Elapsed, ws.Elapsed = 0, 0
+				if gs != ws {
+					t.Errorf("%s/%s req %d: work counters diverged\n got: %+v\nwant: %+v", v, condName, i, gs, ws)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelOracleSynthetic is the gate on the synthetic evaluation mall.
+func TestKernelOracleSynthetic(t *testing.T) {
+	mall, voc, idx, err := gen.SyntheticMall(2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := search.NewEngine(mall.Space, idx)
+	ref := refKernelEngine(t, mall.Space, idx)
+	qg := gen.NewQueryGen(mall, idx, voc, eng.PathFinder(), 23)
+	cfg := gen.DefaultQueryConfig(23)
+	cfg.Instances = 3
+	reqs, err := qg.Instances(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernelOracle(t, eng, ref, reqs, kernelConditions(mall.Space, 271), 50_000)
+}
+
+// TestKernelOracleReal is the same gate on the simulated Hangzhou mall.
+func TestKernelOracleReal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-mall kernel oracle (two KoE* matrices over ~2700 states) skipped in -short")
+	}
+	mall, voc, idx, err := gen.RealMall(gen.RealConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := search.NewEngine(mall.Space, idx)
+	ref := refKernelEngine(t, mall.Space, idx)
+	qg := gen.NewQueryGen(mall, idx, voc, eng.PathFinder(), 29)
+	cfg := gen.DefaultQueryConfig(29)
+	cfg.Alpha = 0.7 // Section V-B default for the real dataset
+	cfg.Instances = 2
+	reqs, err := qg.Instances(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conds := map[string]*model.Conditions{
+		"bare":  nil,
+		"mixed": gen.SampleConditions(mall.Space, 83, gen.ConditionsConfig{Closures: 4, Delays: 4, MinDelay: 5, MaxDelay: 90}),
+	}
+	kernelOracle(t, eng, ref, reqs, conds, 50_000)
+}
+
+// TestFreshSearcherMatchesPooled guards the other equivalence seam this PR
+// touches: newSearcher (fresh allocations, private workspace) and the
+// pooled executor path must agree after the buffer-pooling changes.
+func TestFreshSearcherMatchesPooled(t *testing.T) {
+	mall, voc, idx, err := gen.SyntheticMall(2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := search.NewEngine(mall.Space, idx)
+	qg := gen.NewQueryGen(mall, idx, voc, eng.PathFinder(), 31)
+	cfg := gen.DefaultQueryConfig(31)
+	cfg.Instances = 2
+	reqs, err := qg.Instances(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []search.Variant{search.VariantToE, search.VariantKoE, search.VariantKoEStar} {
+		opt, err := search.OptionsFor(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, req := range reqs {
+			pooled, err := eng.Search(req, opt)
+			if err != nil {
+				t.Fatalf("%s req %d pooled: %v", v, i, err)
+			}
+			fresh, err := search.SearchFreshForTest(eng, req, opt)
+			if err != nil {
+				t.Fatalf("%s req %d fresh: %v", v, i, err)
+			}
+			if !reflect.DeepEqual(pooled.Routes, fresh.Routes) {
+				t.Errorf("%s req %d: pooled and fresh searchers diverged", v, i)
+			}
+		}
+	}
+}

@@ -29,12 +29,15 @@ func (sr *searcher) findKoE(si *stamp) []*stamp {
 	// One shortest-path tree from the stamp serves every candidate
 	// partition and door (plain KoE); KoE* reads the matrix instead and
 	// only falls back to the tree on regularity collisions or when the
-	// overlay invalidates the precomputed path.
+	// overlay invalidates the precomputed path. The tree lives in the
+	// searcher's kernel workspace and dies with this expansion (the next
+	// Dijkstra — a KoE* recompute or a shortest-route completion —
+	// overwrites it).
 	var tree *graph.Tree
 	if !sr.opt.Precompute {
-		tree = sr.e.pf.ShortestTree(seeds, costs)
+		tree = sr.e.pf.ShortestTreeWS(sr.ws, seeds, costs)
 	}
-	var es []*stamp
+	es := sr.esBuf[:0]
 	for _, vj := range targets {
 		// Pruning Rule 3 (lines 9–10): remove hopeless partitions from the
 		// global set P for the rest of the query.
@@ -88,6 +91,7 @@ func (sr *searcher) findKoE(si *stamp) []*stamp {
 			es = append(es, sj)
 		}
 	}
+	sr.esBuf = es // adopt growth; run() consumes es before the next find
 	return es
 }
 
@@ -96,7 +100,8 @@ func (sr *searcher) findKoE(si *stamp) []*stamp {
 // reachable at all times. For the initial stamp no partition is removed
 // (line 6's dk ≠ ps condition).
 func (sr *searcher) koeTargets(si *stamp) []model.PartitionID {
-	removed := make(map[model.PartitionID]bool)
+	removed := sr.koeRemoved
+	clear(removed)
 	if si.tail() != model.NoDoor {
 		for kw := 0; kw < sr.q.Len(); kw++ {
 			if !keyword.KeywordCovered(si.sims, kw) {
@@ -109,7 +114,7 @@ func (sr *searcher) koeTargets(si *stamp) []model.PartitionID {
 			}
 		}
 	}
-	var out []model.PartitionID
+	out := sr.koeTargetBuf[:0]
 	for _, v := range sr.keyParts {
 		if !sr.keyAlive[v] {
 			continue
@@ -125,15 +130,19 @@ func (sr *searcher) koeTargets(si *stamp) []model.PartitionID {
 		}
 		out = append(out, v)
 	}
+	sr.koeTargetBuf = out
 	return out
 }
 
-// koeSeeds returns the Dijkstra seeds for continuing the stamp's route.
+// koeSeeds returns the Dijkstra seeds for continuing the stamp's route,
+// built into the searcher's pooled seed buffer.
 func (sr *searcher) koeSeeds(si *stamp) []graph.Seed {
 	if si.tail() == model.NoDoor {
-		return sr.e.pf.SeedsFromPointIn(sr.req.Ps, sr.hostPs)
+		sr.seedBuf = sr.e.pf.AppendSeedsFromPointIn(sr.seedBuf[:0], sr.req.Ps, sr.hostPs)
+	} else {
+		sr.seedBuf = append(sr.seedBuf[:0], graph.Seed{State: sr.e.pf.StateOf(si.tail(), si.v)})
 	}
-	return sr.e.pf.SeedFromState(si.tail(), si.v)
+	return sr.seedBuf
 }
 
 // koePath finds the shortest regular hop sequence from the stamp to the
@@ -143,6 +152,9 @@ func (sr *searcher) koeSeeds(si *stamp) []graph.Seed {
 // door on the path voids the matrix's exactness, so the tail is recomputed
 // on the fly under the full cost model; plain KoE reads the stamp's
 // shortest-path tree.
+// All branches build the hop sequence into per-query pooled storage (the
+// searcher's hop buffer or the kernel workspace); the caller consumes it
+// before the next path is requested.
 func (sr *searcher) koePath(si *stamp, seeds []graph.Seed, tree *graph.Tree, target graph.StateID, costs graph.Costs) ([]graph.Hop, bool) {
 	if sr.opt.Precompute {
 		if si.tail() != model.NoDoor {
@@ -151,19 +163,25 @@ func (sr *searcher) koePath(si *stamp, seeds []graph.Seed, tree *graph.Tree, tar
 				if from == target {
 					return nil, false
 				}
-				if hops, _, ok := sr.e.Matrix().PathIfAllowed(from, target, costs); ok {
+				hops, _, ok := sr.e.Matrix().AppendPathIfAllowed(sr.hopBuf[:0], from, target, costs)
+				sr.hopBuf = hops[:0] // adopt growth even on the partial-suffix failure path
+				if ok {
 					return hops, true
 				}
 				sr.stats.Recomputations++
 			}
 		}
-		path, ok := sr.e.pf.ShortestToState(seeds, target, costs)
+		// Early termination: the recompute settles only the target state
+		// instead of exhausting the graph (the KoE* matrix-tail fallback).
+		path, ok := sr.e.pf.ShortestToStateWS(sr.ws, seeds, target, costs)
 		if !ok {
 			return nil, false
 		}
 		return path.Hops, true
 	}
-	return tree.PathTo(target)
+	hops, ok := tree.AppendPathTo(sr.hopBuf[:0], target)
+	sr.hopBuf = hops[:0]
+	return hops, ok
 }
 
 // tailPos returns the geometric position of the stamp's tail item (the

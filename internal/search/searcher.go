@@ -50,6 +50,26 @@ type searcher struct {
 	keyParts []model.PartitionID
 	keyAlive map[model.PartitionID]bool
 
+	// ws is the searcher's shortest-path kernel workspace: every Dijkstra
+	// the query runs (KoE trees, KoE* tail recomputes, shortest-route
+	// completions) reuses its epoch-stamped tables and flat heap. Pooled
+	// searches get it from the executor scratch; fresh searchers own one.
+	ws *graph.Workspace
+
+	// Reused per-expansion buffers. Their contents never survive one find
+	// or connect step: seedBuf holds the current expansion's Dijkstra
+	// seeds, hopBuf the path being spliced, esBuf the stamps returned to
+	// run() (consumed before the next expansion), expandBuf/commitBuf the
+	// ToE door and partition fan-out, and koeTargetBuf/koeRemoved the KoE
+	// candidate-partition set.
+	seedBuf      []graph.Seed
+	hopBuf       []graph.Hop
+	esBuf        []*stamp
+	expandBuf    []model.DoorID
+	commitBuf    []model.PartitionID
+	koeTargetBuf []model.PartitionID
+	koeRemoved   map[model.PartitionID]bool
+
 	// scratch, when non-nil, supplies pooled stamp and sims storage; a nil
 	// scratch falls back to plain per-call allocation (the seed behavior,
 	// kept as the benchmark baseline).
@@ -79,6 +99,8 @@ func newSearcher(e *Engine, req Request, opt Options) *searcher {
 	sr.gamma = opt.PopularityWeight
 	sr.top = newTopK(req.K, !opt.DisablePrime)
 	sr.keyAlive = make(map[model.PartitionID]bool)
+	sr.ws = graph.NewWorkspace()
+	sr.koeRemoved = make(map[model.PartitionID]bool)
 	sr.initKeyPartitions(nil)
 	sr.initOverlay(nil, nil)
 	return sr

@@ -2,6 +2,7 @@ package search
 
 import (
 	"container/heap"
+	"slices"
 	"sort"
 
 	"ikrq/internal/model"
@@ -78,6 +79,7 @@ type topK struct {
 	flat    []*complete              // ToE\P mode
 	seen    map[string]bool          // flat-mode door-sequence dedupe
 	keyBuf  []byte                   // reused dedupe-key scratch (pooled with the collector)
+	psis    []float64                // reused ψ scratch for the k-bound recompute
 
 	kb float64 // cached k-th best ψ, 0 while fewer than k routes are known
 }
@@ -162,18 +164,31 @@ func (t *topK) all() []*complete {
 	return out
 }
 
+// recomputeBound refreshes the cached k-th best ψ. It runs once per accepted
+// route, so it gathers the ψ values straight out of the collector into a
+// pooled scratch slice (no []*complete materialization, no per-call
+// allocation) and sorts ascending with slices.Sort — the k-th best is then
+// the k-th from the end, with no sort.Reverse/Float64Slice interface boxing.
 func (t *topK) recomputeBound() {
-	cs := t.all()
-	if len(cs) < t.k {
+	psis := t.psis[:0]
+	if t.diversify {
+		for _, entries := range t.byClass {
+			for _, c := range entries {
+				psis = append(psis, c.psi)
+			}
+		}
+	} else {
+		for _, c := range t.flat {
+			psis = append(psis, c.psi)
+		}
+	}
+	t.psis = psis
+	if len(psis) < t.k {
 		t.kb = 0
 		return
 	}
-	psis := make([]float64, len(cs))
-	for i, c := range cs {
-		psis[i] = c.psi
-	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(psis)))
-	t.kb = psis[t.k-1]
+	slices.Sort(psis)
+	t.kb = psis[len(psis)-t.k]
 }
 
 // results returns the final top-k routes, ordered by ψ descending with

@@ -13,7 +13,7 @@ func (sr *searcher) findToE(si *stamp) []*stamp {
 		return nil
 	}
 
-	var es []*stamp
+	es := sr.esBuf[:0]
 	tail := si.tail()
 	for _, dl := range sr.expansionDoors(si) {
 		// Regularity check (line 5): a door already on the route may only
@@ -68,23 +68,27 @@ func (sr *searcher) findToE(si *stamp) []*stamp {
 			es = append(es, sj)
 		}
 	}
+	sr.esBuf = es // adopt growth; run() consumes es before the next find
 	return es
 }
 
 // expansionDoors returns the doors reachable in one hop from the stamp's
 // partition: its leave doors plus, when the partition is a staircase, the
-// far ends of the stairways anchored at its doors.
+// far ends of the stairways anchored at its doors. Staircase fan-outs are
+// built into the searcher's pooled door buffer, consumed within the
+// expansion.
 func (sr *searcher) expansionDoors(si *stamp) []model.DoorID {
 	leaves := sr.e.s.Partition(si.v).LeaveDoors()
 	if k := sr.e.s.Partition(si.v).Kind; k != model.KindStaircase && k != model.KindElevator {
 		return leaves
 	}
-	out := append([]model.DoorID(nil), leaves...)
+	out := append(sr.expandBuf[:0], leaves...)
 	for _, anchor := range leaves {
 		for _, sw := range sr.e.s.StairwaysFrom(anchor) {
 			out = append(out, sw.To)
 		}
 	}
+	sr.expandBuf = out
 	return out
 }
 
@@ -92,14 +96,16 @@ func (sr *searcher) expansionDoors(si *stamp) []model.DoorID {
 // passing dl from the stamp's partition: D2P⊢(dl) minus the partition
 // being left. For stairway landings this includes the landing floor's
 // staircase partition itself, which is how a route continues over the next
-// stairway without detouring through the hallway.
+// stairway without detouring through the hallway. The result reuses the
+// searcher's pooled partition buffer and is consumed before the next call.
 func (sr *searcher) committedPartitions(si *stamp, dl model.DoorID) []model.PartitionID {
-	var out []model.PartitionID
+	out := sr.commitBuf[:0]
 	for _, vj := range sr.e.s.Door(dl).Enterable() {
 		if vj == si.v {
 			continue
 		}
 		out = append(out, vj)
 	}
+	sr.commitBuf = out
 	return out
 }
