@@ -29,7 +29,12 @@ import (
 	"ikrq/internal/cli"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is the real entry point; every failure funnels through cli.Fail so
+// bad flags exit 2 with a usage pointer and runtime failures exit 1, the
+// convention shared by all ikrq commands.
+func run() int {
 	var (
 		floors   = flag.Int("floors", 5, "synthetic space floors")
 		real     = flag.Bool("real", false, "use the simulated Hangzhou mall")
@@ -59,29 +64,33 @@ func main() {
 		req    ikrq.Request
 		err    error
 	)
+	// Flag-syntax errors before any engine build: a bad -alg or -close
+	// should fail fast, not after seconds of index derivation.
+	_, opt, err := cli.ParseVariant(*algStr)
+	if err != nil {
+		return cli.Fail(os.Stderr, "ikrq", err)
+	}
+	cond, err := cli.ParseConditions(*closeStr, *delayStr)
+	if err != nil {
+		return cli.Fail(os.Stderr, "ikrq", err)
+	}
+
 	if *snap != "" {
 		engine, req, err = cli.SnapshotSetup(*snap, spec)
 	} else {
 		engine, req, err = cli.GeneratedSetup(*real, *floors, *seed, spec)
 	}
 	if err != nil {
-		fatal(err)
+		return cli.Fail(os.Stderr, "ikrq", err)
 	}
 	if *qwFlag != "" {
 		req.QW = strings.Split(*qwFlag, ",")
 	}
-	req.Conditions, err = cli.ParseConditions(*closeStr, *delayStr)
-	if err != nil {
-		fatal(err)
-	}
+	req.Conditions = cond
 
-	_, opt, err := cli.ParseVariant(*algStr)
-	if err != nil {
-		fatal(err)
-	}
 	res, err := engine.Search(req, opt)
 	if err != nil {
-		fatal(err)
+		return cli.Fail(os.Stderr, "ikrq", err)
 	}
 
 	fmt.Printf("IKRQ(ps=%v, pt=%v, Δ=%.0fm, QW=%v, k=%d) via %s\n",
@@ -91,7 +100,7 @@ func main() {
 	}
 	if len(res.Routes) == 0 {
 		fmt.Println("no routes within the distance constraint")
-		return
+		return cli.ExitOK
 	}
 	for i, r := range res.Routes {
 		fmt.Printf("#%d  ψ=%.4f  ρ=%.3f  δ=%.1fm  %d doors\n",
@@ -106,6 +115,7 @@ func main() {
 			st.PrunedRule5, st.PrunedRegularity, st.PrunedDelta, st.PrunedClosed,
 			float64(st.EstBytes)/(1<<20))
 	}
+	return cli.ExitOK
 }
 
 // describeRoute renders a route as ps →(partition)→ door →…→ pt with the
@@ -123,9 +133,4 @@ func describeRoute(e *ikrq.Engine, r *ikrq.Route) string {
 	}
 	b.WriteString(" → pt")
 	return b.String()
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ikrq:", err)
-	os.Exit(1)
 }

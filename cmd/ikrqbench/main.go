@@ -6,6 +6,7 @@
 //	ikrqbench [-fig fig05] [-quick] [-seed 1] [-instances 10] [-runs 5] [-workers 1]
 //	ikrqbench -snapshot mall.ikrq [-quick]
 //	ikrqbench -benchjson BENCH.json
+//	ikrqbench -quick -benchdiff BENCH.json
 //
 // Every mode accepts -cpuprofile/-memprofile, which write pprof profiles
 // covering the whole run — the first stop for diagnosing a kernel
@@ -15,7 +16,10 @@
 // the per-query hot path of every Table III variant plus the all-pairs
 // matrix build, writing machine-readable per-variant ns/op, B/op and
 // allocs/op to the given file (the BENCH.json tracked at the repo root)
-// and a summary table to stdout.
+// and a summary table to stdout. -benchdiff re-measures the same sweep and
+// exits non-zero if allocs/op drifted from the given baseline in either
+// direction (ns/op is printed but advisory — shared runners time too
+// noisily to gate on); CI runs it against the committed BENCH.json.
 //
 // Without -fig every figure runs in presentation order. -quick shrinks the
 // workload for a fast smoke pass. Full ToE\P figures run under an
@@ -63,19 +67,18 @@ func mainImpl() int {
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		benchJSON  = flag.String("benchjson", "", "measure the Table III hot paths and write per-variant ns/op, B/op, allocs/op to this file (BENCH.json)")
+		benchDiff  = flag.String("benchdiff", "", "re-measure the hot paths and fail (exit 1) if allocs/op regressed against this baseline BENCH.json; ns/op is advisory")
 	)
 	flag.Parse()
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ikrqbench: -cpuprofile: %v\n", err)
-			return 2
+			return cli.Fail(os.Stderr, "ikrqbench", fmt.Errorf("-cpuprofile: %w", err))
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			f.Close()
-			fmt.Fprintf(os.Stderr, "ikrqbench: -cpuprofile: %v\n", err)
-			return 2
+			return cli.Fail(os.Stderr, "ikrqbench", fmt.Errorf("-cpuprofile: %w", err))
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -99,12 +102,11 @@ func mainImpl() int {
 
 	cond, err := cli.ParseConditions(*closeStr, *delayStr)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ikrqbench: %v\n", err)
-		return 2
+		return cli.Fail(os.Stderr, "ikrqbench", err)
 	}
 	if cond != nil && *snap == "" {
-		fmt.Fprintln(os.Stderr, "ikrqbench: -close/-delay require -snapshot (the figure suite samples its own scenarios)")
-		return 2
+		return cli.Fail(os.Stderr, "ikrqbench",
+			cli.Usagef("-close/-delay require -snapshot (the figure suite samples its own scenarios)"))
 	}
 
 	cfg := bench.DefaultConfig(*seed)
@@ -123,37 +125,65 @@ func mainImpl() int {
 	if *workers > 0 {
 		cfg.Workers = *workers
 	}
+	if *benchJSON != "" && *benchDiff != "" {
+		return cli.Fail(os.Stderr, "ikrqbench",
+			cli.Usagef("-benchjson and -benchdiff are mutually exclusive (write a baseline or check against one)"))
+	}
 	if *benchJSON != "" {
 		rep, err := bench.RunPerf(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ikrqbench: %v\n", err)
-			return 1
+			return cli.Fail(os.Stderr, "ikrqbench", err)
 		}
 		f, err := os.Create(*benchJSON)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ikrqbench: %v\n", err)
-			return 1
+			return cli.Fail(os.Stderr, "ikrqbench", err)
 		}
 		if err := rep.WriteJSON(f); err != nil {
 			f.Close()
-			fmt.Fprintf(os.Stderr, "ikrqbench: %v\n", err)
-			return 1
+			return cli.Fail(os.Stderr, "ikrqbench", err)
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "ikrqbench: %v\n", err)
-			return 1
+			return cli.Fail(os.Stderr, "ikrqbench", err)
 		}
 		rep.Fprint(os.Stdout)
-		return 0
+		return cli.ExitOK
+	}
+	if *benchDiff != "" {
+		f, err := os.Open(*benchDiff)
+		if err != nil {
+			return cli.Fail(os.Stderr, "ikrqbench", err)
+		}
+		baseline, err := bench.ReadPerfReport(f)
+		f.Close()
+		if err != nil {
+			return cli.Fail(os.Stderr, "ikrqbench", err)
+		}
+		rep, err := bench.RunPerf(cfg)
+		if err != nil {
+			return cli.Fail(os.Stderr, "ikrqbench", err)
+		}
+		all, regressed, err := bench.DiffAllocs(baseline, rep)
+		if err != nil {
+			return cli.Fail(os.Stderr, "ikrqbench", err)
+		}
+		fmt.Printf("benchdiff against %s (alloc guard; ns/op advisory)\n", *benchDiff)
+		for _, d := range all {
+			fmt.Println(d)
+		}
+		if len(regressed) > 0 {
+			return cli.Fail(os.Stderr, "ikrqbench",
+				fmt.Errorf("allocation regression in %d entries; if intentional, regenerate the baseline with -benchjson", len(regressed)))
+		}
+		fmt.Println("benchdiff: allocations unchanged")
+		return cli.ExitOK
 	}
 	if *snap != "" {
 		rep, err := bench.RunSnapshot(*snap, cfg, cond)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ikrqbench: %v\n", err)
-			return 1
+			return cli.Fail(os.Stderr, "ikrqbench", err)
 		}
 		rep.Fprint(os.Stdout)
-		return 0
+		return cli.ExitOK
 	}
 	env := bench.NewEnv(cfg)
 	all := env.All()
@@ -161,18 +191,17 @@ func mainImpl() int {
 	ids := bench.Order()
 	if *figID != "" {
 		if all[*figID] == nil {
-			fmt.Fprintf(os.Stderr, "ikrqbench: unknown figure %q; known: %v\n", *figID, bench.Order())
-			return 2
+			return cli.Fail(os.Stderr, "ikrqbench",
+				cli.Usagef("unknown figure %q; known: %v", *figID, bench.Order()))
 		}
 		ids = []string{*figID}
 	}
 	for _, id := range ids {
 		fig, err := all[id]()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ikrqbench: %s: %v\n", id, err)
-			return 1
+			return cli.Fail(os.Stderr, "ikrqbench", fmt.Errorf("%s: %w", id, err))
 		}
 		fig.Fprint(os.Stdout)
 	}
-	return 0
+	return cli.ExitOK
 }

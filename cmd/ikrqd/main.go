@@ -1,0 +1,150 @@
+// Command ikrqd is the IKRQ serving daemon: it keeps one or more baked
+// engine snapshots resident in a venue registry and answers routing
+// queries over HTTP until told to drain.
+//
+// Usage:
+//
+//	ikrqgen -real -snapshot mall.ikrq -matrix        # bake once …
+//	ikrqd -listen :8080 -venue mall=mall.ikrq        # … serve everywhere
+//	ikrqd -venue a=a.ikrq -venue b=b.ikrq -max-resident 1
+//	ikrqd -venue mall=mall.ikrq -loadgen 16          # self-test, no listening
+//
+// Endpoints:
+//
+//	GET  /healthz                      liveness; 503 once draining
+//	GET  /v1/venues                    per-venue load/refcount/query stats
+//	POST /v1/venues/{venue}/query      one IKRQ query (JSON; see README)
+//	GET  /debug/vars                   QPS, in-flight, p50/p99, shed count
+//
+// Venues load lazily on first query (or eagerly with -warm); -max-resident
+// caps how many engines stay in memory at once, evicting the
+// least-recently-used idle venue. Queries run under -timeout deadlines and
+// a bounded in-flight semaphore (-max-inflight) that sheds excess load
+// with 429 + Retry-After. SIGINT/SIGTERM starts a graceful drain: the
+// listener closes, /healthz flips to 503, and in-flight queries finish
+// within the -drain grace period.
+//
+// With -loadgen n the daemon skips listening: it fires n deterministic
+// sampled queries per venue through the full HTTP stack (cycling all Table
+// III variants), prints per-venue latency, and exits non-zero if any query
+// fails — the same smoke the CI e2e job runs with curl.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ikrq/internal/cli"
+	"ikrq/internal/server"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var venues venueFlags
+	var (
+		listen      = flag.String("listen", ":8080", "HTTP listen address")
+		warm        = flag.Bool("warm", false, "load every venue (and its KoE* matrix) at startup instead of on first query")
+		maxResident = flag.Int("max-resident", 0, "max engines resident at once, LRU-evicted (0: unlimited)")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrently executing queries before shedding with 429 (0: 4×GOMAXPROCS)")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-query deadline")
+		drain       = flag.Duration("drain", 15*time.Second, "grace period for in-flight queries on SIGTERM")
+		maxExpand   = flag.Int("max-expansions", 300000, "per-query stamp-expansion work cap (-1: uncapped)")
+		loadgen     = flag.Int("loadgen", 0, "self-test: run this many sampled queries per venue through the HTTP stack and exit")
+		seed        = flag.Uint64("seed", 1, "loadgen sampling seed")
+	)
+	flag.Var(&venues, "venue", "venue to serve as name=path/to.snapshot (repeatable)")
+	flag.Parse()
+
+	if len(venues) == 0 {
+		return cli.Fail(os.Stderr, "ikrqd", cli.Usagef("at least one -venue name=path is required"))
+	}
+	reg := server.NewRegistry(*maxResident)
+	for _, v := range venues {
+		v.Warm = *warm
+		if err := reg.Add(v); err != nil {
+			return cli.Fail(os.Stderr, "ikrqd", cli.Usagef("%v", err))
+		}
+	}
+	if *warm {
+		t0 := time.Now()
+		if err := reg.WarmAll(); err != nil {
+			return cli.Fail(os.Stderr, "ikrqd", err)
+		}
+		log.Printf("ikrqd: warmed %d venues in %v", reg.Len(), time.Since(t0).Round(time.Millisecond))
+	}
+
+	cfg := server.Config{
+		MaxInFlight:   *maxInflight,
+		QueryTimeout:  *timeout,
+		MaxExpansions: *maxExpand,
+	}
+	srv := server.New(reg, cfg)
+
+	if *loadgen > 0 {
+		if err := srv.LoadGen(os.Stdout, *loadgen, *seed); err != nil {
+			return cli.Fail(os.Stderr, "ikrqd", err)
+		}
+		return cli.ExitOK
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return cli.Fail(os.Stderr, "ikrqd", err)
+	}
+	log.Printf("ikrqd: serving %d venues on %s (%v)", reg.Len(), l.Addr(), srv.Config())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+
+	select {
+	case err := <-errc:
+		// The listener failed before any signal; Serve never returns nil.
+		return cli.Fail(os.Stderr, "ikrqd", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of waiting out the drain
+	log.Printf("ikrqd: draining (grace %v)", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return cli.Fail(os.Stderr, "ikrqd", fmt.Errorf("drain expired with queries still running: %w", err))
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return cli.Fail(os.Stderr, "ikrqd", err)
+	}
+	log.Printf("ikrqd: drained cleanly")
+	return cli.ExitOK
+}
+
+// venueFlags collects repeated -venue name=path flags.
+type venueFlags []server.VenueConfig
+
+func (v *venueFlags) String() string {
+	parts := make([]string, len(*v))
+	for i, c := range *v {
+		parts[i] = c.Name + "=" + c.Path
+	}
+	return strings.Join(parts, ",")
+}
+
+func (v *venueFlags) Set(s string) error {
+	name, path, ok := strings.Cut(s, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path/to.snapshot, got %q", s)
+	}
+	*v = append(*v, server.VenueConfig{Name: name, Path: path})
+	return nil
+}

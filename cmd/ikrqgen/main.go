@@ -22,7 +22,12 @@ import (
 	"ikrq/internal/keyword"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is the real entry point; every failure funnels through cli.Fail so
+// bad flags exit 2 with a usage pointer and runtime failures exit 1, the
+// convention shared by all ikrq commands.
+func run() int {
 	var (
 		floors   = flag.Int("floors", 5, "synthetic floors")
 		real     = flag.Bool("real", false, "simulated Hangzhou mall")
@@ -33,25 +38,28 @@ func main() {
 	)
 	flag.Parse()
 	if *asJSON && *snapPath != "" {
-		fatal(fmt.Errorf("-json and -snapshot are mutually exclusive; run ikrqgen twice with the same -seed"))
+		return cli.Fail(os.Stderr, "ikrqgen",
+			cli.Usagef("-json and -snapshot are mutually exclusive; run ikrqgen twice with the same -seed"))
 	}
 
 	mall, voc, idx, err := cli.Mall(*real, *floors, *seed)
 	if err != nil {
-		fatal(err)
+		return cli.Fail(os.Stderr, "ikrqgen", err)
 	}
 	s := mall.Space
 
 	if *asJSON {
 		if err := export.Encode(os.Stdout, s, idx); err != nil {
-			fatal(err)
+			return cli.Fail(os.Stderr, "ikrqgen", err)
 		}
-		return
+		return cli.ExitOK
 	}
 
 	if *snapPath != "" {
-		bake(*snapPath, *matrix, mall, idx)
-		return
+		if err := bake(*snapPath, *matrix, mall, idx); err != nil {
+			return cli.Fail(os.Stderr, "ikrqgen", err)
+		}
+		return cli.ExitOK
 	}
 
 	fmt.Printf("space: %d floors, %d partitions, %d doors, %d stairways\n",
@@ -66,12 +74,13 @@ func main() {
 	fmt.Printf("named rooms: %d\n", named)
 	fmt.Printf("keywords: %d i-words, %d t-words in index; vocabulary %d brands, avg %.1f t-words/brand, %d distinct t-words\n",
 		idx.NumIWords(), idx.NumTWords(), len(voc.Brands), voc.AvgTWords(), voc.DistinctTWords)
+	return cli.ExitOK
 }
 
 // bake builds the engine (optionally forcing the KoE* matrix) and writes
 // the snapshot, reporting what each stage cost so operators can see what a
 // load will save.
-func bake(path string, withMatrix bool, mall *ikrq.Mall, idx *ikrq.KeywordIndex) {
+func bake(path string, withMatrix bool, mall *ikrq.Mall, idx *ikrq.KeywordIndex) error {
 	t0 := time.Now()
 	engine := ikrq.NewEngine(mall.Space, idx)
 	build := time.Since(t0)
@@ -84,19 +93,19 @@ func bake(path string, withMatrix bool, mall *ikrq.Mall, idx *ikrq.KeywordIndex)
 
 	f, err := os.Create(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	t2 := time.Now()
 	if err := ikrq.SaveSnapshot(f, engine); err != nil {
 		f.Close()
-		fatal(err)
+		return err
 	}
 	if err := f.Close(); err != nil {
-		fatal(err)
+		return err
 	}
 	info, err := os.Stat(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Printf("baked %s: %.1f MB in %v (index build %v", path,
 		float64(info.Size())/(1<<20), time.Since(t2), build)
@@ -106,9 +115,5 @@ func bake(path string, withMatrix bool, mall *ikrq.Mall, idx *ikrq.KeywordIndex)
 		fmt.Printf(", no KoE* matrix — pass -matrix to bake it")
 	}
 	fmt.Println(")")
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ikrqgen:", err)
-	os.Exit(1)
+	return nil
 }

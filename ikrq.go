@@ -78,6 +78,24 @@
 // results are identical to a freshly built engine whose space omits those
 // doors, and reported route distances include every penalty paid. See
 // DESIGN.md §7 for the admissibility argument.
+//
+// # Serving
+//
+// The serving layer keeps baked snapshots resident and answers queries
+// over HTTP (see cmd/ikrqd and DESIGN.md §9). A VenueRegistry maps venue
+// names to lazily loaded, refcounted engines with an optional LRU cap, and
+// NewServer wraps it with the HTTP surface — admission control, per-query
+// deadlines, /debug/vars counters and graceful drain:
+//
+//	reg := ikrq.NewVenueRegistry(0)
+//	_ = reg.Add(ikrq.VenueConfig{Name: "mall", Path: "mall.ikrq", Warm: true})
+//	srv := ikrq.NewServer(reg, ikrq.ServerConfig{})
+//	go srv.ListenAndServe(":8080")
+//
+// Programmatic clients embed the same wire DTOs (QueryRequest,
+// QueryResponse) the daemon speaks. In-process callers that need
+// cancellation or deadlines without HTTP use Engine.SearchContext, which
+// aborts between expansion batches once the context is done.
 package ikrq
 
 import (
@@ -88,6 +106,7 @@ import (
 	"ikrq/internal/keyword"
 	"ikrq/internal/model"
 	"ikrq/internal/search"
+	"ikrq/internal/server"
 	"ikrq/internal/snapshot"
 )
 
@@ -223,6 +242,41 @@ func OptionsFor(v Variant) (Options, error) { return search.OptionsFor(v) }
 
 // Variants lists all comparable methods of Table III.
 func Variants() []Variant { return search.Variants() }
+
+// Serving layer (cmd/ikrqd; see the package docs, "Serving").
+type (
+	// VenueRegistry maps venue names to lazily loaded, refcounted engines
+	// with an optional LRU residency cap.
+	VenueRegistry = server.Registry
+	// VenueConfig names one servable snapshot.
+	VenueConfig = server.VenueConfig
+	// VenueHandle is a counted reference to a loaded venue engine; Release
+	// it when the query finishes.
+	VenueHandle = server.Handle
+	// Server is the HTTP serving layer over a VenueRegistry.
+	Server = server.Server
+	// ServerConfig tunes admission control, deadlines and work caps; the
+	// zero value picks production-safe defaults.
+	ServerConfig = server.Config
+	// QueryRequest is the JSON body of POST /v1/venues/{venue}/query.
+	QueryRequest = server.QueryRequest
+	// QueryResponse is the JSON body of a successful query.
+	QueryResponse = server.QueryResponse
+	// RouteWire is one route of a QueryResponse.
+	RouteWire = server.RouteWire
+	// ConditionsWire is the live-conditions overlay on the wire.
+	ConditionsWire = server.ConditionsWire
+	// PointWire is an indoor point on the wire.
+	PointWire = server.PointWire
+)
+
+// NewVenueRegistry returns an empty venue registry; maxResident caps how
+// many engines stay loaded at once (0: unlimited), evicting the
+// least-recently-used idle venue past the cap.
+func NewVenueRegistry(maxResident int) *VenueRegistry { return server.NewRegistry(maxResident) }
+
+// NewServer builds the HTTP serving layer over a registry.
+func NewServer(reg *VenueRegistry, cfg ServerConfig) *Server { return server.New(reg, cfg) }
 
 // Data generators (Section V workloads).
 type (

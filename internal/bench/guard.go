@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// This file is the bench-regression guard behind `ikrqbench -benchdiff`:
+// it re-measures the Table III hot paths and diffs the allocation counts
+// against the committed BENCH.json. Allocations are the enforced axis —
+// the zero-alloc kernel work of PR 4 is a structural property, so a single
+// extra alloc/op is a real regression and is deterministic enough to
+// exact-match. ns/op is advisory only: shared CI runners time with ~4×
+// noise (see BENCH.json's own caveats), so latency deltas are printed but
+// never fail the guard.
+
+// ReadPerfReport decodes a BENCH.json payload.
+func ReadPerfReport(r io.Reader) (*PerfReport, error) {
+	var rep PerfReport
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("bench: decoding baseline report: %w", err)
+	}
+	return &rep, nil
+}
+
+// exactIterFloor is the baseline iteration count above which allocs/op are
+// fully amortized and must match exactly. Entries measured with fewer
+// iterations (ToE\P runs ~5 on the quick workload) still carry one-time
+// pool-warmup allocations divided by a small N, so they get a 1% slack
+// instead — far below any structural regression, which shows up in the
+// thousands.
+const exactIterFloor = 20
+
+// AllocDiff is one entry's comparison.
+type AllocDiff struct {
+	Name              string
+	Baseline, Got     int64
+	Tolerance         int64 // 0 means exact match required
+	NsBaseline, NsGot int64
+}
+
+// Regressed reports whether the entry fails the guard.
+func (d AllocDiff) Regressed() bool {
+	delta := d.Got - d.Baseline
+	if delta < 0 {
+		delta = -delta
+	}
+	return delta > d.Tolerance
+}
+
+// String renders one diff row.
+func (d AllocDiff) String() string {
+	nsDelta := 0.0
+	if d.NsBaseline > 0 {
+		nsDelta = 100 * float64(d.NsGot-d.NsBaseline) / float64(d.NsBaseline)
+	}
+	status := "ok"
+	if d.Regressed() {
+		status = "REGRESSED"
+	}
+	return fmt.Sprintf("%-14s allocs %6d -> %6d (tol %d) %-9s ns/op %+.1f%% (advisory)",
+		d.Name, d.Baseline, d.Got, d.Tolerance, status, nsDelta)
+}
+
+// DiffAllocs compares a freshly measured report against the committed
+// baseline and returns every per-variant comparison plus the failing
+// subset. Reports from different suites or ToE\P caps measure different
+// work and refuse to compare. The matrix build is only enforced when both
+// reports ran at the same GOMAXPROCS — its parallel construction allocates
+// per worker, so alloc counts are only comparable at equal worker counts.
+func DiffAllocs(baseline, current *PerfReport) (all []AllocDiff, regressed []AllocDiff, err error) {
+	if baseline.Suite != current.Suite {
+		return nil, nil, fmt.Errorf("bench: baseline suite %q vs current %q; not comparable", baseline.Suite, current.Suite)
+	}
+	if baseline.CapExpansions != current.CapExpansions {
+		return nil, nil, fmt.Errorf("bench: baseline ToE\\P cap %d vs current %d; rerun with matching -quick/-cap",
+			baseline.CapExpansions, current.CapExpansions)
+	}
+	cmp := func(base, got []PerfEntry, label string) error {
+		index := make(map[string]PerfEntry, len(got))
+		for _, e := range got {
+			index[e.Name] = e
+		}
+		for _, b := range base {
+			g, ok := index[b.Name]
+			if !ok {
+				return fmt.Errorf("bench: baseline entry %s%s missing from the fresh run", b.Name, label)
+			}
+			d := AllocDiff{
+				Name:       b.Name + label,
+				Baseline:   b.AllocsPerOp,
+				Got:        g.AllocsPerOp,
+				NsBaseline: b.NsPerOp,
+				NsGot:      g.NsPerOp,
+			}
+			if b.Iterations < exactIterFloor {
+				d.Tolerance = int64(math.Ceil(float64(b.AllocsPerOp) * 0.01))
+			}
+			all = append(all, d)
+			if d.Regressed() {
+				regressed = append(regressed, d)
+			}
+		}
+		return nil
+	}
+	if err := cmp(baseline.Variants, current.Variants, ""); err != nil {
+		return nil, nil, err
+	}
+	if err := cmp(baseline.SeedKernel, current.SeedKernel, " (seed)"); err != nil {
+		return nil, nil, err
+	}
+	if baseline.GoMaxProcs == current.GoMaxProcs {
+		if err := cmp([]PerfEntry{baseline.MatrixBuild}, []PerfEntry{current.MatrixBuild}, ""); err != nil {
+			return nil, nil, err
+		}
+	}
+	return all, regressed, nil
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func guardReport(allocs map[string]int64, iters int, gomaxprocs int) *PerfReport {
+	rep := &PerfReport{
+		Suite:         "synthetic-2floor/table3",
+		GoMaxProcs:    gomaxprocs,
+		CapExpansions: 50000,
+		MatrixBuild:   PerfEntry{Name: "NewMatrix", AllocsPerOp: 17, NsPerOp: 1000, Iterations: 10},
+	}
+	for name, a := range allocs {
+		rep.Variants = append(rep.Variants, PerfEntry{Name: name, AllocsPerOp: a, NsPerOp: 5000, Iterations: iters})
+		rep.SeedKernel = append(rep.SeedKernel, PerfEntry{Name: name, AllocsPerOp: a + 500, NsPerOp: 6000, Iterations: iters})
+	}
+	return rep
+}
+
+func TestDiffAllocsCleanRun(t *testing.T) {
+	base := guardReport(map[string]int64{"ToE": 801, "KoE": 122}, 600, 1)
+	cur := guardReport(map[string]int64{"ToE": 801, "KoE": 122}, 900, 1)
+	all, regressed, err := DiffAllocs(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressed) != 0 {
+		t.Fatalf("clean run regressed: %v", regressed)
+	}
+	// 2 variants + 2 seed-kernel rows + the matrix build (equal GOMAXPROCS).
+	if len(all) != 5 {
+		t.Fatalf("expected 5 comparisons, got %d: %v", len(all), all)
+	}
+}
+
+func TestDiffAllocsCatchesRegression(t *testing.T) {
+	base := guardReport(map[string]int64{"ToE": 801, "KoE": 122}, 600, 1)
+	cur := guardReport(map[string]int64{"ToE": 801, "KoE": 123}, 600, 1)
+	_, regressed, err := DiffAllocs(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One extra alloc/op on a steady-state entry fails — and the stale
+	// baseline direction (an improvement) must fail too, so BENCH.json is
+	// regenerated rather than silently drifting.
+	if len(regressed) != 2 { // KoE and its seed-kernel row
+		t.Fatalf("regressed = %v, want the KoE rows", regressed)
+	}
+	if !regressed[0].Regressed() || !strings.Contains(regressed[0].String(), "REGRESSED") {
+		t.Errorf("diff row not marked: %s", regressed[0])
+	}
+
+	cur = guardReport(map[string]int64{"ToE": 800, "KoE": 122}, 600, 1)
+	if _, regressed, _ = DiffAllocs(base, cur); len(regressed) != 2 {
+		t.Fatalf("alloc improvement must also flag a stale baseline, got %v", regressed)
+	}
+}
+
+func TestDiffAllocsLowIterationTolerance(t *testing.T) {
+	// ToE\P-style entries (5 iterations) amortize one-time pool warmup
+	// over a tiny N; 1% slack absorbs that but not a structural change.
+	base := guardReport(map[string]int64{`ToE\P`: 92000}, 5, 1)
+	cur := guardReport(map[string]int64{`ToE\P`: 92500}, 5, 1)
+	_, regressed, err := DiffAllocs(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressed) != 0 {
+		t.Fatalf("within-tolerance low-iteration delta regressed: %v", regressed)
+	}
+	cur = guardReport(map[string]int64{`ToE\P`: 94000}, 5, 1)
+	if _, regressed, _ = DiffAllocs(base, cur); len(regressed) == 0 {
+		t.Fatal("2% alloc growth slipped past the low-iteration tolerance")
+	}
+}
+
+func TestDiffAllocsRefusesMismatchedRuns(t *testing.T) {
+	base := guardReport(map[string]int64{"ToE": 801}, 600, 1)
+	other := guardReport(map[string]int64{"ToE": 801}, 600, 1)
+	other.Suite = "real-mall/table3"
+	if _, _, err := DiffAllocs(base, other); err == nil {
+		t.Error("suite mismatch accepted")
+	}
+	other = guardReport(map[string]int64{"ToE": 801}, 600, 1)
+	other.CapExpansions = 300000
+	if _, _, err := DiffAllocs(base, other); err == nil {
+		t.Error("cap mismatch accepted")
+	}
+	other = guardReport(map[string]int64{"KoE": 122}, 600, 1)
+	if _, _, err := DiffAllocs(base, other); err == nil {
+		t.Error("missing variant accepted")
+	}
+}
+
+func TestDiffAllocsMatrixOnlyAtEqualGoMaxProcs(t *testing.T) {
+	base := guardReport(map[string]int64{"ToE": 801}, 600, 1)
+	cur := guardReport(map[string]int64{"ToE": 801}, 600, 4)
+	cur.MatrixBuild.AllocsPerOp = 68 // per-worker workspaces: 4× workers
+	all, regressed, err := DiffAllocs(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressed) != 0 {
+		t.Fatalf("matrix alloc delta across GOMAXPROCS flagged: %v", regressed)
+	}
+	for _, d := range all {
+		if d.Name == "NewMatrix" {
+			t.Fatal("matrix compared despite differing GOMAXPROCS")
+		}
+	}
+}

@@ -6,7 +6,9 @@
 package cli
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strconv"
@@ -18,6 +20,53 @@ import (
 	"ikrq/internal/search"
 	"ikrq/internal/snapshot"
 )
+
+// Process exit codes shared by every ikrq command. Bad command-line input
+// exits with ExitUsage (matching what flag.Parse itself does for unknown
+// flags, so `ikrq -alg nope` and `ikrq -nope` fail alike); runtime failures
+// exit with ExitFailure.
+const (
+	ExitOK      = 0
+	ExitFailure = 1
+	ExitUsage   = 2
+)
+
+// UsageError marks an error caused by bad command-line input — an unknown
+// -alg variant, a malformed -close/-delay spec, mutually exclusive flags —
+// as opposed to a runtime failure like an unreadable snapshot. Fail turns
+// the distinction into the exit code and a usage pointer.
+type UsageError struct{ Err error }
+
+func (e *UsageError) Error() string { return e.Err.Error() }
+func (e *UsageError) Unwrap() error { return e.Err }
+
+// Usagef builds a UsageError.
+func Usagef(format string, args ...any) error {
+	return &UsageError{Err: fmt.Errorf(format, args...)}
+}
+
+// IsUsage reports whether err (or anything it wraps) is a UsageError.
+func IsUsage(err error) bool {
+	var ue *UsageError
+	return errors.As(err, &ue)
+}
+
+// Fail is the single error exit path of the ikrq commands: it reports err
+// on w prefixed with the tool name and returns the exit code main should
+// pass to os.Exit — ExitUsage plus a pointer at -h for usage errors,
+// ExitFailure for everything else. A nil err returns ExitOK and prints
+// nothing.
+func Fail(w io.Writer, tool string, err error) int {
+	if err == nil {
+		return ExitOK
+	}
+	fmt.Fprintf(w, "%s: %v\n", tool, err)
+	if IsUsage(err) {
+		fmt.Fprintf(w, "run '%s -h' for usage\n", tool)
+		return ExitUsage
+	}
+	return ExitFailure
+}
 
 // Mall generates the evaluation space the -real / -floors flags select.
 func Mall(real bool, floors int, seed uint64) (*gen.Mall, *gen.Vocabulary, *keyword.Index, error) {
@@ -89,11 +138,14 @@ func SnapshotSetup(path string, q QuerySpec) (*search.Engine, search.Request, er
 }
 
 // ParseVariant resolves a Table III variant name ("ToE", "KoE*", …) to its
-// Options.
+// Options. An unknown name is a UsageError naming the valid variants.
 func ParseVariant(name string) (search.Variant, search.Options, error) {
 	v := search.Variant(name)
 	opt, err := search.OptionsFor(v)
-	return v, opt, err
+	if err != nil {
+		return v, opt, Usagef("unknown variant %q (valid: %s)", name, VariantList())
+	}
+	return v, opt, nil
 }
 
 // VariantList returns the space-separated variant names for flag usage
@@ -114,7 +166,8 @@ func VariantList() string {
 //	-delay "12:30,40:15.5" door 12 costs +30m per pass, door 40 +15.5m
 //
 // Both specs empty yield a nil overlay (no conditions). Door IDs are
-// validated against the engine at query time, not here.
+// validated against the engine at query time, not here. Malformed specs
+// are UsageErrors.
 func ParseConditions(closeSpec, delaySpec string) (*model.Conditions, error) {
 	if closeSpec == "" && delaySpec == "" {
 		return nil, nil
@@ -128,7 +181,7 @@ func ParseConditions(closeSpec, delaySpec string) (*model.Conditions, error) {
 			}
 			id, err := strconv.Atoi(tok)
 			if err != nil {
-				return nil, fmt.Errorf("cli: bad -close entry %q: %v", tok, err)
+				return nil, Usagef("bad -close entry %q: %v", tok, err)
 			}
 			cond.Close(model.DoorID(id))
 		}
@@ -141,18 +194,18 @@ func ParseConditions(closeSpec, delaySpec string) (*model.Conditions, error) {
 			}
 			door, pen, ok := strings.Cut(tok, ":")
 			if !ok {
-				return nil, fmt.Errorf("cli: bad -delay entry %q: want door:penalty", tok)
+				return nil, Usagef("bad -delay entry %q: want door:penalty", tok)
 			}
 			id, err := strconv.Atoi(strings.TrimSpace(door))
 			if err != nil {
-				return nil, fmt.Errorf("cli: bad -delay door in %q: %v", tok, err)
+				return nil, Usagef("bad -delay door in %q: %v", tok, err)
 			}
 			p, err := strconv.ParseFloat(strings.TrimSpace(pen), 64)
 			if err != nil {
-				return nil, fmt.Errorf("cli: bad -delay penalty in %q: %v", tok, err)
+				return nil, Usagef("bad -delay penalty in %q: %v", tok, err)
 			}
 			if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
-				return nil, fmt.Errorf("cli: -delay penalty in %q must be finite and ≥ 0", tok)
+				return nil, Usagef("-delay penalty in %q must be finite and ≥ 0", tok)
 			}
 			cond.Delay(model.DoorID(id), p)
 		}

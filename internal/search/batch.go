@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -28,6 +29,17 @@ type BatchOptions struct {
 // returned error joins the per-request failures in index order. An invalid
 // option combination fails the whole batch before any query runs.
 func (e *Engine) SearchBatch(reqs []Request, opt Options, bo BatchOptions) ([]*Result, error) {
+	return e.SearchBatchContext(context.Background(), reqs, opt, bo)
+}
+
+// SearchBatchContext is SearchBatch under a context. Cancellation
+// propagates into every in-flight query (each aborts between expansion
+// batches, see Executor.SearchContext) and fails the not-yet-started rest
+// of the batch immediately, so a cancelled batch drains within a few
+// expansion batches instead of finishing the fan-out. Queries cut off by
+// the context leave nil results and contribute ctx.Err() entries to the
+// joined error.
+func (e *Engine) SearchBatchContext(ctx context.Context, reqs []Request, opt Options, bo BatchOptions) ([]*Result, error) {
 	if err := validateOptions(opt); err != nil {
 		return nil, err
 	}
@@ -58,7 +70,7 @@ func (e *Engine) SearchBatch(reqs []Request, opt Options, bo BatchOptions) ([]*R
 	errs := make([]error, len(reqs))
 	if workers == 1 {
 		for i := range reqs {
-			results[i], errs[i] = e.Search(reqs[i], opt)
+			results[i], errs[i] = e.SearchContext(ctx, reqs[i], opt)
 		}
 	} else {
 		idx := make(chan int)
@@ -68,7 +80,7 @@ func (e *Engine) SearchBatch(reqs []Request, opt Options, bo BatchOptions) ([]*R
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					results[i], errs[i] = e.Search(reqs[i], opt)
+					results[i], errs[i] = e.SearchContext(ctx, reqs[i], opt)
 				}
 			}()
 		}

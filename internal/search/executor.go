@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -38,16 +39,40 @@ func (ex *Executor) Engine() *Engine { return ex.e }
 // Search runs one query on pooled scratch. It is the implementation behind
 // Engine.Search; results are identical to a searcher built from scratch.
 func (ex *Executor) Search(req Request, opt Options) (*Result, error) {
+	return ex.SearchContext(context.Background(), req, opt)
+}
+
+// SearchContext runs one query on pooled scratch under a context. The
+// searcher polls ctx between expansion batches (every ctxPollEvery pops, so
+// a poll costs nothing measurable against the Dijkstras in between) and
+// aborts with ctx.Err() once the context is cancelled or past its deadline.
+// An aborted query returns (nil, ctx.Err()): no partial Result escapes, and
+// the scratch bundle is released back to the pool exactly as on success —
+// cancellation leaks nothing. The one non-interruptible stretch is the lazy
+// KoE* matrix build a first Precompute query may trigger; services that
+// care call Engine.PrecomputeMatrix at start-up (see the package docs).
+func (ex *Executor) SearchContext(ctx context.Context, req Request, opt Options) (*Result, error) {
 	if err := ex.e.validate(req, opt); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
 	sc := ex.pool.Get().(*execScratch)
 	sr := sc.prepare(ex.e, ex.e.qcache.Get(req.QW, req.Tau), req, opt)
+	sr.ctx = ctx
 	sr.run()
-	res := sr.result()
+	err := sr.err
+	var res *Result
+	if err == nil {
+		res = sr.result()
+	}
 	sc.release()
 	ex.pool.Put(sc)
+	if err != nil {
+		return nil, err
+	}
 	res.Stats.Elapsed = time.Since(start)
 	return res, nil
 }

@@ -7,6 +7,7 @@
 package search
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -443,6 +444,15 @@ func (e *Engine) validate(req Request, opt Options) error {
 // executor.
 func (e *Engine) Search(req Request, opt Options) (*Result, error) {
 	return e.exec.Search(req, opt)
+}
+
+// SearchContext runs one IKRQ query under a context: a cancelled or expired
+// ctx aborts the search between expansion batches and returns (nil,
+// ctx.Err()) with no partial result and no scratch leaked. This is the
+// entry point network servers use to bound per-request latency and to stop
+// working for disconnected clients (see Executor.SearchContext).
+func (e *Engine) SearchContext(ctx context.Context, req Request, opt Options) (*Result, error) {
+	return e.exec.SearchContext(ctx, req, opt)
 }
 
 // searchFresh runs a query with per-call allocation of all scratch state and

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 
 	"ikrq/internal/graph"
@@ -75,9 +76,20 @@ type searcher struct {
 	// kept as the benchmark baseline).
 	scratch *execScratch
 
+	// ctx, when non-nil, is polled every ctxPollEvery pops of the main loop;
+	// once it is cancelled the run aborts and err carries ctx.Err(). A nil
+	// ctx (the fresh-searcher construction path) never aborts.
+	ctx context.Context
+	err error
+
 	seq   int64
 	stats Stats
 }
+
+// ctxPollEvery is how many queue pops run between context polls: rare
+// enough that the poll is free against the work in between, frequent enough
+// that cancellation lands within a few expansion batches.
+const ctxPollEvery = 64
 
 // newSearcher builds a searcher with fresh allocations for everything —
 // the pre-executor construction path, retained for the pooled-vs-fresh
@@ -208,6 +220,12 @@ func (sr *searcher) run() {
 	sr.push(s0)
 
 	for len(sr.queue) > 0 {
+		if sr.ctx != nil && sr.stats.Pops%ctxPollEvery == 0 {
+			if err := sr.ctx.Err(); err != nil {
+				sr.err = err
+				return
+			}
+		}
 		if sr.opt.MaxExpansions > 0 && sr.stats.Pops >= sr.opt.MaxExpansions {
 			sr.stats.Truncated = true
 			break

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"ikrq/internal/gen"
+	"ikrq/internal/search"
+)
+
+// LoadGen is the daemon's self-test mode (`ikrqd -loadgen n`): for every
+// registered venue it draws n deterministic query instances from the
+// venue's bare index layer (the same gen.Sampler the snapshot CLIs use, so
+// a given seed replays the same workload everywhere), pushes each through
+// the complete HTTP stack — router, admission control, wire decoding,
+// executor — cycling through all Table III variants, and reports per-venue
+// latency. It returns an error if any query fails, which makes it a usable
+// smoke gate: `ikrqd -venue m=mall.snap -loadgen 16` exits non-zero when
+// the bake→serve→query path is broken.
+func (s *Server) LoadGen(w io.Writer, n int, seed uint64) error {
+	if n <= 0 {
+		return fmt.Errorf("server: loadgen needs a positive query count, got %d", n)
+	}
+	variants := search.Variants()
+	failures := 0
+	for _, name := range s.reg.Names() {
+		h, err := s.reg.Acquire(name)
+		if err != nil {
+			return err
+		}
+		eng := h.Engine()
+		smp := gen.NewSampler(eng.Space(), eng.Keywords(), eng.PathFinder(), seed)
+		reqs, err := smp.Instances(n, gen.DefaultSampleConfig())
+		h.Release()
+		if err != nil {
+			return fmt.Errorf("server: loadgen sampling venue %q: %w", name, err)
+		}
+
+		lats := make([]time.Duration, 0, n)
+		bad := 0
+		for i, req := range reqs {
+			wq := QueryRequest{
+				Start:    PointWire{X: req.Ps.X, Y: req.Ps.Y, Floor: req.Ps.Floor},
+				Terminal: PointWire{X: req.Pt.X, Y: req.Pt.Y, Floor: req.Pt.Floor},
+				Keywords: req.QW,
+				K:        req.K,
+				Delta:    req.Delta,
+				Alpha:    req.Alpha,
+				Tau:      req.Tau,
+				Variant:  string(variants[i%len(variants)]),
+			}
+			status, body, took, err := s.postQuery(name, &wq)
+			if err != nil {
+				return err
+			}
+			lats = append(lats, took)
+			if status != http.StatusOK {
+				bad++
+				fmt.Fprintf(w, "loadgen %s #%d %-6s -> %d %s\n", name, i, wq.Variant, status, bytes.TrimSpace(body))
+				continue
+			}
+			var resp QueryResponse
+			if err := json.Unmarshal(body, &resp); err != nil {
+				bad++
+				fmt.Fprintf(w, "loadgen %s #%d %-6s -> undecodable response: %v\n", name, i, wq.Variant, err)
+			}
+		}
+		failures += bad
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		p := func(q float64) time.Duration { return lats[int(q*float64(len(lats)-1))] }
+		fmt.Fprintf(w, "loadgen %s: %d queries, %d failed, p50 %v, p99 %v\n",
+			name, len(lats), bad, p(0.50).Round(time.Microsecond), p(0.99).Round(time.Microsecond))
+	}
+	if failures > 0 {
+		return fmt.Errorf("server: loadgen: %d queries failed", failures)
+	}
+	return nil
+}
+
+// postQuery runs one wire query through the server's handler in process.
+func (s *Server) postQuery(venue string, wq *QueryRequest) (status int, body []byte, took time.Duration, err error) {
+	payload, err := json.Marshal(wq)
+	if err != nil {
+		return 0, nil, 0, fmt.Errorf("server: loadgen encoding request: %w", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, "/v1/venues/"+venue+"/query", bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	rec := &responseRecorder{code: http.StatusOK, header: make(http.Header)}
+	t0 := time.Now()
+	s.mux.ServeHTTP(rec, req)
+	return rec.code, rec.buf.Bytes(), time.Since(t0), nil
+}
+
+// responseRecorder is the minimal in-process http.ResponseWriter LoadGen
+// needs (net/http/httptest stays a test-only dependency).
+type responseRecorder struct {
+	code   int
+	header http.Header
+	buf    bytes.Buffer
+}
+
+func (r *responseRecorder) Header() http.Header         { return r.header }
+func (r *responseRecorder) WriteHeader(code int)        { r.code = code }
+func (r *responseRecorder) Write(b []byte) (int, error) { return r.buf.Write(b) }

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the per-server counter set behind GET /debug/vars. Counters
+// are plain atomics owned by the server instance — not the process-global
+// expvar registry — so multiple servers (tests, embedding) never collide;
+// the handler renders them in expvar's flat-JSON style.
+type metrics struct {
+	start time.Time
+
+	ok          atomic.Uint64 // 200 responses
+	clientErrs  atomic.Uint64 // 4xx except shed
+	serverErrs  atomic.Uint64 // 5xx except deadline
+	shed        atomic.Uint64 // 429 admission rejections
+	timeouts    atomic.Uint64 // 504 per-request deadline hits
+	disconnects atomic.Uint64 // client gone before the result
+
+	inFlight atomic.Int64
+
+	// lat is a ring of the most recent query latencies (accepted queries
+	// only), the source of the p50/p99 the vars report. A fixed window
+	// keeps the quantiles recent and the memory constant.
+	latMu sync.Mutex
+	lat   [latWindow]time.Duration
+	latN  int // total observed (ring index = latN % latWindow)
+}
+
+const latWindow = 1024
+
+func newMetrics() *metrics { return &metrics{start: time.Now()} }
+
+func (m *metrics) observe(d time.Duration) {
+	m.latMu.Lock()
+	m.lat[m.latN%latWindow] = d
+	m.latN++
+	m.latMu.Unlock()
+}
+
+// quantiles returns the requested quantiles (0..1) over the latency window
+// in one sort.
+func (m *metrics) quantiles(qs ...float64) []time.Duration {
+	m.latMu.Lock()
+	n := m.latN
+	if n > latWindow {
+		n = latWindow
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, m.lat[:n])
+	m.latMu.Unlock()
+	out := make([]time.Duration, len(qs))
+	if n == 0 {
+		return out
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	for i, q := range qs {
+		idx := int(q * float64(n-1))
+		out[i] = buf[idx]
+	}
+	return out
+}
+
+// queriesTotal is every admitted query (whatever its outcome) — the QPS
+// numerator. Shed requests are not queries: they never reached an engine.
+func (m *metrics) queriesTotal() uint64 {
+	return m.ok.Load() + m.clientErrs.Load() + m.serverErrs.Load() +
+		m.timeouts.Load() + m.disconnects.Load()
+}
+
+// vars renders the counter set for /debug/vars.
+func (m *metrics) vars(reg *Registry) map[string]any {
+	uptime := time.Since(m.start)
+	total := m.queriesTotal()
+	qps := 0.0
+	if s := uptime.Seconds(); s > 0 {
+		qps = float64(total) / s
+	}
+	lat := m.quantiles(0.5, 0.99)
+	hits, misses := reg.cacheStats()
+	return map[string]any{
+		"uptime_seconds": uptime.Seconds(),
+		"qps":            qps,
+		"in_flight":      m.inFlight.Load(),
+		"queries": map[string]uint64{
+			"total":         total,
+			"ok":            m.ok.Load(),
+			"client_errors": m.clientErrs.Load(),
+			"server_errors": m.serverErrs.Load(),
+			"shed":          m.shed.Load(),
+			"timeouts":      m.timeouts.Load(),
+			"disconnects":   m.disconnects.Load(),
+		},
+		"latency_us": map[string]int64{
+			"p50": lat[0].Microseconds(),
+			"p99": lat[1].Microseconds(),
+		},
+		"query_cache": map[string]uint64{
+			"hits":   hits,
+			"misses": misses,
+		},
+		"registry": map[string]int64{
+			"venues":    int64(reg.Len()),
+			"evictions": reg.Evictions(),
+		},
+	}
+}

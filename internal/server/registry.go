@@ -1,0 +1,325 @@
+// Package server is the network serving layer of ikrq: a venue registry
+// that keeps baked engine snapshots resident with refcounting and an LRU
+// cap, and an HTTP daemon (cmd/ikrqd) that answers IKRQ queries over it
+// with admission control, per-request deadlines and graceful drain. See
+// DESIGN.md §9.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ikrq/internal/search"
+	"ikrq/internal/snapshot"
+)
+
+// ErrUnknownVenue is returned by Acquire for a name never Added; the HTTP
+// layer maps it to 404.
+var ErrUnknownVenue = errors.New("server: unknown venue")
+
+// VenueConfig names one servable snapshot.
+type VenueConfig struct {
+	// Name is the registry key, addressed as /v1/venues/{name}/query.
+	Name string
+	// Path is the snapshot file baked by `ikrqgen -snapshot`.
+	Path string
+	// Warm forces the KoE* all-pairs matrix eagerly on every load of this
+	// venue, so no serving query ever pays the Θ(states²) sweep. Snapshots
+	// baked with `ikrqgen -matrix` carry the matrix already and make Warm a
+	// no-op.
+	Warm bool
+}
+
+// Registry maps venue names to lazily loaded, refcounted engines.
+//
+// A venue's engine is loaded from its snapshot on first Acquire and stays
+// resident while queries reference it. When MaxResident is set, loading a
+// venue past the cap evicts the least-recently-used idle venue (refcount
+// zero): the registry drops its pointer, so the engine is reclaimed by the
+// GC once the last in-flight query releases its handle — eviction never
+// yanks an engine out from under a running query. If every resident venue
+// is busy the registry overshoots temporarily and re-checks the cap as
+// handles are released.
+type Registry struct {
+	mu       sync.Mutex
+	venues   map[string]*venue
+	names    []string // insertion order, for stable listings
+	resident int
+	clock    int64
+
+	maxResident int
+	evictions   atomic.Int64
+
+	// loader builds an engine for a venue; the default reads the snapshot
+	// file. Tests inject in-memory loaders via SetLoader.
+	loader func(VenueConfig) (*search.Engine, error)
+}
+
+// venue is one registry entry. engine, refs, lastUse and loadTime are
+// guarded by the registry mutex; loadMu serializes the (slow, lock-free)
+// snapshot load so concurrent first queries load once.
+type venue struct {
+	cfg VenueConfig
+
+	loadMu sync.Mutex
+
+	engine   *search.Engine
+	refs     int
+	lastUse  int64
+	loads    int64
+	loadTime time.Duration
+
+	queries atomic.Uint64
+}
+
+// NewRegistry returns an empty registry. maxResident caps the number of
+// simultaneously loaded engines; 0 means unlimited.
+func NewRegistry(maxResident int) *Registry {
+	return &Registry{
+		venues:      make(map[string]*venue),
+		maxResident: maxResident,
+		loader:      loadSnapshotFile,
+	}
+}
+
+func loadSnapshotFile(cfg VenueConfig) (*search.Engine, error) {
+	f, err := os.Open(cfg.Path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return snapshot.LoadEngine(f)
+}
+
+// SetLoader replaces the snapshot-file loader (test seam). Call before any
+// Acquire.
+func (r *Registry) SetLoader(fn func(VenueConfig) (*search.Engine, error)) { r.loader = fn }
+
+// Add registers a venue. Names must be unique and addressable: the venue
+// is served at /v1/venues/{name}/query, where the router matches one
+// clean path segment, so a name is restricted to letters, digits, '.',
+// '_' and '-' — anything else (slashes, percent signs, spaces) would
+// register fine but 404 on every query, a silently dead venue.
+func (r *Registry) Add(cfg VenueConfig) error {
+	if err := validVenueName(cfg.Name); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.venues[cfg.Name]; dup {
+		return fmt.Errorf("server: duplicate venue %q", cfg.Name)
+	}
+	r.venues[cfg.Name] = &venue{cfg: cfg}
+	r.names = append(r.names, cfg.Name)
+	return nil
+}
+
+// validVenueName enforces the addressable-name restriction of Add.
+func validVenueName(name string) error {
+	if name == "" {
+		return errors.New("server: venue name must be non-empty")
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("server: venue name %q contains %q; use letters, digits, '.', '_', '-'", name, c)
+		}
+	}
+	return nil
+}
+
+// Names returns the registered venue names in insertion order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.names))
+	copy(out, r.names)
+	return out
+}
+
+// Len returns the number of registered venues.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.names)
+}
+
+// Evictions returns how many engines the LRU cap has evicted.
+func (r *Registry) Evictions() int64 { return r.evictions.Load() }
+
+// Handle is a counted reference to a loaded engine. Callers must Release
+// exactly once when the query finishes; the engine stays valid until then
+// even if the registry evicts the venue meanwhile.
+type Handle struct {
+	r        *Registry
+	v        *venue
+	e        *search.Engine
+	released bool
+}
+
+// Engine returns the referenced engine.
+func (h *Handle) Engine() *search.Engine { return h.e }
+
+// Venue returns the venue name the handle references.
+func (h *Handle) Venue() string { return h.v.cfg.Name }
+
+// CountQuery attributes one served query to the venue (for /v1/venues).
+func (h *Handle) CountQuery() { h.v.queries.Add(1) }
+
+// Release drops the reference. Idempotent per handle; releasing re-checks
+// the LRU cap so an overshoot caused by busy venues shrinks as they idle.
+func (h *Handle) Release() {
+	if h.released {
+		return
+	}
+	h.released = true
+	h.r.mu.Lock()
+	h.v.refs--
+	h.r.evictLocked(nil)
+	h.r.mu.Unlock()
+}
+
+// Acquire returns a counted handle to the venue's engine, loading the
+// snapshot on first use (and after an eviction). Concurrent Acquires of an
+// unloaded venue load once; Acquires of distinct venues load in parallel.
+func (r *Registry) Acquire(name string) (*Handle, error) {
+	r.mu.Lock()
+	v, ok := r.venues[name]
+	if !ok {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownVenue, name)
+	}
+	if h := r.tryRefLocked(v); h != nil {
+		r.mu.Unlock()
+		return h, nil
+	}
+	r.mu.Unlock()
+
+	v.loadMu.Lock()
+	defer v.loadMu.Unlock()
+	r.mu.Lock()
+	if h := r.tryRefLocked(v); h != nil { // a racing loader won
+		r.mu.Unlock()
+		return h, nil
+	}
+	r.mu.Unlock()
+
+	t0 := time.Now()
+	e, err := r.loader(v.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("server: venue %q: %w", name, err)
+	}
+	if v.cfg.Warm {
+		e.PrecomputeMatrix()
+	}
+	took := time.Since(t0)
+
+	r.mu.Lock()
+	v.engine = e
+	v.refs++
+	v.lastUse = r.tick()
+	v.loads++
+	v.loadTime = took
+	r.resident++
+	r.evictLocked(v)
+	r.mu.Unlock()
+	return &Handle{r: r, v: v, e: e}, nil
+}
+
+// tryRefLocked references v's engine if resident. Caller holds r.mu.
+func (r *Registry) tryRefLocked(v *venue) *Handle {
+	if v.engine == nil {
+		return nil
+	}
+	v.refs++
+	v.lastUse = r.tick()
+	return &Handle{r: r, v: v, e: v.engine}
+}
+
+func (r *Registry) tick() int64 {
+	r.clock++
+	return r.clock
+}
+
+// evictLocked drops least-recently-used idle engines until the cap holds.
+// keep (the venue just loaded) is never evicted. Caller holds r.mu.
+func (r *Registry) evictLocked(keep *venue) {
+	if r.maxResident <= 0 {
+		return
+	}
+	for r.resident > r.maxResident {
+		var victim *venue
+		for _, v := range r.venues {
+			if v.engine == nil || v.refs > 0 || v == keep {
+				continue
+			}
+			if victim == nil || v.lastUse < victim.lastUse {
+				victim = v
+			}
+		}
+		if victim == nil {
+			return // every resident venue is busy; retried on Release
+		}
+		victim.engine = nil
+		r.resident--
+		r.evictions.Add(1)
+	}
+}
+
+// WarmAll loads every registered venue eagerly (startup warmup). With an
+// LRU cap smaller than the venue count only the last MaxResident venues
+// stay resident; the call still validates that every snapshot loads.
+func (r *Registry) WarmAll() error {
+	for _, name := range r.Names() {
+		h, err := r.Acquire(name)
+		if err != nil {
+			return err
+		}
+		h.Release()
+	}
+	return nil
+}
+
+// Status reports every venue for GET /v1/venues, sorted by name.
+func (r *Registry) Status() []VenueStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]VenueStatus, 0, len(r.names))
+	for _, name := range r.names {
+		v := r.venues[name]
+		out = append(out, VenueStatus{
+			Name:           v.cfg.Name,
+			Path:           v.cfg.Path,
+			Loaded:         v.engine != nil,
+			Warm:           v.cfg.Warm,
+			InFlight:       v.refs,
+			Loads:          v.loads,
+			Queries:        v.queries.Load(),
+			LastLoadMillis: durationMillis(v.loadTime),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// cacheStats sums the compiled-query cache counters over resident engines.
+func (r *Registry) cacheStats() (hits, misses uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, v := range r.venues {
+		if v.engine == nil {
+			continue
+		}
+		h, m := v.engine.QueryCache().Stats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}

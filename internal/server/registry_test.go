@@ -1,0 +1,201 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ikrq/internal/search"
+)
+
+func memRegistry(t *testing.T, maxResident int, names ...string) (*Registry, *memLoader) {
+	t.Helper()
+	eng := testEngine(t)
+	ml := &memLoader{engines: make(map[string]*search.Engine)}
+	reg := NewRegistry(maxResident)
+	reg.SetLoader(ml.load)
+	for _, n := range names {
+		ml.engines[n] = eng
+		if err := reg.Add(VenueConfig{Name: n, Path: n + ".ikrq"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reg, ml
+}
+
+func TestRegistryLazyLoadAndReuse(t *testing.T) {
+	reg, ml := memRegistry(t, 0, "a")
+	if st := reg.Status(); st[0].Loaded {
+		t.Fatal("venue loaded before first Acquire")
+	}
+	h1, err := reg.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := reg.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml.loadCount("a") != 1 {
+		t.Errorf("loaded %d times, want 1", ml.loadCount("a"))
+	}
+	if h1.Engine() != h2.Engine() || h1.Engine() == nil {
+		t.Error("handles reference different engines")
+	}
+	if st := reg.Status(); !st[0].Loaded || st[0].InFlight != 2 || st[0].Loads != 1 {
+		t.Errorf("status: %+v", st[0])
+	}
+	h1.Release()
+	h1.Release() // idempotent
+	h2.Release()
+	if st := reg.Status(); st[0].InFlight != 0 {
+		t.Errorf("refs after release: %+v", st[0])
+	}
+}
+
+func TestRegistryUnknownAndDuplicate(t *testing.T) {
+	reg, _ := memRegistry(t, 0, "a")
+	if _, err := reg.Acquire("nope"); !errors.Is(err, ErrUnknownVenue) {
+		t.Errorf("Acquire(nope) = %v, want ErrUnknownVenue", err)
+	}
+	if err := reg.Add(VenueConfig{Name: "a", Path: "x"}); err == nil {
+		t.Error("duplicate Add accepted")
+	}
+	if err := reg.Add(VenueConfig{Name: "", Path: "x"}); err == nil {
+		t.Error("empty name accepted")
+	}
+	// Names must stay addressable as one ServeMux path segment; anything
+	// else would register fine and then 404 on every query.
+	for _, bad := range []string{"a/b", "a b", "a%2Fb", "mall?x=1"} {
+		if err := reg.Add(VenueConfig{Name: bad, Path: "x"}); err == nil {
+			t.Errorf("unaddressable name %q accepted", bad)
+		}
+	}
+	if err := reg.Add(VenueConfig{Name: "Mall-7.v2_east", Path: "x"}); err != nil {
+		t.Errorf("clean name rejected: %v", err)
+	}
+}
+
+func TestRegistryLRUEviction(t *testing.T) {
+	reg, ml := memRegistry(t, 1, "a", "b")
+	h, err := reg.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	h, err = reg.Acquire("b") // cap 1: loading b evicts idle a
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	st := reg.Status() // sorted: a, b
+	if st[0].Loaded || !st[1].Loaded {
+		t.Errorf("after eviction: a loaded=%v b loaded=%v", st[0].Loaded, st[1].Loaded)
+	}
+	if reg.Evictions() != 1 {
+		t.Errorf("evictions = %d, want 1", reg.Evictions())
+	}
+	if h, err = reg.Acquire("a"); err != nil { // reload after eviction
+		t.Fatal(err)
+	}
+	h.Release()
+	if ml.loadCount("a") != 2 {
+		t.Errorf("a loaded %d times, want 2 (reload after eviction)", ml.loadCount("a"))
+	}
+}
+
+func TestRegistryBusyVenueNotEvicted(t *testing.T) {
+	reg, _ := memRegistry(t, 1, "a", "b")
+	ha, err := reg.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := reg.Acquire("b") // a is busy: the registry overshoots the cap
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := reg.Status()
+	if !st[0].Loaded || !st[1].Loaded {
+		t.Fatalf("overshoot expected while both busy: %+v", st)
+	}
+	if reg.Evictions() != 0 {
+		t.Fatalf("evicted a busy venue: %d evictions", reg.Evictions())
+	}
+	// a went idle first and is older; releasing re-checks the cap.
+	ha.Release()
+	if st := reg.Status(); st[0].Loaded {
+		t.Errorf("idle LRU venue a not evicted on release: %+v", st)
+	}
+	hb.Release()
+	if st := reg.Status(); !st[1].Loaded {
+		t.Errorf("most-recently-used venue b evicted: %+v", st)
+	}
+}
+
+func TestRegistryConcurrentAcquireLoadsOnce(t *testing.T) {
+	reg, ml := memRegistry(t, 0, "a")
+	inner := ml.load
+	reg.SetLoader(func(cfg VenueConfig) (*search.Engine, error) {
+		time.Sleep(10 * time.Millisecond) // widen the race window
+		return inner(cfg)
+	})
+	var wg sync.WaitGroup
+	engines := make([]*search.Engine, 16)
+	for i := range engines {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h, err := reg.Acquire("a")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			engines[i] = h.Engine()
+			h.Release()
+		}()
+	}
+	wg.Wait()
+	if ml.loadCount("a") != 1 {
+		t.Errorf("concurrent Acquire loaded %d times, want 1", ml.loadCount("a"))
+	}
+	for i := range engines {
+		if engines[i] != engines[0] {
+			t.Fatalf("goroutine %d saw a different engine", i)
+		}
+	}
+}
+
+func TestRegistryWarmAll(t *testing.T) {
+	reg, ml := memRegistry(t, 0, "a", "b")
+	if err := reg.WarmAll(); err != nil {
+		t.Fatal(err)
+	}
+	if ml.loadCount("a") != 1 || ml.loadCount("b") != 1 {
+		t.Errorf("warm loads: a=%d b=%d", ml.loadCount("a"), ml.loadCount("b"))
+	}
+	for _, st := range reg.Status() {
+		if !st.Loaded || st.InFlight != 0 {
+			t.Errorf("after WarmAll: %+v", st)
+		}
+	}
+}
+
+func TestRegistryLoadFailure(t *testing.T) {
+	reg := NewRegistry(0)
+	if err := reg.Add(VenueConfig{Name: "gone", Path: "/nonexistent/path.ikrq"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Acquire("gone"); err == nil {
+		t.Fatal("Acquire of an unreadable snapshot succeeded")
+	}
+	// A failed load must not poison the venue: a working loader added
+	// afterwards (standing in for the file reappearing) succeeds.
+	eng := testEngine(t)
+	reg.SetLoader(func(VenueConfig) (*search.Engine, error) { return eng, nil })
+	h, err := reg.Acquire("gone")
+	if err != nil {
+		t.Fatalf("Acquire after repaired loader: %v", err)
+	}
+	h.Release()
+}

@@ -1,0 +1,283 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"ikrq/internal/search"
+)
+
+// Config tunes the serving daemon. The zero value picks production-safe
+// defaults (see the field docs); cmd/ikrqd maps flags onto it.
+type Config struct {
+	// MaxInFlight bounds concurrently executing queries. Arrivals past the
+	// bound are shed immediately with 429 and a Retry-After hint instead of
+	// queueing — queueing under saturation only converts overload into
+	// latency. Default: 4 × GOMAXPROCS.
+	MaxInFlight int
+
+	// QueryTimeout is the per-request deadline: the search context expires
+	// after it and the query aborts between expansion batches with 504. A
+	// request's timeout_ms can tighten it, never extend it. Default: 10s.
+	QueryTimeout time.Duration
+
+	// RetryAfter is the hint shed responses carry. Default: 1s.
+	RetryAfter time.Duration
+
+	// MaxBodyBytes bounds a query request body. Default: 1 MiB.
+	MaxBodyBytes int64
+
+	// MaxExpansions caps stamp expansions per query as a work bound (the
+	// intentionally unpruned ToE\P variant grows exponentially and must not
+	// be an unmetered endpoint); truncated results report stats.truncated.
+	// Default: 300000, matching the benchmark harness; negative disables
+	// the cap.
+	MaxExpansions int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 10 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxExpansions == 0 {
+		c.MaxExpansions = 300000
+	}
+	return c
+}
+
+// Server is the HTTP serving layer over a venue registry:
+//
+//	GET  /healthz                       liveness (503 while draining)
+//	GET  /v1/venues                     registry status
+//	POST /v1/venues/{venue}/query       one IKRQ query (QueryRequest JSON)
+//	GET  /debug/vars                    serving counters
+//
+// Queries run on the engines' pooled executors under a per-request
+// deadline; admission control sheds load beyond MaxInFlight with 429.
+type Server struct {
+	reg *Registry
+	cfg Config
+	sem chan struct{}
+	met *metrics
+	mux *http.ServeMux
+
+	httpSrv  *http.Server
+	draining chan struct{} // closed when Shutdown begins
+}
+
+// New builds a server over a registry.
+func New(reg *Registry, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		reg:      reg,
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		met:      newMetrics(),
+		mux:      http.NewServeMux(),
+		draining: make(chan struct{}),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/venues", s.handleVenues)
+	s.mux.HandleFunc("POST /v1/venues/{venue}/query", s.handleQuery)
+	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
+	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	return s
+}
+
+// Handler exposes the route table (tests mount it on httptest servers).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the registry the server serves from.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Config returns the effective configuration (defaults applied).
+func (s *Server) Config() Config { return s.cfg }
+
+// Serve accepts connections until Shutdown. It always returns a non-nil
+// error; after a clean Shutdown that error is http.ErrServerClosed.
+func (s *Server) Serve(l net.Listener) error { return s.httpSrv.Serve(l) }
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown drains the server: /healthz flips to 503 so load balancers stop
+// routing here, no new connections are accepted, and in-flight queries run
+// to completion (or until ctx expires, whichever first — an expired drain
+// closes the remaining connections; per-query deadlines bound how long that
+// can take). Safe to call without a prior Serve.
+func (s *Server) Shutdown(ctx context.Context) error {
+	select {
+	case <-s.draining:
+	default:
+		close(s.draining)
+	}
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// isDraining reports whether Shutdown has begun.
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.isDraining() {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "venues": s.reg.Len()})
+}
+
+func (s *Server) handleVenues(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"venues": s.reg.Status()})
+}
+
+func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.met.vars(s.reg))
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	// Admission control first: when the in-flight bound is reached the
+	// request is shed before any work — no body read, no engine load.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.met.shed.Add(1)
+		sec := int(s.cfg.RetryAfter.Seconds() + 0.5)
+		if sec < 1 {
+			sec = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(sec))
+		body := wireError("overloaded", "server at max in-flight queries (%d); retry after %ds", s.cfg.MaxInFlight, sec)
+		body.Error.RetryAfterSeconds = sec
+		s.writeJSON(w, http.StatusTooManyRequests, body)
+		return
+	}
+	defer func() { <-s.sem }()
+	s.met.inFlight.Add(1)
+	defer s.met.inFlight.Add(-1)
+	t0 := time.Now()
+	defer func() { s.met.observe(time.Since(t0)) }()
+
+	var q QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&q); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.clientError(w, http.StatusRequestEntityTooLarge, "request_too_large",
+				"request body exceeds the %d-byte limit", tooBig.Limit)
+			return
+		}
+		s.clientError(w, http.StatusBadRequest, "malformed_request", "decoding request body: %v", err)
+		return
+	}
+
+	variant := search.Variant(q.Variant)
+	if q.Variant == "" {
+		variant = search.VariantToE
+	}
+	opt, err := search.OptionsFor(variant)
+	if err != nil {
+		s.clientError(w, http.StatusBadRequest, "unknown_variant", "%v", err)
+		return
+	}
+	if s.cfg.MaxExpansions > 0 {
+		opt.MaxExpansions = s.cfg.MaxExpansions
+	}
+
+	h, err := s.reg.Acquire(r.PathValue("venue"))
+	if errors.Is(err, ErrUnknownVenue) {
+		s.clientError(w, http.StatusNotFound, "unknown_venue", "%v", err)
+		return
+	}
+	if err != nil {
+		s.met.serverErrs.Add(1)
+		s.writeJSON(w, http.StatusServiceUnavailable, wireError("venue_unavailable", "%v", err))
+		return
+	}
+	defer h.Release()
+
+	req, err := q.BuildRequest(h.Engine())
+	if err != nil {
+		s.clientError(w, http.StatusBadRequest, "invalid_request", "%v", err)
+		return
+	}
+
+	timeout := s.cfg.QueryTimeout
+	if t := time.Duration(q.TimeoutMillis) * time.Millisecond; t > 0 && t < timeout {
+		timeout = t
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	res, err := h.Engine().SearchContext(ctx, req, opt)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		s.met.timeouts.Add(1)
+		s.writeJSON(w, http.StatusGatewayTimeout,
+			wireError("deadline_exceeded", "query exceeded its %v deadline", timeout))
+		return
+	case errors.Is(err, context.Canceled):
+		// The client went away; the search aborted between expansion
+		// batches and its scratch went back to the pool. Nothing to write.
+		s.met.disconnects.Add(1)
+		return
+	default:
+		// SearchContext validates the request (points inside the space,
+		// parameter ranges, conditions against the venue's doors) before
+		// running; any non-context error is a request problem.
+		s.clientError(w, http.StatusBadRequest, "invalid_request", "%v", err)
+		return
+	}
+
+	h.CountQuery()
+	s.met.ok.Add(1)
+	s.writeJSON(w, http.StatusOK, BuildResponse(h.Venue(), variant, req, res))
+}
+
+func (s *Server) clientError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	s.met.clientErrs.Add(1)
+	s.writeJSON(w, status, wireError(code, format, args...))
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// An encode failure here means the client is gone; the status line has
+	// already been written, so there is nothing left to report to them.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// String renders the effective configuration for startup logs.
+func (c Config) String() string {
+	return fmt.Sprintf("max_inflight=%d query_timeout=%v retry_after=%v max_body=%dB max_expansions=%d",
+		c.MaxInFlight, c.QueryTimeout, c.RetryAfter, c.MaxBodyBytes, c.MaxExpansions)
+}

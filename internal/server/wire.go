@@ -1,0 +1,223 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"ikrq/internal/geom"
+	"ikrq/internal/model"
+	"ikrq/internal/search"
+)
+
+// This file is the wire format of the serving API: the JSON shapes of
+// POST /v1/venues/{venue}/query and the conversions to and from the
+// in-process search types. The conversions are total and lossless in the
+// response direction — the oracle test in server_test.go asserts that a
+// route served over HTTP decodes byte-identical to the same route from an
+// in-process Engine.Search — and defensive in the request direction: every
+// malformed field maps to a structured 400, never a panic.
+
+// PointWire is a geom.Point on the wire.
+type PointWire struct {
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	Floor int     `json:"floor"`
+}
+
+// Point converts to the in-process representation.
+func (p PointWire) Point() geom.Point { return geom.Pt(p.X, p.Y, p.Floor) }
+
+// ConditionsWire is the live-venue overlay on the wire: closed door IDs
+// plus per-door traversal penalties in walking meters. Door IDs are
+// validated against the venue's space by Engine.Validate, not here.
+type ConditionsWire struct {
+	Close []int           `json:"close,omitempty"`
+	Delay map[int]float64 `json:"delay,omitempty"`
+}
+
+// Conditions converts the overlay; nil in, nil out.
+func (c *ConditionsWire) Conditions() *model.Conditions {
+	if c == nil || (len(c.Close) == 0 && len(c.Delay) == 0) {
+		return nil
+	}
+	cond := model.NewConditions()
+	for _, d := range c.Close {
+		cond.Close(model.DoorID(d))
+	}
+	for d, p := range c.Delay {
+		cond.Delay(model.DoorID(d), p)
+	}
+	return cond
+}
+
+// QueryRequest is the JSON body of POST /v1/venues/{venue}/query. Exactly
+// one of Delta (an absolute distance budget in meters) and Eta (the paper's
+// η factor: Δ = η · δ(ps, pt) over the venue's indoor shortest distance)
+// must be positive. An empty Variant selects plain ToE.
+type QueryRequest struct {
+	Start    PointWire `json:"start"`
+	Terminal PointWire `json:"terminal"`
+	Keywords []string  `json:"keywords"`
+	K        int       `json:"k"`
+
+	Delta float64 `json:"delta,omitempty"`
+	Eta   float64 `json:"eta,omitempty"`
+
+	Alpha float64 `json:"alpha"`
+	Tau   float64 `json:"tau"`
+
+	// Variant is a Table III name: ToE, ToE\D, ToE\B, ToE\P, KoE, KoE\D,
+	// KoE\B or KoE*.
+	Variant string `json:"variant,omitempty"`
+
+	Conditions *ConditionsWire `json:"conditions,omitempty"`
+
+	// TimeoutMillis, when positive, tightens the per-request deadline below
+	// the server's configured maximum; it can never extend it.
+	TimeoutMillis int `json:"timeout_ms,omitempty"`
+}
+
+// BuildRequest resolves the wire request into a search.Request against the
+// venue's engine. Errors are client errors (they map to 400): η resolution
+// needs the engine because Δ = η · δ(ps, pt) is computed over the venue's
+// state graph.
+func (q *QueryRequest) BuildRequest(eng *search.Engine) (search.Request, error) {
+	req := search.Request{
+		Ps:    q.Start.Point(),
+		Pt:    q.Terminal.Point(),
+		QW:    q.Keywords,
+		K:     q.K,
+		Alpha: q.Alpha,
+		Tau:   q.Tau,
+	}
+	switch {
+	case q.Delta > 0 && q.Eta > 0:
+		return req, errors.New("delta and eta are mutually exclusive; send one")
+	case q.Delta > 0:
+		req.Delta = q.Delta
+	case q.Eta > 0:
+		d := eng.PathFinder().PointToPoint(req.Ps, req.Pt)
+		if math.IsInf(d, 1) || d <= 0 {
+			return req, errors.New("eta needs a positive finite shortest distance between start and terminal; the points are not connected")
+		}
+		req.Delta = q.Eta * d
+	default:
+		return req, errors.New("a positive delta (meters) or eta (distance factor) is required")
+	}
+	req.Conditions = q.Conditions.Conditions()
+	return req, nil
+}
+
+// RouteWire is one returned route on the wire, mirroring search.Route.
+type RouteWire struct {
+	Doors   []int     `json:"doors"`
+	Entered []int     `json:"entered"`
+	KP      []int     `json:"kp"`
+	Dist    float64   `json:"dist"`
+	Rho     float64   `json:"rho"`
+	Sims    []float64 `json:"sims"`
+	Psi     float64   `json:"psi"`
+}
+
+// StatsWire is the subset of search.Stats a serving client cares about.
+type StatsWire struct {
+	ElapsedMicros int64 `json:"elapsed_us"`
+	Pops          int   `json:"pops"`
+	StampsCreated int   `json:"stamps_created"`
+	Truncated     bool  `json:"truncated,omitempty"`
+}
+
+// QueryResponse is the JSON body of a successful query.
+type QueryResponse struct {
+	Venue   string      `json:"venue"`
+	Variant string      `json:"variant"`
+	Delta   float64     `json:"delta"`
+	Routes  []RouteWire `json:"routes"`
+	Stats   StatsWire   `json:"stats"`
+}
+
+// BuildResponse converts a search result for the wire.
+func BuildResponse(venue string, variant search.Variant, req search.Request, res *search.Result) *QueryResponse {
+	out := &QueryResponse{
+		Venue:   venue,
+		Variant: string(variant),
+		Delta:   req.Delta,
+		Routes:  make([]RouteWire, len(res.Routes)),
+		Stats: StatsWire{
+			ElapsedMicros: res.Stats.Elapsed.Microseconds(),
+			Pops:          res.Stats.Pops,
+			StampsCreated: res.Stats.StampsCreated,
+			Truncated:     res.Stats.Truncated,
+		},
+	}
+	for i := range res.Routes {
+		out.Routes[i] = routeWire(&res.Routes[i])
+	}
+	return out
+}
+
+func routeWire(r *search.Route) RouteWire {
+	w := RouteWire{
+		Doors:   make([]int, len(r.Doors)),
+		Entered: make([]int, len(r.Entered)),
+		KP:      make([]int, len(r.KP)),
+		Dist:    r.Dist,
+		Rho:     r.Rho,
+		Sims:    r.Sims,
+		Psi:     r.Psi,
+	}
+	for i, d := range r.Doors {
+		w.Doors[i] = int(d)
+	}
+	for i, v := range r.Entered {
+		w.Entered[i] = int(v)
+	}
+	for i, v := range r.KP {
+		w.KP[i] = int(v)
+	}
+	return w
+}
+
+// ErrorBody is the structured error envelope every non-200 response
+// carries: a stable machine-readable code plus a human-readable message.
+type ErrorBody struct {
+	Error ErrorInfo `json:"error"`
+}
+
+// ErrorInfo is the payload of ErrorBody.
+type ErrorInfo struct {
+	// Code is one of: malformed_request, request_too_large,
+	// invalid_request, unknown_variant, unknown_venue, venue_unavailable,
+	// overloaded, deadline_exceeded.
+	Code    string `json:"code"`
+	Message string `json:"message"`
+
+	// RetryAfterSeconds accompanies overloaded responses, mirroring the
+	// Retry-After header for clients that only read bodies.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+// VenueStatus is one venue's entry in GET /v1/venues.
+type VenueStatus struct {
+	Name     string `json:"name"`
+	Path     string `json:"path,omitempty"`
+	Loaded   bool   `json:"loaded"`
+	Warm     bool   `json:"warm"`
+	InFlight int    `json:"in_flight"`
+	Loads    int64  `json:"loads"`
+	Queries  uint64 `json:"queries"`
+
+	// LastLoadMillis is the wall time the most recent snapshot load (plus
+	// warmup, when configured) took; 0 until the venue has loaded once.
+	LastLoadMillis int64 `json:"last_load_ms,omitempty"`
+}
+
+// durationMillis rounds for VenueStatus.
+func durationMillis(d time.Duration) int64 { return d.Milliseconds() }
+
+// wireError builds an ErrorBody.
+func wireError(code, format string, args ...any) *ErrorBody {
+	return &ErrorBody{Error: ErrorInfo{Code: code, Message: fmt.Sprintf(format, args...)}}
+}

@@ -1,0 +1,58 @@
+package server
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBuildRequestEtaResolution(t *testing.T) {
+	eng := testEngine(t)
+	wq := wireCases[0]
+	wq.Delta, wq.Eta = 0, 1.5
+	req, err := wq.BuildRequest(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := eng.PathFinder().PointToPoint(req.Ps, req.Pt)
+	if math.IsInf(d, 1) || d <= 0 {
+		t.Fatalf("fixture points not connected: %v", d)
+	}
+	if req.Delta != 1.5*d {
+		t.Errorf("Delta = %v, want 1.5·%v", req.Delta, d)
+	}
+}
+
+func TestBuildRequestRejects(t *testing.T) {
+	eng := testEngine(t)
+	for _, tc := range []struct {
+		name string
+		mut  func(*QueryRequest)
+	}{
+		{"neither delta nor eta", func(q *QueryRequest) { q.Delta, q.Eta = 0, 0 }},
+		{"both delta and eta", func(q *QueryRequest) { q.Delta, q.Eta = 50, 1.5 }},
+		{"eta over disconnected points", func(q *QueryRequest) {
+			q.Delta, q.Eta = 0, 1.5
+			q.Terminal = PointWire{2, 5, 7} // floor 7 does not exist
+		}},
+	} {
+		wq := wireCases[0]
+		tc.mut(&wq)
+		if _, err := wq.BuildRequest(eng); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestConditionsWireConversion(t *testing.T) {
+	var nilWire *ConditionsWire
+	if nilWire.Conditions() != nil {
+		t.Error("nil wire should convert to nil overlay")
+	}
+	if (&ConditionsWire{}).Conditions() != nil {
+		t.Error("empty wire should convert to nil overlay")
+	}
+	c := (&ConditionsWire{Close: []int{3, 7}, Delay: map[int]float64{5: 12.5}}).Conditions()
+	if !c.Closed(3) || !c.Closed(7) || c.Penalty(5) != 12.5 || c.Closed(5) {
+		t.Errorf("conversion wrong: %v", c)
+	}
+}

@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# End-to-end serving gate: bake a synthetic snapshot, start ikrqd, query
+# every Table III variant over real HTTP, and assert each returns 200 with
+# exactly $K well-formed routes; then check error statuses, the loadgen
+# self-test, and a clean SIGTERM drain. This is the first CI gate on the
+# full bake -> serve -> query path a deployment depends on.
+#
+# Runs from the repo root: ./scripts/e2e.sh
+# Needs: go, curl, jq.
+set -euo pipefail
+
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$workdir/ikrqgen" ./cmd/ikrqgen
+go build -o "$workdir/ikrqd" ./cmd/ikrqd
+
+echo "== bake"
+"$workdir/ikrqgen" -floors 2 -seed 1 -snapshot "$workdir/mall.ikrq" -matrix
+
+# The generated vocabulary is seed-deterministic gibberish; pull the two
+# most widely assigned t-words from the JSON dump of the same space so the
+# query has real key partitions to route through.
+"$workdir/ikrqgen" -floors 2 -seed 1 -json > "$workdir/mall.json"
+readarray -t kws < <(jq -r '
+  [.partitions[].twords // [] | .[]] | group_by(.) | sort_by(-length) | .[0:2][][0]
+' "$workdir/mall.json")
+[ "${#kws[@]}" = 2 ] || { echo "FAIL: could not extract two t-words"; exit 1; }
+echo "query keywords: ${kws[*]}"
+
+echo "== loadgen self-test (in-process HTTP stack, all variants)"
+"$workdir/ikrqd" -venue mall="$workdir/mall.ikrq" -loadgen 8 -seed 7
+
+echo "== serve"
+port="${IKRQD_E2E_PORT:-18421}"
+base="http://127.0.0.1:$port"
+"$workdir/ikrqd" -listen "127.0.0.1:$port" -venue mall="$workdir/mall.ikrq" &
+daemon_pid=$!
+
+for i in $(seq 1 100); do
+  curl -fsS "$base/healthz" >/dev/null 2>&1 && break
+  kill -0 "$daemon_pid" 2>/dev/null || { echo "FAIL: daemon died during startup"; exit 1; }
+  [ "$i" = 100 ] && { echo "FAIL: daemon never became healthy"; exit 1; }
+  sleep 0.1
+done
+curl -fsS "$base/healthz" | jq -e '.status == "ok"' >/dev/null
+echo "healthz ok"
+
+# A query wide enough that every variant fills k: hallway-to-hallway across
+# both floors with a generous absolute distance budget. K must match the
+# assertion below.
+K=3
+query() { # $1 = variant
+  jq -n --arg variant "$1" --argjson k "$K" --arg kw1 "${kws[0]}" --arg kw2 "${kws[1]}" '{
+    start:    {x: 3,   y: 3,  floor: 0},
+    terminal: {x: 100, y: 60, floor: 1},
+    keywords: [$kw1, $kw2],
+    k:        $k,
+    delta:    2200,
+    alpha:    0.5,
+    tau:      0.2,
+    variant:  $variant
+  }'
+}
+
+echo "== query every Table III variant"
+for variant in 'ToE' 'ToE\D' 'ToE\B' 'ToE\P' 'KoE' 'KoE\D' 'KoE\B' 'KoE*'; do
+  body=$(query "$variant")
+  resp_file="$workdir/resp.json"
+  status=$(curl -sS -o "$resp_file" -w '%{http_code}' \
+    -X POST -H 'Content-Type: application/json' \
+    -d "$body" "$base/v1/venues/mall/query")
+  if [ "$status" != 200 ]; then
+    echo "FAIL: $variant -> HTTP $status: $(cat "$resp_file")"
+    exit 1
+  fi
+  # Exactly k routes, each well-formed: non-empty door list, matching
+  # entered-partition list, positive distance within the budget, and a
+  # sims vector sized to the query keywords.
+  jq -e --arg variant "$variant" --argjson k "$K" '
+    (.variant == $variant) and
+    (.routes | length == $k) and
+    (.delta as $delta | [.routes[] | select(
+        ((.doors | length) > 0) and
+        ((.entered | length) == (.doors | length)) and
+        (.dist > 0 and .dist <= $delta) and
+        ((.sims | length) == 2) and
+        ((.psi | type) == "number")
+      )] | length == $k)
+  ' "$resp_file" >/dev/null || {
+    echo "FAIL: $variant returned a malformed result: $(cat "$resp_file")"
+    exit 1
+  }
+  echo "$variant: 200, $K well-formed routes"
+done
+
+echo "== error statuses"
+st=$(curl -sS -o /dev/null -w '%{http_code}' -X POST -d "$(query ToE)" "$base/v1/venues/atlantis/query")
+[ "$st" = 404 ] || { echo "FAIL: unknown venue -> $st, want 404"; exit 1; }
+st=$(curl -sS -o /dev/null -w '%{http_code}' -X POST -d '{"broken' "$base/v1/venues/mall/query")
+[ "$st" = 400 ] || { echo "FAIL: malformed body -> $st, want 400"; exit 1; }
+curl -fsS "$base/debug/vars" | jq -e '.queries.ok >= 8' >/dev/null || {
+  echo "FAIL: /debug/vars did not count the served queries"; exit 1; }
+echo "404/400/vars ok"
+
+echo "== graceful drain"
+kill -TERM "$daemon_pid"
+for i in $(seq 1 100); do
+  kill -0 "$daemon_pid" 2>/dev/null || break
+  [ "$i" = 100 ] && { echo "FAIL: daemon still running after SIGTERM"; exit 1; }
+  sleep 0.1
+done
+wait "$daemon_pid" && rc=0 || rc=$?
+daemon_pid=""
+[ "$rc" = 0 ] || { echo "FAIL: daemon exited $rc after SIGTERM, want 0"; exit 1; }
+echo "drained cleanly"
+
+echo "e2e: all green"
