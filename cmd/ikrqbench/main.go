@@ -7,6 +7,7 @@
 //	ikrqbench -snapshot mall.ikrq [-quick]
 //	ikrqbench -benchjson BENCH.json
 //	ikrqbench -quick -benchdiff BENCH.json
+//	ikrqbench -scale [-quick] [-scalejson BENCH_SCALE.json]
 //
 // Every mode accepts -cpuprofile/-memprofile, which write pprof profiles
 // covering the whole run — the first stop for diagnosing a kernel
@@ -25,6 +26,13 @@
 // workload for a fast smoke pass. Full ToE\P figures run under an
 // expansion cap (reported in the output) because the unpruned variant is
 // intentionally explosive — the paper itself measures it at up to 10^6 ms.
+//
+// With -scale (or -scalejson) the harness sweeps mega venues of growing
+// size and measures both KoE* backends: oracle bake time and resident
+// bytes against the dense matrix's (analytic above a state cap), plus
+// per-query KoE* latency on each. -scalejson writes BENCH_SCALE.json, the
+// advisory scaling record committed at the repo root; -quick stops the
+// sweep at CI-sized venues.
 //
 // With -snapshot the harness benchmarks serving from a baked index (see
 // `ikrqgen -snapshot`): the cold-start cost of loading versus rebuilding,
@@ -68,6 +76,8 @@ func mainImpl() int {
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		benchJSON  = flag.String("benchjson", "", "measure the Table III hot paths and write per-variant ns/op, B/op, allocs/op to this file (BENCH.json)")
 		benchDiff  = flag.String("benchdiff", "", "re-measure the hot paths and fail (exit 1) if allocs/op regressed against this baseline BENCH.json; ns/op is advisory")
+		scale      = flag.Bool("scale", false, "run the venue-size scaling sweep (oracle vs dense KoE* backend) and print a table")
+		scaleJSON  = flag.String("scalejson", "", "run the scaling sweep and write the report to this file (BENCH_SCALE.json)")
 	)
 	flag.Parse()
 
@@ -128,6 +138,30 @@ func mainImpl() int {
 	if *benchJSON != "" && *benchDiff != "" {
 		return cli.Fail(os.Stderr, "ikrqbench",
 			cli.Usagef("-benchjson and -benchdiff are mutually exclusive (write a baseline or check against one)"))
+	}
+	if *scale || *scaleJSON != "" {
+		rep, err := bench.RunScale(cfg, *quick)
+		if err != nil {
+			return cli.Fail(os.Stderr, "ikrqbench", err)
+		}
+		if *scaleJSON != "" {
+			f, err := os.Create(*scaleJSON)
+			if err != nil {
+				return cli.Fail(os.Stderr, "ikrqbench", err)
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				f.Close()
+				return cli.Fail(os.Stderr, "ikrqbench", err)
+			}
+			if err := f.Close(); err != nil {
+				return cli.Fail(os.Stderr, "ikrqbench", err)
+			}
+		}
+		rep.Fprint(os.Stdout)
+		if err := rep.Check(); err != nil {
+			return cli.Fail(os.Stderr, "ikrqbench", err)
+		}
+		return cli.ExitOK
 	}
 	if *benchJSON != "" {
 		rep, err := bench.RunPerf(cfg)

@@ -8,6 +8,8 @@
 //	ikrqgen -floors 5 -seed 1                     # statistics only
 //	ikrqgen -real -json > mall.json               # dump the simulated Hangzhou mall
 //	ikrqgen -real -snapshot mall.ikrq -matrix     # bake a snapshot incl. the KoE* matrix
+//	ikrqgen -floors 14 -shops-per-floor 141 -snapshot mega.ikrq -oracle
+//	                                              # bake a mega venue with the hierarchical oracle
 package main
 
 import (
@@ -30,19 +32,29 @@ func main() { os.Exit(run()) }
 func run() int {
 	var (
 		floors   = flag.Int("floors", 5, "synthetic floors")
+		shops    = flag.Int("shops-per-floor", 0, "widen the synthetic grid to about this many shops per floor (0: the paper's default width)")
 		real     = flag.Bool("real", false, "simulated Hangzhou mall")
 		seed     = flag.Uint64("seed", 1, "generation seed")
 		asJSON   = flag.Bool("json", false, "dump the space as JSON to stdout")
 		snapPath = flag.String("snapshot", "", "bake the engine to this snapshot file")
-		matrix   = flag.Bool("matrix", false, "precompute the KoE* all-pairs matrix into the snapshot")
+		matrix   = flag.Bool("matrix", false, "precompute the dense KoE* all-pairs matrix into the snapshot")
+		oracle   = flag.Bool("oracle", false, "precompute the hierarchical KoE* distance oracle into the snapshot (the large-venue backend)")
 	)
 	flag.Parse()
 	if *asJSON && *snapPath != "" {
 		return cli.Fail(os.Stderr, "ikrqgen",
 			cli.Usagef("-json and -snapshot are mutually exclusive; run ikrqgen twice with the same -seed"))
 	}
+	if *matrix && *oracle {
+		return cli.Fail(os.Stderr, "ikrqgen",
+			cli.Usagef("-matrix and -oracle are mutually exclusive; a snapshot carries one KoE* backend"))
+	}
+	if *real && *shops > 0 {
+		return cli.Fail(os.Stderr, "ikrqgen",
+			cli.Usagef("-shops-per-floor shapes the synthetic grid; drop -real to use it"))
+	}
 
-	mall, voc, idx, err := cli.Mall(*real, *floors, *seed)
+	mall, voc, idx, err := cli.Mall(*real, *floors, *shops, *seed)
 	if err != nil {
 		return cli.Fail(os.Stderr, "ikrqgen", err)
 	}
@@ -56,7 +68,13 @@ func run() int {
 	}
 
 	if *snapPath != "" {
-		if err := bake(*snapPath, *matrix, mall, idx); err != nil {
+		backend := ""
+		if *matrix {
+			backend = "matrix"
+		} else if *oracle {
+			backend = "oracle"
+		}
+		if err := bake(*snapPath, backend, mall, idx); err != nil {
 			return cli.Fail(os.Stderr, "ikrqgen", err)
 		}
 		return cli.ExitOK
@@ -77,18 +95,22 @@ func run() int {
 	return cli.ExitOK
 }
 
-// bake builds the engine (optionally forcing the KoE* matrix) and writes
-// the snapshot, reporting what each stage cost so operators can see what a
-// load will save.
-func bake(path string, withMatrix bool, mall *ikrq.Mall, idx *ikrq.KeywordIndex) error {
+// bake builds the engine (optionally forcing a KoE* distance backend,
+// "matrix" or "oracle") and writes the snapshot, reporting what each stage
+// cost so operators can see what a load will save.
+func bake(path, backend string, mall *ikrq.Mall, idx *ikrq.KeywordIndex) error {
 	t0 := time.Now()
 	engine := ikrq.NewEngine(mall.Space, idx)
 	build := time.Since(t0)
-	var matrixTime time.Duration
-	if withMatrix {
+	var backendTime time.Duration
+	if backend != "" {
 		t1 := time.Now()
-		engine.PrecomputeMatrix()
-		matrixTime = time.Since(t1)
+		if backend == "matrix" {
+			engine.PrecomputeMatrix()
+		} else {
+			engine.PrecomputeOracle()
+		}
+		backendTime = time.Since(t1)
 	}
 
 	f, err := os.Create(path)
@@ -109,10 +131,10 @@ func bake(path string, withMatrix bool, mall *ikrq.Mall, idx *ikrq.KeywordIndex)
 	}
 	fmt.Printf("baked %s: %.1f MB in %v (index build %v", path,
 		float64(info.Size())/(1<<20), time.Since(t2), build)
-	if withMatrix {
-		fmt.Printf(", KoE* matrix %v", matrixTime)
+	if backend != "" {
+		fmt.Printf(", KoE* %s %v", backend, backendTime)
 	} else {
-		fmt.Printf(", no KoE* matrix — pass -matrix to bake it")
+		fmt.Printf(", no KoE* backend — pass -matrix or -oracle to bake one")
 	}
 	fmt.Println(")")
 	return nil

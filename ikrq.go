@@ -36,8 +36,8 @@
 // # Snapshots
 //
 // Building an engine derives the whole index layer — the state-graph
-// pathfinder, the skeleton lower bounds and (for KoE*) the Θ(states²)
-// all-pairs matrix — which is wasted work when the same space is served on
+// pathfinder, the skeleton lower bounds and (for KoE*) a precomputed
+// distance backend — which is wasted work when the same space is served on
 // every process start. SaveSnapshot persists a built engine's index layer
 // to a versioned binary container and LoadEngine assembles a serving
 // engine from it without recomputation:
@@ -48,16 +48,19 @@
 //
 // A loaded engine returns results identical to a freshly built one.
 //
-// # Eager vs. lazy KoE* matrix
+// # Eager vs. lazy KoE* distance backend
 //
-// The KoE* variant routes over a precomputed all-pairs shortest-route
-// matrix. By default an engine builds it lazily on the first KoE* query:
-// workloads that never run KoE* pay nothing, but that first query absorbs
-// the full all-pairs sweep (hundreds of milliseconds to seconds, and
-// Θ(states²) memory). Engine.PrecomputeMatrix forces the matrix eagerly —
-// call it at service start-up to keep construction cost out of serving
-// latency, and before SaveSnapshot to bake the matrix into the snapshot so
-// loaded engines never compute it at all. SaveSnapshot includes the matrix
+// The KoE* variant routes over a precomputed distance backend: the dense
+// all-pairs matrix on small venues (exact everywhere, Θ(states²)
+// resident), the hierarchical oracle on large ones (near-linear resident;
+// see DESIGN.md §10). By default an engine builds the size-appropriate
+// backend lazily on the first KoE* query: workloads that never run KoE*
+// pay nothing, but that first query absorbs the full build sweep.
+// Engine.Precompute forces it eagerly (PrecomputeMatrix and
+// PrecomputeOracle pick a specific kind) — call one at service start-up to
+// keep construction cost out of serving latency, and before SaveSnapshot
+// to bake the backend into the snapshot so loaded engines never compute it
+// at all. SaveSnapshot includes the backend
 // section exactly when the engine has built one.
 //
 // # Live venue conditions
@@ -73,7 +76,7 @@
 //	res, _ := engine.Search(ikrq.Request{ ..., Conditions: cond }, opt)
 //
 // Closures only remove edges and penalties only increase costs, so the
-// statically precomputed lower bounds (skeleton, KoE* matrix) remain
+// statically precomputed lower bounds (skeleton, KoE* backend) remain
 // admissible and the search stays exact: with an overlay of closures the
 // results are identical to a freshly built engine whose space omits those
 // doors, and reported route distances include every penalty paid. See
@@ -179,8 +182,8 @@ func NewKeywordBuilder(numPartitions int) *KeywordBuilder {
 type (
 	// Engine runs IKRQ queries against one space + keyword index. Besides
 	// Search and SearchBatch it exposes the index-layer seams used by
-	// snapshotting: Engine.PrecomputeMatrix forces the KoE* all-pairs
-	// matrix eagerly (see the package docs for the eager-vs-lazy
+	// snapshotting: Engine.Precompute forces the size-appropriate KoE*
+	// distance backend eagerly (see the package docs for the eager-vs-lazy
 	// tradeoff), and SaveSnapshot / LoadEngine persist and restore the
 	// whole index layer.
 	Engine = search.Engine
@@ -223,10 +226,10 @@ const (
 func NewEngine(s *Space, x *KeywordIndex) *Engine { return search.NewEngine(s, x) }
 
 // SaveSnapshot writes the engine's immutable index layer — space, keyword
-// index, state graph, skeleton, and the KoE* matrix if the engine has
-// built it (call Engine.PrecomputeMatrix first to force it) — to w in the
-// versioned binary snapshot format (see internal/snapshot and DESIGN.md
-// §6).
+// index, state graph, skeleton, and the KoE* distance backend if the
+// engine has built one (call Engine.Precompute first to force it) — to w
+// in the versioned binary snapshot format (see internal/snapshot and
+// DESIGN.md §6).
 func SaveSnapshot(w io.Writer, e *Engine) error { return snapshot.SaveEngine(w, e) }
 
 // LoadEngine assembles a ready-to-serve engine from a snapshot written by

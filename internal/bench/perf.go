@@ -39,6 +39,11 @@ type PerfReport struct {
 	GoVersion  string `json:"go_version"`
 	Queries    int    `json:"queries_per_op"`
 
+	// Venue records the measured workload's size, so scaling context
+	// travels with the numbers (and tooling can cross-reference
+	// BENCH_SCALE.json points).
+	Venue VenueMeta `json:"venue"`
+
 	// CapExpansions is the ToE\P expansion cap the run used (300000
 	// default, 50000 with -quick). The cap changes ToE\P's workload, so
 	// entries are only comparable across reports with equal caps — which is
@@ -58,6 +63,14 @@ type PerfReport struct {
 	// MatrixBuild measures one full all-pairs KoE* matrix construction
 	// (parallel across GoMaxProcs workers), per build.
 	MatrixBuild PerfEntry `json:"matrix_build"`
+}
+
+// VenueMeta is the venue-size block shared by the perf and scale reports.
+type VenueMeta struct {
+	Floors     int `json:"floors"`
+	Partitions int `json:"partitions"`
+	Doors      int `json:"doors"`
+	States     int `json:"states"`
 }
 
 // RunPerf measures the perf report on the standard workload. Profiles are
@@ -81,6 +94,12 @@ func RunPerf(cfg Config) (*PerfReport, error) {
 		GoVersion:     runtime.Version(),
 		Queries:       len(reqs),
 		CapExpansions: cfg.CapExpansions,
+		Venue: VenueMeta{
+			Floors:     w.Mall.Space.Floors(),
+			Partitions: w.Mall.Space.NumPartitions(),
+			Doors:      w.Mall.Space.NumDoors(),
+			States:     w.Engine.PathFinder().NumStates(),
+		},
 	}
 	rep.Variants, err = measureVariants(w.Engine, reqs, cfg.CapExpansions)
 	if err != nil {
@@ -88,7 +107,7 @@ func RunPerf(cfg Config) (*PerfReport, error) {
 	}
 	refPF := graph.NewPathFinder(w.Mall.Space)
 	refPF.UseReferenceKernel()
-	refEng, err := search.NewEngineFromParts(w.Mall.Space, w.Index, refPF, graph.NewSkeleton(w.Mall.Space), nil)
+	refEng, err := search.NewEngineFromParts(w.Mall.Space, w.Index, refPF, graph.NewSkeleton(w.Mall.Space), nil, nil)
 	if err != nil {
 		return nil, err
 	}

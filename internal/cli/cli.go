@@ -68,12 +68,19 @@ func Fail(w io.Writer, tool string, err error) int {
 	return ExitFailure
 }
 
-// Mall generates the evaluation space the -real / -floors flags select.
-func Mall(real bool, floors int, seed uint64) (*gen.Mall, *gen.Vocabulary, *keyword.Index, error) {
-	if real {
+// Mall generates the evaluation space the -real / -floors /
+// -shops-per-floor flags select: the simulated Hangzhou mall, the paper's
+// synthetic grid, or a widened mega venue when shopsPerFloor exceeds the
+// synthetic default.
+func Mall(real bool, floors, shopsPerFloor int, seed uint64) (*gen.Mall, *gen.Vocabulary, *keyword.Index, error) {
+	switch {
+	case real:
 		return gen.RealMall(gen.RealConfig{Seed: seed})
+	case shopsPerFloor > 0:
+		return gen.MegaMall(floors, shopsPerFloor, seed)
+	default:
+		return gen.SyntheticMall(floors, seed)
 	}
-	return gen.SyntheticMall(floors, seed)
 }
 
 // LoadSnapshotEngine assembles a serving engine from a snapshot file baked
@@ -103,7 +110,7 @@ type QuerySpec struct {
 // GeneratedSetup builds an engine over a generated mall and draws one
 // δs2t-targeted query instance from its workload generator.
 func GeneratedSetup(real bool, floors int, seed uint64, q QuerySpec) (*search.Engine, search.Request, error) {
-	mall, voc, idx, err := Mall(real, floors, seed)
+	mall, voc, idx, err := Mall(real, floors, 0, seed)
 	if err != nil {
 		return nil, search.Request{}, err
 	}

@@ -2,6 +2,7 @@ package gen
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"ikrq/internal/graph"
@@ -330,3 +331,43 @@ func TestCellIndexMapping(t *testing.T) {
 }
 
 var _ = model.NoPartition
+
+// TestMegaConfigDefaultsToSynthetic: at the paper's 96 shops per floor the
+// mega generator reproduces the synthetic shape exactly, so the scaling
+// sweep's smallest point is the evaluation venue itself.
+func TestMegaConfigDefaultsToSynthetic(t *testing.T) {
+	if got, want := MegaConfig(3, 96), SyntheticConfig(3); got != want {
+		t.Fatalf("MegaConfig(3, 96) = %+v, want synthetic %+v", got, want)
+	}
+}
+
+// TestMegaMallScalesAndIsDeterministic checks the two contracts the
+// scale benchmarks and CI smoke rely on: shop count tracks the knob, and
+// repeated builds with one seed are byte-identical.
+func TestMegaMallScalesAndIsDeterministic(t *testing.T) {
+	m1, _, x1, err := MegaMall(3, 192, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(m1.Rooms), 3*192; got != want {
+		t.Fatalf("MegaMall(3, 192) built %d rooms, want %d", got, want)
+	}
+	small, _, _, err := MegaMall(3, 96, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Space.NumPartitions() <= small.Space.NumPartitions() {
+		t.Fatalf("doubling shops did not grow the venue: %d vs %d partitions",
+			m1.Space.NumPartitions(), small.Space.NumPartitions())
+	}
+	m2, _, x2, err := MegaMall(3, 192, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m1.Space.Export(), m2.Space.Export()) {
+		t.Fatal("MegaMall space is not deterministic for a fixed seed")
+	}
+	if !reflect.DeepEqual(x1.Export(), x2.Export()) {
+		t.Fatal("MegaMall keyword index is not deterministic for a fixed seed")
+	}
+}

@@ -256,6 +256,58 @@ func cellIndex(x, cellW, vconnX1 float64, cellsPerSide int) int {
 	return cellsPerSide + i
 }
 
+// MegaConfig derives a grid shape for an arbitrarily large venue from the
+// two knobs the scaling experiments sweep: floor count and shops per floor.
+// The row count and floor depth stay at the paper's synthetic defaults and
+// the floor widens to hold the extra shop columns, so per-floor corridor
+// structure (and with it the staircase-hub count the oracle depends on)
+// stays constant while states grow linearly in both knobs.
+func MegaConfig(floors, shopsPerFloor int) GridConfig {
+	cfg := SyntheticConfig(floors)
+	if shopsPerFloor <= 0 {
+		return cfg
+	}
+	cols := (shopsPerFloor + cfg.RoomRows - 1) / cfg.RoomRows
+	if cols%2 != 0 {
+		cols++
+	}
+	if cols < 2 {
+		cols = 2
+	}
+	cfg.RoomCols = cols
+	// Keep the synthetic room aspect ratio: 1368m across 12 columns.
+	cfg.FloorW = 114 * float64(cols)
+	if cells := (cfg.CellsPerSide*cols + 11) / 12; cells >= 2 {
+		cfg.CellsPerSide = cells
+	} else {
+		cfg.CellsPerSide = 2
+	}
+	adj := cfg.RoomAdjacencyDoors * cols / 12
+	if adj > cols-2 {
+		adj = cols - 2
+	}
+	if adj < 0 {
+		adj = 0
+	}
+	cfg.RoomAdjacencyDoors = adj
+	return cfg
+}
+
+// MegaMall builds the parameterized mega venue with keywords attached,
+// deterministic in (floors, shopsPerFloor, seed).
+func MegaMall(floors, shopsPerFloor int, seed uint64) (*Mall, *Vocabulary, *keyword.Index, error) {
+	m, err := BuildGrid(MegaConfig(floors, shopsPerFloor))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	v := GenerateVocabulary(DefaultVocabConfig(seed))
+	x, err := BuildKeywordIndex(m.Space, m.Rooms, v, seed+1)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return m, v, x, nil
+}
+
 // SyntheticMall builds the paper's default synthetic space with keywords
 // attached: the grid space for the floor count plus the generated
 // vocabulary randomly assigned to rooms.

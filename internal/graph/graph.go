@@ -144,6 +144,20 @@ func (pf *PathFinder) Space() *model.Space { return pf.s }
 // NumStates returns the number of (door, partition) states.
 func (pf *PathFinder) NumStates() int { return len(pf.states) }
 
+// Bytes estimates the resident size of the state graph — the state table,
+// the per-door state lists and the adjacency arcs — for the serving layer's
+// per-venue memory accounting.
+func (pf *PathFinder) Bytes() int64 {
+	b := int64(len(pf.states)) * 8 // (door, partition) per state
+	for _, ds := range pf.doorStates {
+		b += 24 + int64(len(ds))*4 // slice header + StateIDs
+	}
+	for _, as := range pf.adj {
+		b += 24 + int64(len(as))*16 // slice header + (to, w) arcs
+	}
+	return b
+}
+
 // State returns the state with the given ID as (door, entered partition).
 func (pf *PathFinder) State(id StateID) (model.DoorID, model.PartitionID) {
 	st := pf.states[id]
@@ -221,6 +235,20 @@ type Costs struct {
 func ForbidOnly(f Forbidden) Costs { return Costs{Block: f} }
 
 func (c Costs) blocked(d model.DoorID) bool { return c.Block != nil && c.Block(d) }
+
+// AllowsStatic reports whether a statically computed path through the hops
+// keeps its exact cost under these costs: no hop is blocked and none
+// carries a delay. A false result is PathIfAllowed's degrade-to-bound
+// signal — the static optimum may no longer be optimal and the caller must
+// recompute under the full cost model.
+func (c Costs) AllowsStatic(hops []Hop) bool {
+	for _, h := range hops {
+		if c.blocked(h.Door) || c.delay(h.Door) > 0 {
+			return false
+		}
+	}
+	return true
+}
 
 func (c Costs) delay(d model.DoorID) float64 {
 	if c.Delay == nil {

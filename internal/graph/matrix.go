@@ -9,11 +9,20 @@ import (
 	"ikrq/internal/model"
 )
 
-// Matrix holds precomputed all-pairs shortest distances and next-hop states
-// over the PathFinder's state graph. It backs the KoE* variant: routing to
-// the next key partition consults the matrix instead of running Dijkstra,
-// and falls back to an on-the-fly search when the precomputed path violates
-// the regularity check (doors already used by the partial route).
+// Matrix holds precomputed all-pairs shortest distances and per-source
+// shortest-path trees over the PathFinder's state graph. It backs the KoE*
+// variant: routing to the next key partition consults the matrix instead of
+// running Dijkstra, and falls back to an on-the-fly search when the
+// precomputed path violates the regularity check (doors already used by the
+// partial route).
+//
+// Row a of prev stores the parent pointers of source a's deterministic
+// Dijkstra tree, so a matrix path is the tree's parent chain — hop-for-hop
+// identical to what reconstructInto yields from a fresh kernel run over the
+// same source. That identity is what lets the hierarchical Oracle (which
+// recovers paths with on-demand Dijkstras) and the dense matrix serve
+// byte-identical routes even on distance ties, where a next-hop table
+// stitched from per-target trees would diverge.
 //
 // Memory is Θ(states²), which is exactly the order-of-magnitude overhead
 // the paper reports for KoE* in Fig. 14.
@@ -21,7 +30,7 @@ type Matrix struct {
 	pf   *PathFinder
 	n    int
 	dist []float64 // n×n row-major
-	next []StateID // n×n row-major: next state on the shortest path
+	prev []StateID // n×n row-major: prev[a*n+b] = parent of b in a's tree
 }
 
 // NewMatrix precomputes the all-pairs tables with one Dijkstra per state,
@@ -43,10 +52,10 @@ func newMatrixWorkers(pf *PathFinder, workers int) *Matrix {
 	n := pf.NumStates()
 	m := &Matrix{pf: pf, n: n}
 	m.dist = make([]float64, n*n)
-	m.next = make([]StateID, n*n)
+	m.prev = make([]StateID, n*n)
 	for i := range m.dist {
 		m.dist[i] = math.Inf(1)
-		m.next[i] = NoState
+		m.prev[i] = NoState
 	}
 	if workers > (n+matrixRowChunk-1)/matrixRowChunk {
 		workers = (n + matrixRowChunk - 1) / matrixRowChunk
@@ -92,19 +101,10 @@ func (m *Matrix) buildRows(ws *Workspace, lo, hi int) {
 		for t := 0; t < m.n; t++ {
 			d := ws.distAt(StateID(t))
 			if math.IsInf(d, 1) {
-				continue
+				continue // unreachable: ws.parent[t] is stale, keep NoState
 			}
 			m.dist[row+t] = d
-			// Walk the parent chain backward to find the first hop from src.
-			cur := StateID(t)
-			for ws.parent[cur] != NoState && ws.parent[cur] != StateID(src) {
-				cur = ws.parent[cur]
-			}
-			if cur == StateID(src) {
-				m.next[row+t] = StateID(t) // degenerate: src == t
-			} else {
-				m.next[row+t] = cur
-			}
+			m.prev[row+t] = ws.parent[t]
 		}
 	}
 }
@@ -129,15 +129,20 @@ func (m *Matrix) AppendPath(dst []Hop, a, b StateID) ([]Hop, bool) {
 	if math.IsInf(m.Dist(a, b), 1) {
 		return dst, false
 	}
-	cur := a
-	for cur != b {
-		nxt := m.next[int(cur)*m.n+int(b)]
-		if nxt == NoState {
-			return dst, false
-		}
-		d, p := m.pf.State(nxt)
+	// Walk b's parent chain in a's tree, then reverse the appended segment
+	// — the same reconstruction the kernel performs on a fresh tree.
+	start := len(dst)
+	row := int(a) * m.n
+	for cur := b; cur != a; {
+		d, p := m.pf.State(cur)
 		dst = append(dst, Hop{Door: d, Part: p})
-		cur = nxt
+		cur = m.prev[row+int(cur)]
+		if cur == NoState {
+			return dst, false // defensive: finite dist must chain to a
+		}
+	}
+	for i, j := start, len(dst)-1; i < j; i, j = i+1, j-1 {
+		dst[i], dst[j] = dst[j], dst[i]
 	}
 	return dst, true
 }
@@ -170,13 +175,8 @@ func (m *Matrix) PathIfAllowed(a, b StateID, costs Costs) ([]Hop, float64, bool)
 func (m *Matrix) AppendPathIfAllowed(dst []Hop, a, b StateID, costs Costs) ([]Hop, float64, bool) {
 	start := len(dst)
 	dst, ok := m.AppendPath(dst, a, b)
-	if !ok {
+	if !ok || !costs.AllowsStatic(dst[start:]) {
 		return dst, 0, false
-	}
-	for _, h := range dst[start:] {
-		if costs.blocked(h.Door) || costs.delay(h.Door) > 0 {
-			return dst, 0, false
-		}
 	}
 	return dst, m.Dist(a, b), true
 }

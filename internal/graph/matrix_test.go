@@ -93,7 +93,7 @@ func TestNewMatrixParallelDeterministic(t *testing.T) {
 			seq := newMatrixWorkers(pf, 1)
 			for _, workers := range []int{2, 4, 7} {
 				par := newMatrixWorkers(pf, workers)
-				if len(par.dist) != len(seq.dist) || len(par.next) != len(seq.next) {
+				if len(par.dist) != len(seq.dist) || len(par.prev) != len(seq.prev) {
 					t.Fatalf("w=%d: table sizes diverged", workers)
 				}
 				for i := range seq.dist {
@@ -101,8 +101,8 @@ func TestNewMatrixParallelDeterministic(t *testing.T) {
 					if sd != pd && !(math.IsInf(sd, 1) && math.IsInf(pd, 1)) {
 						t.Fatalf("w=%d: dist[%d] = %v, sequential %v", workers, i, pd, sd)
 					}
-					if seq.next[i] != par.next[i] {
-						t.Fatalf("w=%d: next[%d] = %d, sequential %d", workers, i, par.next[i], seq.next[i])
+					if seq.prev[i] != par.prev[i] {
+						t.Fatalf("w=%d: prev[%d] = %d, sequential %d", workers, i, par.prev[i], seq.prev[i])
 					}
 				}
 			}

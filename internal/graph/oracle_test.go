@@ -1,0 +1,230 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ikrq/internal/geom"
+	"ikrq/internal/model"
+)
+
+// randomMall builds a deterministic pseudo-random multi-floor venue: a strip
+// of hallway cells per floor, shops hanging off random cells, and one or two
+// stairway columns threading the floors. It exercises the oracle's hub
+// machinery (multiple hubs per floor, uneven shop placement) while staying
+// small enough for exhaustive Dijkstra ground truth.
+func randomMall(t *testing.T, seed int64) *model.Space {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := model.NewBuilder()
+	floors := 2 + rng.Intn(3)
+	cols := 3 + rng.Intn(3)
+	twoStairs := rng.Intn(2) == 0
+	var leftStairs, rightStairs []model.DoorID
+	for f := 0; f < floors; f++ {
+		halls := make([]model.PartitionID, cols)
+		for c := 0; c < cols; c++ {
+			x0 := float64(c * 10)
+			halls[c] = b.AddPartition(fmt.Sprintf("h%d_%d", f, c), model.KindHallway,
+				geom.R(x0, 0, x0+10, 10, f))
+			if c > 0 {
+				b.AddDoor(geom.Pt(x0, 1+8*rng.Float64(), f), halls[c-1], halls[c])
+			}
+		}
+		for c := 0; c < cols; c++ {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			x0 := float64(c * 10)
+			shop := b.AddPartition(fmt.Sprintf("s%d_%d", f, c), model.KindRoom,
+				geom.R(x0+1, 10, x0+9, 16, f))
+			b.AddDoor(geom.Pt(x0+2+6*rng.Float64(), 10, f), halls[c], shop)
+		}
+		st := b.AddPartition(fmt.Sprintf("stL%d", f), model.KindStaircase,
+			geom.R(-5, 0, 0, 5, f))
+		leftStairs = append(leftStairs, b.AddDoor(geom.Pt(0, 2.5, f), st, halls[0]))
+		if twoStairs {
+			xr := float64(cols * 10)
+			str := b.AddPartition(fmt.Sprintf("stR%d", f), model.KindStaircase,
+				geom.R(xr, 0, xr+5, 5, f))
+			rightStairs = append(rightStairs, b.AddDoor(geom.Pt(xr, 2.5, f), str, halls[cols-1]))
+		}
+	}
+	for f := 0; f+1 < floors; f++ {
+		b.AddStairway(leftStairs[f], leftStairs[f+1], 15+10*rng.Float64())
+		if twoStairs {
+			b.AddStairway(rightStairs[f], rightStairs[f+1], 15+10*rng.Float64())
+		}
+	}
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build(seed=%d): %v", seed, err)
+	}
+	return s
+}
+
+// sampleCosts returns the overlay variants the admissibility property is
+// checked under: bare, a door closure, and a door delay (doors picked
+// deterministically from the rng).
+func sampleCosts(s *model.Space, rng *rand.Rand) []Costs {
+	closed := model.DoorID(rng.Intn(s.NumDoors()))
+	delayed := model.DoorID(rng.Intn(s.NumDoors()))
+	penalty := 5 + 20*rng.Float64()
+	return []Costs{
+		{},
+		ForbidOnly(func(d model.DoorID) bool { return d == closed }),
+		{Delay: func(d model.DoorID) float64 {
+			if d == delayed {
+				return penalty
+			}
+			return 0
+		}},
+	}
+}
+
+// TestOracleAdmissibility is the satellite property test: over randomized
+// venues, Oracle.Dist never exceeds the true (possibly overlaid) shortest
+// distance, and equals the static truth wherever DistExact claims exactness.
+// Overlays only grow distances, so one static bound must survive all three.
+func TestOracleAdmissibility(t *testing.T) {
+	const pairsPerVenue = 400
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			s := randomMall(t, seed)
+			pf := NewPathFinder(s)
+			o := NewOracle(pf)
+			rng := rand.New(rand.NewSource(seed * 7919))
+			overlays := sampleCosts(s, rng)
+			ws := NewWorkspace()
+			n := pf.NumStates()
+			for i := 0; i < pairsPerVenue; i++ {
+				a := StateID(rng.Intn(n))
+				bs := StateID(rng.Intn(n))
+				d, exact := o.DistExact(a, bs)
+				pf.runDijkstra(ws, []Seed{{State: a}}, Costs{}, nil)
+				static := ws.distAt(bs)
+				if exact {
+					// Cross-floor sums may differ from the tree distance by
+					// float association only.
+					if math.IsInf(static, 1) != math.IsInf(d, 1) ||
+						(!math.IsInf(d, 1) && math.Abs(d-static) > 1e-9*(1+static)) {
+						t.Fatalf("pair %v->%v: exact Dist=%v, Dijkstra=%v", a, bs, d, static)
+					}
+				} else if d > static+1e-9 {
+					t.Fatalf("pair %v->%v: bound %v exceeds static truth %v", a, bs, d, static)
+				}
+				for ci, costs := range overlays[1:] {
+					pf.runDijkstra(ws, []Seed{{State: a}}, costs, nil)
+					overlaid := ws.distAt(bs)
+					if d > overlaid+1e-9*(1+d) {
+						t.Fatalf("pair %v->%v overlay %d: Dist %v exceeds overlaid truth %v",
+							a, bs, ci, d, overlaid)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOraclePathMatchesMatrix pins the byte-identity claim the search gate
+// depends on: the oracle's on-demand static path is hop-for-hop the dense
+// matrix's stored parent chain, and both apply the same degrade-to-bound
+// rejection under overlays.
+func TestOraclePathMatchesMatrix(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		s := randomMall(t, seed)
+		pf := NewPathFinder(s)
+		o := NewOracle(pf)
+		m := NewMatrix(pf)
+		rng := rand.New(rand.NewSource(seed * 104729))
+		overlays := sampleCosts(s, rng)
+		ws := NewWorkspace()
+		n := pf.NumStates()
+		for i := 0; i < 200; i++ {
+			a := StateID(rng.Intn(n))
+			b := StateID(rng.Intn(n))
+			for ci, costs := range overlays {
+				mh, md, mok := m.AppendPathIfAllowed(nil, a, b, costs)
+				oh, od, ook := o.AppendStaticPathIfAllowed(ws, nil, a, b, costs)
+				if mok != ook {
+					t.Fatalf("seed %d pair %v->%v overlay %d: matrix ok=%v oracle ok=%v",
+						seed, a, b, ci, mok, ook)
+				}
+				if !mok {
+					continue
+				}
+				if !reflect.DeepEqual(mh, oh) {
+					t.Fatalf("seed %d pair %v->%v overlay %d: paths differ\nmatrix: %+v\noracle: %+v",
+						seed, a, b, ci, mh, oh)
+				}
+				if math.Abs(md-od) > 1e-9*(1+md) {
+					t.Fatalf("seed %d pair %v->%v overlay %d: dist %v vs %v", seed, a, b, ci, md, od)
+				}
+			}
+		}
+	}
+}
+
+// TestNewOracleParallelDeterministic mirrors the matrix determinism gate:
+// the hub sweep's output must not depend on worker scheduling.
+func TestNewOracleParallelDeterministic(t *testing.T) {
+	s := randomMall(t, 3)
+	pf := NewPathFinder(s)
+	seq := newOracleWorkers(pf, 1)
+	for _, workers := range []int{2, 4, 8} {
+		par := newOracleWorkers(pf, workers)
+		if !reflect.DeepEqual(seq.Export(), par.Export()) {
+			t.Fatalf("oracle build with %d workers differs from sequential", workers)
+		}
+	}
+}
+
+// TestOracleRecordRoundTrip: Export → OracleFromState reproduces the oracle
+// bit-for-bit, and a record from a different space is rejected.
+func TestOracleRecordRoundTrip(t *testing.T) {
+	s := randomMall(t, 5)
+	pf := NewPathFinder(s)
+	o := NewOracle(pf)
+	rec := o.Export()
+	got, err := OracleFromState(pf, rec)
+	if err != nil {
+		t.Fatalf("OracleFromState: %v", err)
+	}
+	if !reflect.DeepEqual(got.Export(), rec) {
+		t.Fatal("round-tripped oracle differs")
+	}
+	other := NewPathFinder(randomMall(t, 6))
+	if _, err := OracleFromState(other, rec); err == nil {
+		t.Fatal("record from a different space accepted")
+	}
+	if _, err := OracleFromState(pf, nil); err == nil {
+		t.Fatal("nil record accepted")
+	}
+}
+
+// TestOracleSingleFloor: with no stairways there are no hubs; every
+// distinct-pair answer is the planar bound and no table is consulted.
+func TestOracleSingleFloor(t *testing.T) {
+	s, parts, doors := corridorSpace(t)
+	pf := NewPathFinder(s)
+	o := NewOracle(pf)
+	if o.NumHubs() != 0 {
+		t.Fatalf("single-floor venue has %d hubs, want 0", o.NumHubs())
+	}
+	a := pf.StateOf(doors[0], parts[1])
+	b := pf.StateOf(doors[1], parts[2])
+	if d, exact := o.DistExact(a, b); exact || d > pf.s.Door(doors[0]).Pos.Dist(pf.s.Door(doors[1]).Pos)+1e-9 {
+		t.Fatalf("same-floor DistExact = (%v, %v)", d, exact)
+	}
+	if d, exact := o.DistExact(a, a); d != 0 || !exact {
+		t.Fatalf("DistExact(a,a) = (%v, %v), want (0, true)", d, exact)
+	}
+	if o.Bytes() <= 0 {
+		t.Error("Bytes() not positive")
+	}
+}

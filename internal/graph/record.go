@@ -166,14 +166,15 @@ func SkeletonFromState(s *model.Space, rec *SkeletonRecord) (*Skeleton, error) {
 }
 
 // MatrixRecord is the serializable form of the KoE* all-pairs Matrix: the
-// row-major distance and next-hop tables. It is by far the largest snapshot
-// section — Θ(states²), the same order the paper reports for KoE*'s memory
-// in Fig. 14 — and also the most expensive to recompute, so persisting it
-// is what makes snapshot loading beat a rebuild by a wide margin.
+// row-major distance and parent-pointer tables (row a holds source a's
+// Dijkstra tree). It is by far the largest snapshot section — Θ(states²),
+// the same order the paper reports for KoE*'s memory in Fig. 14 — and also
+// the most expensive to recompute, so persisting it is what makes snapshot
+// loading beat a rebuild by a wide margin.
 type MatrixRecord struct {
 	N    int32
 	Dist []float64 // N² row-major, +Inf for unreachable
-	Next []StateID // N² row-major, NoState for unreachable
+	Prev []StateID // N² row-major, NoState for unreachable and the source
 }
 
 // Export captures the all-pairs tables as a record.
@@ -181,7 +182,7 @@ func (m *Matrix) Export() *MatrixRecord {
 	return &MatrixRecord{
 		N:    int32(m.n),
 		Dist: append([]float64(nil), m.dist...),
-		Next: append([]StateID(nil), m.next...),
+		Prev: append([]StateID(nil), m.prev...),
 	}
 }
 
@@ -197,13 +198,13 @@ func MatrixFromState(pf *PathFinder, rec *MatrixRecord) (*Matrix, error) {
 		return nil, fmt.Errorf("graph: matrix record is %d×%d but the state graph has %d states",
 			n, n, pf.NumStates())
 	}
-	if len(rec.Dist) != n*n || len(rec.Next) != n*n {
+	if len(rec.Dist) != n*n || len(rec.Prev) != n*n {
 		return nil, fmt.Errorf("graph: matrix record tables have %d/%d entries (want %d)",
-			len(rec.Dist), len(rec.Next), n*n)
+			len(rec.Dist), len(rec.Prev), n*n)
 	}
-	for i, nx := range rec.Next {
-		if nx != NoState && (int(nx) < 0 || int(nx) >= n) {
-			return nil, fmt.Errorf("graph: matrix record next[%d] references missing state %d", i, nx)
+	for i, pv := range rec.Prev {
+		if pv != NoState && (int(pv) < 0 || int(pv) >= n) {
+			return nil, fmt.Errorf("graph: matrix record prev[%d] references missing state %d", i, pv)
 		}
 	}
 	for i, d := range rec.Dist {
@@ -215,9 +216,103 @@ func MatrixFromState(pf *PathFinder, rec *MatrixRecord) (*Matrix, error) {
 		pf:   pf,
 		n:    n,
 		dist: append([]float64(nil), rec.Dist...),
-		next: append([]StateID(nil), rec.Next...),
+		prev: append([]StateID(nil), rec.Prev...),
 	}, nil
 }
 
 // Finder returns the PathFinder the matrix was computed over.
 func (m *Matrix) Finder() *PathFinder { return m.pf }
+
+// OracleRecord is the serializable form of the hierarchical Oracle: the hub
+// enumeration plus the three exact distance tables. Unlike the matrix it is
+// near-linear in states, so persisting it costs little and spares loads the
+// 2|H| Dijkstra sweep.
+type OracleRecord struct {
+	Hubs    []StateID // hub states grouped by floor
+	HubOff  []int32   // len floors+1
+	ToHub   []float64 // concatenated per-state rows (own-floor hubs)
+	FromHub []float64 // same layout as ToHub
+	HubDist []float64 // len(Hubs)² row-major
+}
+
+// Export captures the oracle tables as a record sharing no memory with the
+// oracle.
+func (o *Oracle) Export() *OracleRecord {
+	return &OracleRecord{
+		Hubs:    append([]StateID(nil), o.hubs...),
+		HubOff:  append([]int32(nil), o.hubOff...),
+		ToHub:   append([]float64(nil), o.toHub...),
+		FromHub: append([]float64(nil), o.fromHub...),
+		HubDist: append([]float64(nil), o.hubDist...),
+	}
+}
+
+// OracleFromState restores an Oracle over pf from a record, adopting the
+// distance tables instead of re-running the hub sweep. The hub enumeration
+// is recomputed from the finder and must match the record exactly — a
+// mismatch means the record belongs to a different space.
+func OracleFromState(pf *PathFinder, rec *OracleRecord) (*Oracle, error) {
+	if rec == nil {
+		return nil, fmt.Errorf("graph: nil oracle record")
+	}
+	o := &Oracle{pf: pf, floors: pf.s.Floors()}
+	n := pf.NumStates()
+	o.floorOf = make([]int32, n)
+	for i := 0; i < n; i++ {
+		o.floorOf[i] = int32(pf.s.Door(pf.states[i].door).Pos.Floor)
+	}
+	o.hubOff = make([]int32, o.floors+1)
+	for f := 0; f < o.floors; f++ {
+		o.hubOff[f] = int32(len(o.hubs))
+		for _, d := range pf.s.StairDoorsOnFloor(f) {
+			o.hubs = append(o.hubs, pf.doorStates[d]...)
+		}
+	}
+	o.hubOff[o.floors] = int32(len(o.hubs))
+	if len(rec.Hubs) != len(o.hubs) || len(rec.HubOff) != len(o.hubOff) {
+		return nil, fmt.Errorf("graph: oracle record has %d hubs over %d floors, the space has %d over %d",
+			len(rec.Hubs), len(rec.HubOff)-1, len(o.hubs), o.floors)
+	}
+	for i, hs := range rec.Hubs {
+		if hs != o.hubs[i] {
+			return nil, fmt.Errorf("graph: oracle record hub %d is state %d, the space enumerates %d", i, hs, o.hubs[i])
+		}
+	}
+	for i, off := range rec.HubOff {
+		if off != o.hubOff[i] {
+			return nil, fmt.Errorf("graph: oracle record floor offset %d is %d, the space has %d", i, off, o.hubOff[i])
+		}
+	}
+	o.stateOff = make([]int32, n+1)
+	off := int32(0)
+	for i := 0; i < n; i++ {
+		o.stateOff[i] = off
+		f := o.floorOf[i]
+		off += o.hubOff[f+1] - o.hubOff[f]
+	}
+	o.stateOff[n] = off
+	h := len(o.hubs)
+	if len(rec.ToHub) != int(off) || len(rec.FromHub) != int(off) || len(rec.HubDist) != h*h {
+		return nil, fmt.Errorf("graph: oracle record tables have %d/%d/%d entries (want %d/%d/%d)",
+			len(rec.ToHub), len(rec.FromHub), len(rec.HubDist), off, off, h*h)
+	}
+	for i, d := range rec.ToHub {
+		if d < 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("graph: oracle record toHub[%d] is invalid: %v", i, d)
+		}
+	}
+	for i, d := range rec.FromHub {
+		if d < 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("graph: oracle record fromHub[%d] is invalid: %v", i, d)
+		}
+	}
+	for i, d := range rec.HubDist {
+		if d < 0 || math.IsNaN(d) || (i/h == i%h && d != 0) {
+			return nil, fmt.Errorf("graph: oracle record hubDist[%d] is invalid: %v", i, d)
+		}
+	}
+	o.toHub = append([]float64(nil), rec.ToHub...)
+	o.fromHub = append([]float64(nil), rec.FromHub...)
+	o.hubDist = append([]float64(nil), rec.HubDist...)
+	return o, nil
+}

@@ -151,8 +151,8 @@ func TestMatrixFromStateRejectsBadInput(t *testing.T) {
 	}{
 		{"dimension mismatch", func(r *MatrixRecord) { r.N-- }},
 		{"short dist table", func(r *MatrixRecord) { r.Dist = r.Dist[:3] }},
-		{"short next table", func(r *MatrixRecord) { r.Next = r.Next[:3] }},
-		{"next out of range", func(r *MatrixRecord) { r.Next[0] = 9999 }},
+		{"short prev table", func(r *MatrixRecord) { r.Prev = r.Prev[:3] }},
+		{"prev out of range", func(r *MatrixRecord) { r.Prev[0] = 9999 }},
 		{"negative distance", func(r *MatrixRecord) { r.Dist[1] = -1 }},
 		{"NaN distance", func(r *MatrixRecord) { r.Dist[1] = math.NaN() }},
 	}

@@ -32,6 +32,14 @@ type Skeleton struct {
 // at returns δs2s by matrix index.
 func (sk *Skeleton) at(i, j int) float64 { return sk.d[i*len(sk.doors)+j] }
 
+// Bytes estimates the resident size of the skeleton tables — the δs2s
+// closure, the door list and the door-index map — for the serving layer's
+// per-venue memory accounting.
+func (sk *Skeleton) Bytes() int64 {
+	n := int64(len(sk.doors))
+	return n*n*8 + n*4 + n*48 // closure + doors + amortized map entries
+}
+
 // NewSkeleton computes δs2s for the space's staircase doors with
 // Floyd–Warshall. The staircase-door count is small (staircases × floors),
 // so the cubic closure is cheap and done once per space.

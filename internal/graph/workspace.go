@@ -36,12 +36,14 @@ type Workspace struct {
 	// no per-push allocation.
 	heap []heapItem
 
-	// tree backs the Tree returned by ShortestTreeWS; tbuf and hops are
-	// reusable target-list and path-reconstruction buffers for the point
-	// and state entry points.
-	tree Tree
-	tbuf []StateID
-	hops []Hop
+	// tree backs the Tree returned by ShortestTreeWS; ltree backs the
+	// LazyTree returned by LazyTreeWS; tbuf and hops are reusable
+	// target-list and path-reconstruction buffers for the point and state
+	// entry points.
+	tree  Tree
+	ltree LazyTree
+	tbuf  []StateID
+	hops  []Hop
 }
 
 // NewWorkspace returns an empty workspace; begin() sizes it to the state

@@ -45,6 +45,30 @@ type Index struct {
 	t2i [][]IWordID           // t-word -> sorted i-word IDs
 }
 
+// Bytes estimates the resident size of the index — word spellings, lookup
+// maps and posting lists — for the serving layer's per-venue memory
+// accounting.
+func (x *Index) Bytes() int64 {
+	var b int64
+	for _, w := range x.iwords {
+		b += 16 + int64(len(w)) + 48 // header + bytes + amortized map entry
+	}
+	for _, w := range x.twords {
+		b += 16 + int64(len(w)) + 48
+	}
+	b += int64(len(x.p2i)) * 4
+	for _, ps := range x.i2p {
+		b += 24 + int64(len(ps))*4
+	}
+	for _, ts := range x.i2t {
+		b += 24 + int64(len(ts))*4
+	}
+	for _, is := range x.t2i {
+		b += 24 + int64(len(is))*4
+	}
+	return b
+}
+
 // NumIWords returns the number of distinct i-words.
 func (x *Index) NumIWords() int { return len(x.iwords) }
 

@@ -48,13 +48,13 @@ func (e *Engine) SearchBatchContext(ctx context.Context, reqs []Request, opt Opt
 		return results, nil
 	}
 	if opt.Precompute {
-		// Build the matrix once, outside the fan-out — but not for a batch
-		// that will fail validation wholesale; like the serial loop, an
-		// all-invalid batch must fail fast without paying the all-pairs
+		// Build the distance backend once, outside the fan-out — but not
+		// for a batch that will fail validation wholesale; like the serial
+		// loop, an all-invalid batch must fail fast without paying the
 		// precomputation.
 		for i := range reqs {
 			if e.Validate(reqs[i]) == nil {
-				e.Matrix()
+				e.Precompute()
 				break
 			}
 		}

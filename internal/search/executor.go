@@ -49,8 +49,8 @@ func (ex *Executor) Search(req Request, opt Options) (*Result, error) {
 // An aborted query returns (nil, ctx.Err()): no partial Result escapes, and
 // the scratch bundle is released back to the pool exactly as on success —
 // cancellation leaks nothing. The one non-interruptible stretch is the lazy
-// KoE* matrix build a first Precompute query may trigger; services that
-// care call Engine.PrecomputeMatrix at start-up (see the package docs).
+// KoE* backend build a first Precompute query may trigger; services that
+// care call Engine.Precompute at start-up (see the package docs).
 func (ex *Executor) SearchContext(ctx context.Context, req Request, opt Options) (*Result, error) {
 	if err := ex.e.validate(req, opt); err != nil {
 		return nil, err
@@ -95,6 +95,12 @@ type execScratch struct {
 	// kernel allocates nothing after the bundle's first query. Its arrays
 	// hold no references; release() leaves it alone.
 	ws *graph.Workspace
+
+	// staticWS backs the searcher's KoE*-oracle static-tree cache (see the
+	// searcher field docs); nil until a query on an oracle-backed engine
+	// first needs it. Like ws, its arrays hold no per-query references, so
+	// release() leaves it alone.
+	staticWS *graph.Workspace
 
 	// Per-expansion buffers mirrored into the searcher (see the field docs
 	// there). es holds stamp pointers and is cleared on release; the rest
@@ -168,6 +174,8 @@ func (sc *execScratch) prepare(e *Engine, q *keyword.Query, req Request, opt Opt
 		keyAlive:     sc.keyAlive,
 		queue:        sc.queue[:0],
 		ws:           sc.ws,
+		staticWS:     sc.staticWS,
+		staticSrc:    graph.NoState,
 		seedBuf:      sc.seeds[:0],
 		hopBuf:       sc.hops[:0],
 		esBuf:        sc.es[:0],
@@ -224,6 +232,9 @@ func (sc *execScratch) release() {
 	sc.expand = adoptGrown(sc.expand, sc.sr.expandBuf)
 	sc.commit = adoptGrown(sc.commit, sc.sr.commitBuf)
 	sc.koeTargets = adoptGrown(sc.koeTargets, sc.sr.koeTargetBuf)
+	if sc.sr.staticWS != nil {
+		sc.staticWS = sc.sr.staticWS // adopt a lazily created workspace
+	}
 	if sc.koeRemoved != nil {
 		clear(sc.koeRemoved)
 	}

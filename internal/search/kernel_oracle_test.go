@@ -25,7 +25,7 @@ func refKernelEngine(t *testing.T, s *model.Space, x *keyword.Index) *search.Eng
 	t.Helper()
 	pf := graph.NewPathFinder(s)
 	pf.UseReferenceKernel()
-	eng, err := search.NewEngineFromParts(s, x, pf, graph.NewSkeleton(s), nil)
+	eng, err := search.NewEngineFromParts(s, x, pf, graph.NewSkeleton(s), nil, nil)
 	if err != nil {
 		t.Fatalf("assembling reference-kernel engine: %v", err)
 	}

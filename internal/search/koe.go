@@ -146,12 +146,12 @@ func (sr *searcher) koeSeeds(si *stamp) []graph.Seed {
 }
 
 // koePath finds the shortest regular hop sequence from the stamp to the
-// target state. KoE* consults the precomputed matrix first and recomputes
-// only when the stored path collides with the route's doors (Section V-A3)
-// or when the conditions overlay invalidates it — a closed or penalized
-// door on the path voids the matrix's exactness, so the tail is recomputed
-// on the fly under the full cost model; plain KoE reads the stamp's
-// shortest-path tree.
+// target state. KoE* consults the precomputed distance backend first and
+// recomputes only when the static path collides with the route's doors
+// (Section V-A3) or when the conditions overlay invalidates it — a closed
+// or penalized door on the path voids the backend's exactness, so the tail
+// is recomputed on the fly under the full cost model; plain KoE reads the
+// stamp's shortest-path tree.
 // All branches build the hop sequence into per-query pooled storage (the
 // searcher's hop buffer or the kernel workspace); the caller consumes it
 // before the next path is requested.
@@ -163,8 +163,7 @@ func (sr *searcher) koePath(si *stamp, seeds []graph.Seed, tree *graph.Tree, tar
 				if from == target {
 					return nil, false
 				}
-				hops, _, ok := sr.e.Matrix().AppendPathIfAllowed(sr.hopBuf[:0], from, target, costs)
-				sr.hopBuf = hops[:0] // adopt growth even on the partial-suffix failure path
+				hops, ok := sr.staticPathIfAllowed(from, target, costs)
 				if ok {
 					return hops, true
 				}
@@ -172,7 +171,7 @@ func (sr *searcher) koePath(si *stamp, seeds []graph.Seed, tree *graph.Tree, tar
 			}
 		}
 		// Early termination: the recompute settles only the target state
-		// instead of exhausting the graph (the KoE* matrix-tail fallback).
+		// instead of exhausting the graph (the KoE* static-tail fallback).
 		path, ok := sr.e.pf.ShortestToStateWS(sr.ws, seeds, target, costs)
 		if !ok {
 			return nil, false
@@ -182,6 +181,41 @@ func (sr *searcher) koePath(si *stamp, seeds []graph.Seed, tree *graph.Tree, tar
 	hops, ok := tree.AppendPathTo(sr.hopBuf[:0], target)
 	sr.hopBuf = hops[:0]
 	return hops, ok
+}
+
+// staticPathIfAllowed resolves the static shortest path from the stamp
+// tail through the engine's KoE* backend, applying PathIfAllowed's
+// degrade-to-bound contract (ok is false when any door on the path is
+// blocked or delayed, and the caller recomputes under the full cost
+// model). The first KoE* query on an engine with no backend yet builds the
+// size-appropriate one here. Both backends yield hop-for-hop identical
+// paths: the matrix replays a stored parent chain, the oracle reconstructs
+// the same chain from a cached static tree of the deterministic kernel.
+func (sr *searcher) staticPathIfAllowed(from, target graph.StateID, costs graph.Costs) ([]graph.Hop, bool) {
+	m := sr.e.MatrixIfReady()
+	if m == nil && sr.e.OracleIfReady() == nil {
+		m, _ = sr.e.distanceSource().(*graph.Matrix)
+	}
+	if m != nil {
+		hops, _, ok := m.AppendPathIfAllowed(sr.hopBuf[:0], from, target, costs)
+		sr.hopBuf = hops[:0] // adopt growth even on the partial-suffix failure path
+		return hops, ok
+	}
+	// Oracle backend: one lazy static tree per stamp tail serves every
+	// expansion target, settled only as far as the farthest target actually
+	// requested (the cache dies with the searcher's query). The tree lives
+	// in its own workspace so tail recomputes in sr.ws cannot clobber it
+	// mid-expansion.
+	if sr.staticWS == nil {
+		sr.staticWS = graph.NewWorkspace()
+	}
+	if sr.staticTree == nil || sr.staticSrc != from {
+		sr.staticTree = sr.e.pf.LazyTreeWS(sr.staticWS, from)
+		sr.staticSrc = from
+	}
+	hops, ok := sr.staticTree.AppendPathTo(sr.hopBuf[:0], target)
+	sr.hopBuf = hops[:0]
+	return hops, ok && costs.AllowsStatic(hops)
 }
 
 // tailPos returns the geometric position of the stamp's tail item (the

@@ -255,13 +255,13 @@ func kpKey(kp []model.PartitionID) string { return string(appendKPKey(nil, kp)) 
 
 // Engine binds a space, its keyword index and the derived distance
 // structures, and runs IKRQ queries. Engines are safe for concurrent
-// Search and SearchBatch calls; the KoE* matrix is built lazily on first
-// use and shared by every query thereafter.
+// Search and SearchBatch calls; the KoE* distance backend is built lazily
+// on first use and shared by every query thereafter.
 //
 // The engine separates two layers: the immutable index layer (space,
-// keyword index, pathfinder, skeleton, KoE* matrix) and the execution
-// layer — a pooled Executor holding reusable per-query scratch plus a
-// bounded cache of compiled queries — so repeated queries are
+// keyword index, pathfinder, skeleton, KoE* distance backend) and the
+// execution layer — a pooled Executor holding reusable per-query scratch
+// plus a bounded cache of compiled queries — so repeated queries are
 // allocation-light.
 type Engine struct {
 	s  *model.Space
@@ -269,8 +269,13 @@ type Engine struct {
 	pf *graph.PathFinder
 	sk *graph.Skeleton
 
-	matOnce sync.Once
-	mat     atomic.Pointer[graph.Matrix]
+	// The KoE* distance backend slots: at most one build of each kind,
+	// guarded by distMu; hot-path reads are lock-free atomic loads. When
+	// neither is ready, distanceSource picks by venue size — the dense
+	// matrix up to DenseStateLimit states, the hierarchical oracle beyond.
+	distMu sync.Mutex
+	mat    atomic.Pointer[graph.Matrix]
+	orc    atomic.Pointer[graph.Oracle]
 
 	qcache *keyword.QueryCache
 	exec   *Executor
@@ -279,6 +284,14 @@ type Engine struct {
 	// partition, used by Options.PopularityWeight.
 	popularity []float64
 }
+
+// DenseStateLimit is the state-count threshold of the automatic KoE*
+// backend choice: venues up to this size get the dense all-pairs Matrix
+// (exact everywhere, fastest path recovery, Θ(states²) resident — both
+// reference malls fit comfortably), larger venues get the hierarchical
+// Oracle whose tables stay near-linear. Explicit PrecomputeMatrix and
+// PrecomputeOracle calls override the choice in either direction.
+const DenseStateLimit = 3072
 
 // defaultQueryCacheCap bounds the engine's compiled-query cache. Compiled
 // queries are small (a few candidate sets plus lookup maps), so a few
@@ -291,16 +304,16 @@ const defaultQueryCacheCap = 256
 // or PrecomputeMatrix call) the all-pairs matrix. To skip the derivation —
 // e.g. when loading a baked snapshot — use NewEngineFromParts.
 func NewEngine(s *model.Space, x *keyword.Index) *Engine {
-	return assemble(s, x, graph.NewPathFinder(s), graph.NewSkeleton(s), nil)
+	return assemble(s, x, graph.NewPathFinder(s), graph.NewSkeleton(s), nil, nil)
 }
 
 // NewEngineFromParts assembles an engine from an already-built index layer
 // instead of deriving it: the space, keyword index, state-graph pathfinder
-// and skeleton are adopted as-is, and mat (optional, may be nil) seeds the
-// KoE* matrix slot so no query ever pays the all-pairs computation. It is
+// and skeleton are adopted as-is, and mat/orc (optional, may be nil) seed
+// the KoE* backend slots so no query ever pays the precomputation. It is
 // the assembly path behind snapshot loading and validates that the parts
 // belong together.
-func NewEngineFromParts(s *model.Space, x *keyword.Index, pf *graph.PathFinder, sk *graph.Skeleton, mat *graph.Matrix) (*Engine, error) {
+func NewEngineFromParts(s *model.Space, x *keyword.Index, pf *graph.PathFinder, sk *graph.Skeleton, mat *graph.Matrix, orc *graph.Oracle) (*Engine, error) {
 	if s == nil || x == nil || pf == nil || sk == nil {
 		return nil, errors.New("search: NewEngineFromParts requires space, index, pathfinder and skeleton")
 	}
@@ -314,15 +327,21 @@ func NewEngineFromParts(s *model.Space, x *keyword.Index, pf *graph.PathFinder, 
 	if mat != nil && mat.Finder() != pf {
 		return nil, errors.New("search: matrix was computed over a different state graph")
 	}
-	e := assemble(s, x, pf, sk, mat)
+	if orc != nil && orc.Finder() != pf {
+		return nil, errors.New("search: oracle was computed over a different state graph")
+	}
+	e := assemble(s, x, pf, sk, mat, orc)
 	return e, nil
 }
 
 // assemble wires the execution layer around an index layer.
-func assemble(s *model.Space, x *keyword.Index, pf *graph.PathFinder, sk *graph.Skeleton, mat *graph.Matrix) *Engine {
+func assemble(s *model.Space, x *keyword.Index, pf *graph.PathFinder, sk *graph.Skeleton, mat *graph.Matrix, orc *graph.Oracle) *Engine {
 	e := &Engine{s: s, x: x, pf: pf, sk: sk}
 	if mat != nil {
-		e.matOnce.Do(func() { e.mat.Store(mat) })
+		e.mat.Store(mat)
+	}
+	if orc != nil {
+		e.orc.Store(orc)
 	}
 	e.qcache = keyword.NewQueryCache(x, defaultQueryCacheCap)
 	e.exec = newExecutor(e)
@@ -369,25 +388,143 @@ func (e *Engine) PathFinder() *graph.PathFinder { return e.pf }
 // Skeleton exposes the engine's lower-bound distance structure.
 func (e *Engine) Skeleton() *graph.Skeleton { return e.sk }
 
-// Matrix returns the lazily built all-pairs matrix used by KoE*.
+// Matrix returns the dense all-pairs matrix, building it if needed. This
+// forces the dense backend regardless of venue size; most callers want
+// Precompute (size-aware) instead.
 func (e *Engine) Matrix() *graph.Matrix {
-	e.matOnce.Do(func() { e.mat.Store(graph.NewMatrix(e.pf)) })
-	return e.mat.Load()
+	if m := e.mat.Load(); m != nil {
+		return m
+	}
+	e.distMu.Lock()
+	defer e.distMu.Unlock()
+	if m := e.mat.Load(); m != nil {
+		return m
+	}
+	m := graph.NewMatrix(e.pf)
+	e.mat.Store(m)
+	return m
 }
 
-// PrecomputeMatrix forces the KoE* all-pairs matrix eagerly and returns it.
-// By default the matrix is built lazily on the first KoE* query, which
-// keeps engines cheap for workloads that never run KoE* but makes that
-// first query pay the Θ(states²) sweep; services bake it at start-up (or at
-// snapshot time, see internal/snapshot) by calling PrecomputeMatrix so
-// serving latency never includes index construction.
+// Oracle returns the hierarchical distance oracle, building it if needed.
+// This forces the oracle backend regardless of venue size (the equality
+// gate tests force it on small malls); most callers want Precompute.
+func (e *Engine) Oracle() *graph.Oracle {
+	if o := e.orc.Load(); o != nil {
+		return o
+	}
+	e.distMu.Lock()
+	defer e.distMu.Unlock()
+	if o := e.orc.Load(); o != nil {
+		return o
+	}
+	o := graph.NewOracle(e.pf)
+	e.orc.Store(o)
+	return o
+}
+
+// Precompute builds the KoE* distance backend eagerly — the dense matrix
+// or the hierarchical oracle, chosen by venue size against DenseStateLimit
+// — and returns it. By default the backend is built lazily on the first
+// KoE* query, which keeps engines cheap for workloads that never run KoE*
+// but makes that first query pay the precomputation; services bake it at
+// start-up (or at snapshot time, see internal/snapshot) so serving latency
+// never includes index construction.
+func (e *Engine) Precompute() graph.DistanceSource { return e.distanceSource() }
+
+// PrecomputeMatrix forces the dense all-pairs matrix eagerly and returns
+// it, regardless of venue size.
 func (e *Engine) PrecomputeMatrix() *graph.Matrix { return e.Matrix() }
 
-// MatrixIfReady returns the KoE* matrix if it has already been built (or
+// PrecomputeOracle forces the hierarchical oracle eagerly and returns it,
+// regardless of venue size.
+func (e *Engine) PrecomputeOracle() *graph.Oracle { return e.Oracle() }
+
+// MatrixIfReady returns the dense matrix if it has already been built (or
 // was supplied via NewEngineFromParts), without triggering the computation.
 // Snapshot writing uses it to persist the matrix exactly when the engine
 // has one.
 func (e *Engine) MatrixIfReady() *graph.Matrix { return e.mat.Load() }
+
+// OracleIfReady is MatrixIfReady for the hierarchical oracle.
+func (e *Engine) OracleIfReady() *graph.Oracle { return e.orc.Load() }
+
+// DistanceSourceIfReady returns whichever KoE* backend is already built
+// (the dense matrix wins when both are), or nil. Observability endpoints
+// use it to report resident memory without forcing a build.
+func (e *Engine) DistanceSourceIfReady() graph.DistanceSource {
+	// Note the typed-nil guard: returning e.mat.Load() directly would wrap
+	// a nil *Matrix in a non-nil interface.
+	if m := e.mat.Load(); m != nil {
+		return m
+	}
+	if o := e.orc.Load(); o != nil {
+		return o
+	}
+	return nil
+}
+
+// MemStats is the per-venue resident memory breakdown the serving layer
+// reports on GET /v1/venues and /debug/vars: the always-resident derived
+// structures (state graph, skeleton, keyword index) plus whichever KoE*
+// distance backend is built. All figures are analytic estimates of the
+// dominant tables, not heap measurements — good to a few percent, stable
+// across runs, and free to compute.
+type MemStats struct {
+	GraphBytes    int64 `json:"graph_bytes"`
+	SkeletonBytes int64 `json:"skeleton_bytes"`
+	IndexBytes    int64 `json:"index_bytes"`
+
+	// Backend is the DistanceSource kind ("matrix", "oracle") or "" while
+	// no KoE* backend has been built; BackendBytes is 0 in that case.
+	Backend      string `json:"backend,omitempty"`
+	BackendBytes int64  `json:"backend_bytes"`
+
+	TotalBytes int64 `json:"total_bytes"`
+}
+
+// MemStats reports the engine's resident memory breakdown without forcing
+// any backend build.
+func (e *Engine) MemStats() MemStats {
+	ms := MemStats{
+		GraphBytes:    e.pf.Bytes(),
+		SkeletonBytes: e.sk.Bytes(),
+		IndexBytes:    e.x.Bytes(),
+	}
+	if ds := e.DistanceSourceIfReady(); ds != nil {
+		ms.Backend = ds.Kind()
+		ms.BackendBytes = ds.Bytes()
+	}
+	ms.TotalBytes = ms.GraphBytes + ms.SkeletonBytes + ms.IndexBytes + ms.BackendBytes
+	return ms
+}
+
+// distanceSource returns the engine's KoE* backend, building the
+// size-appropriate one on first demand. An already-built backend of either
+// kind is used as-is (the dense matrix preferred when both exist).
+func (e *Engine) distanceSource() graph.DistanceSource {
+	if m := e.mat.Load(); m != nil {
+		return m
+	}
+	if o := e.orc.Load(); o != nil {
+		return o
+	}
+	e.distMu.Lock()
+	defer e.distMu.Unlock()
+	if m := e.mat.Load(); m != nil {
+		return m
+	}
+	if o := e.orc.Load(); o != nil {
+		return o
+	}
+	if e.pf.NumStates() <= DenseStateLimit {
+		m := graph.NewMatrix(e.pf)
+		e.mat.Store(m)
+		return m
+	}
+	o := graph.NewOracle(e.pf)
+	e.orc.Store(o)
+	return o
+}
 
 // Validate reports the first problem with a request, or nil.
 func (e *Engine) Validate(req Request) error {

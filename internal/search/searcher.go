@@ -57,6 +57,18 @@ type searcher struct {
 	// searches get it from the executor scratch; fresh searchers own one.
 	ws *graph.Workspace
 
+	// staticWS holds the KoE*-oracle static-path cache: when the engine's
+	// distance backend is the hierarchical oracle (which stores no paths),
+	// the stamp tail's static shortest-path tree grows lazily in this
+	// dedicated workspace — settled only as far as the expansion targets
+	// actually reach — and serves every target of that tail;
+	// staticTree/staticSrc tag the cached tree. The workspace is separate
+	// from ws because KoE* tail recomputes run there and would invalidate
+	// the tree. Allocated lazily — dense-matrix engines never pay for it.
+	staticWS   *graph.Workspace
+	staticTree *graph.LazyTree
+	staticSrc  graph.StateID
+
 	// Reused per-expansion buffers. Their contents never survive one find
 	// or connect step: seedBuf holds the current expansion's Dijkstra
 	// seeds, hopBuf the path being spliced, esBuf the stamps returned to
@@ -615,7 +627,7 @@ func (sr *searcher) estimateBytes() int64 {
 	per := int64(stampBytes + kpBytes + 8*len(sr.req.QW))
 	b := int64(sr.stats.StampsCreated)*per + int64(sr.prime.Len())*primeBytes
 	if sr.opt.Precompute {
-		b += sr.e.Matrix().Bytes()
+		b += sr.e.distanceSource().Bytes()
 	}
 	return b
 }

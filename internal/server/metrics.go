@@ -107,5 +107,6 @@ func (m *metrics) vars(reg *Registry) map[string]any {
 			"venues":    int64(reg.Len()),
 			"evictions": reg.Evictions(),
 		},
+		"memory": reg.memVars(),
 	}
 }

@@ -217,7 +217,7 @@ func (r *Registry) Acquire(name string) (*Handle, error) {
 		return nil, fmt.Errorf("server: venue %q: %w", name, err)
 	}
 	if v.cfg.Warm {
-		e.PrecomputeMatrix()
+		e.Precompute()
 	}
 	took := time.Since(t0)
 
@@ -294,7 +294,7 @@ func (r *Registry) Status() []VenueStatus {
 	out := make([]VenueStatus, 0, len(r.names))
 	for _, name := range r.names {
 		v := r.venues[name]
-		out = append(out, VenueStatus{
+		st := VenueStatus{
 			Name:           v.cfg.Name,
 			Path:           v.cfg.Path,
 			Loaded:         v.engine != nil,
@@ -303,10 +303,39 @@ func (r *Registry) Status() []VenueStatus {
 			Loads:          v.loads,
 			Queries:        v.queries.Load(),
 			LastLoadMillis: durationMillis(v.loadTime),
-		})
+		}
+		if v.engine != nil {
+			ms := v.engine.MemStats()
+			st.Backend = ms.Backend
+			st.ResidentBytes = ms.TotalBytes
+		}
+		out = append(out, st)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// memVars renders the per-venue resident memory section of /debug/vars:
+// search.MemStats per loaded venue plus the summed resident total. Evicted
+// and never-loaded venues are omitted — they hold no engine memory.
+func (r *Registry) memVars() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	venues := make(map[string]any)
+	var total int64
+	for _, name := range r.names {
+		v := r.venues[name]
+		if v.engine == nil {
+			continue
+		}
+		ms := v.engine.MemStats()
+		total += ms.TotalBytes
+		venues[name] = ms
+	}
+	return map[string]any{
+		"resident_bytes_total": total,
+		"venues":               venues,
+	}
 }
 
 // cacheStats sums the compiled-query cache counters over resident engines.

@@ -162,6 +162,10 @@ func TestServeOracleAllVariants(t *testing.T) {
 	if len(venues.Venues) != 1 || !venues.Venues[0].Loaded || venues.Venues[0].Queries == 0 {
 		t.Errorf("venue status after serving: %+v", venues.Venues)
 	}
+	// A loaded venue reports its resident footprint and backend kind.
+	if v := venues.Venues[0]; v.ResidentBytes <= 0 || v.Backend == "" {
+		t.Errorf("loaded venue missing memory accounting: %+v", v)
+	}
 }
 
 // TestErrorPaths exercises every structured client-error path.
@@ -464,6 +468,10 @@ func TestHealthzAndVars(t *testing.T) {
 		QueryCache struct {
 			Misses uint64 `json:"misses"`
 		} `json:"query_cache"`
+		Memory struct {
+			ResidentBytesTotal int64                      `json:"resident_bytes_total"`
+			Venues             map[string]search.MemStats `json:"venues"`
+		} `json:"memory"`
 	}
 	if err := json.NewDecoder(vresp.Body).Decode(&vars); err != nil {
 		t.Fatal(err)
@@ -476,6 +484,13 @@ func TestHealthzAndVars(t *testing.T) {
 	}
 	if vars.QueryCache.Misses == 0 {
 		t.Errorf("query cache counters not surfaced: %+v", vars)
+	}
+	ms, ok := vars.Memory.Venues["mall"]
+	if !ok || ms.TotalBytes <= 0 || ms.GraphBytes <= 0 || ms.IndexBytes <= 0 {
+		t.Errorf("memory vars missing the loaded venue: %+v", vars.Memory)
+	}
+	if vars.Memory.ResidentBytesTotal != ms.TotalBytes {
+		t.Errorf("resident total %d != venue total %d", vars.Memory.ResidentBytesTotal, ms.TotalBytes)
 	}
 }
 

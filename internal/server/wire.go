@@ -212,6 +212,12 @@ type VenueStatus struct {
 	// LastLoadMillis is the wall time the most recent snapshot load (plus
 	// warmup, when configured) took; 0 until the venue has loaded once.
 	LastLoadMillis int64 `json:"last_load_ms,omitempty"`
+
+	// Backend and ResidentBytes report the loaded engine's memory footprint
+	// (search.MemStats.TotalBytes and the KoE* backend kind); both are zero
+	// values while the venue is unloaded or evicted.
+	Backend       string `json:"backend,omitempty"`
+	ResidentBytes int64  `json:"resident_bytes,omitempty"`
 }
 
 // durationMillis rounds for VenueStatus.

@@ -10,10 +10,10 @@ import (
 	"ikrq/internal/search"
 )
 
-// SaveEngine writes e's immutable index layer to w. The KoE* matrix section
-// is included exactly when the engine has built it — call
-// Engine.PrecomputeMatrix first to bake a snapshot that spares every future
-// load the all-pairs computation.
+// SaveEngine writes e's immutable index layer to w. The KoE* backend
+// sections (dense matrix and/or hierarchical oracle) are included exactly
+// when the engine has built them — call Engine.Precompute first to bake a
+// snapshot that spares every future load the precomputation.
 func SaveEngine(w io.Writer, e *search.Engine) error {
 	snap := &Snapshot{
 		Space:      e.Space().Export(),
@@ -23,6 +23,9 @@ func SaveEngine(w io.Writer, e *search.Engine) error {
 	}
 	if m := e.MatrixIfReady(); m != nil {
 		snap.Matrix = m.Export()
+	}
+	if o := e.OracleIfReady(); o != nil {
+		snap.Oracle = o.Export()
 	}
 	return Encode(w, snap)
 }
@@ -66,7 +69,14 @@ func AssembleEngine(snap *Snapshot) (*search.Engine, error) {
 			return nil, fmt.Errorf("snapshot: restoring KoE* matrix: %w", err)
 		}
 	}
-	e, err := search.NewEngineFromParts(s, x, pf, sk, mat)
+	var orc *graph.Oracle
+	if snap.Oracle != nil {
+		orc, err = graph.OracleFromState(pf, snap.Oracle)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: restoring KoE* oracle: %w", err)
+		}
+	}
+	e, err := search.NewEngineFromParts(s, x, pf, sk, mat, orc)
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: %w", err)
 	}

@@ -1,24 +1,39 @@
 // Package snapshot defines the versioned binary container that persists an
 // IKRQ engine's immutable index layer — the indoor space, the keyword
 // index, the state-graph pathfinder, the skeleton lower-bound closure and
-// (optionally) the KoE* all-pairs matrix — so an engine can be built once,
-// baked to a file, and assembled on the next start without recomputation.
+// (optionally) a KoE* distance backend: the dense all-pairs matrix or the
+// hierarchical oracle — so an engine can be built once, baked to a file,
+// and assembled on the next start without recomputation.
 //
 // Container layout (all integers little-endian):
 //
 //	offset  size  field
 //	0       8     magic "IKRQSNAP"
-//	8       2     format version (currently 1)
-//	10      2     section count
+//	8       2     format version (currently 2)
+//	10      2     minimum reader version (version ≥ 2 only)
+//	then    2     section count
 //	then per section:
-//	        4     tag (4 ASCII bytes: "SPAC", "KWRD", "PATH", "SKEL", "MATX")
+//	        4     tag (4 ASCII bytes: "SPAC", "KWRD", "PATH", "SKEL",
+//	              "MATX", "ORCL")
 //	        8     payload length in bytes
 //	        4     CRC-32 (IEEE) of the payload
 //	        n     payload
 //
-// The SPAC, KWRD, PATH and SKEL sections are required; MATX is present
-// exactly when the engine had built its KoE* matrix at save time. Decoding
-// is strict: bad magic, an unknown version (forward incompatibility), an
+// The SPAC, KWRD, PATH and SKEL sections are required; MATX and ORCL are
+// present exactly when the engine had built that backend at save time.
+// Version history:
+//
+//	v1: no min-reader field; MATX stored next-hop tables. v1 streams still
+//	    decode, but their MATX section is validated and then discarded
+//	    (the matrix changed to parent-pointer rows in v2), so the backend
+//	    is rebuilt lazily on first use.
+//	v2: min-reader field after the version; MATX stores parent-pointer
+//	    rows; ORCL added. A future version whose streams remain readable
+//	    by v2 decoders will declare min-reader ≤ 2, under which unknown
+//	    sections are skipped (their CRC still verified) instead of
+//	    rejected.
+//
+// Decoding is otherwise strict: bad magic, an unreadable version, an
 // unknown tag, a checksum mismatch, truncation, or any malformed payload
 // yields an error — never a panic — and the per-layer FromRecord
 // constructors revalidate every ID before an engine is assembled. See
@@ -39,10 +54,14 @@ import (
 // Magic identifies an IKRQ snapshot stream.
 const Magic = "IKRQSNAP"
 
-// Version is the current container format version. Decoders reject any
-// other version: the format promises backward reading within a version and
-// an explicit bump (with migration notes in DESIGN.md §6) for any change.
-const Version uint16 = 1
+// Version is the current container format version. This build writes
+// Version and reads every version from MinDecodable up; newer streams are
+// readable exactly when they declare a min-reader version this build
+// satisfies (migration notes live in DESIGN.md §6).
+const Version uint16 = 2
+
+// MinDecodable is the oldest stream version this build still reads.
+const MinDecodable uint16 = 1
 
 // Section tags.
 const (
@@ -51,6 +70,7 @@ const (
 	tagPathFinder = "PATH"
 	tagSkeleton   = "SKEL"
 	tagMatrix     = "MATX"
+	tagOracle     = "ORCL"
 )
 
 // Decoding errors. All decoder failures wrap one of these, so callers can
@@ -70,13 +90,15 @@ var (
 )
 
 // Snapshot holds the decoded (or to-be-encoded) records of one engine's
-// index layer. Matrix is nil when the snapshot carries no KoE* matrix.
+// index layer. Matrix and Oracle are nil when the snapshot carries no
+// baked KoE* backend of that kind.
 type Snapshot struct {
 	Space      *model.SpaceRecord
 	Keywords   *keyword.IndexRecord
 	PathFinder *graph.PathFinderRecord
 	Skeleton   *graph.SkeletonRecord
 	Matrix     *graph.MatrixRecord
+	Oracle     *graph.OracleRecord
 }
 
 // Encode writes snap to w in the container format.
@@ -98,10 +120,14 @@ func Encode(w io.Writer, snap *Snapshot) error {
 	if snap.Matrix != nil {
 		sections = append(sections, section{tagMatrix, encodeMatrix(snap.Matrix)})
 	}
+	if snap.Oracle != nil {
+		sections = append(sections, section{tagOracle, encodeOracle(snap.Oracle)})
+	}
 
 	var hdr writer
 	hdr.buf = append(hdr.buf, Magic...)
 	hdr.buf = append(hdr.buf, byte(Version), byte(Version>>8))
+	hdr.buf = append(hdr.buf, byte(Version), byte(Version>>8)) // min-reader: v2 layouts need a v2 decoder
 	hdr.buf = append(hdr.buf, byte(len(sections)), byte(len(sections)>>8))
 	if _, err := w.Write(hdr.buf); err != nil {
 		return err
@@ -140,12 +166,32 @@ func decodeBytes(b []byte) (*Snapshot, error) {
 		return nil, ErrBadMagic
 	}
 	ver := uint16(b[8]) | uint16(b[9])<<8
-	if ver != Version {
-		return nil, fmt.Errorf("%w: snapshot has version %d, this build reads version %d",
-			ErrVersion, ver, Version)
+	if ver < MinDecodable {
+		return nil, fmt.Errorf("%w: snapshot has version %d, this build reads versions %d–%d",
+			ErrVersion, ver, MinDecodable, Version)
 	}
-	nSections := int(uint16(b[10]) | uint16(b[11])<<8)
-	off := len(Magic) + 4
+	// skipUnknown: a stream newer than this build but declaring a
+	// min-reader we satisfy promises only additive sections; skip the ones
+	// we do not know (CRC still verified) instead of rejecting.
+	skipUnknown := false
+	var nSections, off int
+	if ver == 1 {
+		// v1 header has no min-reader field.
+		nSections = int(uint16(b[10]) | uint16(b[11])<<8)
+		off = len(Magic) + 4
+	} else {
+		if len(b) < len(Magic)+6 {
+			return nil, fmt.Errorf("%w: %d-byte stream is shorter than the v%d header", ErrCorrupt, len(b), ver)
+		}
+		minReader := uint16(b[10]) | uint16(b[11])<<8
+		if minReader > Version {
+			return nil, fmt.Errorf("%w: snapshot has version %d and requires a reader of version ≥ %d; this build reads versions %d–%d",
+				ErrVersion, ver, minReader, MinDecodable, Version)
+		}
+		skipUnknown = ver > Version
+		nSections = int(uint16(b[12]) | uint16(b[13])<<8)
+		off = len(Magic) + 6
+	}
 
 	snap := &Snapshot{}
 	seen := make(map[string]bool, nSections)
@@ -183,7 +229,23 @@ func decodeBytes(b []byte) (*Snapshot, error) {
 			snap.Skeleton, derr = decodeSkeleton(payload)
 		case tagMatrix:
 			snap.Matrix, derr = decodeMatrix(payload)
+			if derr == nil && ver == 1 {
+				// v1 matrices stored next-hop tables; v2 rows are parent
+				// pointers. The payload was still fully validated above,
+				// but the table cannot serve, so the backend is rebuilt
+				// lazily instead.
+				snap.Matrix = nil
+			}
+		case tagOracle:
+			if ver == 1 {
+				// ORCL postdates v1; a stream claiming v1 cannot carry it.
+				return nil, fmt.Errorf("%w: unknown section %q", ErrCorrupt, tag)
+			}
+			snap.Oracle, derr = decodeOracle(payload)
 		default:
+			if skipUnknown {
+				continue
+			}
 			return nil, fmt.Errorf("%w: unknown section %q", ErrCorrupt, tag)
 		}
 		if derr != nil {
@@ -447,7 +509,7 @@ func encodeMatrix(rec *graph.MatrixRecord) []byte {
 	for _, v := range rec.Dist {
 		w.f64(v)
 	}
-	for _, v := range rec.Next {
+	for _, v := range rec.Prev {
 		w.i32(int32(v))
 	}
 	return w.buf
@@ -467,10 +529,64 @@ func decodeMatrix(b []byte) (*graph.MatrixRecord, error) {
 		cells := n * n
 		rec.Dist = r.f64s(cells)
 		if raw := r.i32s(cells); raw != nil {
-			rec.Next = make([]graph.StateID, cells)
+			rec.Prev = make([]graph.StateID, cells)
 			for i, v := range raw {
-				rec.Next[i] = graph.StateID(v)
+				rec.Prev[i] = graph.StateID(v)
 			}
+		}
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// --- oracle section ---
+
+func encodeOracle(rec *graph.OracleRecord) []byte {
+	var w writer
+	w.u32(uint32(len(rec.Hubs)))
+	for _, h := range rec.Hubs {
+		w.i32(int32(h))
+	}
+	w.u32(uint32(len(rec.HubOff)))
+	for _, o := range rec.HubOff {
+		w.i32(o)
+	}
+	w.u32(uint32(len(rec.ToHub)))
+	for _, v := range rec.ToHub {
+		w.f64(v)
+	}
+	for _, v := range rec.FromHub {
+		w.f64(v)
+	}
+	for _, v := range rec.HubDist {
+		w.f64(v)
+	}
+	return w.buf
+}
+
+func decodeOracle(b []byte) (*graph.OracleRecord, error) {
+	r := &reader{b: b}
+	rec := &graph.OracleRecord{}
+	nh := r.count(4)
+	for i := 0; i < nh && r.err == nil; i++ {
+		rec.Hubs = append(rec.Hubs, graph.StateID(r.i32()))
+	}
+	no := r.count(4)
+	for i := 0; i < no && r.err == nil; i++ {
+		rec.HubOff = append(rec.HubOff, r.i32())
+	}
+	nt := r.count(8)
+	if r.err == nil {
+		// The remaining payload must hold exactly two nt-rows plus the
+		// nh² hub table, so hostile counts cannot oversize allocations.
+		if want := (2*nt + nh*nh) * 8; want != len(r.b)-r.off {
+			r.fail("oracle tables want %d bytes, payload has %d", want, len(r.b)-r.off)
+		} else {
+			rec.ToHub = r.f64s(nt)
+			rec.FromHub = r.f64s(nt)
+			rec.HubDist = r.f64s(nh * nh)
 		}
 	}
 	if err := r.done(); err != nil {
