@@ -24,10 +24,18 @@
 // listener closes, /healthz flips to 503, and in-flight queries finish
 // within the -drain grace period.
 //
+// Repeated queries are answered from a per-venue result cache keyed by a
+// canonical fingerprint of the full request — geometry, keywords, variant
+// and the conditions overlay — so a cache hit is byte-identical to the
+// uncached answer. -cache-entries and -cache-bytes bound it; -cache-off
+// disables it.
+//
 // With -loadgen n the daemon skips listening: it fires n deterministic
 // sampled queries per venue through the full HTTP stack (cycling all Table
 // III variants), prints per-venue latency, and exits non-zero if any query
-// fails — the same smoke the CI e2e job runs with curl.
+// fails — the same smoke the CI e2e job runs with curl. -mix zipf switches
+// the workload to skewed repeats over a small query pool and additionally
+// reports the cache hit rate and the hit/miss latency split.
 package main
 
 import (
@@ -45,6 +53,7 @@ import (
 	"time"
 
 	"ikrq/internal/cli"
+	"ikrq/internal/search"
 	"ikrq/internal/server"
 )
 
@@ -62,6 +71,11 @@ func run() int {
 		maxExpand   = flag.Int("max-expansions", 300000, "per-query stamp-expansion work cap (-1: uncapped)")
 		loadgen     = flag.Int("loadgen", 0, "self-test: run this many sampled queries per venue through the HTTP stack and exit")
 		seed        = flag.Uint64("seed", 1, "loadgen sampling seed")
+		mix         = flag.String("mix", "sweep", "loadgen workload mix: sweep (distinct queries over all variants) or zipf (skewed repeats; reports cache hit rate)")
+
+		cacheEntries = flag.Int("cache-entries", search.DefaultCacheEntries, "per-venue result-cache capacity in entries")
+		cacheBytes   = flag.Int64("cache-bytes", search.DefaultCacheBytes, "per-venue result-cache budget in bytes (-1: unbounded)")
+		cacheOff     = flag.Bool("cache-off", false, "disable the result cache; every query runs the searcher")
 	)
 	flag.Var(&venues, "venue", "venue to serve as name=path/to.snapshot (repeatable)")
 	flag.Parse()
@@ -70,6 +84,9 @@ func run() int {
 		return cli.Fail(os.Stderr, "ikrqd", cli.Usagef("at least one -venue name=path is required"))
 	}
 	reg := server.NewRegistry(*maxResident)
+	if !*cacheOff {
+		reg.EnableResultCache(search.CacheOptions{MaxEntries: *cacheEntries, MaxBytes: *cacheBytes})
+	}
 	for _, v := range venues {
 		v.Warm = *warm
 		if err := reg.Add(v); err != nil {
@@ -92,7 +109,7 @@ func run() int {
 	srv := server.New(reg, cfg)
 
 	if *loadgen > 0 {
-		if err := srv.LoadGen(os.Stdout, *loadgen, *seed); err != nil {
+		if err := srv.LoadGen(os.Stdout, *loadgen, *seed, *mix); err != nil {
 			return cli.Fail(os.Stderr, "ikrqd", err)
 		}
 		return cli.ExitOK

@@ -82,6 +82,30 @@
 // doors, and reported route distances include every penalty paid. See
 // DESIGN.md §7 for the admissibility argument.
 //
+// # Result caching
+//
+// Serving workloads repeat themselves — the same storefront query from
+// every visitor near the same entrance — and an IKRQ search is pure: the
+// result depends only on the request, the options and the engine's
+// immutable index layer. Engine.EnableResultCache adds a bounded
+// (entry-count and byte-budget LRU), concurrency-safe cache keyed by a
+// canonical fingerprint of the full request, including the Conditions
+// overlay. The fingerprint canonicalizes what cannot change the answer —
+// keyword order (sims vectors are permuted back on delivery), conditions
+// door order, duplicate closures, zero-valued penalties — and keeps
+// everything that can, so a hit is byte-identical to what the searcher
+// would have produced. Concurrent identical misses collapse to one
+// searcher run (singleflight), and Engine.SetPopularity invalidates the
+// cache in O(1) by bumping its epoch:
+//
+//	engine.EnableResultCache(ikrq.CacheOptions{}) // defaults: 4096 entries, 64 MiB
+//	res, _ := engine.Search(req, opt)             // first call runs the searcher
+//	res, _ = engine.Search(req, opt)              // served from cache
+//
+// Cached results are shared: treat every Result from a cache-enabled
+// engine as read-only. cmd/ikrqd enables the cache per venue by default
+// (-cache-entries, -cache-bytes, -cache-off).
+//
 // # Serving
 //
 // The serving layer keeps baked snapshots resident and answers queries
@@ -210,6 +234,15 @@ type (
 	Algorithm = search.Algorithm
 	// Variant names the paper's algorithm configurations (Table III).
 	Variant = search.Variant
+	// CacheOptions bounds a result cache enabled with
+	// Engine.EnableResultCache (see the package docs, "Result caching").
+	CacheOptions = search.CacheOptions
+	// ResultCache is a per-engine bounded cache of immutable search results
+	// keyed by a canonical request fingerprint.
+	ResultCache = search.ResultCache
+	// ResultCacheStats is one consistent snapshot of a ResultCache's
+	// monotonic counters.
+	ResultCacheStats = search.CacheStats
 )
 
 // Expansion strategies.

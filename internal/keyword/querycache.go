@@ -115,9 +115,26 @@ func (c *QueryCache) Len() int {
 	return c.ll.Len()
 }
 
-// Stats returns the cumulative hit and miss counts.
-func (c *QueryCache) Stats() (hits, misses uint64) {
+// CacheStats is a single consistent snapshot of the cache's cumulative
+// counters. Both fields are monotonic uint64s for the lifetime of the
+// cache; the struct (rather than a multi-value return) is the convention
+// every cache in the codebase follows so counter sets can grow without
+// touching call sites, and its JSON shape is what /debug/vars serves.
+type CacheStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// Merge accumulates another snapshot into s (fleet-level aggregation).
+func (s CacheStats) Merge(o CacheStats) CacheStats {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	return s
+}
+
+// Stats returns a snapshot of the cumulative hit and miss counts.
+func (c *QueryCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return CacheStats{Hits: c.hits, Misses: c.misses}
 }

@@ -37,9 +37,8 @@ func TestQueryCacheHitSharesInstance(t *testing.T) {
 	if a != b {
 		t.Error("identical queries compiled twice")
 	}
-	hits, misses := c.Stats()
-	if hits != 1 || misses != 1 {
-		t.Errorf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 1/1", st.Hits, st.Misses)
 	}
 }
 
@@ -71,9 +70,9 @@ func TestQueryCacheEvictsLRU(t *testing.T) {
 	if c.Get([]string{"coffee"}, 0.2) != q1 {
 		t.Error("recently used entry evicted")
 	}
-	_, missesBefore := c.Stats()
+	missesBefore := c.Stats().Misses
 	c.Get([]string{"tea"}, 0.2)
-	if _, misses := c.Stats(); misses != missesBefore+1 {
+	if misses := c.Stats().Misses; misses != missesBefore+1 {
 		t.Error("evicted entry still served from cache")
 	}
 }

@@ -237,12 +237,12 @@ func TestQueryCacheSharedAcrossSearches(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	hits, misses := e.QueryCache().Stats()
-	if misses != 1 {
-		t.Errorf("misses = %d, want 1 (one compile for five identical queries)", misses)
+	st := e.QueryCache().Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (one compile for five identical queries)", st.Misses)
 	}
-	if hits != 4 {
-		t.Errorf("hits = %d, want 4", hits)
+	if st.Hits != 4 {
+		t.Errorf("hits = %d, want 4", st.Hits)
 	}
 }
 

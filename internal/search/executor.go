@@ -3,6 +3,7 @@ package search
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ikrq/internal/graph"
@@ -25,6 +26,11 @@ import (
 type Executor struct {
 	e    *Engine
 	pool sync.Pool
+
+	// executions counts searcher runs (not cache hits) — the monotonic
+	// work counter the cached-vs-uncached gates assert against: a result
+	// cache hit must leave it unchanged.
+	executions atomic.Uint64
 }
 
 func newExecutor(e *Engine) *Executor {
@@ -35,6 +41,11 @@ func newExecutor(e *Engine) *Executor {
 
 // Engine returns the engine the executor runs against.
 func (ex *Executor) Engine() *Engine { return ex.e }
+
+// Executions returns how many searcher runs the executor has performed.
+// Queries answered from the result cache do not count — a hit performs
+// zero searcher work.
+func (ex *Executor) Executions() uint64 { return ex.executions.Load() }
 
 // Search runs one query on pooled scratch. It is the implementation behind
 // Engine.Search; results are identical to a searcher built from scratch.
@@ -51,6 +62,12 @@ func (ex *Executor) Search(req Request, opt Options) (*Result, error) {
 // cancellation leaks nothing. The one non-interruptible stretch is the lazy
 // KoE* backend build a first Precompute query may trigger; services that
 // care call Engine.Precompute at start-up (see the package docs).
+//
+// When the engine has a result cache (Engine.EnableResultCache), the query
+// is fingerprinted first: a hit returns the cached result with zero
+// searcher work, concurrent identical misses collapse onto one execution,
+// and only a genuine miss runs the searcher below. Cache-served results are
+// shared and must be treated as read-only.
 func (ex *Executor) SearchContext(ctx context.Context, req Request, opt Options) (*Result, error) {
 	if err := ex.e.validate(req, opt); err != nil {
 		return nil, err
@@ -58,6 +75,37 @@ func (ex *Executor) SearchContext(ctx context.Context, req Request, opt Options)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	c := ex.e.rcache.Load()
+	if c == nil {
+		return ex.searchUncached(ctx, req, opt)
+	}
+	fp := fingerprintQuery(&req, opt)
+	// The leader keeps its raw (request-aligned) result and stores the
+	// canonical-aligned view, so its own return value is bit-for-bit the
+	// searcher's output; hits translate the canonical view back to the
+	// requester's keyword order (a shared no-op for already-sorted QW).
+	var raw *Result
+	res, cached, err := c.do(ctx, fp.key, func() (*Result, error) {
+		r, err := ex.searchUncached(ctx, req, opt)
+		if err != nil {
+			return nil, err
+		}
+		raw = r
+		return fp.canonicalize(r), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !cached {
+		return raw, nil
+	}
+	return fp.deliver(res), nil
+}
+
+// searchUncached runs the searcher on pooled scratch — the execution path
+// behind every miss (and every query on a cache-less engine).
+func (ex *Executor) searchUncached(ctx context.Context, req Request, opt Options) (*Result, error) {
+	ex.executions.Add(1)
 	start := time.Now()
 	sc := ex.pool.Get().(*execScratch)
 	sr := sc.prepare(ex.e, ex.e.qcache.Get(req.QW, req.Tau), req, opt)

@@ -1,0 +1,218 @@
+package search
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+
+	"ikrq/internal/model"
+)
+
+// This file defines the canonical request fingerprint behind the result
+// cache (resultcache.go): a byte encoding of (Request, Options) under which
+// semantically identical queries — and only those — compare equal. The
+// fingerprint is used directly as the cache map key, so equality is checked
+// on the full canonical bytes, never on a hash: two requests share a cache
+// slot exactly when their canonical encodings are byte-equal, and hash
+// collisions cannot alias distinct queries by construction (DESIGN.md §11).
+//
+// Canonicalization normalizes exactly the representation freedoms that
+// provably cannot change a result:
+//
+//   - Keyword order. Scores are order-invariant (ρ sums per-keyword best
+//     similarities; routes carry no keyword positions), so QW is keyed in
+//     sorted order. The one positional artifact — Route.Sims aligns with QW
+//     — is handled by storing cached results in canonical (sorted-QW)
+//     alignment and permuting sims to the requester's order on every hit,
+//     so a hit is byte-identical to what the uncached search would return.
+//     Duplicate keywords are kept (they contribute to ρ twice) and are
+//     harmless to permute: equal keywords always carry equal sims.
+//   - Conditions door order and duplicates. Closures and delays are keyed
+//     as sorted (door, value) sequences; model.Conditions already dedupes
+//     repeated Close calls and accumulates repeated Delay calls.
+//   - Semantic no-ops in Conditions. A zero penalty is dropped (it cannot
+//     change any route cost), and a penalty on a closed door is dropped (no
+//     route may traverse the door at all), so e.g. Close(3) and
+//     Close(3).Delay(3, 7) fingerprint identically.
+//
+// Everything else is keyed on exact bit patterns: float parameters (Δ, α,
+// τ, coordinates, penalties) by math.Float64bits, so 0.2 and 0.2000001
+// never alias, and every Options field that can change routes, stats or
+// truncation behavior.
+
+// fingerprint is a canonical cache key plus the keyword permutation needed
+// to translate sims between the request's QW order and canonical order.
+type fingerprint struct {
+	key string
+
+	// perm, when non-nil, maps request keyword position i to its position
+	// in the canonical (stable-sorted) order: canonical[perm[i]] = QW[i].
+	// nil means the request order is already canonical (the common case —
+	// and always the case for repeats of a verbatim query).
+	perm []int
+}
+
+// fingerprintQuery computes the canonical fingerprint of a validated
+// (request, options) pair.
+func fingerprintQuery(req *Request, opt Options) fingerprint {
+	var fp fingerprint
+	fp.perm = canonicalKeywordPerm(req.QW)
+
+	b := make([]byte, 0, 128+16*len(req.QW))
+	b = append(b, 1) // layout version, bumped if the encoding ever changes
+
+	var flags byte
+	if opt.Algorithm == KoE {
+		flags |= 1 << 0
+	}
+	if opt.DisableDistancePruning {
+		flags |= 1 << 1
+	}
+	if opt.DisableKBound {
+		flags |= 1 << 2
+	}
+	if opt.DisablePrime {
+		flags |= 1 << 3
+	}
+	if opt.Precompute {
+		flags |= 1 << 4
+	}
+	if opt.StrictPaperConnect {
+		flags |= 1 << 5
+	}
+	b = append(b, flags)
+	b = binary.AppendUvarint(b, uint64(int64(opt.MaxExpansions)))
+	b = appendF64(b, opt.SoftDeltaSlack)
+	b = appendF64(b, opt.PopularityWeight)
+
+	b = appendF64(b, req.Ps.X)
+	b = appendF64(b, req.Ps.Y)
+	b = binary.AppendUvarint(b, uint64(int64(req.Ps.Floor)))
+	b = appendF64(b, req.Pt.X)
+	b = appendF64(b, req.Pt.Y)
+	b = binary.AppendUvarint(b, uint64(int64(req.Pt.Floor)))
+	b = appendF64(b, req.Delta)
+	b = binary.AppendUvarint(b, uint64(int64(req.K)))
+	b = appendF64(b, req.Alpha)
+	b = appendF64(b, req.Tau)
+
+	b = binary.AppendUvarint(b, uint64(len(req.QW)))
+	if fp.perm == nil {
+		for _, w := range req.QW {
+			b = binary.AppendUvarint(b, uint64(len(w)))
+			b = append(b, w...)
+		}
+	} else {
+		// Emit in canonical order: canonical position p holds the request
+		// keyword whose perm value is p. Invert once instead of scanning.
+		inv := make([]int, len(fp.perm))
+		for i, p := range fp.perm {
+			inv[p] = i
+		}
+		for _, i := range inv {
+			w := req.QW[i]
+			b = binary.AppendUvarint(b, uint64(len(w)))
+			b = append(b, w...)
+		}
+	}
+
+	b = appendConditions(b, req.Conditions)
+
+	fp.key = string(b)
+	return fp
+}
+
+// canonicalKeywordPerm returns the stable-sort permutation of qw (see
+// fingerprint.perm), or nil when qw is already sorted.
+func canonicalKeywordPerm(qw []string) []int {
+	sorted := true
+	for i := 1; i < len(qw); i++ {
+		if qw[i] < qw[i-1] {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return nil
+	}
+	idx := make([]int, len(qw))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return qw[idx[a]] < qw[idx[b]] })
+	perm := make([]int, len(qw))
+	for canonicalPos, reqPos := range idx {
+		perm[reqPos] = canonicalPos
+	}
+	return perm
+}
+
+// appendConditions appends the order-invariant Conditions digest: sorted
+// closed doors, then sorted (door, penalty-bits) pairs with semantic no-ops
+// (zero penalties, penalties on closed doors) dropped. A nil overlay and an
+// overlay normalizing to empty encode identically.
+func appendConditions(b []byte, c *model.Conditions) []byte {
+	closed := c.ClosedDoors() // nil-safe, sorted, deduped
+	b = binary.AppendUvarint(b, uint64(len(closed)))
+	for _, d := range closed {
+		b = binary.AppendUvarint(b, uint64(int64(d)))
+	}
+	delayed := c.DelayedDoors() // nil-safe, sorted
+	kept := delayed[:0:0]
+	for _, d := range delayed {
+		if c.Penalty(d) != 0 && !c.Closed(d) {
+			kept = append(kept, d)
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(kept)))
+	for _, d := range kept {
+		b = binary.AppendUvarint(b, uint64(int64(d)))
+		b = appendF64(b, c.Penalty(d))
+	}
+	return b
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// canonicalize returns the result re-aligned from the request's keyword
+// order to canonical order for storage in the cache. With an identity
+// permutation the result is returned as-is (no copy); otherwise the routes
+// are shallow-copied with permuted Sims vectors — door/partition slices are
+// shared, which is safe because cached results are immutable by contract.
+func (fp *fingerprint) canonicalize(res *Result) *Result {
+	return fp.permuteSims(res, func(dst, src []float64) {
+		for i, p := range fp.perm {
+			dst[p] = src[i]
+		}
+	})
+}
+
+// deliver returns a cached (canonical-aligned) result re-aligned to the
+// request's keyword order. Identity permutations alias the cached result.
+func (fp *fingerprint) deliver(res *Result) *Result {
+	return fp.permuteSims(res, func(dst, src []float64) {
+		for i, p := range fp.perm {
+			dst[i] = src[p]
+		}
+	})
+}
+
+func (fp *fingerprint) permuteSims(res *Result, apply func(dst, src []float64)) *Result {
+	if fp.perm == nil || res == nil {
+		return res
+	}
+	out := &Result{Routes: make([]Route, len(res.Routes)), Stats: res.Stats}
+	for i := range res.Routes {
+		out.Routes[i] = res.Routes[i]
+		src := res.Routes[i].Sims
+		if len(src) == 0 {
+			continue
+		}
+		dst := make([]float64, len(src))
+		apply(dst, src)
+		out.Routes[i].Sims = dst
+	}
+	return out
+}

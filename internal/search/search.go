@@ -280,6 +280,12 @@ type Engine struct {
 	qcache *keyword.QueryCache
 	exec   *Executor
 
+	// rcache, when set, is the engine's result cache: complete results
+	// keyed by the canonical request fingerprint, with singleflight
+	// admission and epoch invalidation (see resultcache.go and DESIGN.md
+	// §11). nil (the default) means every query runs the searcher.
+	rcache atomic.Pointer[ResultCache]
+
 	// popularity, when set, holds a visit-popularity score in [0,1] per
 	// partition, used by Options.PopularityWeight.
 	popularity []float64
@@ -355,10 +361,29 @@ func (e *Engine) Executor() *Executor { return e.exec }
 // tests).
 func (e *Engine) QueryCache() *keyword.QueryCache { return e.qcache }
 
+// EnableResultCache attaches a bounded result cache to the engine and
+// returns it: subsequent Search/SearchContext/SearchBatch calls serve
+// repeated queries from the cache instead of re-running the searcher, with
+// concurrent identical misses collapsed onto one execution. Cached results
+// are shared by reference, so callers must treat every returned Result as
+// read-only (the library itself never mutates one). Call once at engine
+// setup; the serving layer enables it per venue from the ikrqd cache flags.
+func (e *Engine) EnableResultCache(opts CacheOptions) *ResultCache {
+	c := NewResultCache(opts)
+	e.rcache.Store(c)
+	return c
+}
+
+// ResultCache returns the engine's result cache, or nil when caching is
+// disabled.
+func (e *Engine) ResultCache() *ResultCache { return e.rcache.Load() }
+
 // SetPopularity attaches per-partition popularity scores (clamped to
 // [0,1]); missing entries default to 0. Popularity affects ranking only
 // when a query sets Options.PopularityWeight. Call before issuing queries;
-// the engine copies the data.
+// the engine copies the data. Changing popularity invalidates the result
+// cache — PopularityWeight queries fingerprint identically across the
+// change, so their cached scores would otherwise go stale.
 func (e *Engine) SetPopularity(pop map[model.PartitionID]float64) {
 	e.popularity = make([]float64, e.s.NumPartitions())
 	for v, p := range pop {
@@ -372,6 +397,9 @@ func (e *Engine) SetPopularity(pop map[model.PartitionID]float64) {
 			p = 1
 		}
 		e.popularity[v] = p
+	}
+	if c := e.rcache.Load(); c != nil {
+		c.Invalidate()
 	}
 }
 

@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sort"
 	"time"
 
 	"ikrq/internal/gen"
+	"ikrq/internal/model"
 	"ikrq/internal/search"
 )
 
@@ -18,14 +20,31 @@ import (
 // venue's bare index layer (the same gen.Sampler the snapshot CLIs use, so
 // a given seed replays the same workload everywhere), pushes each through
 // the complete HTTP stack — router, admission control, wire decoding,
-// executor — cycling through all Table III variants, and reports per-venue
-// latency. It returns an error if any query fails, which makes it a usable
-// smoke gate: `ikrqd -venue m=mall.snap -loadgen 16` exits non-zero when
-// the bake→serve→query path is broken.
-func (s *Server) LoadGen(w io.Writer, n int, seed uint64) error {
+// executor — and reports per-venue latency. It returns an error if any
+// query fails, which makes it a usable smoke gate:
+// `ikrqd -venue m=mall.snap -loadgen 16` exits non-zero when the
+// bake→serve→query path is broken.
+//
+// mix selects the workload shape: "sweep" (the default, also selected by
+// "") runs n distinct instances cycling through all Table III variants;
+// "zipf" draws n requests Zipf-skewed over a small pool of distinct
+// queries — the repeated-request shape the result cache exists for — and
+// additionally reports the cache hit rate and the hit/miss latency split.
+func (s *Server) LoadGen(w io.Writer, n int, seed uint64, mix string) error {
 	if n <= 0 {
 		return fmt.Errorf("server: loadgen needs a positive query count, got %d", n)
 	}
+	switch mix {
+	case "", "sweep":
+		return s.loadGenSweep(w, n, seed)
+	case "zipf":
+		return s.loadGenZipf(w, n, seed)
+	default:
+		return fmt.Errorf("server: unknown loadgen mix %q (have: sweep, zipf)", mix)
+	}
+}
+
+func (s *Server) loadGenSweep(w io.Writer, n int, seed uint64) error {
 	variants := search.Variants()
 	failures := 0
 	for _, name := range s.reg.Names() {
@@ -80,6 +99,146 @@ func (s *Server) LoadGen(w io.Writer, n int, seed uint64) error {
 		return fmt.Errorf("server: loadgen: %d queries failed", failures)
 	}
 	return nil
+}
+
+// zipfPoolSize is the number of distinct query instances the zipf mix
+// draws from. Small on purpose: a handful of hot queries plus a long-ish
+// tail is the shape a venue's real traffic has (everyone asks for coffee
+// near the entrance), and it exercises cache hits, misses and the
+// conditions-fingerprint discrimination in one run.
+const zipfPoolSize = 16
+
+// zipfSkew is the Zipf exponent of the mix. 1.4 concentrates roughly
+// three quarters of the draws on the top four pool entries — skewed
+// enough that a correct cache must show a high hit rate, flat enough
+// that the tail still generates misses.
+const zipfSkew = 1.4
+
+func (s *Server) loadGenZipf(w io.Writer, n int, seed uint64) error {
+	variants := search.Variants()
+	failures := 0
+	for _, name := range s.reg.Names() {
+		h, err := s.reg.Acquire(name)
+		if err != nil {
+			return err
+		}
+		eng := h.Engine()
+		smp := gen.NewSampler(eng.Space(), eng.Keywords(), eng.PathFinder(), seed)
+		reqs, err := smp.Instances(zipfPoolSize, gen.DefaultSampleConfig())
+		if err != nil {
+			h.Release()
+			return fmt.Errorf("server: loadgen sampling venue %q: %w", name, err)
+		}
+
+		// The pool: each entry keeps a fixed variant and — on every third
+		// slot — a fixed conditions overlay, so repeats of a slot are
+		// byte-identical requests (cacheable) while distinct slots differ in
+		// geometry, variant or overlay (must not alias in the cache).
+		pool := make([]QueryRequest, len(reqs))
+		for i, req := range reqs {
+			pool[i] = QueryRequest{
+				Start:    PointWire{X: req.Ps.X, Y: req.Ps.Y, Floor: req.Ps.Floor},
+				Terminal: PointWire{X: req.Pt.X, Y: req.Pt.Y, Floor: req.Pt.Floor},
+				Keywords: req.QW,
+				K:        req.K,
+				Delta:    req.Delta,
+				Alpha:    req.Alpha,
+				Tau:      req.Tau,
+				Variant:  string(variants[i%len(variants)]),
+			}
+			if i%3 == 2 {
+				cond := gen.SampleConditions(eng.Space(), seed+uint64(i), gen.ConditionsConfig{
+					Closures: 1, Delays: 2, MinDelay: 5, MaxDelay: 30, Rebuildable: true,
+				})
+				pool[i].Conditions = conditionsWire(cond)
+			}
+		}
+
+		// math/rand v1 Zipf is deterministic in the seed, so a given
+		// `-loadgen n -seed s -mix zipf` replays the same request sequence
+		// on every run and every machine.
+		zipf := rand.NewZipf(rand.New(rand.NewSource(int64(seed))), zipfSkew, 1, uint64(len(pool)-1))
+		cache := eng.ResultCache()
+
+		var all, hitLats, missLats []time.Duration
+		bad := 0
+		for i := 0; i < n; i++ {
+			idx := int(zipf.Uint64())
+			var hitsBefore uint64
+			if cache != nil {
+				hitsBefore = cache.Stats().Hits
+			}
+			status, body, took, err := s.postQuery(name, &pool[idx])
+			if err != nil {
+				h.Release()
+				return err
+			}
+			all = append(all, took)
+			if status != http.StatusOK {
+				bad++
+				fmt.Fprintf(w, "loadgen %s #%d %-6s -> %d %s\n", name, i, pool[idx].Variant, status, bytes.TrimSpace(body))
+				continue
+			}
+			// The loadgen is sequential, so the hits-counter delta around one
+			// request classifies exactly that request.
+			if cache != nil && cache.Stats().Hits > hitsBefore {
+				hitLats = append(hitLats, took)
+			} else {
+				missLats = append(missLats, took)
+			}
+		}
+		h.Release()
+		failures += bad
+
+		hitRate := 0.0
+		if len(all) > 0 {
+			hitRate = 100 * float64(len(hitLats)) / float64(len(all))
+		}
+		fmt.Fprintf(w, "loadgen %s (zipf): %d queries, %d failed, hit rate %.1f%%, p50 %v, p99 %v\n",
+			name, len(all), bad,
+			hitRate,
+			latQuantile(all, 0.50).Round(time.Microsecond),
+			latQuantile(all, 0.99).Round(time.Microsecond))
+		fmt.Fprintf(w, "loadgen %s (zipf): hit p50 %v (%d), miss p50 %v (%d)\n",
+			name,
+			latQuantile(hitLats, 0.50).Round(time.Microsecond), len(hitLats),
+			latQuantile(missLats, 0.50).Round(time.Microsecond), len(missLats))
+	}
+	if failures > 0 {
+		return fmt.Errorf("server: loadgen: %d queries failed", failures)
+	}
+	return nil
+}
+
+// conditionsWire converts a sampled overlay to its wire shape.
+func conditionsWire(c *model.Conditions) *ConditionsWire {
+	if c == nil {
+		return nil
+	}
+	out := &ConditionsWire{}
+	for _, d := range c.ClosedDoors() {
+		out.Close = append(out.Close, int(d))
+	}
+	for _, d := range c.DelayedDoors() {
+		if out.Delay == nil {
+			out.Delay = make(map[int]float64)
+		}
+		out.Delay[int(d)] = c.Penalty(d)
+	}
+	return out
+}
+
+// latQuantile returns the q-quantile of the (possibly unsorted) latency
+// sample; 0 for an empty sample. It sorts a copy so hit/miss splits can
+// share the underlying recording slices.
+func latQuantile(lats []time.Duration, q float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	buf := make([]time.Duration, len(lats))
+	copy(buf, lats)
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	return buf[int(q*float64(len(buf)-1))]
 }
 
 // postQuery runs one wire query through the server's handler in process.

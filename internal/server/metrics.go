@@ -81,7 +81,6 @@ func (m *metrics) vars(reg *Registry) map[string]any {
 		qps = float64(total) / s
 	}
 	lat := m.quantiles(0.5, 0.99)
-	hits, misses := reg.cacheStats()
 	return map[string]any{
 		"uptime_seconds": uptime.Seconds(),
 		"qps":            qps,
@@ -99,10 +98,8 @@ func (m *metrics) vars(reg *Registry) map[string]any {
 			"p50": lat[0].Microseconds(),
 			"p99": lat[1].Microseconds(),
 		},
-		"query_cache": map[string]uint64{
-			"hits":   hits,
-			"misses": misses,
-		},
+		"query_cache":  reg.queryCacheStats(),
+		"result_cache": reg.resultCacheStats(),
 		"registry": map[string]int64{
 			"venues":    int64(reg.Len()),
 			"evictions": reg.Evictions(),

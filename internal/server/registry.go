@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ikrq/internal/keyword"
 	"ikrq/internal/search"
 	"ikrq/internal/snapshot"
 )
@@ -54,6 +55,11 @@ type Registry struct {
 
 	maxResident int
 	evictions   atomic.Int64
+
+	// cacheOpts, when set, enables a per-venue result cache on every
+	// engine the registry loads (see search.ResultCache). nil keeps
+	// caching off — every query runs the searcher.
+	cacheOpts *search.CacheOptions
 
 	// loader builds an engine for a venue; the default reads the snapshot
 	// file. Tests inject in-memory loaders via SetLoader.
@@ -99,6 +105,44 @@ func loadSnapshotFile(cfg VenueConfig) (*search.Engine, error) {
 // SetLoader replaces the snapshot-file loader (test seam). Call before any
 // Acquire.
 func (r *Registry) SetLoader(fn func(VenueConfig) (*search.Engine, error)) { r.loader = fn }
+
+// EnableResultCache makes every engine the registry subsequently loads
+// carry a bounded result cache with the given options (already-resident
+// engines are unaffected; call before serving). cmd/ikrqd maps the
+// -cache-entries / -cache-bytes / -cache-off flags onto this.
+func (r *Registry) EnableResultCache(opts search.CacheOptions) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cacheOpts = &opts
+}
+
+// resultCacheOpts snapshots the cache configuration.
+func (r *Registry) resultCacheOpts() *search.CacheOptions {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cacheOpts
+}
+
+// InvalidateResults bumps the invalidation epoch of a venue's result cache,
+// logically emptying it in O(1). It is the registry-level seam every
+// engine-state change must call through — a hot snapshot swap or a future
+// delta patch — so stale routes can never be served across the change. A
+// venue that is not resident, or that has no cache, is a no-op: its next
+// load starts with an empty cache anyway.
+func (r *Registry) InvalidateResults(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.venues[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownVenue, name)
+	}
+	if v.engine != nil {
+		if c := v.engine.ResultCache(); c != nil {
+			c.Invalidate()
+		}
+	}
+	return nil
+}
 
 // Add registers a venue. Names must be unique and addressable: the venue
 // is served at /v1/venues/{name}/query, where the router matches one
@@ -219,6 +263,9 @@ func (r *Registry) Acquire(name string) (*Handle, error) {
 	if v.cfg.Warm {
 		e.Precompute()
 	}
+	if opts := r.resultCacheOpts(); opts != nil {
+		e.EnableResultCache(*opts)
+	}
 	took := time.Since(t0)
 
 	r.mu.Lock()
@@ -308,6 +355,10 @@ func (r *Registry) Status() []VenueStatus {
 			ms := v.engine.MemStats()
 			st.Backend = ms.Backend
 			st.ResidentBytes = ms.TotalBytes
+			if c := v.engine.ResultCache(); c != nil {
+				cs := c.Stats()
+				st.ResultCache = &cs
+			}
 		}
 		out = append(out, st)
 	}
@@ -338,17 +389,34 @@ func (r *Registry) memVars() map[string]any {
 	}
 }
 
-// cacheStats sums the compiled-query cache counters over resident engines.
-func (r *Registry) cacheStats() (hits, misses uint64) {
+// queryCacheStats sums the compiled-query cache counters over resident
+// engines.
+func (r *Registry) queryCacheStats() keyword.CacheStats {
+	var out keyword.CacheStats
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, v := range r.venues {
 		if v.engine == nil {
 			continue
 		}
-		h, m := v.engine.QueryCache().Stats()
-		hits += h
-		misses += m
+		out = out.Merge(v.engine.QueryCache().Stats())
 	}
-	return hits, misses
+	return out
+}
+
+// resultCacheStats sums the result-cache counters over resident engines
+// that have one.
+func (r *Registry) resultCacheStats() search.CacheStats {
+	var out search.CacheStats
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, v := range r.venues {
+		if v.engine == nil {
+			continue
+		}
+		if c := v.engine.ResultCache(); c != nil {
+			out = out.Merge(c.Stats())
+		}
+	}
+	return out
 }

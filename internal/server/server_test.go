@@ -498,13 +498,16 @@ func TestHealthzAndVars(t *testing.T) {
 func TestLoadGen(t *testing.T) {
 	srv, _, _ := newBakedServer(t, Config{})
 	var buf bytes.Buffer
-	if err := srv.LoadGen(&buf, 4, 7); err != nil {
+	if err := srv.LoadGen(&buf, 4, 7, "sweep"); err != nil {
 		t.Fatalf("LoadGen: %v\n%s", err, buf.String())
 	}
 	if !strings.Contains(buf.String(), "loadgen mall: 4 queries, 0 failed") {
 		t.Errorf("loadgen report: %s", buf.String())
 	}
-	if err := srv.LoadGen(io.Discard, 0, 1); err == nil {
+	if err := srv.LoadGen(io.Discard, 0, 1, ""); err == nil {
 		t.Error("LoadGen accepted a non-positive count")
+	}
+	if err := srv.LoadGen(io.Discard, 1, 1, "bogus"); err == nil {
+		t.Error("LoadGen accepted an unknown mix")
 	}
 }

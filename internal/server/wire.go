@@ -218,6 +218,10 @@ type VenueStatus struct {
 	// values while the venue is unloaded or evicted.
 	Backend       string `json:"backend,omitempty"`
 	ResidentBytes int64  `json:"resident_bytes,omitempty"`
+
+	// ResultCache is the venue's result-cache counter snapshot; nil while
+	// the venue is unloaded or when serving runs with caching off.
+	ResultCache *search.CacheStats `json:"result_cache,omitempty"`
 }
 
 // durationMillis rounds for VenueStatus.

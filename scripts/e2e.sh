@@ -100,6 +100,36 @@ for variant in 'ToE' 'ToE\D' 'ToE\B' 'ToE\P' 'KoE' 'KoE\D' 'KoE\B' 'KoE*'; do
   echo "$variant: 200, $K well-formed routes"
 done
 
+echo "== result cache"
+# A repeated identical query must be served from the cache: the hit counter
+# rises and the body is byte-identical to the first answer (including the
+# stats, which a hit replays from the original run).
+cache_body=$(query ToE)
+curl -sS -X POST -H 'Content-Type: application/json' \
+  -d "$cache_body" "$base/v1/venues/mall/query" -o "$workdir/cache1.json"
+hits_before=$(curl -fsS "$base/debug/vars" | jq '.result_cache.hits')
+curl -sS -X POST -H 'Content-Type: application/json' \
+  -d "$cache_body" "$base/v1/venues/mall/query" -o "$workdir/cache2.json"
+hits_after=$(curl -fsS "$base/debug/vars" | jq '.result_cache.hits')
+cmp -s "$workdir/cache1.json" "$workdir/cache2.json" || {
+  echo "FAIL: cached repeat body differs from the first answer"
+  diff "$workdir/cache1.json" "$workdir/cache2.json" || true
+  exit 1
+}
+[ "$hits_after" -gt "$hits_before" ] || {
+  echo "FAIL: repeated query did not hit the cache ($hits_before -> $hits_after)"; exit 1; }
+# Mutating the conditions overlay is a different query: it must miss.
+misses_before=$(curl -fsS "$base/debug/vars" | jq '.result_cache.misses')
+echo "$cache_body" | jq '. + {conditions: {delay: {"0": 5}}}' > "$workdir/cachemut.json"
+curl -sS -X POST -H 'Content-Type: application/json' \
+  -d @"$workdir/cachemut.json" "$base/v1/venues/mall/query" -o /dev/null
+misses_after=$(curl -fsS "$base/debug/vars" | jq '.result_cache.misses')
+[ "$misses_after" -gt "$misses_before" ] || {
+  echo "FAIL: conditions mutation did not miss ($misses_before -> $misses_after)"; exit 1; }
+curl -fsS "$base/v1/venues" | jq -e '.venues[0].result_cache.hits >= 1' >/dev/null || {
+  echo "FAIL: /v1/venues does not carry per-venue cache counters"; exit 1; }
+echo "cache: byte-identical hit, conditions-mutation miss, counters exported"
+
 echo "== error statuses"
 st=$(curl -sS -o /dev/null -w '%{http_code}' -X POST -d "$(query ToE)" "$base/v1/venues/atlantis/query")
 [ "$st" = 404 ] || { echo "FAIL: unknown venue -> $st, want 404"; exit 1; }
@@ -120,5 +150,11 @@ wait "$daemon_pid" && rc=0 || rc=$?
 daemon_pid=""
 [ "$rc" = 0 ] || { echo "FAIL: daemon exited $rc after SIGTERM, want 0"; exit 1; }
 echo "drained cleanly"
+
+echo "== loadgen zipf mix (skewed repeats; cache hit rate)"
+zipf_out=$("$workdir/ikrqd" -venue mall="$workdir/mall.ikrq" -loadgen 64 -seed 7 -mix zipf)
+echo "$zipf_out"
+grep -q "hit rate" <<<"$zipf_out" || { echo "FAIL: zipf loadgen reported no hit rate"; exit 1; }
+grep -q "hit rate 0.0%" <<<"$zipf_out" && { echo "FAIL: zipf mix produced no cache hits"; exit 1; }
 
 echo "e2e: all green"
