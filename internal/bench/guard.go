@@ -8,13 +8,13 @@ import (
 )
 
 // This file is the bench-regression guard behind `ikrqbench -benchdiff`:
-// it re-measures the Table III hot paths and diffs the allocation counts
-// against the committed BENCH.json. Allocations are the enforced axis —
-// the zero-alloc kernel work of PR 4 is a structural property, so a single
-// extra alloc/op is a real regression and is deterministic enough to
-// exact-match. ns/op is advisory only: shared CI runners time with ~4×
-// noise (see BENCH.json's own caveats), so latency deltas are printed but
-// never fail the guard.
+// it re-measures the Table III hot paths and diffs the allocation and
+// expansion counts against the committed BENCH.json. Allocations and
+// expansions are the enforced axes — the zero-alloc kernel work of PR 4 is
+// a structural property, and expansion counts measure prune power on a
+// fixed workload; both are deterministic enough to exact-match. ns/op is
+// advisory only: shared CI runners time with ~4× noise (see BENCH.json's
+// own caveats), so latency deltas are printed but never fail the guard.
 
 // ReadPerfReport decodes a BENCH.json payload.
 func ReadPerfReport(r io.Reader) (*PerfReport, error) {
@@ -40,6 +40,10 @@ type AllocDiff struct {
 	Baseline, Got     int64
 	Tolerance         int64 // 0 means exact match required
 	NsBaseline, NsGot int64
+	// ExpBaseline/ExpGot compare the deterministic expansion counts; they
+	// are enforced (exact match) only when both reports carry the counter —
+	// a zero baseline predates it and is skipped for compatibility.
+	ExpBaseline, ExpGot int64
 }
 
 // Regressed reports whether the entry fails the guard.
@@ -48,7 +52,15 @@ func (d AllocDiff) Regressed() bool {
 	if delta < 0 {
 		delta = -delta
 	}
-	return delta > d.Tolerance
+	return delta > d.Tolerance || d.expansionsDiverged()
+}
+
+// expansionsDiverged reports an expansion-count mismatch. Expansions are
+// exactly reproducible on the fixed workload, so any drift — either
+// direction — means the prune behavior changed and the baseline must be
+// regenerated deliberately.
+func (d AllocDiff) expansionsDiverged() bool {
+	return d.ExpBaseline > 0 && d.ExpGot > 0 && d.ExpBaseline != d.ExpGot
 }
 
 // String renders one diff row.
@@ -61,8 +73,12 @@ func (d AllocDiff) String() string {
 	if d.Regressed() {
 		status = "REGRESSED"
 	}
-	return fmt.Sprintf("%-14s allocs %6d -> %6d (tol %d) %-9s ns/op %+.1f%% (advisory)",
-		d.Name, d.Baseline, d.Got, d.Tolerance, status, nsDelta)
+	exp := ""
+	if d.ExpBaseline > 0 || d.ExpGot > 0 {
+		exp = fmt.Sprintf(" expansions %d -> %d", d.ExpBaseline, d.ExpGot)
+	}
+	return fmt.Sprintf("%-14s allocs %6d -> %6d (tol %d) %-9s ns/op %+.1f%% (advisory)%s",
+		d.Name, d.Baseline, d.Got, d.Tolerance, status, nsDelta, exp)
 }
 
 // DiffAllocs compares a freshly measured report against the committed
@@ -90,11 +106,13 @@ func DiffAllocs(baseline, current *PerfReport) (all []AllocDiff, regressed []All
 				return fmt.Errorf("bench: baseline entry %s%s missing from the fresh run", b.Name, label)
 			}
 			d := AllocDiff{
-				Name:       b.Name + label,
-				Baseline:   b.AllocsPerOp,
-				Got:        g.AllocsPerOp,
-				NsBaseline: b.NsPerOp,
-				NsGot:      g.NsPerOp,
+				Name:        b.Name + label,
+				Baseline:    b.AllocsPerOp,
+				Got:         g.AllocsPerOp,
+				NsBaseline:  b.NsPerOp,
+				NsGot:       g.NsPerOp,
+				ExpBaseline: b.Expansions,
+				ExpGot:      g.Expansions,
 			}
 			if b.Iterations < exactIterFloor {
 				d.Tolerance = int64(math.Ceil(float64(b.AllocsPerOp) * 0.01))

@@ -111,3 +111,38 @@ func TestDiffAllocsMatrixOnlyAtEqualGoMaxProcs(t *testing.T) {
 		}
 	}
 }
+
+func TestDiffAllocsEnforcesExpansions(t *testing.T) {
+	withExp := func(exp int64) *PerfReport {
+		rep := guardReport(map[string]int64{"KoE*": 122}, 600, 1)
+		rep.Variants[0].Expansions = exp
+		rep.SeedKernel[0].Expansions = exp
+		return rep
+	}
+	// Matching counts pass.
+	_, regressed, err := DiffAllocs(withExp(4200), withExp(4200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressed) != 0 {
+		t.Fatalf("equal expansion counts regressed: %v", regressed)
+	}
+	// Any drift — more or fewer expansions — fails: the counts are
+	// deterministic, so either direction means the baseline is stale.
+	for _, exp := range []int64{4201, 4199} {
+		_, regressed, err := DiffAllocs(withExp(4200), withExp(exp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regressed) != 2 { // variant + seed-kernel rows
+			t.Fatalf("expansion drift to %d not flagged: %v", exp, regressed)
+		}
+		if !strings.Contains(regressed[0].String(), "expansions") {
+			t.Errorf("diff row hides the expansion delta: %s", regressed[0])
+		}
+	}
+	// A baseline predating the counter (zero) is not enforced.
+	if _, regressed, _ = DiffAllocs(withExp(0), withExp(4200)); len(regressed) != 0 {
+		t.Fatalf("pre-counter baseline enforced expansions: %v", regressed)
+	}
+}

@@ -28,6 +28,12 @@ type PerfEntry struct {
 	AllocsPerOp int64  `json:"allocs_per_op"`
 	BytesPerOp  int64  `json:"bytes_per_op"`
 	Iterations  int    `json:"iterations"`
+	// Expansions is the total number of stamp expansions (Stats.Pops) over
+	// one pass of the request batch — a deterministic prune-power axis the
+	// guard exact-matches alongside allocations, so a bound that silently
+	// loosens (more expansions for the same routes) fails CI even when
+	// wall-clock noise hides it. Zero in reports predating the counter.
+	Expansions int64 `json:"expansions,omitempty"`
 }
 
 // PerfReport is the BENCH.json payload.
@@ -155,7 +161,17 @@ func measureVariants(eng *search.Engine, reqs []search.Request, capExpansions in
 		if searchErr != nil {
 			return nil, fmt.Errorf("bench: %s: %w", v, searchErr)
 		}
-		out = append(out, perQuery(string(v), r, len(reqs)))
+		e := perQuery(string(v), r, len(reqs))
+		// One untimed batch pass records the variant's deterministic
+		// expansion count (identical every run on a fixed workload).
+		for _, req := range reqs {
+			res, err := eng.Search(req, opt)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s: %w", v, err)
+			}
+			e.Expansions += int64(res.Stats.Pops)
+		}
+		out = append(out, e)
 	}
 	return out, nil
 }
@@ -182,12 +198,12 @@ func (r *PerfReport) WriteJSON(w io.Writer) error {
 func (r *PerfReport) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "perf suite %s (GOMAXPROCS=%d, %s, %d queries/op, ToE\\P cap %d)\n",
 		r.Suite, r.GoMaxProcs, r.GoVersion, r.Queries, r.CapExpansions)
-	fmt.Fprintf(w, "%-12s %14s %14s %14s\n", "variant", "ns/op", "B/op", "allocs/op")
+	fmt.Fprintf(w, "%-12s %14s %14s %14s %12s\n", "variant", "ns/op", "B/op", "allocs/op", "expansions")
 	for _, e := range r.Variants {
-		fmt.Fprintf(w, "%-12s %14d %14d %14d\n", e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+		fmt.Fprintf(w, "%-12s %14d %14d %14d %12d\n", e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp, e.Expansions)
 	}
 	for _, e := range r.SeedKernel {
-		fmt.Fprintf(w, "%-12s %14d %14d %14d (seed kernel)\n", e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+		fmt.Fprintf(w, "%-12s %14d %14d %14d %12d (seed kernel)\n", e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp, e.Expansions)
 	}
 	e := r.MatrixBuild
 	fmt.Fprintf(w, "%-12s %14d %14d %14d\n", e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)

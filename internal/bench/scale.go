@@ -42,6 +42,14 @@ type ScalePoint struct {
 
 	OracleKoEStarP50Ms float64 `json:"oracle_koestar_p50_ms"`
 	DenseKoEStarP50Ms  float64 `json:"dense_koestar_p50_ms"` // -1 above the cap
+
+	// Total stamp expansions (Stats.Pops) over one pass of the point's
+	// request batch — deterministic on the fixed workload, so the committed
+	// numbers pin KoE* prune power at scale. The two backends legitimately
+	// differ (exact matrix distances prune at least as hard as the oracle's
+	// lower bounds); dense is -1 above the build cap.
+	OracleKoEStarExpansions int64 `json:"oracle_koestar_expansions,omitempty"`
+	DenseKoEStarExpansions  int64 `json:"dense_koestar_expansions,omitempty"`
 }
 
 // ScaleReport is the BENCH_SCALE.json payload.
@@ -95,17 +103,18 @@ func RunScale(cfg Config, quick bool) (*ScaleReport, error) {
 
 		n := engO.PathFinder().NumStates()
 		pt := ScalePoint{
-			Floors:            floors,
-			ShopsPerFloor:     shops,
-			Partitions:        m.Space.NumPartitions(),
-			Doors:             m.Space.NumDoors(),
-			States:            n,
-			Hubs:              orc.NumHubs(),
-			OracleBuildMs:     ms(oracleBuild),
-			OracleBytes:       orc.Bytes(),
-			DenseBytes:        int64(n) * int64(n) * 12,
-			DenseBuildMs:      -1,
-			DenseKoEStarP50Ms: -1,
+			Floors:                 floors,
+			ShopsPerFloor:          shops,
+			Partitions:             m.Space.NumPartitions(),
+			Doors:                  m.Space.NumDoors(),
+			States:                 n,
+			Hubs:                   orc.NumHubs(),
+			OracleBuildMs:          ms(oracleBuild),
+			OracleBytes:            orc.Bytes(),
+			DenseBytes:             int64(n) * int64(n) * 12,
+			DenseBuildMs:           -1,
+			DenseKoEStarP50Ms:      -1,
+			DenseKoEStarExpansions: -1,
 		}
 
 		qg := gen.NewQueryGen(m, x, v, engO.PathFinder(), cfg.Seed+33)
@@ -119,7 +128,7 @@ func RunScale(cfg Config, quick bool) (*ScaleReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		pt.OracleKoEStarP50Ms, err = koeStarP50(engO, reqs, opt, cfg.Runs)
+		pt.OracleKoEStarP50Ms, pt.OracleKoEStarExpansions, err = koeStarP50(engO, reqs, opt, cfg.Runs)
 		if err != nil {
 			return nil, fmt.Errorf("bench: mega venue %d×%d oracle KoE*: %w", floors, shops, err)
 		}
@@ -129,7 +138,7 @@ func RunScale(cfg Config, quick bool) (*ScaleReport, error) {
 			t1 := time.Now()
 			engD.PrecomputeMatrix()
 			pt.DenseBuildMs = ms(time.Since(t1))
-			pt.DenseKoEStarP50Ms, err = koeStarP50(engD, reqs, opt, cfg.Runs)
+			pt.DenseKoEStarP50Ms, pt.DenseKoEStarExpansions, err = koeStarP50(engD, reqs, opt, cfg.Runs)
 			if err != nil {
 				return nil, fmt.Errorf("bench: mega venue %d×%d dense KoE*: %w", floors, shops, err)
 			}
@@ -140,23 +149,28 @@ func RunScale(cfg Config, quick bool) (*ScaleReport, error) {
 }
 
 // koeStarP50 runs each request runs times and returns the median per-query
-// wall time in milliseconds.
-func koeStarP50(eng *search.Engine, reqs []search.Request, opt search.Options, runs int) (float64, error) {
+// wall time in milliseconds plus the deterministic total expansion count of
+// one pass over the batch.
+func koeStarP50(eng *search.Engine, reqs []search.Request, opt search.Options, runs int) (float64, int64, error) {
 	if runs < 1 {
 		runs = 1
 	}
 	var samples []time.Duration
+	var expansions int64
 	for r := 0; r < runs; r++ {
 		for _, req := range reqs {
 			res, err := eng.Search(req, opt)
 			if err != nil {
-				return 0, err
+				return 0, 0, err
 			}
 			samples = append(samples, res.Stats.Elapsed)
+			if r == 0 {
+				expansions += int64(res.Stats.Pops)
+			}
 		}
 	}
 	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	return ms(samples[len(samples)/2]), nil
+	return ms(samples[len(samples)/2]), expansions, nil
 }
 
 // Check validates the structural properties the sweep gates in CI: every
@@ -172,6 +186,9 @@ func (r *ScaleReport) Check() error {
 	for _, p := range r.Points {
 		if p.OracleBytes <= 0 || p.OracleKoEStarP50Ms < 0 {
 			return fmt.Errorf("bench: scale point %d×%d did not complete the oracle path", p.Floors, p.ShopsPerFloor)
+		}
+		if p.OracleKoEStarExpansions <= 0 {
+			return fmt.Errorf("bench: scale point %d×%d recorded no oracle KoE* expansions", p.Floors, p.ShopsPerFloor)
 		}
 	}
 	last := r.Points[len(r.Points)-1]
@@ -194,14 +211,15 @@ func (r *ScaleReport) WriteJSON(w io.Writer) error {
 func (r *ScaleReport) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "scale suite %s (GOMAXPROCS=%d, %s, %d queries × %d runs per point, dense cap %d states)\n",
 		r.Suite, r.GoMaxProcs, r.GoVersion, r.Queries, r.Runs, r.DenseCap)
-	fmt.Fprintf(w, "%7s %6s %7s %7s %6s %12s %12s %12s %12s %10s %10s\n",
+	fmt.Fprintf(w, "%7s %6s %7s %7s %6s %12s %12s %12s %12s %10s %10s %10s %10s\n",
 		"floors", "shops", "parts", "states", "hubs",
-		"orc build ms", "orc bytes", "dense bytes", "dense bld ms", "orc p50ms", "dense p50ms")
+		"orc build ms", "orc bytes", "dense bytes", "dense bld ms", "orc p50ms", "dense p50ms", "orc exps", "dense exps")
 	for _, p := range r.Points {
-		fmt.Fprintf(w, "%7d %6d %7d %7d %6d %12.1f %12d %12d %12.1f %10.2f %10.2f\n",
+		fmt.Fprintf(w, "%7d %6d %7d %7d %6d %12.1f %12d %12d %12.1f %10.2f %10.2f %10d %10d\n",
 			p.Floors, p.ShopsPerFloor, p.Partitions, p.States, p.Hubs,
 			p.OracleBuildMs, p.OracleBytes, p.DenseBytes, p.DenseBuildMs,
-			p.OracleKoEStarP50Ms, p.DenseKoEStarP50Ms)
+			p.OracleKoEStarP50Ms, p.DenseKoEStarP50Ms,
+			p.OracleKoEStarExpansions, p.DenseKoEStarExpansions)
 	}
 }
 

@@ -60,9 +60,11 @@ func (m *Matrix) AppendStaticPathIfAllowed(_ *Workspace, dst []Hop, a, b StateID
 // first departure hub e* on a's floor and its last arrival hub h* on b's
 // floor, the minimum is the exact distance (each term of the e*, h* split
 // is itself optimal, and every other pair is ≥ by the triangle inequality).
-// Same-floor pairs fall back to the planar Euclidean bound the Skeleton
-// uses — routing through a hub is not admissible there, since the optimal
-// same-floor walk may avoid staircase doors entirely. Path recovery is
+// Same-floor pairs take the maximum of the planar Euclidean bound and the
+// hub-split (landmark) lower bounds derived from the same per-floor labels —
+// routing *through* a hub is not admissible there, since the optimal
+// same-floor walk may avoid staircase doors entirely, but label differences
+// are (see DistExact and DESIGN.md §12). Path recovery is
 // always an on-demand kernel run (AppendStaticPathIfAllowed), which keeps
 // oracle routes hop-for-hop identical to dense-matrix routes: both read the
 // same deterministic shortest-path tree.
@@ -243,9 +245,9 @@ func (o *Oracle) runAdj(ws *Workspace, adjacency [][]arc, src StateID) {
 }
 
 // Dist returns an admissible lower bound of the static shortest distance:
-// exact for cross-floor pairs (see the type comment for the argument), the
-// planar Euclidean bound for distinct same-floor states. Exact reports
-// which case applied.
+// exact for cross-floor pairs (see the type comment for the argument), and
+// for distinct same-floor states the maximum of the planar Euclidean bound
+// and the per-hub landmark bounds. Exact reports which case applied.
 func (o *Oracle) Dist(a, b StateID) float64 {
 	d, _ := o.DistExact(a, b)
 	return d
@@ -267,7 +269,29 @@ func (o *Oracle) DistExact(a, b StateID) (float64, bool) {
 	if fa == fb {
 		pa := o.pf.s.Door(o.pf.states[a].door).Pos
 		pb := o.pf.s.Door(o.pf.states[b].door).Pos
-		return pa.PlanarDist(pb), false
+		lb := pa.PlanarDist(pb)
+		// Landmark (triangle-inequality) lower bounds from the resident
+		// per-floor hub labels, both label directions per hub e:
+		//
+		//	δ(a→e) ≤ δ(a→b) + δ(b→e)  ⇒  δ(a→b) ≥ toHub[a][e] − toHub[b][e]
+		//	δ(e→b) ≤ δ(e→a) + δ(a→b)  ⇒  δ(a→b) ≥ fromHub[e][b] − fromHub[e][a]
+		//
+		// Unreachable labels are +Inf; the guards below keep only finite
+		// minuends (an Inf−Inf difference is NaN and never beats lb, an
+		// Inf−finite difference would be an inadmissible +Inf).
+		ra, rb := o.stateOff[a], o.stateOff[b]
+		nh := o.hubOff[fa+1] - o.hubOff[fa]
+		for e := int32(0); e < nh; e++ {
+			ta, tb := o.toHub[ra+e], o.toHub[rb+e]
+			if d := ta - tb; d > lb && !math.IsInf(ta, 1) {
+				lb = d
+			}
+			ga, gb := o.fromHub[ra+e], o.fromHub[rb+e]
+			if d := gb - ga; d > lb && !math.IsInf(gb, 1) {
+				lb = d
+			}
+		}
+		return lb, false
 	}
 	h := len(o.hubs)
 	ea0, ea1 := o.hubOff[fa], o.hubOff[fa+1]

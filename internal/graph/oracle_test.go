@@ -228,3 +228,47 @@ func TestOracleSingleFloor(t *testing.T) {
 		t.Error("Bytes() not positive")
 	}
 }
+
+// TestOracleSameFloorLandmarkBound pins the tightened same-floor bound: it
+// must never fall below the planar Euclidean bound it replaces, never exceed
+// the static truth (TestOracleAdmissibility re-checks this against overlays),
+// and it must strictly beat Euclid on some pairs — otherwise the resident
+// hub labels buy no prune power and the tightening is dead code.
+func TestOracleSameFloorLandmarkBound(t *testing.T) {
+	improved := 0
+	for seed := int64(1); seed <= 8; seed++ {
+		s := randomMall(t, seed)
+		pf := NewPathFinder(s)
+		o := NewOracle(pf)
+		ws := NewWorkspace()
+		rng := rand.New(rand.NewSource(seed * 104729))
+		n := pf.NumStates()
+		for i := 0; i < 200; i++ {
+			a := StateID(rng.Intn(n))
+			bs := StateID(rng.Intn(n))
+			if a == bs || o.floorOf[a] != o.floorOf[bs] {
+				continue
+			}
+			pa := pf.s.Door(pf.states[a].door).Pos
+			pb := pf.s.Door(pf.states[bs].door).Pos
+			euclid := pa.PlanarDist(pb)
+			d, exact := o.DistExact(a, bs)
+			if exact {
+				t.Fatalf("seed %d pair %v->%v: same-floor pair claims exactness", seed, a, bs)
+			}
+			if d < euclid-1e-12 {
+				t.Fatalf("seed %d pair %v->%v: bound %v below Euclid %v", seed, a, bs, d, euclid)
+			}
+			pf.runDijkstra(ws, []Seed{{State: a}}, Costs{}, nil)
+			if static := ws.distAt(bs); d > static+1e-9*(1+d) {
+				t.Fatalf("seed %d pair %v->%v: bound %v exceeds static truth %v", seed, a, bs, d, static)
+			}
+			if d > euclid+1e-9 {
+				improved++
+			}
+		}
+	}
+	if improved == 0 {
+		t.Fatal("landmark bound never improved on the Euclidean bound across all venues")
+	}
+}

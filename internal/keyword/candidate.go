@@ -20,27 +20,58 @@ type CandidateSet struct {
 	// results are deterministic.
 	Entries []Candidate
 
-	byWord map[IWordID]float64
+	// simTab is the dense IWordID-indexed similarity table: simTab[w] holds
+	// the similarity of member i-word w and 0 for non-members. Every kept
+	// candidate has similarity > 0 (direct matches score 1, indirect matches
+	// survive only above τ ≥ 0), so membership and similarity share one array
+	// load — the map the set used to carry is gone from the probe path.
+	simTab []float64
+	// words caches κ(wQ).Wi in Entries order so Words() is allocation-free.
+	words []IWordID
 }
 
 // Sim returns the similarity of i-word w in the set, or 0 when w is not a
 // matching i-word of the query keyword.
-func (cs *CandidateSet) Sim(w IWordID) float64 { return cs.byWord[w] }
-
-// Contains reports whether w ∈ κ(wQ).Wi.
-func (cs *CandidateSet) Contains(w IWordID) bool {
-	_, ok := cs.byWord[w]
-	return ok
+func (cs *CandidateSet) Sim(w IWordID) float64 {
+	if w < 0 || int(w) >= len(cs.simTab) {
+		return 0
+	}
+	return cs.simTab[w]
 }
 
+// Contains reports whether w ∈ κ(wQ).Wi.
+func (cs *CandidateSet) Contains(w IWordID) bool { return cs.Sim(w) > 0 }
+
 // Words returns κ(wQ).Wi, the matching i-words, in descending-similarity
-// order.
-func (cs *CandidateSet) Words() []IWordID {
-	ws := make([]IWordID, len(cs.Entries))
-	for i, e := range cs.Entries {
-		ws[i] = e.Word
+// order. The slice is computed once at construction and owned by the set;
+// callers must not mutate it.
+func (cs *CandidateSet) Words() []IWordID { return cs.words }
+
+// finish derives the sorted Entries and cached word list from a filled
+// similarity table.
+func (cs *CandidateSet) finish() {
+	n := 0
+	for _, s := range cs.simTab {
+		if s > 0 {
+			n++
+		}
 	}
-	return ws
+	cs.Entries = make([]Candidate, 0, n)
+	for w, s := range cs.simTab {
+		if s > 0 {
+			cs.Entries = append(cs.Entries, Candidate{Word: IWordID(w), Sim: s})
+		}
+	}
+	sort.Slice(cs.Entries, func(i, j int) bool {
+		if cs.Entries[i].Sim != cs.Entries[j].Sim {
+			return cs.Entries[i].Sim > cs.Entries[j].Sim
+		}
+		return cs.Entries[i].Word < cs.Entries[j].Word
+	})
+	cs.words = make([]IWordID, len(cs.Entries))
+	for i, e := range cs.Entries {
+		cs.words[i] = e.Word
+	}
 }
 
 // CandidateIWords computes κ(wQ) for a raw query keyword (Definition 4).
@@ -54,22 +85,23 @@ func (cs *CandidateSet) Words() []IWordID {
 //     |I2T(w”)∩U| / |I2T(w”)∪U|, kept only when the similarity exceeds τ.
 //   - unknown word: empty set.
 func (x *Index) CandidateIWords(wQ string, tau float64) *CandidateSet {
-	cs := &CandidateSet{byWord: make(map[IWordID]float64)}
+	cs := &CandidateSet{simTab: make([]float64, x.NumIWords())}
 
 	if iw, ok := x.LookupIWord(wQ); ok {
-		cs.byWord[iw] = 1
-		cs.Entries = []Candidate{{Word: iw, Sim: 1}}
+		cs.simTab[iw] = 1
+		cs.finish()
 		return cs
 	}
 
 	tw, ok := x.LookupTWord(wQ)
 	if !ok {
+		cs.finish()
 		return cs
 	}
 
 	direct := x.t2i[tw]
 	for _, wi := range direct {
-		cs.byWord[wi] = 1
+		cs.simTab[wi] = 1
 	}
 
 	// U = union of the t-words of every direct matching i-word.
@@ -89,26 +121,16 @@ func (x *Index) CandidateIWords(wQ string, tau float64) *CandidateSet {
 				continue
 			}
 			seen[wi] = struct{}{}
-			if _, isDirect := cs.byWord[wi]; isDirect {
+			if cs.simTab[wi] > 0 { // direct match, similarity already 1
 				continue
 			}
 			s := x.jaccardWithUnion(wi, union)
 			if s > tau {
-				cs.byWord[wi] = s
+				cs.simTab[wi] = s
 			}
 		}
 	}
-
-	cs.Entries = make([]Candidate, 0, len(cs.byWord))
-	for w, s := range cs.byWord {
-		cs.Entries = append(cs.Entries, Candidate{Word: w, Sim: s})
-	}
-	sort.Slice(cs.Entries, func(i, j int) bool {
-		if cs.Entries[i].Sim != cs.Entries[j].Sim {
-			return cs.Entries[i].Sim > cs.Entries[j].Sim
-		}
-		return cs.Entries[i].Word < cs.Entries[j].Word
-	})
+	cs.finish()
 	return cs
 }
 
@@ -127,9 +149,11 @@ func (x *Index) jaccardWithUnion(w IWordID, union map[TWordID]struct{}) float64 
 	return float64(inter) / float64(unionSize)
 }
 
-// Query is a compiled query keyword list: per-keyword candidate sets plus an
-// inverted map from matching i-words to (keyword position, similarity)
-// pairs, which lets the search update coverage in O(matches) as routes grow.
+// Query is a compiled query keyword list: per-keyword candidate sets plus
+// dense lookup tables that let the search update coverage with array loads
+// as routes grow. The tables are built once at compile time (CompileQuery is
+// cached by the engine's query LRU) and are only read afterwards, so one
+// compiled query may back any number of concurrent searches.
 type Query struct {
 	// Raw keywords as given by the user.
 	Raw []string
@@ -138,12 +162,19 @@ type Query struct {
 	// Sets[i] is κ(Raw[i]).
 	Sets []*CandidateSet
 
-	// matches maps an i-word to the query keywords it can cover.
-	matches map[IWordID][]match
-	// keyParts is the union of I2P over all candidate i-words: the
-	// partitions that can cover at least one query keyword.
+	// matchOff and matchList form a CSR view of the inverted match relation:
+	// i-word w covers the query keywords of
+	// matchList[matchOff[w]:matchOff[w+1]], ordered by keyword position. The
+	// dense offsets replace the map[IWordID][]match the hot path used to hash
+	// through on every similarity probe.
+	matchOff  []int32
+	matchList []match
+
+	// keyTab is the dense partition-indexed key-partition predicate and
+	// keyParts its sorted materialization: the union of I2P over all
+	// candidate i-words.
+	keyTab   []bool
 	keyParts []model.PartitionID
-	keySet   map[model.PartitionID]struct{}
 }
 
 type match struct {
@@ -156,23 +187,37 @@ type match struct {
 // set P of Algorithm 1 line 3).
 func (x *Index) CompileQuery(qw []string, tau float64) *Query {
 	q := &Query{
-		Raw:     append([]string(nil), qw...),
-		Tau:     tau,
-		Sets:    make([]*CandidateSet, len(qw)),
-		matches: make(map[IWordID][]match),
-		keySet:  make(map[model.PartitionID]struct{}),
+		Raw:    append([]string(nil), qw...),
+		Tau:    tau,
+		Sets:   make([]*CandidateSet, len(qw)),
+		keyTab: make([]bool, x.NumPartitions()),
 	}
+	nw := x.NumIWords()
+	counts := make([]int32, nw+1)
 	for i, w := range qw {
 		cs := x.CandidateIWords(w, tau)
 		q.Sets[i] = cs
 		for _, e := range cs.Entries {
-			q.matches[e.Word] = append(q.matches[e.Word], match{kw: i, sim: e.Sim})
+			counts[e.Word+1]++
 			for _, v := range x.i2p[e.Word] {
-				if _, dup := q.keySet[v]; !dup {
-					q.keySet[v] = struct{}{}
+				if !q.keyTab[v] {
+					q.keyTab[v] = true
 					q.keyParts = append(q.keyParts, v)
 				}
 			}
+		}
+	}
+	for w := 0; w < nw; w++ {
+		counts[w+1] += counts[w]
+	}
+	q.matchOff = counts
+	q.matchList = make([]match, counts[nw])
+	cursor := make([]int32, nw)
+	for i := range q.Sets {
+		for _, e := range q.Sets[i].Entries {
+			w := e.Word
+			q.matchList[q.matchOff[w]+cursor[w]] = match{kw: i, sim: e.Sim}
+			cursor[w]++
 		}
 	}
 	sort.Slice(q.keyParts, func(i, j int) bool { return q.keyParts[i] < q.keyParts[j] })
@@ -187,14 +232,18 @@ func (q *Query) MaxRelevance() float64 { return float64(len(q.Raw)) + 1 }
 
 // IsCandidate reports whether i-word w matches any query keyword (w ∈ Wci).
 func (q *Query) IsCandidate(w IWordID) bool {
-	_, ok := q.matches[w]
-	return ok
+	if w < 0 || int(w)+1 >= len(q.matchOff) {
+		return false
+	}
+	return q.matchOff[w] < q.matchOff[w+1]
 }
 
 // IsKeyPartition reports whether partition v can cover some query keyword.
 func (q *Query) IsKeyPartition(v model.PartitionID) bool {
-	_, ok := q.keySet[v]
-	return ok
+	if v < 0 || int(v) >= len(q.keyTab) {
+		return false
+	}
+	return q.keyTab[v]
 }
 
 // KeyPartitions returns the sorted set of partitions covering at least one
@@ -207,12 +256,11 @@ func (q *Query) KeyPartitions() []model.PartitionID { return q.keyParts }
 // if that improves it. It returns true when any entry changed, letting
 // callers skip copy-on-write when nothing improved.
 func (q *Query) Absorb(sims []float64, w IWordID) bool {
-	ms, ok := q.matches[w]
-	if !ok {
+	if w < 0 || int(w)+1 >= len(q.matchOff) {
 		return false
 	}
 	changed := false
-	for _, m := range ms {
+	for _, m := range q.matchList[q.matchOff[w]:q.matchOff[w+1]] {
 		if m.sim > sims[m.kw] {
 			sims[m.kw] = m.sim
 			changed = true
@@ -224,7 +272,10 @@ func (q *Query) Absorb(sims []float64, w IWordID) bool {
 // WouldImprove reports whether absorbing w would raise any entry of sims,
 // without modifying it.
 func (q *Query) WouldImprove(sims []float64, w IWordID) bool {
-	for _, m := range q.matches[w] {
+	if w < 0 || int(w)+1 >= len(q.matchOff) {
+		return false
+	}
+	for _, m := range q.matchList[q.matchOff[w]:q.matchOff[w+1]] {
 		if m.sim > sims[m.kw] {
 			return true
 		}

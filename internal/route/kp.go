@@ -39,6 +39,14 @@ func NewKP(start model.PartitionID) *KPNode {
 // which keeps KP well-defined when the start host is also a keyword
 // partition crossed by the first hop.
 func (k *KPNode) Append(v model.PartitionID) *KPNode {
+	return k.AppendInto(new(KPNode), v)
+}
+
+// AppendInto is Append writing the extension into caller-provided storage —
+// typically a node from a per-query arena — instead of allocating. When the
+// append coalesces (v equals the tail partition) n is left untouched and k
+// itself is returned, so callers may hand in a node speculatively.
+func (k *KPNode) AppendInto(n *KPNode, v model.PartitionID) *KPNode {
 	if k != nil && k.Part == v {
 		return k
 	}
@@ -48,7 +56,8 @@ func (k *KPNode) Append(v model.PartitionID) *KPNode {
 		depth = k.Depth + 1
 		hash = k.Hash
 	}
-	return &KPNode{Parent: k, Part: v, Depth: depth, Hash: fnvStep(hash, v)}
+	*n = KPNode{Parent: k, Part: v, Depth: depth, Hash: fnvStep(hash, v)}
+	return n
 }
 
 // Sequence returns KP as a slice from first to last key partition.
@@ -96,9 +105,17 @@ func (k *KPNode) Equal(o *KPNode) bool {
 // seen for that class. Stamp expansion consults it (prime_check) and
 // updates it (prime_update); Pruning Rule 5 discards partial routes that
 // are not prime against an already-seen homogeneous route.
+//
+// Classes whose (tail, KP-hash, KP-length) triple is unique — all of them,
+// short of an FNV-1a collision between distinct sequences — live inline in
+// m; only genuine triple collisions spill into the lazily created over map.
+// The previous map[primeKey][]primeEntry paid a one-element slice allocation
+// per class, which prime_update's position in the expansion loop turned into
+// ~21% of all query allocations.
 type PrimeTable struct {
-	m map[primeKey][]primeEntry
-	n int
+	m    map[primeKey]primeEntry
+	over map[primeKey][]primeEntry
+	n    int
 }
 
 type primeKey struct {
@@ -114,13 +131,17 @@ type primeEntry struct {
 
 // NewPrimeTable returns an empty table.
 func NewPrimeTable() *PrimeTable {
-	return &PrimeTable{m: make(map[primeKey][]primeEntry)}
+	return &PrimeTable{m: make(map[primeKey]primeEntry)}
 }
 
 // Reset empties the table while keeping its allocated buckets, so a pooled
 // executor can reuse one table across queries without reallocating.
+// clear zeroes the retained values, dropping their KPNode references.
 func (t *PrimeTable) Reset() {
 	clear(t.m)
+	if t.over != nil {
+		clear(t.over)
+	}
 	t.n = 0
 }
 
@@ -139,9 +160,17 @@ func makeKey(tail model.DoorID, kp *KPNode) primeKey {
 // check (a stamp must not be pruned against its own prime_update record);
 // result collection dedupes equal-distance homogeneous completions.
 func (t *PrimeTable) Check(tail model.DoorID, kp *KPNode, dist float64) bool {
-	for _, e := range t.m[makeKey(tail, kp)] {
-		if e.kp.Equal(kp) {
-			return e.dist >= dist-1e-9
+	key := makeKey(tail, kp)
+	e, ok := t.m[key]
+	if !ok {
+		return true
+	}
+	if e.kp.Equal(kp) {
+		return e.dist >= dist-1e-9
+	}
+	for _, o := range t.over[key] {
+		if o.kp.Equal(kp) {
+			return o.dist >= dist-1e-9
 		}
 	}
 	return true
@@ -151,7 +180,20 @@ func (t *PrimeTable) Check(tail model.DoorID, kp *KPNode, dist float64) bool {
 // class minimum when it improves on the stored value.
 func (t *PrimeTable) Update(tail model.DoorID, kp *KPNode, dist float64) {
 	key := makeKey(tail, kp)
-	entries := t.m[key]
+	e, ok := t.m[key]
+	if !ok {
+		t.m[key] = primeEntry{kp: kp, dist: dist}
+		t.n++
+		return
+	}
+	if e.kp.Equal(kp) {
+		if dist < e.dist {
+			e.dist = dist
+			t.m[key] = e
+		}
+		return
+	}
+	entries := t.over[key]
 	for i := range entries {
 		if entries[i].kp.Equal(kp) {
 			if dist < entries[i].dist {
@@ -160,7 +202,10 @@ func (t *PrimeTable) Update(tail model.DoorID, kp *KPNode, dist float64) {
 			return
 		}
 	}
-	t.m[key] = append(entries, primeEntry{kp: kp, dist: dist})
+	if t.over == nil {
+		t.over = make(map[primeKey][]primeEntry)
+	}
+	t.over[key] = append(entries, primeEntry{kp: kp, dist: dist})
 	t.n++
 }
 

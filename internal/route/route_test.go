@@ -267,3 +267,56 @@ func TestPrimeDominanceProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestPrimeTableForgedCollision drives the inline-plus-spill layout through
+// a genuine (hash, len) key collision, which real FNV-1a inputs cannot
+// produce deterministically: distinct sequences forged onto one key must be
+// tracked as separate classes, each with its own minimum.
+func TestPrimeTableForgedCollision(t *testing.T) {
+	kpA := &KPNode{Part: 2, Depth: 1, Hash: 99}
+	kpB := &KPNode{Part: 3, Depth: 1, Hash: 99}
+	kpC := &KPNode{Part: 4, Depth: 1, Hash: 99}
+	pt := NewPrimeTable()
+
+	pt.Update(1, kpA, 10) // inline entry
+	pt.Update(1, kpB, 20) // collides, spills to over
+	pt.Update(1, kpC, 30) // second spill under the same key
+	if pt.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 distinct classes", pt.Len())
+	}
+
+	// Each class prunes against its own minimum only.
+	if pt.Check(1, kpA, 11) || !pt.Check(1, kpA, 9) {
+		t.Error("inline class minimum wrong")
+	}
+	if pt.Check(1, kpB, 21) || !pt.Check(1, kpB, 19) {
+		t.Error("first spilled class minimum wrong")
+	}
+	if pt.Check(1, kpC, 31) || !pt.Check(1, kpC, 29) {
+		t.Error("second spilled class minimum wrong")
+	}
+
+	// Improvements land in the right slot, both inline and spilled.
+	pt.Update(1, kpB, 5)
+	if pt.Check(1, kpB, 6) || !pt.Check(1, kpA, 10) {
+		t.Error("spilled update leaked across classes")
+	}
+	pt.Update(1, kpA, 2)
+	if pt.Check(1, kpA, 3) || !pt.Check(1, kpC, 30) {
+		t.Error("inline update leaked across classes")
+	}
+	// Worsening updates are ignored.
+	pt.Update(1, kpC, 99)
+	if !pt.Check(1, kpC, 30) {
+		t.Error("worse distance overwrote a spilled minimum")
+	}
+	if pt.Len() != 3 {
+		t.Fatalf("Len = %d after updates, want 3", pt.Len())
+	}
+
+	// Reset drops the spill too.
+	pt.Reset()
+	if pt.Len() != 0 || !pt.Check(1, kpB, 1000) {
+		t.Error("Reset left spilled entries behind")
+	}
+}

@@ -1,9 +1,12 @@
 // Backend-equivalence gate: the acceptance gate for the hierarchical
 // distance oracle. Two engines over the same space and keyword index — one
 // on the dense all-pairs matrix, one forced onto the oracle — must return
-// byte-identical routes AND identical work counters for every Table III
-// variant, on both evaluation malls, under every overlay scenario. EstBytes
-// is the one counter allowed to differ: it reports the backend's resident
+// byte-identical routes for every Table III variant, on both evaluation
+// malls, under every overlay scenario, with identical work counters for
+// every variant except KoE* (whose backend-bound prune reads the backend's
+// own Dist — exact on the matrix, an admissible lower bound on the oracle —
+// so its counters are gated directionally instead). EstBytes is the one
+// counter always allowed to differ: it reports the backend's resident
 // tables, which is exactly the quantity the oracle shrinks.
 package search_test
 
@@ -55,6 +58,23 @@ func backendGate(t *testing.T, dense, oracle *search.Engine, reqs []search.Reque
 				gs, ws := got.Stats, want.Stats
 				gs.Elapsed, ws.Elapsed = 0, 0
 				gs.EstBytes, ws.EstBytes = 0, 0
+				if opt.Precompute {
+					// KoE* consults the backend's own Dist for the
+					// backend-bound prune: the matrix answers exactly, the
+					// oracle with an admissible lower bound, so the matrix
+					// prunes at least as many targets and the oracle does at
+					// least as much work. Routes stay byte-identical (checked
+					// above); the counters are gated directionally.
+					if gs.Pops < ws.Pops || gs.StampsCreated < ws.StampsCreated {
+						t.Errorf("%s/%s req %d: oracle did less work than the dense matrix\n got: %+v\nwant: %+v",
+							v, condName, i, gs, ws)
+					}
+					if gs.PrunedBackend > ws.PrunedBackend {
+						t.Errorf("%s/%s req %d: oracle backend bound pruned more than the exact matrix\n got: %+v\nwant: %+v",
+							v, condName, i, gs, ws)
+					}
+					continue
+				}
 				if gs != ws {
 					t.Errorf("%s/%s req %d: work counters diverged\n got: %+v\nwant: %+v", v, condName, i, gs, ws)
 				}
@@ -171,5 +191,86 @@ func TestOracleBackendConcurrentOverlays(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// TestBackendBoundAblation pins the KoE* backend-bound prune both ways:
+// disabling it must change no route on either backend (the bound only drops
+// provably hopeless work), must zero the PrunedBackend counter, and must
+// restore exact dense↔oracle work-counter equality — the pre-bound symmetric
+// behavior, since without the bound neither backend's Dist is consulted for
+// pruning. With the bound on, the prune must actually fire somewhere, or the
+// gate is vacuous.
+func TestBackendBoundAblation(t *testing.T) {
+	mall, voc, idx, err := gen.SyntheticMall(2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := search.NewEngine(mall.Space, idx)
+	dense.PrecomputeMatrix()
+	oracle := search.NewEngine(mall.Space, idx)
+	oracle.PrecomputeOracle()
+	qg := gen.NewQueryGen(mall, idx, voc, dense.PathFinder(), 23)
+	cfg := gen.DefaultQueryConfig(23)
+	cfg.Instances = 3
+	reqs, err := qg.Instances(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := search.OptionsFor(search.VariantKoEStar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optOff := opt
+	optOff.DisableBackendBound = true
+
+	pruned := 0
+	for condName, cond := range kernelConditions(mall.Space, 271) {
+		for i, req := range reqs {
+			req.Conditions = cond
+			for _, eng := range []struct {
+				name string
+				e    *search.Engine
+			}{{"dense", dense}, {"oracle", oracle}} {
+				on, err := eng.e.Search(req, opt)
+				if err != nil {
+					t.Fatalf("%s/%s req %d (bound on): %v", eng.name, condName, i, err)
+				}
+				off, err := eng.e.Search(req, optOff)
+				if err != nil {
+					t.Fatalf("%s/%s req %d (bound off): %v", eng.name, condName, i, err)
+				}
+				if !reflect.DeepEqual(on.Routes, off.Routes) {
+					t.Errorf("%s/%s req %d: backend bound changed the routes\n  on: %+v\n off: %+v",
+						eng.name, condName, i, on.Routes, off.Routes)
+				}
+				if off.Stats.PrunedBackend != 0 {
+					t.Errorf("%s/%s req %d: PrunedBackend = %d with the bound disabled",
+						eng.name, condName, i, off.Stats.PrunedBackend)
+				}
+				pruned += on.Stats.PrunedBackend
+			}
+
+			// Without the bound neither backend's Dist feeds a prune, so the
+			// full work counters must agree exactly again.
+			dOff, err := dense.Search(req, optOff)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oOff, err := oracle.Search(req, optOff)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gs, ws := oOff.Stats, dOff.Stats
+			gs.Elapsed, ws.Elapsed = 0, 0
+			gs.EstBytes, ws.EstBytes = 0, 0
+			if gs != ws {
+				t.Errorf("%s req %d: ablated work counters diverged\n got: %+v\nwant: %+v",
+					condName, i, gs, ws)
+			}
+		}
+	}
+	if pruned == 0 {
+		t.Error("backend bound never pruned a target on the gate workload")
 	}
 }

@@ -73,15 +73,17 @@ func (sr *searcher) finalizeAtTerminal(sj *stamp) {
 		sr.q.Absorb(sims, w)
 	}
 	rho := keyword.Relevance(sims)
-	kp := sj.kp.Append(sr.hostPt)
-	sr.offerComplete(&complete{
+	kp := sr.kpAppend(sj.kp, sr.hostPt)
+	c := sr.newComplete()
+	*c = complete{
 		node: sj.node,
 		kp:   kp,
 		sims: sims,
 		rho:  rho,
 		psi:  sr.psi(rho, dist, kp),
 		dist: dist,
-	})
+	}
+	sr.offerComplete(c)
 }
 
 // finalizeViaShortestRoute completes a fully covering stamp with the

@@ -135,7 +135,7 @@ type execScratch struct {
 	queue    stampHeap
 	prime    *route.PrimeTable
 	top      *topK
-	keyAlive map[model.PartitionID]bool
+	keyAlive partSet
 	keyParts []model.PartitionID
 
 	// ws is the shortest-path kernel workspace every Dijkstra of a query on
@@ -160,7 +160,12 @@ type execScratch struct {
 	expand     []model.DoorID
 	commit     []model.PartitionID
 	koeTargets []model.PartitionID
-	koeRemoved map[model.PartitionID]bool
+	koeRemoved partSet
+
+	// ptStates/ptLegs back the searcher's KoE* backend-bound target tables
+	// (plain values, capacity retained across queries).
+	ptStates []graph.StateID
+	ptLegs   []float64
 
 	// condClosed and condDelay back the searcher's dense views of the
 	// request's Conditions overlay. They hold no references (plain bools and
@@ -169,8 +174,15 @@ type execScratch struct {
 	condClosed []bool
 	condDelay  []float64
 
-	sims   simsArena
-	stamps stampArena
+	// Per-query bump arenas. Sims are float vectors; the rest are the
+	// persistent-tree records of the expansion loop (stamps, route nodes,
+	// KP nodes, completed routes) — all die with the query, so each arena
+	// resets wholesale and its chunks are reused by the next query.
+	sims      simsArena
+	stamps    arena[stamp]
+	nodes     arena[route.Node]
+	kps       arena[route.KPNode]
+	completes arena[complete]
 }
 
 // prepare readies the scratch for a query and returns its searcher. The
@@ -197,14 +209,8 @@ func (sc *execScratch) prepare(e *Engine, q *keyword.Query, req Request, opt Opt
 	} else {
 		sc.top.reset(req.K, !opt.DisablePrime)
 	}
-	if sc.keyAlive == nil {
-		sc.keyAlive = make(map[model.PartitionID]bool)
-	}
 	if sc.ws == nil {
 		sc.ws = graph.NewWorkspace()
-	}
-	if sc.koeRemoved == nil {
-		sc.koeRemoved = make(map[model.PartitionID]bool)
 	}
 
 	sr := &sc.sr
@@ -219,7 +225,7 @@ func (sc *execScratch) prepare(e *Engine, q *keyword.Query, req Request, opt Opt
 		top:          sc.top,
 		dn:           sc.dn,
 		df:           sc.df,
-		keyAlive:     sc.keyAlive,
+		keyAlive:     &sc.keyAlive,
 		queue:        sc.queue[:0],
 		ws:           sc.ws,
 		staticWS:     sc.staticWS,
@@ -230,7 +236,7 @@ func (sc *execScratch) prepare(e *Engine, q *keyword.Query, req Request, opt Opt
 		expandBuf:    sc.expand[:0],
 		commitBuf:    sc.commit[:0],
 		koeTargetBuf: sc.koeTargets[:0],
-		koeRemoved:   sc.koeRemoved,
+		koeRemoved:   &sc.koeRemoved,
 		scratch:      sc,
 	}
 	sr.maxRho = q.MaxRelevance()
@@ -245,6 +251,9 @@ func (sc *execScratch) prepare(e *Engine, q *keyword.Query, req Request, opt Opt
 	if sr.condDelay != nil {
 		sc.condDelay = sr.condDelay
 	}
+	sr.initBackendBound(sc.ptStates, sc.ptLegs)
+	sc.ptStates = adoptGrown(sc.ptStates, sr.ptStates)
+	sc.ptLegs = adoptGrown(sc.ptLegs, sr.ptLegs)
 	return sr
 }
 
@@ -266,7 +275,6 @@ func (sc *execScratch) release() {
 	if sc.top != nil {
 		sc.top.reset(0, true)
 	}
-	clear(sc.keyAlive)
 	sc.keyParts = sc.keyParts[:0]
 	// Adopt grown per-expansion buffers back from the searcher. es holds
 	// stamp pointers (which pin route and KP trees) and is cleared to full
@@ -283,10 +291,13 @@ func (sc *execScratch) release() {
 	if sc.sr.staticWS != nil {
 		sc.staticWS = sc.sr.staticWS // adopt a lazily created workspace
 	}
-	if sc.koeRemoved != nil {
-		clear(sc.koeRemoved)
-	}
+	// keyAlive and koeRemoved are epoch-stamped: stale marks are dead the
+	// moment the next query bumps the epoch, and the mark arrays hold no
+	// references, so no clearing is needed here.
 	sc.stamps.reset()
+	sc.nodes.reset()
+	sc.kps.reset()
+	sc.completes.reset()
 	sc.sims.reset()
 	sc.sr = searcher{}
 }
@@ -340,18 +351,19 @@ func (a *simsArena) alloc(n int) []float64 {
 	}
 }
 
-// stampArena bump-allocates stamp structs. Like sims, stamps die with the
-// query; reset() zeroes the used prefix so recycled stamps do not pin the
-// previous query's route and KP trees while the scratch sits in the pool.
-type stampArena struct {
-	chunks [][]stamp
+// arena bump-allocates fixed-size records of the expansion loop (stamps,
+// route nodes, KP nodes, completed routes). Records die with the query;
+// reset() zeroes the used prefix so recycled records do not pin the previous
+// query's route and KP trees while the scratch sits in the pool.
+type arena[T any] struct {
+	chunks [][]T
 	ci     int
 	off    int
 }
 
-const stampChunkLen = 512
+const arenaChunkLen = 512
 
-func (a *stampArena) reset() {
+func (a *arena[T]) reset() {
 	for i := 0; i <= a.ci && i < len(a.chunks); i++ {
 		n := len(a.chunks[i])
 		if i == a.ci {
@@ -362,12 +374,12 @@ func (a *stampArena) reset() {
 	a.ci, a.off = 0, 0
 }
 
-func (a *stampArena) alloc() *stamp {
+func (a *arena[T]) alloc() *T {
 	for {
 		if a.ci >= len(a.chunks) {
-			a.chunks = append(a.chunks, make([]stamp, stampChunkLen))
+			a.chunks = append(a.chunks, make([]T, arenaChunkLen))
 		}
-		if a.off < stampChunkLen {
+		if a.off < arenaChunkLen {
 			s := &a.chunks[a.ci][a.off]
 			a.off++
 			return s
@@ -375,4 +387,37 @@ func (a *stampArena) alloc() *stamp {
 		a.ci++
 		a.off = 0
 	}
+}
+
+// partSet is an epoch-stamped dense partition set — the graph.Workspace
+// trick applied to the searcher's key-partition bookkeeping. Membership is
+// mark[v] == epoch, so reset is one epoch bump instead of an O(n) clear or a
+// hash-map wipe, add/remove/contains are single array accesses, and the mark
+// array (plain uint32s, no references) needs no release-time clearing.
+// Epoch 0 is never live: reset starts at 1 and wraps back to 1 after an O(n)
+// clear once per 2³² resets, and remove writes 0.
+type partSet struct {
+	mark  []uint32
+	epoch uint32
+}
+
+// reset empties the set and (re)sizes it for n partitions.
+func (s *partSet) reset(n int) {
+	if cap(s.mark) < n {
+		s.mark = make([]uint32, n)
+		s.epoch = 1
+		return
+	}
+	s.mark = s.mark[:n]
+	s.epoch++
+	if s.epoch == 0 { // uint32 wraparound
+		clear(s.mark)
+		s.epoch = 1
+	}
+}
+
+func (s *partSet) add(v model.PartitionID)    { s.mark[v] = s.epoch }
+func (s *partSet) remove(v model.PartitionID) { s.mark[v] = 0 }
+func (s *partSet) contains(v model.PartitionID) bool {
+	return s.mark[v] == s.epoch
 }

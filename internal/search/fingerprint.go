@@ -80,6 +80,9 @@ func fingerprintQuery(req *Request, opt Options) fingerprint {
 	if opt.StrictPaperConnect {
 		flags |= 1 << 5
 	}
+	if opt.DisableBackendBound {
+		flags |= 1 << 6
+	}
 	b = append(b, flags)
 	b = binary.AppendUvarint(b, uint64(int64(opt.MaxExpansions)))
 	b = appendF64(b, opt.SoftDeltaSlack)

@@ -80,6 +80,8 @@ func TestFingerprintCanonicalization(t *testing.T) {
 			fpCase{qw: []string{"coffee"}, opt: Options{Algorithm: ToE, DisablePrime: true}}},
 		{"precompute backend", fpCase{qw: []string{"coffee"}, opt: Options{Algorithm: KoE}},
 			fpCase{qw: []string{"coffee"}, opt: Options{Algorithm: KoE, Precompute: true}}},
+		{"backend bound ablation", fpCase{qw: []string{"coffee"}, opt: Options{Algorithm: KoE, Precompute: true}},
+			fpCase{qw: []string{"coffee"}, opt: Options{Algorithm: KoE, Precompute: true, DisableBackendBound: true}}},
 		{"work cap", fpCase{qw: []string{"coffee"}, opt: toe},
 			fpCase{qw: []string{"coffee"}, opt: Options{Algorithm: ToE, MaxExpansions: 5}}},
 		{"tau bits", fpCase{qw: []string{"coffee"}, opt: toe},

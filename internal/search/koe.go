@@ -37,13 +37,18 @@ func (sr *searcher) findKoE(si *stamp) []*stamp {
 	if !sr.opt.Precompute {
 		tree = sr.e.pf.ShortestTreeWS(sr.ws, seeds, costs)
 	}
+	// The stamp's tail state, for the KoE* backend-bound pre-path gate.
+	from := graph.NoState
+	if sr.bbSrc != nil && si.tail() != model.NoDoor {
+		from = sr.e.pf.StateOf(si.tail(), si.v)
+	}
 	es := sr.esBuf[:0]
 	for _, vj := range targets {
 		// Pruning Rule 3 (lines 9–10): remove hopeless partitions from the
 		// global set P for the rest of the query.
 		if !sr.opt.DisableDistancePruning {
 			if sr.e.sk.PartitionBound(sr.req.Ps, vj, sr.req.Pt) > sr.cap {
-				sr.keyAlive[vj] = false
+				sr.keyAlive.remove(vj)
 				sr.stats.PrunedRule3++
 				continue
 			}
@@ -63,6 +68,25 @@ func (sr *searcher) findKoE(si *stamp) []*stamp {
 			if target == graph.NoState {
 				continue
 			}
+			// KoE* backend bound: rem lower-bounds the distance still to
+			// walk after reaching the target, and the backend's Dist
+			// lower-bounds the jump itself. Targets that cannot fit in the
+			// cap even under these optimistic bounds are dropped before path
+			// recovery — the expensive part of a KoE* expansion — and rem
+			// then tightens Rules 1 and 4 below, so hopeless stamps never
+			// enter the queue at all.
+			rem := 0.0
+			if sr.bbSrc != nil {
+				rem = sr.backendRemaining(target)
+				jump := rem
+				if from != graph.NoState && from != target {
+					jump += sr.bbSrc.Dist(from, target)
+				}
+				if si.dist()+jump > sr.cap {
+					sr.stats.PrunedBackend++
+					continue
+				}
+			}
 			hops, ok := sr.koePath(si, seeds, tree, target, costs)
 			if !ok || len(hops) == 0 {
 				continue
@@ -77,6 +101,9 @@ func (sr *searcher) findKoE(si *stamp) []*stamp {
 				continue
 			}
 			distLB := sj.dist() + sr.lbToPt(dl)
+			if d := sj.dist() + rem; d > distLB {
+				distLB = d
+			}
 			// Pruning Rule 1 (lines 15–16).
 			if !sr.opt.DisableDistancePruning && distLB > sr.cap {
 				sr.stats.PrunedRule1++
@@ -101,7 +128,7 @@ func (sr *searcher) findKoE(si *stamp) []*stamp {
 // (line 6's dk ≠ ps condition).
 func (sr *searcher) koeTargets(si *stamp) []model.PartitionID {
 	removed := sr.koeRemoved
-	clear(removed)
+	removed.reset(sr.e.s.NumPartitions()) // O(1): one epoch bump per expansion
 	if si.tail() != model.NoDoor {
 		for kw := 0; kw < sr.q.Len(); kw++ {
 			if !keyword.KeywordCovered(si.sims, kw) {
@@ -109,17 +136,17 @@ func (sr *searcher) koeTargets(si *stamp) []model.PartitionID {
 			}
 			for _, cand := range sr.q.Sets[kw].Entries {
 				for _, v := range sr.e.x.I2P(cand.Word) {
-					removed[v] = true
+					removed.add(v)
 				}
 			}
 		}
 	}
 	out := sr.koeTargetBuf[:0]
 	for _, v := range sr.keyParts {
-		if !sr.keyAlive[v] {
+		if !sr.keyAlive.contains(v) {
 			continue
 		}
-		if removed[v] && v != sr.hostPt {
+		if removed.contains(v) && v != sr.hostPt {
 			continue
 		}
 		// Never route "to" the partition the stamp is already in: a jump

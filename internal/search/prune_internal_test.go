@@ -1,0 +1,249 @@
+package search
+
+// In-package tests for the prune-power machinery: the epoch-stamped partition
+// set against a map reference model, the open-addressed flat-mode dedupe set
+// on its forced-collision and growth paths, and the top-k collector's
+// classKey-collision spill, which cannot be reached through real FNV-1a
+// inputs and is therefore driven with forged hashes.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ikrq/internal/model"
+	"ikrq/internal/route"
+)
+
+// TestPartSetMatchesMapModel drives partSet and a map[PartitionID]bool
+// reference through random interleavings of add/remove/contains/reset and
+// requires identical answers throughout.
+func TestPartSetMatchesMapModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	var ps partSet
+	ref := map[model.PartitionID]bool{}
+	n := 0
+	reset := func(m int) {
+		ps.reset(m)
+		clear(ref)
+		n = m
+	}
+	reset(1 + rng.Intn(64))
+	for op := 0; op < 20000; op++ {
+		v := model.PartitionID(rng.Intn(n))
+		switch rng.Intn(10) {
+		case 0: // occasional reset, sometimes resizing
+			reset(1 + rng.Intn(64))
+		case 1, 2, 3, 4:
+			ps.add(v)
+			ref[v] = true
+		case 5, 6:
+			ps.remove(v)
+			delete(ref, v)
+		default:
+			if got, want := ps.contains(v), ref[v]; got != want {
+				t.Fatalf("op %d: contains(%d) = %v, reference says %v", op, v, got, want)
+			}
+		}
+	}
+	for v := model.PartitionID(0); int(v) < n; v++ {
+		if got, want := ps.contains(v), ref[v]; got != want {
+			t.Fatalf("final sweep: contains(%d) = %v, reference says %v", v, got, want)
+		}
+	}
+}
+
+// TestPartSetEpochWraparound forces the uint32 epoch to wrap and checks that
+// the O(n) clear keeps stale marks (which equal old epoch values) from
+// reading as members.
+func TestPartSetEpochWraparound(t *testing.T) {
+	var ps partSet
+	ps.reset(8)
+	ps.add(3)
+	ps.epoch = ^uint32(0) // jump to the last epoch before wraparound
+	ps.add(5)             // mark[5] = MaxUint32
+	ps.reset(8)           // epoch++ wraps to 0 → clear, epoch = 1
+	if ps.epoch != 1 {
+		t.Fatalf("epoch after wraparound = %d, want 1", ps.epoch)
+	}
+	for v := model.PartitionID(0); v < 8; v++ {
+		if ps.contains(v) {
+			t.Fatalf("stale mark for %d survived the wraparound clear", v)
+		}
+	}
+	ps.add(5)
+	if !ps.contains(5) || ps.contains(3) {
+		t.Fatal("set corrupted after wraparound")
+	}
+}
+
+// TestDoorSeenHashCollision drives the flat-mode dedupe set through its
+// collision path directly: two routes with different door sequences inserted
+// under the same forged 64-bit hash must stay distinguishable, because
+// membership is verified against the actual door chain, not the hash.
+func TestDoorSeenHashCollision(t *testing.T) {
+	n1 := route.NewStart(0).Append(7, 1, 5)
+	n2 := route.NewStart(0).Append(9, 1, 5)
+	n1dup := route.NewStart(0).Append(7, 1, 6) // same doors as n1, separate chain
+	flat := []*complete{{node: n1}}
+
+	var s doorSeen
+	const h = uint64(0xdeadbeef)
+	s.insert(h, 0)
+	if s.contains(h, n2, flat) {
+		t.Fatal("distinct door sequence reported seen via hash collision")
+	}
+	if !s.contains(h, n1dup, flat) {
+		t.Fatal("identical door sequence not found under its hash")
+	}
+	flat = append(flat, &complete{node: n2})
+	s.insert(h, 1) // second entry under the same hash: linear probing
+	if !s.contains(h, n2, flat) || !s.contains(h, n1, flat) {
+		t.Fatal("collision pair not both retrievable")
+	}
+}
+
+// TestDoorSeenGrowth crosses the ¾-load growth threshold several times and
+// checks every inserted route stays findable and every absent one stays
+// absent after rehashing.
+func TestDoorSeenGrowth(t *testing.T) {
+	var s doorSeen
+	var flat []*complete
+	var keys []uint64
+	var buf []byte
+	for i := 0; i < 300; i++ {
+		n := route.NewStart(0).Append(model.DoorID(i), 1, float64(i))
+		flat = append(flat, &complete{node: n})
+		buf = appendDoorsKey(buf[:0], n)
+		h := hashDoorsKey(buf)
+		keys = append(keys, h)
+		s.insert(h, int32(i))
+	}
+	for i, h := range keys {
+		if !s.contains(h, flat[i].node, flat) {
+			t.Fatalf("route %d lost after growth", i)
+		}
+	}
+	absent := route.NewStart(0).Append(999, 1, 1)
+	buf = appendDoorsKey(buf[:0], absent)
+	if s.contains(hashDoorsKey(buf), absent, flat) {
+		t.Fatal("never-inserted route reported seen")
+	}
+	s.reset()
+	if s.contains(keys[0], flat[0].node, flat) {
+		t.Fatal("reset did not empty the set")
+	}
+}
+
+// forgedKP builds a length-1 KP sequence with an arbitrary hash, bypassing
+// FNV — the only way to exercise classKey collisions between distinct
+// sequences deterministically.
+func forgedKP(part model.PartitionID, hash uint64) *route.KPNode {
+	return &route.KPNode{Part: part, Depth: 1, Hash: hash}
+}
+
+// TestTopKDiversifiedClassCollision forges two distinct homogeneity classes
+// with identical (hash, len) keys and checks the collector keeps them as
+// separate classes, replaces within each class by distance then door order,
+// and surfaces both in results().
+func TestTopKDiversifiedClassCollision(t *testing.T) {
+	mk := func(kp *route.KPNode, door model.DoorID, dist, psi float64) *complete {
+		return &complete{node: route.NewStart(0).Append(door, 1, dist), kp: kp, dist: dist, psi: psi}
+	}
+	const h = uint64(77)
+	tk := newTopK(2, true)
+
+	tk.add(mk(forgedKP(2, h), 5, 10, 0.5)) // class A, inline
+	tk.add(mk(forgedKP(3, h), 6, 12, 0.4)) // class B: same key, not Equal → over
+	if tk.count() != 2 {
+		t.Fatalf("count = %d after colliding classes, want 2", tk.count())
+	}
+
+	// Shorter route in class A replaces the inline entry.
+	tk.add(mk(forgedKP(2, h), 4, 8, 0.6))
+	// Equal-distance route in class B with a smaller door wins the tie-break
+	// in the over spill.
+	tk.add(mk(forgedKP(3, h), 3, 12, 0.45))
+	// A longer route in class B must not replace.
+	tk.add(mk(forgedKP(3, h), 1, 13, 0.9))
+	if tk.count() != 2 {
+		t.Fatalf("count = %d after replacements, want 2", tk.count())
+	}
+
+	rs := tk.results()
+	if len(rs) != 2 {
+		t.Fatalf("results = %d routes, want 2", len(rs))
+	}
+	if rs[0].psi != 0.6 || rs[1].psi != 0.45 {
+		t.Fatalf("results ψ = %v, %v; want 0.6, 0.45", rs[0].psi, rs[1].psi)
+	}
+	if rs[1].node.Door != 3 {
+		t.Fatalf("class B kept door %d, want tie-break winner 3", rs[1].node.Door)
+	}
+	if tk.kbound() != 0.45 {
+		t.Fatalf("kbound = %v, want 0.45", tk.kbound())
+	}
+}
+
+// TestTopKDiversifiedInlineTieBreak pins the inline (non-collision)
+// same-class rule: equal distance resolves on door order, larger distance
+// never replaces.
+func TestTopKDiversifiedInlineTieBreak(t *testing.T) {
+	kp := route.NewKP(1).Append(2)
+	mk := func(door model.DoorID, dist, psi float64) *complete {
+		return &complete{node: route.NewStart(1).Append(door, 2, dist), kp: kp, dist: dist, psi: psi}
+	}
+	tk := newTopK(1, true)
+	tk.add(mk(8, 10, 0.5))
+	tk.add(mk(6, 10, 0.5)) // same dist, smaller door: replaces
+	tk.add(mk(2, 10, 0.5)) // smaller door again
+	tk.add(mk(1, 11, 0.9)) // longer: must not replace despite better ψ
+	rs := tk.results()
+	if len(rs) != 1 || rs[0].node.Door != 2 {
+		t.Fatalf("kept door %v, want 2", rs[0].node.Door)
+	}
+}
+
+// TestTopKFlatMatchesMapModel replays a random stream of completions —
+// with duplicated door sequences and shared-suffix chains — through the
+// flat-mode collector and a map[string]bool reference dedupe, requiring the
+// accepted routes to match exactly in order and count.
+func TestTopKFlatMatchesMapModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	tk := newTopK(4, false)
+	ref := map[string]bool{}
+	var accepted []*complete
+
+	var chains []*route.Node
+	chains = append(chains, route.NewStart(0))
+	for i := 0; i < 400; i++ {
+		// Extend a random existing chain (shared suffixes) or start fresh.
+		var n *route.Node
+		if rng.Intn(4) == 0 {
+			n = chains[rng.Intn(len(chains))]
+		} else {
+			base := chains[rng.Intn(len(chains))]
+			n = base.Append(model.DoorID(rng.Intn(12)), 1, float64(i))
+			chains = append(chains, n)
+		}
+		c := &complete{node: n, psi: rng.Float64(), dist: float64(i)}
+
+		key := fmt.Sprint(n.Doors())
+		tk.add(c)
+		if !ref[key] {
+			ref[key] = true
+			accepted = append(accepted, c)
+		}
+	}
+	if len(tk.flat) != len(accepted) {
+		t.Fatalf("flat holds %d routes, reference deduped to %d", len(tk.flat), len(accepted))
+	}
+	for i := range accepted {
+		if tk.flat[i] != accepted[i] {
+			t.Fatalf("flat[%d] diverged from reference order", i)
+		}
+	}
+	if got := tk.count(); got != len(accepted) {
+		t.Fatalf("count = %d, want %d", got, len(accepted))
+	}
+}

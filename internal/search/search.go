@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,6 +60,14 @@ type Options struct {
 	// Precompute makes KoE consult an all-pairs shortest-route matrix and
 	// recompute only on regularity failures (KoE*). Only valid with KoE.
 	Precompute bool
+
+	// DisableBackendBound turns off KoE*'s backend-bound pruning: the
+	// distance backend's admissible state-to-state bounds tightening Rules 1
+	// and 4 and gating targets before path recovery (see findKoE). An
+	// ablation/debug switch — routes and scores are identical either way
+	// (the backend-bound gate test pins this); only work counters move.
+	// Meaningless without Precompute.
+	DisableBackendBound bool
 
 	// StrictPaperConnect reproduces Algorithm 5 literally: stamps that
 	// reach the terminal partition or that cover every query keyword
@@ -195,6 +204,7 @@ type Stats struct {
 	PrunedRegularity int // regularity principle incl. Lemma 2
 	PrunedDelta      int // plain δ > Δ constraint
 	PrunedClosed     int // expansions blocked by overlay closures (per screening, not per door)
+	PrunedBackend    int // KoE* targets dropped by the backend bound before path recovery
 
 	// Recomputations counts KoE* matrix paths rejected by the regularity
 	// check and recomputed on the fly.
@@ -219,22 +229,21 @@ type Result struct {
 
 // HomogeneousRate returns the fraction of returned routes that share their
 // homogeneity class (head, tail, KP) with another returned route — the
-// metric of Fig. 16 and Fig. 20. A fully diverse result scores 0.
+// metric of Fig. 16 and Fig. 20. A fully diverse result scores 0. The
+// pairwise scan is O(k²·|KP|) on at most k ≤ top-k routes, which beats
+// materializing map keys per call (this runs per query in the bench
+// harness's quality metrics).
 func (r *Result) HomogeneousRate() float64 {
 	if len(r.Routes) == 0 {
 		return 0
 	}
-	counts := make(map[string]int)
-	var buf []byte
-	for i := range r.Routes {
-		buf = appendKPKey(buf[:0], r.Routes[i].KP)
-		counts[string(buf)]++ // string(buf) map keys don't allocate on lookup
-	}
 	homog := 0
 	for i := range r.Routes {
-		buf = appendKPKey(buf[:0], r.Routes[i].KP)
-		if counts[string(buf)] > 1 {
-			homog++
+		for j := range r.Routes {
+			if i != j && slices.Equal(r.Routes[i].KP, r.Routes[j].KP) {
+				homog++
+				break
+			}
 		}
 	}
 	return float64(homog) / float64(len(r.Routes))

@@ -47,9 +47,10 @@ type searcher struct {
 	condDelay  []float64
 
 	// keyAlive tracks the global key-partition set P; Pruning Rule 3
-	// removes partitions permanently (KoE).
+	// removes partitions permanently (KoE). It is an epoch-stamped dense
+	// set, so pooled reuse resets it in O(1).
 	keyParts []model.PartitionID
-	keyAlive map[model.PartitionID]bool
+	keyAlive *partSet
 
 	// ws is the searcher's shortest-path kernel workspace: every Dijkstra
 	// the query runs (KoE trees, KoE* tail recomputes, shortest-route
@@ -81,7 +82,17 @@ type searcher struct {
 	expandBuf    []model.DoorID
 	commitBuf    []model.PartitionID
 	koeTargetBuf []model.PartitionID
-	koeRemoved   map[model.PartitionID]bool
+	koeRemoved   *partSet
+
+	// KoE* backend-bound pruning (see findKoE): bbSrc is the engine's
+	// distance backend when the bound is active, nil otherwise; ptStates and
+	// ptLegs hold the terminal partition's entry states and the exact final
+	// leg |door, pt| for each — every completed route must pass one of them,
+	// so min over entries of (backend Dist + leg) lower-bounds the distance
+	// remaining after any expansion target.
+	bbSrc    graph.DistanceSource
+	ptStates []graph.StateID
+	ptLegs   []float64
 
 	// scratch, when non-nil, supplies pooled stamp and sims storage; a nil
 	// scratch falls back to plain per-call allocation (the seed behavior,
@@ -122,12 +133,51 @@ func newSearcher(e *Engine, req Request, opt Options) *searcher {
 	sr.cap = req.Delta * (1 + opt.SoftDeltaSlack)
 	sr.gamma = opt.PopularityWeight
 	sr.top = newTopK(req.K, !opt.DisablePrime)
-	sr.keyAlive = make(map[model.PartitionID]bool)
+	sr.keyAlive = new(partSet)
 	sr.ws = graph.NewWorkspace()
-	sr.koeRemoved = make(map[model.PartitionID]bool)
+	sr.koeRemoved = new(partSet)
 	sr.initKeyPartitions(nil)
 	sr.initOverlay(nil, nil)
+	sr.initBackendBound(nil, nil)
 	return sr
+}
+
+// initBackendBound arms KoE* backend-bound pruning: it caches the distance
+// backend and precomputes the terminal partition's entry states with their
+// exact final legs to pt. Inactive (bbSrc nil) without Precompute, under the
+// distance-pruning ablation, or when explicitly disabled.
+func (sr *searcher) initBackendBound(stateBuf []graph.StateID, legBuf []float64) {
+	if !sr.opt.Precompute || sr.opt.DisableDistancePruning || sr.opt.DisableBackendBound {
+		return
+	}
+	states, legs := stateBuf[:0], legBuf[:0]
+	for _, d := range sr.e.s.Partition(sr.hostPt).EnterDoors() {
+		st := sr.e.pf.StateOf(d, sr.hostPt)
+		if st == graph.NoState {
+			continue
+		}
+		states = append(states, st)
+		legs = append(legs, sr.e.s.Door(d).Pos.Dist(sr.req.Pt))
+	}
+	sr.ptStates, sr.ptLegs = states, legs
+	sr.bbSrc = sr.e.distanceSource()
+}
+
+// backendRemaining lower-bounds the distance still to walk from expansion
+// target state tm to a completion at pt: every route ends by entering the
+// terminal partition through one of its entry states, the backend's Dist is
+// an admissible bound on reaching that state statically (overlay penalties
+// only add), and the final leg is exact. min over entries keeps the bound
+// admissible; +Inf (no reachable entry) correctly prunes everything, since
+// no stamp through tm can complete at all.
+func (sr *searcher) backendRemaining(tm graph.StateID) float64 {
+	best := math.Inf(1)
+	for i, st := range sr.ptStates {
+		if d := sr.bbSrc.Dist(tm, st) + sr.ptLegs[i]; d < best {
+			best = d
+		}
+	}
+	return best
 }
 
 // initOverlay materializes the request's Conditions into dense door sets.
@@ -177,19 +227,20 @@ func (sr *searcher) doorDelay(d model.DoorID) float64 {
 
 // initKeyPartitions computes P ← (∪ I2P(κ(wQ).Wi)) \ v(ps) ∪ v(pt)
 // (Algorithm 1 line 3) into buf, which pooled callers pass to reuse its
-// capacity. sr.keyAlive must be empty.
+// capacity.
 func (sr *searcher) initKeyPartitions(buf []model.PartitionID) {
+	sr.keyAlive.reset(sr.e.s.NumPartitions())
 	for _, v := range sr.q.KeyPartitions() {
 		if v == sr.hostPs && v != sr.hostPt {
 			continue
 		}
-		if !sr.keyAlive[v] {
-			sr.keyAlive[v] = true
+		if !sr.keyAlive.contains(v) {
+			sr.keyAlive.add(v)
 			buf = append(buf, v)
 		}
 	}
-	if !sr.keyAlive[sr.hostPt] {
-		sr.keyAlive[sr.hostPt] = true
+	if !sr.keyAlive.contains(sr.hostPt) {
+		sr.keyAlive.add(sr.hostPt)
 		buf = append(buf, sr.hostPt)
 	}
 	sr.keyParts = buf
@@ -221,6 +272,40 @@ func (sr *searcher) newStamp() *stamp {
 		return sr.scratch.stamps.alloc()
 	}
 	return new(stamp)
+}
+
+// newNode appends a route node (arena-backed on pooled scratch). Nodes never
+// outlive the query — result() copies the winning routes' door and partition
+// sequences — so the arena resets wholesale.
+func (sr *searcher) newNode(parent *route.Node, d model.DoorID, entered model.PartitionID, dist float64) *route.Node {
+	if sr.scratch == nil {
+		return parent.Append(d, entered, dist)
+	}
+	n := sr.scratch.nodes.alloc()
+	*n = route.Node{Parent: parent, Door: d, Entered: entered, Dist: dist, Depth: parent.Depth + 1}
+	return n
+}
+
+// kpAppend appends to a key-partition sequence (arena-backed on pooled
+// scratch); like Append it coalesces a repeated tail partition without
+// consuming storage.
+func (sr *searcher) kpAppend(kp *route.KPNode, v model.PartitionID) *route.KPNode {
+	if kp != nil && kp.Part == v {
+		return kp
+	}
+	if sr.scratch == nil {
+		return kp.Append(v)
+	}
+	return kp.AppendInto(sr.scratch.kps.alloc(), v)
+}
+
+// newComplete returns a blank completed-route record (arena-backed on pooled
+// scratch); result() copies everything that escapes the query.
+func (sr *searcher) newComplete() *complete {
+	if sr.scratch == nil {
+		return new(complete)
+	}
+	return sr.scratch.completes.alloc()
 }
 
 // run executes the find-and-connect loop of Algorithm 1.
@@ -311,15 +396,17 @@ func (sr *searcher) tryDirectStart(s0 *stamp) {
 		sr.q.Absorb(sims, w)
 	}
 	rho := keyword.Relevance(sims)
-	kp := s0.kp.Append(sr.hostPt)
-	sr.offerComplete(&complete{
+	kp := sr.kpAppend(s0.kp, sr.hostPt)
+	c := sr.newComplete()
+	*c = complete{
 		node: s0.node,
 		kp:   kp,
 		sims: sims,
 		rho:  rho,
 		psi:  sr.psi(rho, dist, kp),
 		dist: dist,
-	})
+	}
+	sr.offerComplete(c)
 }
 
 func (sr *searcher) nextSeq() int64 {
@@ -391,7 +478,7 @@ func (sr *searcher) makeStamp(si *stamp, dl model.DoorID, vj model.PartitionID, 
 	crossed := si.v
 	kp := si.kp
 	if sr.q.IsKeyPartition(crossed) {
-		kp = kp.Append(crossed)
+		kp = sr.kpAppend(kp, crossed)
 	}
 	sims := sr.absorbThroughDoor(si.sims, dl)
 	rho := si.rho
@@ -401,7 +488,7 @@ func (sr *searcher) makeStamp(si *stamp, dl model.DoorID, vj model.PartitionID, 
 	perfect := si.perfect || keyword.PerfectlyCovered(sims)
 	sj := sr.newStamp()
 	*sj = stamp{
-		node:         si.node.Append(dl, vj, dist),
+		node:         sr.newNode(si.node, dl, vj, dist),
 		kp:           kp,
 		v:            vj,
 		sims:         sims,
@@ -588,7 +675,7 @@ func (sr *searcher) offerComplete(c *complete) {
 		sr.stats.PrunedDelta++
 		return
 	}
-	if !sr.opt.DisableKBound && len(sr.top.all()) >= sr.req.K && c.psi <= sr.top.kbound() {
+	if !sr.opt.DisableKBound && sr.top.count() >= sr.req.K && c.psi <= sr.top.kbound() {
 		sr.stats.PrunedRule4++
 		return
 	}

@@ -3,7 +3,6 @@ package search
 import (
 	"container/heap"
 	"slices"
-	"sort"
 
 	"ikrq/internal/model"
 	"ikrq/internal/route"
@@ -71,15 +70,24 @@ type complete struct {
 // keeps at most one route — the prime one — per homogeneity class; ToE\P
 // turns diversification off and simply keeps the k best routes, which is
 // what makes its results homogeneous (Fig. 16).
+//
+// Diversified classes whose (KP-hash, KP-length) key is unique live inline
+// in byClass; distinct sequences colliding on the key — possible only via an
+// FNV-1a collision — spill into the lazily created over map. nClass counts
+// routes across both so membership tests never materialize a slice.
 type topK struct {
 	k         int
 	diversify bool
 
-	byClass map[classKey][]*complete // diversified mode
-	flat    []*complete              // ToE\P mode
-	seen    map[string]bool          // flat-mode door-sequence dedupe
-	keyBuf  []byte                   // reused dedupe-key scratch (pooled with the collector)
-	psis    []float64                // reused ψ scratch for the k-bound recompute
+	byClass map[classKey]*complete   // diversified mode: prime route per class
+	over    map[classKey][]*complete // distinct classes colliding on classKey
+	nClass  int                      // routes held across byClass and over
+
+	flat   []*complete // ToE\P mode
+	seen   doorSeen    // flat-mode door-sequence dedupe
+	keyBuf []byte      // reused dedupe-key scratch (pooled with the collector)
+	psis   []float64   // reused ψ scratch for the k-bound recompute
+	resBuf []*complete // reused results() materialization buffer
 
 	kb float64 // cached k-th best ψ, 0 while fewer than k routes are known
 }
@@ -93,75 +101,94 @@ func newTopK(k int, diversify bool) *topK {
 	return &topK{
 		k:         k,
 		diversify: diversify,
-		byClass:   make(map[classKey][]*complete),
-		seen:      make(map[string]bool),
+		byClass:   make(map[classKey]*complete),
 	}
 }
 
-// reset empties the collector for reuse, keeping map buckets and the flat
-// slice's capacity. The full capacity of flat is cleared so recycled
-// collectors do not pin completed routes of an earlier query.
+// reset empties the collector for reuse, keeping map buckets and slice
+// capacity. The full capacity of the pointer-holding slices is cleared so
+// recycled collectors do not pin completed routes of an earlier query.
 func (t *topK) reset(k int, diversify bool) {
 	t.k = k
 	t.diversify = diversify
 	t.kb = 0
 	clear(t.byClass)
-	clear(t.seen)
+	if t.over != nil {
+		clear(t.over)
+	}
+	t.nClass = 0
+	t.seen.reset()
 	clear(t.flat[:cap(t.flat)])
 	t.flat = t.flat[:0]
+	clear(t.resBuf[:cap(t.resBuf)])
+	t.resBuf = t.resBuf[:0]
 }
 
 // kbound returns the current Pruning Rule 4 bound.
 func (t *topK) kbound() float64 { return t.kb }
 
+// count returns how many routes the collector currently holds.
+func (t *topK) count() int {
+	if t.diversify {
+		return t.nClass
+	}
+	return len(t.flat)
+}
+
 // add offers a complete route to the collector.
 func (t *topK) add(c *complete) {
 	if t.diversify {
 		key := classKey{hash: c.kp.Hash, len: c.kp.Depth}
-		entries := t.byClass[key]
-		replaced := false
-		for i, e := range entries {
-			if e.kp.Equal(c.kp) {
-				// Same homogeneity class: keep the prime (shortest) route,
-				// breaking exact distance ties on the door sequence — the
-				// same deterministic rule the exhaustive baseline applies,
-				// and one that survives order-preserving door renumbering
-				// (the closure-oracle comparison against a rebuilt space).
-				if c.dist < e.dist || (c.dist == e.dist && lessDoors(c.node, e.node)) {
+		e, ok := t.byClass[key]
+		if !ok {
+			t.byClass[key] = c
+			t.nClass++
+			t.recomputeBound()
+			return
+		}
+		// Same homogeneity class: keep the prime (shortest) route, breaking
+		// exact distance ties on the door sequence — the same deterministic
+		// rule the exhaustive baseline applies, and one that survives
+		// order-preserving door renumbering (the closure-oracle comparison
+		// against a rebuilt space).
+		if e.kp.Equal(c.kp) {
+			if c.dist < e.dist || (c.dist == e.dist && lessDoors(c.node, e.node)) {
+				t.byClass[key] = c
+				t.recomputeBound()
+			}
+			return
+		}
+		entries := t.over[key]
+		for i, o := range entries {
+			if o.kp.Equal(c.kp) {
+				if c.dist < o.dist || (c.dist == o.dist && lessDoors(c.node, o.node)) {
 					entries[i] = c
+					t.recomputeBound()
 				}
-				replaced = true
-				break
+				return
 			}
 		}
-		if !replaced {
-			t.byClass[key] = append(entries, c)
+		if t.over == nil {
+			t.over = make(map[classKey][]*complete)
 		}
+		t.over[key] = append(entries, c)
+		t.nClass++
 	} else {
 		// A route can be completed twice (early shortest-route completion
 		// and later topological arrival); keep one copy of each exact door
-		// sequence. The key is built into the collector's reused scratch —
-		// string(buf) map lookups don't allocate; only a genuinely new
-		// sequence pays for its key copy on insert.
+		// sequence. The key bytes are built into the collector's reused
+		// scratch and only their u64 hash enters the set — no string
+		// materialization, with hash collisions verified against the actual
+		// door sequences.
 		t.keyBuf = appendDoorsKey(t.keyBuf[:0], c.node)
-		if t.seen[string(t.keyBuf)] {
+		h := hashDoorsKey(t.keyBuf)
+		if t.seen.contains(h, c.node, t.flat) {
 			return
 		}
-		t.seen[string(t.keyBuf)] = true
 		t.flat = append(t.flat, c)
+		t.seen.insert(h, int32(len(t.flat)-1))
 	}
 	t.recomputeBound()
-}
-
-func (t *topK) all() []*complete {
-	if !t.diversify {
-		return t.flat
-	}
-	out := make([]*complete, 0, len(t.byClass))
-	for _, entries := range t.byClass {
-		out = append(out, entries...)
-	}
-	return out
 }
 
 // recomputeBound refreshes the cached k-th best ψ. It runs once per accepted
@@ -172,7 +199,10 @@ func (t *topK) all() []*complete {
 func (t *topK) recomputeBound() {
 	psis := t.psis[:0]
 	if t.diversify {
-		for _, entries := range t.byClass {
+		for _, c := range t.byClass {
+			psis = append(psis, c.psi)
+		}
+		for _, entries := range t.over {
 			for _, c := range entries {
 				psis = append(psis, c.psi)
 			}
@@ -192,23 +222,150 @@ func (t *topK) recomputeBound() {
 }
 
 // results returns the final top-k routes, ordered by ψ descending with
-// deterministic tie-breaking.
+// deterministic tie-breaking. The returned slice is the collector's pooled
+// buffer; result() copies what escapes.
 func (t *topK) results() []*complete {
-	cs := t.all()
-	sort.Slice(cs, func(i, j int) bool {
-		a, b := cs[i], cs[j]
+	cs := t.resBuf[:0]
+	if t.diversify {
+		for _, c := range t.byClass {
+			cs = append(cs, c)
+		}
+		for _, entries := range t.over {
+			cs = append(cs, entries...)
+		}
+	} else {
+		cs = append(cs, t.flat...)
+	}
+	t.resBuf = cs
+	slices.SortFunc(cs, func(a, b *complete) int {
 		if a.psi != b.psi {
-			return a.psi > b.psi
+			if a.psi > b.psi {
+				return -1
+			}
+			return 1
 		}
 		if a.dist != b.dist {
-			return a.dist < b.dist
+			if a.dist < b.dist {
+				return -1
+			}
+			return 1
 		}
-		return lessDoors(a.node, b.node)
+		if lessDoors(a.node, b.node) {
+			return -1
+		}
+		if lessDoors(b.node, a.node) {
+			return 1
+		}
+		return 0
 	})
 	if len(cs) > t.k {
 		cs = cs[:t.k]
 	}
 	return cs
+}
+
+// doorSeen is the flat-mode dedupe set: an open-addressed, power-of-two
+// hash table over the 64-bit FNV-1a of a route's door-sequence key. Slots
+// store (hash, flat-index+1); a matching hash is verified against the actual
+// door sequence of the indexed route, so an FNV collision can never drop a
+// distinct route. It replaces a map[string]bool that materialized a string
+// key per inserted route.
+type doorSeen struct {
+	hash []uint64
+	idx  []int32 // index into topK.flat plus one; 0 marks an empty slot
+	n    int
+}
+
+// reset empties the set, keeping capacity. Stale hash words behind empty
+// slots are harmless: idx == 0 is the sole emptiness criterion.
+func (s *doorSeen) reset() {
+	clear(s.idx)
+	s.n = 0
+}
+
+// contains reports whether flat already holds a route with node's exact door
+// sequence, given h = hashDoorsKey of that sequence.
+func (s *doorSeen) contains(h uint64, node *route.Node, flat []*complete) bool {
+	if s.n == 0 {
+		return false
+	}
+	mask := uint64(len(s.idx) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		slot := s.idx[i]
+		if slot == 0 {
+			return false
+		}
+		if s.hash[i] == h && sameDoors(flat[slot-1].node, node) {
+			return true
+		}
+	}
+}
+
+// insert records the route just appended at flat index idx under hash h,
+// growing at ¾ load. Linear probing never wraps forever: load stays < 1.
+func (s *doorSeen) insert(h uint64, idx int32) {
+	if len(s.idx) == 0 || (s.n+1)*4 > len(s.idx)*3 {
+		s.grow()
+	}
+	mask := uint64(len(s.idx) - 1)
+	i := h & mask
+	for s.idx[i] != 0 {
+		i = (i + 1) & mask
+	}
+	s.hash[i] = h
+	s.idx[i] = idx + 1
+	s.n++
+}
+
+func (s *doorSeen) grow() {
+	newLen := 64
+	if len(s.idx) > 0 {
+		newLen = len(s.idx) * 2
+	}
+	oldHash, oldIdx := s.hash, s.idx
+	s.hash = make([]uint64, newLen)
+	s.idx = make([]int32, newLen)
+	mask := uint64(newLen - 1)
+	for j, slot := range oldIdx {
+		if slot == 0 {
+			continue
+		}
+		i := oldHash[j] & mask
+		for s.idx[i] != 0 {
+			i = (i + 1) & mask
+		}
+		s.hash[i] = oldHash[j]
+		s.idx[i] = slot
+	}
+}
+
+// hashDoorsKey is 64-bit FNV-1a over an appendDoorsKey buffer.
+func hashDoorsKey(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// sameDoors reports whether two routes have identical door sequences — the
+// exact verification behind the dedupe set's hash equality. Roots carry
+// NoDoor, so walking the chains in lockstep compares the sequences without
+// materializing them.
+func sameDoors(a, b *route.Node) bool {
+	for {
+		if a == b {
+			return true // shared suffix-to-root, or both nil
+		}
+		if a == nil || b == nil {
+			return false
+		}
+		if a.Door != b.Door {
+			return false
+		}
+		a, b = a.Parent, b.Parent
+	}
 }
 
 // appendKPNodeKey is appendKPKey for a linked KP node, walking parents
