@@ -113,11 +113,13 @@ func run() int {
 		if ds := engine.DistanceSourceIfReady(); ds != nil {
 			backend = ds.Kind()
 		}
-		fmt.Printf("stats: %v, pops=%d stamps=%d peakQ=%d pruned[R1=%d R2=%d R3=%d R4=%d R5=%d reg=%d Δ=%d closed=%d] backend=%s mem≈%.2fMB\n",
+		ms := engine.MemStats()
+		fmt.Printf("stats: %v, pops=%d stamps=%d peakQ=%d pruned[R1=%d R2=%d R3=%d R4=%d R5=%d reg=%d Δ=%d closed=%d] backend=%s mem≈%.2fMB (heap %.2fMB, mapped %.2fMB)\n",
 			st.Elapsed, st.Pops, st.StampsCreated, st.PeakQueue,
 			st.PrunedRule1, st.PrunedRule2, st.PrunedRule3, st.PrunedRule4,
 			st.PrunedRule5, st.PrunedRegularity, st.PrunedDelta, st.PrunedClosed,
-			backend, float64(st.EstBytes)/(1<<20))
+			backend, float64(st.EstBytes)/(1<<20),
+			float64(ms.HeapBytes)/(1<<20), float64(ms.MappedBytes)/(1<<20))
 	}
 	return cli.ExitOK
 }

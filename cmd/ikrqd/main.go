@@ -14,11 +14,17 @@
 //	GET  /healthz                      liveness; 503 once draining
 //	GET  /v1/venues                    per-venue load/refcount/query stats
 //	POST /v1/venues/{venue}/query      one IKRQ query (JSON; see README)
+//	POST /v1/venues/{venue}/reload     hot-swap the venue's snapshot in place
 //	GET  /debug/vars                   QPS, in-flight, p50/p99, shed count
 //
 // Venues load lazily on first query (or eagerly with -warm); -max-resident
 // caps how many engines stay in memory at once, evicting the
-// least-recently-used idle venue. Queries run under -timeout deadlines and
+// least-recently-used idle venue. v3 snapshots are served zero-copy over an
+// mmap where the platform supports it — /v1/venues reports each venue's
+// heap_bytes/mapped_bytes split — and a re-baked snapshot can be swapped in
+// under live traffic with the reload endpoint (in-flight queries drain on
+// the engine they started on; the result cache is invalidated so no stale
+// route survives the swap). Queries run under -timeout deadlines and
 // a bounded in-flight semaphore (-max-inflight) that sheds excess load
 // with 429 + Retry-After. SIGINT/SIGTERM starts a graceful drain: the
 // listener closes, /healthz flips to 503, and in-flight queries finish

@@ -261,9 +261,14 @@ func NewEngine(s *Space, x *KeywordIndex) *Engine { return search.NewEngine(s, x
 // SaveSnapshot writes the engine's immutable index layer — space, keyword
 // index, state graph, skeleton, and the KoE* distance backend if the
 // engine has built one (call Engine.Precompute first to force it) — to w
-// in the versioned binary snapshot format (see internal/snapshot and
-// DESIGN.md §6).
+// in the current (v3, flat) snapshot format, which OpenEngine can serve
+// zero-copy over an mmap (see internal/snapshot and DESIGN.md §6, §13).
 func SaveSnapshot(w io.Writer, e *Engine) error { return snapshot.SaveEngine(w, e) }
+
+// SaveSnapshotV2 writes the engine's index layer in the sequential v2
+// snapshot format for interop with pre-v3 readers (`ikrqgen -snapshot-v2`).
+// v2 snapshots always decode onto the heap.
+func SaveSnapshotV2(w io.Writer, e *Engine) error { return snapshot.SaveEngineV2(w, e) }
 
 // LoadEngine assembles a ready-to-serve engine from a snapshot written by
 // SaveSnapshot, skipping all index derivation. The decoder rejects corrupt,
@@ -271,6 +276,14 @@ func SaveSnapshot(w io.Writer, e *Engine) error { return snapshot.SaveEngine(w, 
 // returns results identical to one freshly built over the same space and
 // keyword index.
 func LoadEngine(r io.Reader) (*Engine, error) { return snapshot.LoadEngine(r) }
+
+// OpenEngine assembles a serving engine from a snapshot file, serving v3
+// snapshots as views over an mmap where the platform supports it: cold
+// start touches only the pages actually read, and concurrent processes
+// serving the same bake share one page-cache copy. The engine owns the
+// mapping; call Engine.Close when it stops serving. v1/v2 files (and
+// big-endian hosts) transparently fall back to the heap decode.
+func OpenEngine(path string) (*Engine, error) { return snapshot.OpenEngine(path) }
 
 // OptionsFor returns the Options for a Table III variant name such as
 // "ToE", "KoE", "ToE\\D" or "KoE*".

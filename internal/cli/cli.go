@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"os"
 	"strconv"
 	"strings"
 
@@ -84,14 +83,10 @@ func Mall(real bool, floors, shopsPerFloor int, seed uint64) (*gen.Mall, *gen.Vo
 }
 
 // LoadSnapshotEngine assembles a serving engine from a snapshot file baked
-// by `ikrqgen -snapshot`.
+// by `ikrqgen -snapshot`, serving v3 snapshots zero-copy over an mmap
+// where the platform supports it.
 func LoadSnapshotEngine(path string) (*search.Engine, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return snapshot.LoadEngine(f)
+	return snapshot.OpenEngine(path)
 }
 
 // QuerySpec carries the query-shaping flags the tools share. The zero

@@ -19,6 +19,18 @@ type Builder struct {
 // NewBuilder returns an empty Builder.
 func NewBuilder() *Builder { return &Builder{} }
 
+// Grow pre-allocates capacity for the given partition and door counts, for
+// callers that know the final size up front (snapshot restore replays whole
+// spaces through the builder; growing incrementally there is measurable).
+func (b *Builder) Grow(partitions, doors int) {
+	if partitions > cap(b.partitions) {
+		b.partitions = append(make([]Partition, 0, partitions), b.partitions...)
+	}
+	if doors > cap(b.doors) {
+		b.doors = append(make([]Door, 0, doors), b.doors...)
+	}
+}
+
 // AddPartition registers a partition and returns its ID. Names should be
 // unique for readable output but the model does not enforce that; keyword
 // identity is handled by the keyword layer, not by partition names.
@@ -98,12 +110,18 @@ func (b *Builder) Build() (*Space, error) {
 	}
 
 	// Wire the P2D mappings from the D2P mappings and validate references.
+	// Degrees are counted first so every per-partition door list is carved
+	// from one exactly-sized backing array per direction — on the snapshot
+	// cold-start path this loop used to dominate via incremental appends.
 	maxFloor := 0
 	for i := range s.partitions {
 		if f := s.partitions[i].Floor(); f > maxFloor {
 			maxFloor = f
 		}
 	}
+	enterDeg := make([]int32, len(s.partitions))
+	leaveDeg := make([]int32, len(s.partitions))
+	enterTotal, leaveTotal := 0, 0
 	for i := range s.doors {
 		d := &s.doors[i]
 		if f := d.Floor(); f > maxFloor {
@@ -116,12 +134,34 @@ func (b *Builder) Build() (*Space, error) {
 			if int(v) < 0 || int(v) >= len(s.partitions) {
 				return nil, fmt.Errorf("model: door %d enterable references missing partition %d", d.ID, v)
 			}
-			s.partitions[v].enterDoors = append(s.partitions[v].enterDoors, d.ID)
+			enterDeg[v]++
+			enterTotal++
 		}
 		for _, v := range d.leaveable {
 			if int(v) < 0 || int(v) >= len(s.partitions) {
 				return nil, fmt.Errorf("model: door %d leaveable references missing partition %d", d.ID, v)
 			}
+			leaveDeg[v]++
+			leaveTotal++
+		}
+	}
+	enterBack := make([]DoorID, 0, enterTotal)
+	leaveBack := make([]DoorID, 0, leaveTotal)
+	for i := range s.partitions {
+		p := &s.partitions[i]
+		off := len(enterBack)
+		enterBack = enterBack[:off+int(enterDeg[i])]
+		p.enterDoors = enterBack[off:off:len(enterBack)]
+		off = len(leaveBack)
+		leaveBack = leaveBack[:off+int(leaveDeg[i])]
+		p.leaveDoors = leaveBack[off:off:len(leaveBack)]
+	}
+	for i := range s.doors {
+		d := &s.doors[i]
+		for _, v := range d.enterable {
+			s.partitions[v].enterDoors = append(s.partitions[v].enterDoors, d.ID)
+		}
+		for _, v := range d.leaveable {
 			s.partitions[v].leaveDoors = append(s.partitions[v].leaveDoors, d.ID)
 		}
 	}
@@ -155,13 +195,19 @@ func (b *Builder) Build() (*Space, error) {
 
 	s.computeSelfLoops()
 	s.indexStairDoors()
+	s.indexStairways()
+	return s, nil
+}
+
+// indexStairways builds the by-door stairway index, normalized so every
+// entry departs from its key door.
+func (s *Space) indexStairways() {
 	s.stairwaysByDoor = make(map[DoorID][]Stairway)
 	for _, sw := range s.stairways {
 		s.stairwaysByDoor[sw.From] = append(s.stairwaysByDoor[sw.From], sw)
 		s.stairwaysByDoor[sw.To] = append(s.stairwaysByDoor[sw.To],
 			Stairway{From: sw.To, To: sw.From, Length: sw.Length, Lift: sw.Lift})
 	}
-	return s, nil
 }
 
 // computeSelfLoops derives δd2d(d,d) for every door d and every partition v
@@ -169,10 +215,14 @@ func (b *Builder) Build() (*Space, error) {
 // distance reachable inside v from d. For a convex (rectangular) partition
 // that is the distance to the farthest of (other doors of v, corners of v).
 func (s *Space) computeSelfLoops() {
-	s.selfLoop = make([]map[PartitionID]float64, len(s.doors))
+	s.selfLoopOff = make([]int32, len(s.doors)+1)
+	var parts []PartitionID
+	var dists []float64
 	for i := range s.doors {
+		s.selfLoopOff[i] = int32(len(parts))
 		d := &s.doors[i]
-		m := make(map[PartitionID]float64)
+		// d.enterable is sorted, so each door's window comes out in
+		// ascending partition order — CommonPartition relies on that.
 		for _, v := range d.enterable {
 			if !contains(d.leaveable, v) {
 				continue // cannot come back out this way
@@ -195,14 +245,30 @@ func (s *Space) computeSelfLoops() {
 				// positive cost so the search cannot spin for free.
 				far = 0.5
 			}
-			m[v] = 2 * far
+			parts = append(parts, v)
+			dists = append(dists, 2*far)
 		}
-		s.selfLoop[i] = m
 	}
+	s.selfLoopOff[len(s.doors)] = int32(len(parts))
+	s.selfLoopPart, s.selfLoopDist = parts, dists
 }
 
 func (s *Space) indexStairDoors() {
 	s.stairDoorsByFloor = make([][]DoorID, s.floors)
+	perFloor := make([]int32, s.floors)
+	total := 0
+	for i := range s.doors {
+		if s.doors[i].Stair {
+			perFloor[s.doors[i].Floor()]++
+			total++
+		}
+	}
+	back := make([]DoorID, 0, total)
+	for f := range s.stairDoorsByFloor {
+		off := len(back)
+		back = back[:off+int(perFloor[f])]
+		s.stairDoorsByFloor[f] = back[off:off:len(back)]
+	}
 	for i := range s.doors {
 		if s.doors[i].Stair {
 			f := s.doors[i].Floor()

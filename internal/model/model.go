@@ -17,7 +17,7 @@ package model
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"ikrq/internal/geom"
 )
@@ -140,10 +140,16 @@ type Space struct {
 	stairways  []Stairway
 	floors     int
 
-	// selfLoop[d] is δd2d(d,d) per leaveable partition, keyed by partition:
-	// 2× the longest non-loop distance reachable inside that partition from
-	// the door. Stored flattened: selfLoop[d][v] for v in enterable(d).
-	selfLoop []map[PartitionID]float64
+	// Self-loop distances δd2d(d,d), CSR over doors: door d's loops are
+	// selfLoopPart/selfLoopDist[selfLoopOff[d]:selfLoopOff[d+1]], one entry
+	// per partition one can both enter and leave through d (ascending
+	// partition ID), holding 2× the longest non-loop distance reachable
+	// inside that partition from the door. Windows are tiny (a door serves
+	// 1–3 partitions), so lookups scan; the flat layout exists because
+	// building one small map per door dominated snapshot cold start.
+	selfLoopOff  []int32
+	selfLoopPart []PartitionID
+	selfLoopDist []float64
 
 	// stairDoors lists all doors with Stair set, grouped by floor.
 	stairDoorsByFloor [][]DoorID
@@ -225,8 +231,7 @@ func (s *Space) HostPartition(p geom.Point) PartitionID {
 func (s *Space) D2DDist(di, dj DoorID) float64 {
 	if di == dj {
 		best := math.Inf(1)
-		for v, d := range s.selfLoop[di] {
-			_ = v
+		for _, d := range s.selfLoopDist[s.selfLoopOff[di]:s.selfLoopOff[di+1]] {
 			if d < best {
 				best = d
 			}
@@ -245,10 +250,7 @@ func (s *Space) D2DDist(di, dj DoorID) float64 {
 // does). For di == dj it returns the self-loop distance within via.
 func (s *Space) D2DDistVia(di, dj DoorID, via PartitionID) float64 {
 	if di == dj {
-		if d, ok := s.selfLoop[di][via]; ok {
-			return d
-		}
-		return math.Inf(1)
+		return s.SelfLoopDist(di, via)
 	}
 	a, b := &s.doors[di], &s.doors[dj]
 	if !contains(a.enterable, via) || !contains(b.leaveable, via) {
@@ -263,10 +265,9 @@ func (s *Space) D2DDistVia(di, dj DoorID, via PartitionID) float64 {
 func (s *Space) CommonPartition(di, dj DoorID) PartitionID {
 	if di == dj {
 		best := NoPartition
-		for v := range s.selfLoop[di] {
-			if best == NoPartition || v < best {
-				best = v
-			}
+		// Windows are sorted ascending; the first loopable partition wins.
+		if lo, hi := s.selfLoopOff[di], s.selfLoopOff[di+1]; lo < hi {
+			best = s.selfLoopPart[lo]
 		}
 		return best
 	}
@@ -312,8 +313,11 @@ func (s *Space) D2PtDist(d DoorID, p geom.Point) float64 {
 // non-loop distance reachable inside v from door d. +Inf if the loop is
 // topologically impossible (d must be both an enter and a leave door of v).
 func (s *Space) SelfLoopDist(d DoorID, v PartitionID) float64 {
-	if dist, ok := s.selfLoop[d][v]; ok {
-		return dist
+	lo, hi := s.selfLoopOff[d], s.selfLoopOff[d+1]
+	for i := lo; i < hi; i++ {
+		if s.selfLoopPart[i] == v {
+			return s.selfLoopDist[i]
+		}
 	}
 	return math.Inf(1)
 }
@@ -347,11 +351,18 @@ func containsDoor(a []DoorID, d DoorID) bool {
 	return false
 }
 
-// sortPartitionIDs sorts in place for deterministic iteration.
+// sortPartitionIDs sorts in place for deterministic iteration. Inputs are
+// usually already ordered (Build wires P2D in door-ID order; restored
+// records carry the sorted order they were exported with), so the O(n)
+// sortedness check skips the sort on the cold-start path.
 func sortPartitionIDs(ids []PartitionID) {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if !slices.IsSorted(ids) {
+		slices.Sort(ids)
+	}
 }
 
 func sortDoorIDs(ids []DoorID) {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if !slices.IsSorted(ids) {
+		slices.Sort(ids)
+	}
 }

@@ -298,6 +298,17 @@ type Engine struct {
 	// popularity, when set, holds a visit-popularity score in [0,1] per
 	// partition, used by Options.PopularityWeight.
 	popularity []float64
+
+	// Mapping residency, set (before the engine is shared) by the snapshot
+	// loader when the index layer is served as views over an mmap'd file:
+	// mappedBytes is the mapping's full length, aliasedBytes the portion of
+	// the analytic table estimates that lives in the mapping rather than the
+	// heap, and mapClose releases the mapping. Heap-built engines leave all
+	// three zero.
+	mappedBytes  int64
+	aliasedBytes int64
+	closeMu      sync.Mutex
+	mapClose     func() error
 }
 
 // DenseStateLimit is the state-count threshold of the automatic KoE*
@@ -361,6 +372,33 @@ func assemble(s *model.Space, x *keyword.Index, pf *graph.PathFinder, sk *graph.
 	e.qcache = keyword.NewQueryCache(x, defaultQueryCacheCap)
 	e.exec = newExecutor(e)
 	return e
+}
+
+// SetMapping hands the engine ownership of the snapshot mapping its index
+// layer aliases: mapped is the mapping's length, aliased the table bytes
+// served from it, and close releases it. Called once by the snapshot loader
+// before the engine is shared; Close tears the mapping down.
+func (e *Engine) SetMapping(mapped, aliased int64, close func() error) {
+	e.mappedBytes = mapped
+	e.aliasedBytes = aliased
+	e.closeMu.Lock()
+	e.mapClose = close
+	e.closeMu.Unlock()
+}
+
+// Close releases the snapshot mapping backing the engine's index layer, if
+// any. It is idempotent and a no-op for heap-built engines. The caller must
+// guarantee no query is in flight and none will follow — the serving
+// registry closes an engine only once its reference count has drained.
+func (e *Engine) Close() error {
+	e.closeMu.Lock()
+	close := e.mapClose
+	e.mapClose = nil
+	e.closeMu.Unlock()
+	if close == nil {
+		return nil
+	}
+	return close()
 }
 
 // Executor exposes the engine's pooled query executor.
@@ -516,6 +554,12 @@ type MemStats struct {
 	Backend      string `json:"backend,omitempty"`
 	BackendBytes int64  `json:"backend_bytes"`
 
+	// HeapBytes and MappedBytes split the total by residency: heap-decoded
+	// tables vs views over an mmap'd snapshot (page-cache shared, reclaimable
+	// under pressure). Heap-built engines report everything under HeapBytes.
+	HeapBytes   int64 `json:"heap_bytes"`
+	MappedBytes int64 `json:"mapped_bytes"`
+
 	TotalBytes int64 `json:"total_bytes"`
 }
 
@@ -531,7 +575,10 @@ func (e *Engine) MemStats() MemStats {
 		ms.Backend = ds.Kind()
 		ms.BackendBytes = ds.Bytes()
 	}
-	ms.TotalBytes = ms.GraphBytes + ms.SkeletonBytes + ms.IndexBytes + ms.BackendBytes
+	sum := ms.GraphBytes + ms.SkeletonBytes + ms.IndexBytes + ms.BackendBytes
+	ms.MappedBytes = e.mappedBytes
+	ms.HeapBytes = max(0, sum-e.aliasedBytes)
+	ms.TotalBytes = ms.HeapBytes + ms.MappedBytes
 	return ms
 }
 

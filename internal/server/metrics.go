@@ -20,6 +20,7 @@ type metrics struct {
 	shed        atomic.Uint64 // 429 admission rejections
 	timeouts    atomic.Uint64 // 504 per-request deadline hits
 	disconnects atomic.Uint64 // client gone before the result
+	reloads     atomic.Uint64 // successful hot snapshot swaps
 
 	inFlight atomic.Int64
 
@@ -103,6 +104,7 @@ func (m *metrics) vars(reg *Registry) map[string]any {
 		"registry": map[string]int64{
 			"venues":    int64(reg.Len()),
 			"evictions": reg.Evictions(),
+			"reloads":   int64(m.reloads.Load()),
 		},
 		"memory": reg.memVars(),
 	}

@@ -8,7 +8,6 @@ package server
 import (
 	"errors"
 	"fmt"
-	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -41,11 +40,11 @@ type VenueConfig struct {
 // A venue's engine is loaded from its snapshot on first Acquire and stays
 // resident while queries reference it. When MaxResident is set, loading a
 // venue past the cap evicts the least-recently-used idle venue (refcount
-// zero): the registry drops its pointer, so the engine is reclaimed by the
-// GC once the last in-flight query releases its handle — eviction never
-// yanks an engine out from under a running query. If every resident venue
-// is busy the registry overshoots temporarily and re-checks the cap as
-// handles are released.
+// zero): the registry closes its engine — releasing any snapshot mapping
+// deterministically — and drops the pointer. Only idle venues are victims,
+// so eviction never yanks an engine out from under a running query. If
+// every resident venue is busy the registry overshoots temporarily and
+// re-checks the cap as handles are released.
 type Registry struct {
 	mu       sync.Mutex
 	venues   map[string]*venue
@@ -94,12 +93,11 @@ func NewRegistry(maxResident int) *Registry {
 }
 
 func loadSnapshotFile(cfg VenueConfig) (*search.Engine, error) {
-	f, err := os.Open(cfg.Path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return snapshot.LoadEngine(f)
+	// OpenEngine serves v3 snapshots as views over an mmap where the
+	// platform supports it — cold start touches only the pages it reads and
+	// co-resident loads of the same bake share the page cache. The registry
+	// owns the mapping lifetime: engines are Closed on eviction and swap.
+	return snapshot.OpenEngine(cfg.Path)
 }
 
 // SetLoader replaces the snapshot-file loader (test seam). Call before any
@@ -314,10 +312,74 @@ func (r *Registry) evictLocked(keep *venue) {
 		if victim == nil {
 			return // every resident venue is busy; retried on Release
 		}
+		// Victims have refs == 0, so no query references the engine and its
+		// snapshot mapping (if any) can be released right away.
+		_ = victim.engine.Close()
 		victim.engine = nil
 		r.resident--
 		r.evictions.Add(1)
 	}
+}
+
+// Swap atomically replaces a venue's resident engine with one freshly
+// loaded from path (or from the venue's current path when path is empty) —
+// the hot-reload behind POST /v1/venues/{venue}/reload. In-flight queries
+// drain on the engine they acquired; queries arriving after the swap see
+// the new one. The old engine's result cache is invalidated before it goes,
+// and the old engine is closed as soon as no handle references it (an old
+// engine still referenced is left to its mapping finalizer). A venue that
+// was not resident becomes resident, subject to the LRU cap.
+func (r *Registry) Swap(name, path string) error {
+	r.mu.Lock()
+	v, ok := r.venues[name]
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownVenue, name)
+	}
+
+	// loadMu keeps the slow load out of the registry lock and serializes
+	// concurrent swaps (and swap-vs-first-Acquire loads) of one venue.
+	v.loadMu.Lock()
+	defer v.loadMu.Unlock()
+	cfg := v.cfg
+	if path != "" {
+		cfg.Path = path
+	}
+	t0 := time.Now()
+	e, err := r.loader(cfg)
+	if err != nil {
+		return fmt.Errorf("server: venue %q: %w", name, err)
+	}
+	if cfg.Warm {
+		e.Precompute()
+	}
+	if opts := r.resultCacheOpts(); opts != nil {
+		e.EnableResultCache(*opts)
+	}
+	took := time.Since(t0)
+
+	r.mu.Lock()
+	old := v.engine
+	if old != nil {
+		if c := old.ResultCache(); c != nil {
+			c.Invalidate()
+		}
+	}
+	v.cfg = cfg
+	v.engine = e
+	v.lastUse = r.tick()
+	v.loads++
+	v.loadTime = took
+	if old == nil {
+		r.resident++
+		r.evictLocked(v)
+	}
+	closeOld := old != nil && v.refs == 0
+	r.mu.Unlock()
+	if closeOld {
+		_ = old.Close()
+	}
+	return nil
 }
 
 // WarmAll loads every registered venue eagerly (startup warmup). With an
@@ -355,6 +417,8 @@ func (r *Registry) Status() []VenueStatus {
 			ms := v.engine.MemStats()
 			st.Backend = ms.Backend
 			st.ResidentBytes = ms.TotalBytes
+			st.MappedBytes = ms.MappedBytes
+			st.HeapBytes = ms.HeapBytes
 			if c := v.engine.ResultCache(); c != nil {
 				cs := c.Stats()
 				st.ResultCache = &cs

@@ -1,0 +1,243 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+
+	"ikrq/internal/search"
+)
+
+func TestRegistrySwap(t *testing.T) {
+	reg, ml := memRegistry(t, 0, "a")
+	e2 := testEngine(t)
+
+	// Swapping an unloaded venue makes it resident.
+	if err := reg.Swap("a", ""); err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	if st := reg.Status(); !st[0].Loaded || st[0].Loads != 1 {
+		t.Fatalf("status after first swap: %+v", st[0])
+	}
+
+	h, err := reg.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := h.Engine()
+
+	// A held handle keeps serving the old engine across the swap; fresh
+	// acquires see the new one.
+	ml.mu.Lock()
+	ml.engines["a"] = e2
+	ml.mu.Unlock()
+	if err := reg.Swap("a", "a-v2.ikrq"); err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	if h.Engine() != old {
+		t.Fatal("in-flight handle switched engines mid-query")
+	}
+	h.Release()
+	h2, err := reg.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Engine() != e2 {
+		t.Fatal("post-swap acquire did not get the new engine")
+	}
+	h2.Release()
+	if st := reg.Status(); st[0].Loads != 2 {
+		t.Fatalf("loads after swap: %+v", st[0])
+	}
+
+	// The path override sticks: the next load (after eviction or a bare
+	// swap) reads the swapped-in snapshot.
+	if err := reg.Swap("a", ""); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := reg.Swap("nope", ""); !errors.Is(err, ErrUnknownVenue) {
+		t.Fatalf("Swap(nope) = %v, want ErrUnknownVenue", err)
+	}
+}
+
+func TestRegistrySwapLoadFailureKeepsOldEngine(t *testing.T) {
+	reg, ml := memRegistry(t, 0, "a")
+	h, err := reg.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := h.Engine()
+	h.Release()
+
+	ml.mu.Lock()
+	delete(ml.engines, "a")
+	ml.mu.Unlock()
+	if err := reg.Swap("a", ""); err == nil {
+		t.Fatal("Swap with a failing loader succeeded")
+	}
+	h, err = reg.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Engine() != old {
+		t.Fatal("failed swap replaced the resident engine")
+	}
+	h.Release()
+}
+
+// TestReloadEndpoint drives the HTTP hot-swap end to end over a real baked
+// snapshot: reload in place, reload onto a re-baked file, and the error
+// paths — all while confirming queries keep answering.
+func TestReloadEndpoint(t *testing.T) {
+	_, ts, oracle := newBakedServer(t, Config{MaxInFlight: 64})
+
+	query := func() (int, []byte) {
+		wq := wireCases[0]
+		wq.Variant = string(search.VariantToE)
+		body, err := json.Marshal(wq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return postQueryHTTP(t, ts, "mall", body)
+	}
+	if code, out := query(); code != http.StatusOK {
+		t.Fatalf("pre-swap query: %d %s", code, out)
+	}
+
+	reload := func(venue string, body []byte) (int, []byte) {
+		resp, err := http.Post(ts.URL+"/v1/venues/"+venue+"/reload", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST reload: %v", err)
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out
+	}
+
+	// Reload in place (empty body → current path).
+	code, out := reload("mall", nil)
+	if code != http.StatusOK {
+		t.Fatalf("reload: %d %s", code, out)
+	}
+	var rr ReloadResponse
+	if err := json.Unmarshal(out, &rr); err != nil || rr.Venue != "mall" {
+		t.Fatalf("reload response %s: %v", out, err)
+	}
+	if code, out := query(); code != http.StatusOK {
+		t.Fatalf("post-swap query: %d %s", code, out)
+	}
+
+	// Reload onto a freshly re-baked snapshot via the body path.
+	rebaked := bakeSnapshot(t, oracle)
+	body, _ := json.Marshal(ReloadRequest{Path: rebaked})
+	if code, out := reload("mall", body); code != http.StatusOK {
+		t.Fatalf("reload onto rebake: %d %s", code, out)
+	}
+	if code, out := query(); code != http.StatusOK {
+		t.Fatalf("query after rebake swap: %d %s", code, out)
+	}
+
+	// The venue listing reports the residency split of the swapped-in
+	// engine; on linux a v3 bake serves its bulk tables from the mmap.
+	resp, err := http.Get(ts.URL + "/v1/venues")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Venues []VenueStatus `json:"venues"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(listing.Venues) != 1 {
+		t.Fatalf("venues: %+v", listing.Venues)
+	}
+	if runtime.GOOS == "linux" && listing.Venues[0].MappedBytes == 0 {
+		t.Fatalf("v3 venue on linux reports no mapped bytes: %+v", listing.Venues[0])
+	}
+
+	// Error paths: unknown venue 404, unreadable snapshot 503, each with a
+	// structured code — and the venue must keep serving after the failure.
+	if code, out := reload("nope", nil); code != http.StatusNotFound {
+		t.Fatalf("reload unknown venue: %d %s", code, out)
+	}
+	body, _ = json.Marshal(ReloadRequest{Path: "/does/not/exist.ikrq"})
+	code, out = reload("mall", body)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("reload bad path: %d %s", code, out)
+	}
+	var we ErrorBody
+	if err := json.Unmarshal(out, &we); err != nil || we.Error.Code != "reload_failed" {
+		t.Fatalf("reload error body %s: %v", out, err)
+	}
+	if code, out := query(); code != http.StatusOK {
+		t.Fatalf("query after failed reload: %d %s", code, out)
+	}
+}
+
+// TestReloadUnderLoad swaps repeatedly while queries hammer the venue: no
+// request may observe an error during a hot swap.
+func TestReloadUnderLoad(t *testing.T) {
+	_, ts, _ := newBakedServer(t, Config{MaxInFlight: 256})
+
+	wq := wireCases[0]
+	wq.Variant = string(search.VariantToE)
+	qbody, err := json.Marshal(wq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code, out := postQueryHTTP(t, ts, "mall", qbody)
+				if code != http.StatusOK {
+					select {
+					case errc <- fmt.Errorf("query during swap: %d %s", code, out):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 5; i++ {
+		resp, err := http.Post(ts.URL+"/v1/venues/mall/reload", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("swap %d: %d", i, resp.StatusCode)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"runtime"
@@ -66,6 +67,7 @@ func (c Config) withDefaults() Config {
 //	GET  /healthz                       liveness (503 while draining)
 //	GET  /v1/venues                     registry status
 //	POST /v1/venues/{venue}/query       one IKRQ query (QueryRequest JSON)
+//	POST /v1/venues/{venue}/reload      hot-swap the venue's snapshot
 //	GET  /debug/vars                    serving counters
 //
 // Queries run on the engines' pooled executors under a per-request
@@ -95,6 +97,7 @@ func New(reg *Registry, cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/venues", s.handleVenues)
 	s.mux.HandleFunc("POST /v1/venues/{venue}/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/venues/{venue}/reload", s.handleReload)
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
 	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
 	return s
@@ -261,6 +264,41 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	h.CountQuery()
 	s.met.ok.Add(1)
 	s.writeJSON(w, http.StatusOK, BuildResponse(h.Venue(), variant, req, res))
+}
+
+// handleReload hot-swaps a venue's resident engine: the snapshot at the
+// requested path (the venue's configured path when the body is empty or
+// omits it) is loaded to the side and atomically replaces the old engine —
+// in-flight queries drain on the one they acquired, later arrivals see the
+// new bake, and the old result cache is invalidated so no stale route
+// survives the swap. A failed load leaves the venue serving the old engine
+// untouched.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	var body ReloadRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil && !errors.Is(err, io.EOF) {
+		s.clientError(w, http.StatusBadRequest, "malformed_request", "decoding request body: %v", err)
+		return
+	}
+
+	name := r.PathValue("venue")
+	t0 := time.Now()
+	err := s.reg.Swap(name, body.Path)
+	switch {
+	case errors.Is(err, ErrUnknownVenue):
+		s.clientError(w, http.StatusNotFound, "unknown_venue", "%v", err)
+		return
+	case err != nil:
+		s.met.serverErrs.Add(1)
+		s.writeJSON(w, http.StatusServiceUnavailable, wireError("reload_failed", "%v", err))
+		return
+	}
+	s.met.reloads.Add(1)
+	s.writeJSON(w, http.StatusOK, ReloadResponse{
+		Venue:      name,
+		LoadMillis: time.Since(t0).Milliseconds(),
+	})
 }
 
 func (s *Server) clientError(w http.ResponseWriter, status int, code, format string, args ...any) {

@@ -190,13 +190,31 @@ type ErrorBody struct {
 type ErrorInfo struct {
 	// Code is one of: malformed_request, request_too_large,
 	// invalid_request, unknown_variant, unknown_venue, venue_unavailable,
-	// overloaded, deadline_exceeded.
+	// reload_failed, overloaded, deadline_exceeded.
 	Code    string `json:"code"`
 	Message string `json:"message"`
 
 	// RetryAfterSeconds accompanies overloaded responses, mirroring the
 	// Retry-After header for clients that only read bodies.
 	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+// ReloadRequest is the (optional) body of POST /v1/venues/{venue}/reload.
+// An empty body — or an empty path — reloads the venue's configured
+// snapshot path in place.
+type ReloadRequest struct {
+	// Path, when set, is the snapshot file to swap in; it becomes the
+	// venue's configured path for future loads.
+	Path string `json:"path,omitempty"`
+}
+
+// ReloadResponse answers a successful reload.
+type ReloadResponse struct {
+	Venue string `json:"venue"`
+	// LoadMillis is the wall time the side-load (plus warmup, when the
+	// venue is configured Warm) took; serving continued on the old engine
+	// throughout.
+	LoadMillis int64 `json:"load_ms"`
 }
 
 // VenueStatus is one venue's entry in GET /v1/venues.
@@ -215,9 +233,13 @@ type VenueStatus struct {
 
 	// Backend and ResidentBytes report the loaded engine's memory footprint
 	// (search.MemStats.TotalBytes and the KoE* backend kind); both are zero
-	// values while the venue is unloaded or evicted.
+	// values while the venue is unloaded or evicted. HeapBytes and
+	// MappedBytes split the total by residency: heap-decoded tables vs
+	// views over an mmap'd v3 snapshot (page-cache shared).
 	Backend       string `json:"backend,omitempty"`
 	ResidentBytes int64  `json:"resident_bytes,omitempty"`
+	HeapBytes     int64  `json:"heap_bytes,omitempty"`
+	MappedBytes   int64  `json:"mapped_bytes,omitempty"`
 
 	// ResultCache is the venue's result-cache counter snapshot; nil while
 	// the venue is unloaded or when serving runs with caching off.

@@ -10,13 +10,27 @@ import (
 	"ikrq/internal/search"
 )
 
-// SaveEngine writes e's immutable index layer to w. The KoE* backend
-// sections (dense matrix and/or hierarchical oracle) are included exactly
-// when the engine has built them — call Engine.Precompute first to bake a
-// snapshot that spares every future load the precomputation.
+// SaveEngine writes e's immutable index layer to w in the current (v3,
+// flat) container format, which OpenEngine can later serve zero-copy over
+// an mmap. The KoE* backend sections (dense matrix and/or hierarchical
+// oracle) are included exactly when the engine has built them — call
+// Engine.Precompute first to bake a snapshot that spares every future load
+// the precomputation.
 func SaveEngine(w io.Writer, e *search.Engine) error {
+	return EncodeV3(w, exportEngine(e))
+}
+
+// SaveEngineV2 writes e's index layer in the sequential v2 container
+// format, for snapshots that pre-v3 builds must still be able to load. v2
+// streams always decode onto the heap.
+func SaveEngineV2(w io.Writer, e *search.Engine) error {
+	return Encode(w, exportEngine(e))
+}
+
+func exportEngine(e *search.Engine) *Snapshot {
 	snap := &Snapshot{
 		Space:      e.Space().Export(),
+		Derived:    e.Space().ExportDerived(),
 		Keywords:   e.Keywords().Export(),
 		PathFinder: e.PathFinder().Export(),
 		Skeleton:   e.Skeleton().Export(),
@@ -27,7 +41,7 @@ func SaveEngine(w io.Writer, e *search.Engine) error {
 	if o := e.OracleIfReady(); o != nil {
 		snap.Oracle = o.Export()
 	}
-	return Encode(w, snap)
+	return snap
 }
 
 // LoadEngine decodes a snapshot from r and assembles a ready-to-serve

@@ -1,0 +1,1080 @@
+package snapshot
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"unsafe"
+
+	"ikrq/internal/graph"
+	"ikrq/internal/keyword"
+	"ikrq/internal/model"
+	"ikrq/internal/search"
+	"ikrq/internal/snapshot/mapping"
+)
+
+// This file is the v3 flat container: a section directory up front and
+// payloads whose bulk arrays are stored little-endian in their in-memory
+// layout, 8-byte-aligned, so a loader can serve the big distance tables as
+// views straight over an mmap'd file (see internal/snapshot/mapping and
+// DESIGN.md §13) instead of decoding them element by element. Two readers
+// share the structural parser:
+//
+//   - decodeV3 is the heap path behind Decode/LoadEngine: every section CRC
+//     is verified and every payload is copy-converted into the same records
+//     v2 produces, then fully validated by the FromState constructors. This
+//     is also the path for big-endian hosts, where the stored layout is not
+//     the native one.
+//   - engineFromFlat is the zero-copy path behind OpenEngine: bulk tables
+//     are aliased in place and handed to the trusted FromFlat constructors,
+//     which keep every structural and index-safety check but skip the
+//     per-element value scans (and the bulk-section CRCs) that would fault
+//     in every page of the mapping — cold start stays O(pages touched).
+//
+// v3 layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       8     magic "IKRQSNAP"
+//	8       2     format version (≥ 3)
+//	10      2     minimum reader version (3 for this layout)
+//	12      2     section count n
+//	14      2     reserved, zero
+//	16      n×24  directory: tag(4) + CRC-32/IEEE(4) + offset(8) + length(8)
+//	then          payloads in directory order; each payload starts at the
+//	              next multiple of 8 (gap bytes zero), the file ends exactly
+//	              at the last payload's end
+const v3MinReader uint16 = 3
+
+// hostLittleEndian gates the zero-copy path: v3 arrays are stored
+// little-endian, so only LE hosts may alias them. BE hosts fall back to the
+// (byte-order converting) heap decode.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// EncodeV3 writes snap to w in the v3 flat container format.
+func EncodeV3(w io.Writer, snap *Snapshot) error {
+	if snap == nil || snap.Space == nil || snap.Keywords == nil ||
+		snap.PathFinder == nil || snap.Skeleton == nil {
+		return fmt.Errorf("snapshot: encode requires space, keyword, pathfinder and skeleton records")
+	}
+	type section struct {
+		tag     string
+		payload []byte
+	}
+	der := snap.Derived
+	if der == nil {
+		// Rebuild once at bake time so the loader never has to: the derived
+		// structures are a pure function of the space record.
+		s, err := model.SpaceFromRecord(snap.Space)
+		if err != nil {
+			return fmt.Errorf("snapshot: deriving space structures: %w", err)
+		}
+		der = s.ExportDerived()
+	}
+	sections := []section{
+		{tagSpace, encodeSpace(snap.Space)},
+		{tagDerived, encodeDerivedFlat(der)},
+		{tagKeywords, encodeKeywordsFlat(snap.Keywords)},
+		{tagPathFinder, encodePathFinderFlat(snap.PathFinder)},
+		{tagSkeleton, encodeSkeletonFlat(snap.Skeleton)},
+	}
+	if snap.Matrix != nil {
+		sections = append(sections, section{tagMatrix, encodeMatrixFlat(snap.Matrix)})
+	}
+	if snap.Oracle != nil {
+		sections = append(sections, section{tagOracle, encodeOracleFlat(snap.Oracle)})
+	}
+
+	var hdr writer
+	hdr.buf = append(hdr.buf, Magic...)
+	hdr.buf = append(hdr.buf, byte(Version), byte(Version>>8))
+	hdr.buf = append(hdr.buf, byte(v3MinReader), byte(v3MinReader>>8))
+	hdr.buf = append(hdr.buf, byte(len(sections)), byte(len(sections)>>8))
+	hdr.buf = append(hdr.buf, 0, 0) // reserved
+	off := uint64(len(hdr.buf) + 24*len(sections))
+	off = (off + 7) &^ 7
+	for _, s := range sections {
+		hdr.buf = append(hdr.buf, s.tag...)
+		hdr.u32(crc32.ChecksumIEEE(s.payload))
+		hdr.u64(off)
+		hdr.u64(uint64(len(s.payload)))
+		off = (off + uint64(len(s.payload)) + 7) &^ 7
+	}
+	hdr.pad8()
+	if _, err := w.Write(hdr.buf); err != nil {
+		return err
+	}
+	var zeros [8]byte
+	for i, s := range sections {
+		if _, err := w.Write(s.payload); err != nil {
+			return err
+		}
+		if i < len(sections)-1 { // the file ends unpadded
+			if pad := (8 - len(s.payload)%8) % 8; pad > 0 {
+				if _, err := w.Write(zeros[:pad]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// --- payload encoders ---
+
+func (w *writer) pad8() {
+	for len(w.buf)%8 != 0 {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+func (w *writer) i32s(vs []int32) {
+	for _, v := range vs {
+		w.i32(v)
+	}
+}
+
+func (w *writer) f64s(vs []float64) {
+	for _, v := range vs {
+		w.f64(v)
+	}
+}
+
+// encodeDerivedFlat lays out the SPCD section: the P2D and D2P CSRs and the
+// self-loop table of the space, all native flat so the zero-copy loader can
+// alias them and skip the builder replay entirely (D2P appearing here too
+// lets that loader skip even materializing the record's per-door lists).
+//
+//	u64 nParts, u64 nDoors, u64 nEnter, u64 nLeave, u64 nSelf
+//	enterOff  (nParts+1)×i32       leaveOff (nParts+1)×i32
+//	enterDoors nEnter×i32          leaveDoors nLeave×i32
+//	doorEnterOff (nDoors+1)×i32    doorLeaveOff (nDoors+1)×i32
+//	doorEnterParts nEnter×i32      doorLeaveParts nLeave×i32
+//	selfOff   (nDoors+1)×i32       selfPart nSelf×i32
+//	pad to 8                       selfDist nSelf×f64
+func encodeDerivedFlat(der *model.DerivedRecord) []byte {
+	var w writer
+	w.u64(uint64(len(der.EnterOff) - 1))
+	w.u64(uint64(len(der.SelfLoopOff) - 1))
+	w.u64(uint64(len(der.EnterDoors)))
+	w.u64(uint64(len(der.LeaveDoors)))
+	w.u64(uint64(len(der.SelfLoopPart)))
+	w.i32s(der.EnterOff)
+	w.i32s(der.LeaveOff)
+	for _, d := range der.EnterDoors {
+		w.i32(int32(d))
+	}
+	for _, d := range der.LeaveDoors {
+		w.i32(int32(d))
+	}
+	w.i32s(der.DoorEnterOff)
+	w.i32s(der.DoorLeaveOff)
+	for _, v := range der.DoorEnterParts {
+		w.i32(int32(v))
+	}
+	for _, v := range der.DoorLeaveParts {
+		w.i32(int32(v))
+	}
+	w.i32s(der.SelfLoopOff)
+	for _, v := range der.SelfLoopPart {
+		w.i32(int32(v))
+	}
+	w.pad8()
+	w.f64s(der.SelfLoopDist)
+	return w.buf
+}
+
+func encodeKeywordsFlat(rec *keyword.IndexRecord) []byte {
+	var w writer
+	edges := 0
+	for _, row := range rec.I2T {
+		edges += len(row)
+	}
+	w.u64(uint64(len(rec.IWords)))
+	w.u64(uint64(len(rec.TWords)))
+	w.u64(uint64(len(rec.P2I)))
+	w.u64(uint64(edges))
+	off := int32(0)
+	for _, row := range rec.I2T {
+		w.i32(off)
+		off += int32(len(row))
+	}
+	w.i32(off)
+	w.pad8()
+	for _, row := range rec.I2T {
+		for _, t := range row {
+			w.i32(int32(t))
+		}
+	}
+	w.pad8()
+	for _, v := range rec.P2I {
+		w.i32(int32(v))
+	}
+	w.pad8()
+	for _, s := range rec.IWords {
+		w.str(s)
+	}
+	for _, s := range rec.TWords {
+		w.str(s)
+	}
+	return w.buf
+}
+
+func encodePathFinderFlat(rec *graph.PathFinderRecord) []byte {
+	var w writer
+	w.u64(uint64(len(rec.States)))
+	w.u64(uint64(len(rec.Arcs)))
+	for _, st := range rec.States {
+		w.i32(int32(st.Door))
+		w.i32(int32(st.Part))
+	}
+	w.i32s(rec.ArcCounts)
+	w.pad8()
+	for _, a := range rec.Arcs {
+		w.i32(int32(a.To))
+	}
+	w.pad8()
+	for _, a := range rec.Arcs {
+		w.f64(a.W)
+	}
+	return w.buf
+}
+
+func encodeSkeletonFlat(rec *graph.SkeletonRecord) []byte {
+	var w writer
+	w.u64(uint64(len(rec.Doors)))
+	for _, d := range rec.Doors {
+		w.i32(int32(d))
+	}
+	w.pad8()
+	w.f64s(rec.Dist)
+	return w.buf
+}
+
+func encodeMatrixFlat(rec *graph.MatrixRecord) []byte {
+	var w writer
+	w.u64(uint64(rec.N))
+	w.f64s(rec.Dist)
+	for _, v := range rec.Prev {
+		w.i32(int32(v))
+	}
+	return w.buf
+}
+
+func encodeOracleFlat(rec *graph.OracleRecord) []byte {
+	var w writer
+	w.u64(uint64(len(rec.Hubs)))
+	w.u64(uint64(len(rec.HubOff)))
+	w.u64(uint64(len(rec.ToHub)))
+	for _, h := range rec.Hubs {
+		w.i32(int32(h))
+	}
+	w.pad8()
+	w.i32s(rec.HubOff)
+	w.pad8()
+	w.f64s(rec.ToHub)
+	w.f64s(rec.FromHub)
+	w.f64s(rec.HubDist)
+	return w.buf
+}
+
+// --- structural parse (shared by both readers) ---
+
+// flatSection is one directory entry with its resolved payload window.
+type flatSection struct {
+	tag string
+	crc uint32
+	b   []byte
+}
+
+// flatImage is a structurally validated v3 container: directory parsed,
+// offsets/alignment/gaps checked, known sections indexed by tag. Payload
+// CRCs and contents are NOT yet verified.
+type flatImage struct {
+	ver   uint16
+	byTag map[string]*flatSection
+	all   []flatSection
+}
+
+func knownTag(tag string) bool {
+	switch tag {
+	case tagSpace, tagDerived, tagKeywords, tagPathFinder, tagSkeleton, tagMatrix, tagOracle:
+		return true
+	}
+	return false
+}
+
+// parseFlat validates the v3 header, directory and payload geometry. It
+// touches only the header, the directory and the (≤7-byte) alignment gaps —
+// never the payload bodies.
+func parseFlat(b []byte) (*flatImage, error) {
+	if len(b) < 16 {
+		return nil, fmt.Errorf("%w: %d-byte stream is shorter than the v3 header", ErrCorrupt, len(b))
+	}
+	if string(b[:len(Magic)]) != Magic {
+		return nil, ErrBadMagic
+	}
+	ver := uint16(b[8]) | uint16(b[9])<<8
+	minReader := uint16(b[10]) | uint16(b[11])<<8
+	if minReader > Version {
+		return nil, fmt.Errorf("%w: snapshot has version %d and requires a reader of version ≥ %d; this build reads versions %d–%d",
+			ErrVersion, ver, minReader, MinDecodable, Version)
+	}
+	if ver < v3MinReader || minReader < v3MinReader {
+		return nil, fmt.Errorf("%w: v3 parser on a v%d stream (min-reader %d)", ErrCorrupt, ver, minReader)
+	}
+	skipUnknown := ver > Version
+	n := int(uint16(b[12]) | uint16(b[13])<<8)
+	if b[14] != 0 || b[15] != 0 {
+		return nil, fmt.Errorf("%w: reserved header bytes are not zero", ErrCorrupt)
+	}
+	dirEnd := 16 + 24*n
+	if dirEnd > len(b) {
+		return nil, fmt.Errorf("%w: directory of %d sections does not fit the %d-byte stream", ErrCorrupt, n, len(b))
+	}
+	img := &flatImage{ver: ver, byTag: make(map[string]*flatSection, n)}
+	end := dirEnd
+	for i := 0; i < n; i++ {
+		e := b[16+24*i:]
+		tag := string(e[:4])
+		crc := uint32(e[4]) | uint32(e[5])<<8 | uint32(e[6])<<16 | uint32(e[7])<<24
+		off := uint64(e[8]) | uint64(e[9])<<8 | uint64(e[10])<<16 | uint64(e[11])<<24 |
+			uint64(e[12])<<32 | uint64(e[13])<<40 | uint64(e[14])<<48 | uint64(e[15])<<56
+		length := uint64(e[16]) | uint64(e[17])<<8 | uint64(e[18])<<16 | uint64(e[19])<<24 |
+			uint64(e[20])<<32 | uint64(e[21])<<40 | uint64(e[22])<<48 | uint64(e[23])<<56
+		want := (uint64(end) + 7) &^ 7
+		if off != want {
+			return nil, fmt.Errorf("%w: section %s at offset %d, want %d", ErrCorrupt, tag, off, want)
+		}
+		// The aligned offset may land past the end of a truncated stream;
+		// catch it before the subtraction below underflows.
+		if off > uint64(len(b)) {
+			return nil, fmt.Errorf("%w: section %s starts at %d past the %d-byte stream", ErrCorrupt, tag, off, len(b))
+		}
+		if length > uint64(len(b))-off {
+			return nil, fmt.Errorf("%w: section %s claims %d bytes, %d remain", ErrCorrupt, tag, length, uint64(len(b))-off)
+		}
+		for _, pad := range b[end:off] {
+			if pad != 0 {
+				return nil, fmt.Errorf("%w: nonzero alignment gap before section %s", ErrCorrupt, tag)
+			}
+		}
+		if !knownTag(tag) && !skipUnknown {
+			return nil, fmt.Errorf("%w: unknown section %q", ErrCorrupt, tag)
+		}
+		if _, dup := img.byTag[tag]; dup {
+			return nil, fmt.Errorf("%w: duplicate section %s", ErrCorrupt, tag)
+		}
+		img.all = append(img.all, flatSection{tag: tag, crc: crc, b: b[off : off+length]})
+		img.byTag[tag] = &img.all[len(img.all)-1]
+		end = int(off + length)
+	}
+	if end != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after last section", ErrCorrupt, len(b)-end)
+	}
+	for _, tag := range []string{tagSpace, tagKeywords, tagPathFinder, tagSkeleton} {
+		if img.byTag[tag] == nil {
+			return nil, fmt.Errorf("%w: missing required section", ErrCorrupt)
+		}
+	}
+	return img, nil
+}
+
+func (s *flatSection) checkCRC() error {
+	if crc32.ChecksumIEEE(s.b) != s.crc {
+		return fmt.Errorf("%w: section %s", ErrChecksum, s.tag)
+	}
+	return nil
+}
+
+// fwalk walks a flat payload handing out typed sub-windows with bounds and
+// overflow checking; like the codec reader it records the first failure
+// instead of panicking.
+type fwalk struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (f *fwalk) fail(format string, args ...any) {
+	if f.err == nil {
+		f.err = fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+}
+
+func (f *fwalk) u64() uint64 {
+	if f.err != nil {
+		return 0
+	}
+	if f.off+8 > len(f.b) {
+		f.fail("need 8 bytes at offset %d, have %d", f.off, len(f.b)-f.off)
+		return 0
+	}
+	b := f.b[f.off:]
+	f.off += 8
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// count reads a u64 element count, guarding it against the bytes remaining
+// (minSize per element) so hostile counts cannot size anything.
+func (f *fwalk) count(minSize int) int {
+	v := f.u64()
+	if f.err != nil {
+		return 0
+	}
+	if v > uint64(len(f.b)-f.off)/uint64(minSize) {
+		f.fail("element count %d exceeds remaining %d bytes", v, len(f.b)-f.off)
+		return 0
+	}
+	return int(v)
+}
+
+// arr returns the window of n elements of size bytes each.
+func (f *fwalk) arr(n, size int) []byte {
+	if f.err != nil {
+		return nil
+	}
+	if n < 0 || size <= 0 || n > (len(f.b)-f.off)/size {
+		f.fail("array of %d×%dB at offset %d exceeds remaining %d bytes", n, size, f.off, len(f.b)-f.off)
+		return nil
+	}
+	w := f.b[f.off : f.off+n*size]
+	f.off += n * size
+	return w
+}
+
+// pad8 consumes zero padding up to the next 8-byte boundary.
+func (f *fwalk) pad8() {
+	if f.err != nil {
+		return
+	}
+	for f.off%8 != 0 {
+		if f.off >= len(f.b) || f.b[f.off] != 0 {
+			f.fail("bad alignment padding at offset %d", f.off)
+			return
+		}
+		f.off++
+	}
+}
+
+// rest returns everything left.
+func (f *fwalk) rest() []byte {
+	if f.err != nil {
+		return nil
+	}
+	w := f.b[f.off:]
+	f.off = len(f.b)
+	return w
+}
+
+func (f *fwalk) done() error {
+	if f.err != nil {
+		return f.err
+	}
+	if f.off != len(f.b) {
+		return fmt.Errorf("%w: %d trailing bytes in section", ErrCorrupt, len(f.b)-f.off)
+	}
+	return nil
+}
+
+// --- per-section flat views ---
+
+type spcdFlat struct {
+	nP, nD, nE, nL, nS                         int
+	enterOff, leaveOff, enterDoors, leaveDoors []byte
+	doorEnterOff, doorLeaveOff                 []byte
+	doorEnterParts, doorLeaveParts             []byte
+	selfOff, selfPart, selfDist                []byte
+}
+
+func parseSpcdFlat(b []byte) (*spcdFlat, error) {
+	f := &fwalk{b: b}
+	v := &spcdFlat{}
+	v.nP = f.count(8) // each partition costs ≥ two 4-byte CSR offsets
+	v.nD = int(f.u64())
+	v.nE = int(f.u64())
+	v.nL = int(f.u64())
+	v.nS = int(f.u64())
+	if f.err == nil && (v.nD < 0 || v.nD > 1<<28 || v.nE < 0 || v.nL < 0 || v.nS < 0) {
+		f.fail("negative or implausible derived-space counts")
+	}
+	v.enterOff = f.arr(v.nP+1, 4)
+	v.leaveOff = f.arr(v.nP+1, 4)
+	v.enterDoors = f.arr(v.nE, 4)
+	v.leaveDoors = f.arr(v.nL, 4)
+	v.doorEnterOff = f.arr(v.nD+1, 4)
+	v.doorLeaveOff = f.arr(v.nD+1, 4)
+	v.doorEnterParts = f.arr(v.nE, 4)
+	v.doorLeaveParts = f.arr(v.nL, 4)
+	v.selfOff = f.arr(v.nD+1, 4)
+	v.selfPart = f.arr(v.nS, 4)
+	f.pad8()
+	v.selfDist = f.arr(v.nS, 8)
+	if err := f.done(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+type kwrdFlat struct {
+	nI, nT, nP, nE             int
+	i2tOff, i2tVals, p2i, strs []byte
+}
+
+func parseKwrdFlat(b []byte) (*kwrdFlat, error) {
+	f := &fwalk{b: b}
+	v := &kwrdFlat{}
+	v.nI = f.count(4) // each i-word costs ≥ a 4-byte row offset
+	v.nT = int(f.u64())
+	v.nP = int(f.u64())
+	v.nE = int(f.u64())
+	if f.err == nil && (v.nT < 0 || v.nP < 0 || v.nE < 0) {
+		f.fail("negative keyword counts")
+	}
+	v.i2tOff = f.arr(v.nI+1, 4)
+	f.pad8()
+	v.i2tVals = f.arr(v.nE, 4)
+	f.pad8()
+	v.p2i = f.arr(v.nP, 4)
+	f.pad8()
+	v.strs = f.rest()
+	if err := f.done(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+type pathFlat struct {
+	nS, nA                         int
+	states, arcCounts, arcTo, arcW []byte
+}
+
+func parsePathFlat(b []byte) (*pathFlat, error) {
+	f := &fwalk{b: b}
+	v := &pathFlat{}
+	v.nS = f.count(8) // a state is an 8-byte (door, part) pair
+	v.nA = int(f.u64())
+	if f.err == nil && v.nA < 0 {
+		f.fail("negative arc count")
+	}
+	v.states = f.arr(v.nS, 8)
+	v.arcCounts = f.arr(v.nS, 4)
+	f.pad8()
+	v.arcTo = f.arr(v.nA, 4)
+	f.pad8()
+	v.arcW = f.arr(v.nA, 8)
+	if err := f.done(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+type skelFlat struct {
+	n           int
+	doors, dist []byte
+}
+
+func parseSkelFlat(b []byte) (*skelFlat, error) {
+	f := &fwalk{b: b}
+	v := &skelFlat{}
+	v.n = f.count(4)
+	if f.err == nil && v.n > 1<<20 {
+		f.fail("skeleton door count %d is implausible", v.n)
+	}
+	v.doors = f.arr(v.n, 4)
+	f.pad8()
+	v.dist = f.arr(v.n*v.n, 8)
+	if err := f.done(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+type matxFlat struct {
+	n          int
+	dist, prev []byte
+}
+
+func parseMatxFlat(b []byte) (*matxFlat, error) {
+	f := &fwalk{b: b}
+	v := &matxFlat{}
+	v.n = int(f.u64())
+	if f.err == nil && (v.n < 0 || v.n > 1<<20 || (v.n > 0 && v.n*v.n > (len(b)-8)/12)) {
+		f.fail("matrix dimension %d does not fit the payload", v.n)
+	}
+	v.dist = f.arr(v.n*v.n, 8)
+	v.prev = f.arr(v.n*v.n, 4)
+	f.pad8()
+	if err := f.done(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+type orclFlat struct {
+	nH, nOff, nT                          int
+	hubs, hubOff, toHub, fromHub, hubDist []byte
+}
+
+func parseOrclFlat(b []byte) (*orclFlat, error) {
+	f := &fwalk{b: b}
+	v := &orclFlat{}
+	v.nH = f.count(4)
+	v.nOff = int(f.u64())
+	v.nT = int(f.u64())
+	if f.err == nil && (v.nOff < 0 || v.nT < 0 || v.nH > 1<<20) {
+		f.fail("oracle counts %d/%d/%d are implausible", v.nH, v.nOff, v.nT)
+	}
+	v.hubs = f.arr(v.nH, 4)
+	f.pad8()
+	v.hubOff = f.arr(v.nOff, 4)
+	f.pad8()
+	v.toHub = f.arr(v.nT, 8)
+	v.fromHub = f.arr(v.nT, 8)
+	v.hubDist = f.arr(v.nH*v.nH, 8)
+	if err := f.done(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// --- copy conversion (heap path, any byte order) ---
+
+func f64sFrom(b []byte, n int) []float64 {
+	r := &reader{b: b}
+	return r.f64s(n)
+}
+
+func i32sFrom(b []byte, n int) []int32 {
+	r := &reader{b: b}
+	return r.i32s(n)
+}
+
+// decodeStrings decodes n length-prefixed strings from a codec-style blob.
+func decodeStrings(r *reader, n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, r.str())
+	}
+	return out
+}
+
+// decodeV3 is the heap reader: full CRC verification, copy-converted
+// records, full record validation downstream in AssembleEngine.
+func decodeV3(b []byte) (*Snapshot, error) {
+	img, err := parseFlat(b)
+	if err != nil {
+		return nil, err
+	}
+	for i := range img.all {
+		if err := img.all[i].checkCRC(); err != nil {
+			return nil, err
+		}
+	}
+	snap := &Snapshot{}
+	if snap.Space, err = decodeSpace(img.byTag[tagSpace].b); err != nil {
+		return nil, fmt.Errorf("section %s: %w", tagSpace, err)
+	}
+
+	kw, err := parseKwrdFlat(img.byTag[tagKeywords].b)
+	if err != nil {
+		return nil, fmt.Errorf("section %s: %w", tagKeywords, err)
+	}
+	krec := &keyword.IndexRecord{}
+	sr := &reader{b: kw.strs}
+	krec.IWords = decodeStrings(sr, kw.nI)
+	krec.TWords = decodeStrings(sr, kw.nT)
+	if err := sr.done(); err != nil {
+		return nil, fmt.Errorf("section %s: %w", tagKeywords, err)
+	}
+	offs := i32sFrom(kw.i2tOff, kw.nI+1)
+	vals := i32sFrom(kw.i2tVals, kw.nE)
+	krec.I2T = make([][]keyword.TWordID, kw.nI)
+	for i := 0; i < kw.nI; i++ {
+		lo, hi := offs[i], offs[i+1]
+		if lo < 0 || hi < lo || int(hi) > kw.nE {
+			return nil, fmt.Errorf("%w: section %s: I2T row %d spans [%d,%d) of %d values", ErrCorrupt, tagKeywords, i, lo, hi, kw.nE)
+		}
+		row := make([]keyword.TWordID, hi-lo)
+		for j := range row {
+			row[j] = keyword.TWordID(vals[int(lo)+j])
+		}
+		krec.I2T[i] = row
+	}
+	krec.P2I = make([]keyword.IWordID, kw.nP)
+	for i, v := range i32sFrom(kw.p2i, kw.nP) {
+		krec.P2I[i] = keyword.IWordID(v)
+	}
+	snap.Keywords = krec
+
+	pw, err := parsePathFlat(img.byTag[tagPathFinder].b)
+	if err != nil {
+		return nil, fmt.Errorf("section %s: %w", tagPathFinder, err)
+	}
+	prec := &graph.PathFinderRecord{
+		States:    make([]graph.StateRecord, pw.nS),
+		ArcCounts: i32sFrom(pw.arcCounts, pw.nS),
+		Arcs:      make([]graph.ArcRecord, pw.nA),
+	}
+	stc := i32sFrom(pw.states, 2*pw.nS)
+	for i := 0; i < pw.nS; i++ {
+		prec.States[i] = graph.StateRecord{Door: model.DoorID(stc[2*i]), Part: model.PartitionID(stc[2*i+1])}
+	}
+	arcTo := i32sFrom(pw.arcTo, pw.nA)
+	arcW := f64sFrom(pw.arcW, pw.nA)
+	for i := 0; i < pw.nA; i++ {
+		prec.Arcs[i] = graph.ArcRecord{To: graph.StateID(arcTo[i]), W: arcW[i]}
+	}
+	snap.PathFinder = prec
+
+	sw, err := parseSkelFlat(img.byTag[tagSkeleton].b)
+	if err != nil {
+		return nil, fmt.Errorf("section %s: %w", tagSkeleton, err)
+	}
+	srec := &graph.SkeletonRecord{Dist: f64sFrom(sw.dist, sw.n*sw.n)}
+	srec.Doors = make([]model.DoorID, sw.n)
+	for i, d := range i32sFrom(sw.doors, sw.n) {
+		srec.Doors[i] = model.DoorID(d)
+	}
+	snap.Skeleton = srec
+
+	if s := img.byTag[tagMatrix]; s != nil {
+		mw, err := parseMatxFlat(s.b)
+		if err != nil {
+			return nil, fmt.Errorf("section %s: %w", tagMatrix, err)
+		}
+		mrec := &graph.MatrixRecord{N: int32(mw.n), Dist: f64sFrom(mw.dist, mw.n*mw.n)}
+		mrec.Prev = make([]graph.StateID, mw.n*mw.n)
+		for i, v := range i32sFrom(mw.prev, mw.n*mw.n) {
+			mrec.Prev[i] = graph.StateID(v)
+		}
+		snap.Matrix = mrec
+	}
+
+	if s := img.byTag[tagOracle]; s != nil {
+		ow, err := parseOrclFlat(s.b)
+		if err != nil {
+			return nil, fmt.Errorf("section %s: %w", tagOracle, err)
+		}
+		orec := &graph.OracleRecord{
+			HubOff:  i32sFrom(ow.hubOff, ow.nOff),
+			ToHub:   f64sFrom(ow.toHub, ow.nT),
+			FromHub: f64sFrom(ow.fromHub, ow.nT),
+			HubDist: f64sFrom(ow.hubDist, ow.nH*ow.nH),
+		}
+		orec.Hubs = make([]graph.StateID, ow.nH)
+		for i, v := range i32sFrom(ow.hubs, ow.nH) {
+			orec.Hubs[i] = graph.StateID(v)
+		}
+		snap.Oracle = orec
+	}
+	return snap, nil
+}
+
+// --- zero-copy assembly (mapped path, little-endian hosts) ---
+
+// alias reinterprets a window of the mapping as a []T without copying. The
+// caller guarantees the window was produced by fwalk.arr(n, sizeof(T)); the
+// alignment recheck guards the construction (mapping bases are 8-aligned
+// and flat arrays sit at 8-aligned offsets, so it only fires on misuse).
+func alias[T any](b []byte, n int) ([]T, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	var t T
+	size, align := int(unsafe.Sizeof(t)), uintptr(unsafe.Alignof(t))
+	if len(b) < n*size {
+		return nil, fmt.Errorf("%w: %d-byte window cannot hold %d elements", ErrCorrupt, len(b), n)
+	}
+	if uintptr(unsafe.Pointer(unsafe.SliceData(b)))%align != 0 {
+		return nil, fmt.Errorf("%w: misaligned flat array", ErrCorrupt)
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(unsafe.SliceData(b))), n), nil
+}
+
+// engineFromFlat assembles an engine whose bulk tables are views over the
+// mapping (which must outlive the engine — the caller wires the lifetime via
+// Engine.SetMapping). It returns the engine plus the number of table bytes
+// served from the mapping rather than the heap.
+//
+// CRC policy: the sections this path reads in full anyway (space, keywords,
+// pathfinder — their contents are materialized or validated element by
+// element) are CRC-verified; the bulk tables (derived space, skeleton,
+// matrix, oracle) are not, because checksumming them would fault in every
+// page. Their CRCs are still written at bake time and verified by the heap
+// reader and the fuzz gate (see DESIGN.md §13).
+func engineFromFlat(b []byte) (*search.Engine, int64, error) {
+	img, err := parseFlat(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	var aliased int64
+
+	spac := img.byTag[tagSpace]
+	if err := spac.checkCRC(); err != nil {
+		return nil, 0, err
+	}
+	var s *model.Space
+	if sec := img.byTag[tagDerived]; sec != nil {
+		// The baked derived structures let the space come up without the
+		// geometry-heavy builder replay — the largest single cost of a cold
+		// start. The CSR windows alias the mapping directly, and the lite
+		// SPAC decode skips the per-door lists SPCD already carries.
+		srec, err := decodeSpaceLite(spac.b)
+		if err != nil {
+			return nil, 0, fmt.Errorf("section %s: %w", tagSpace, err)
+		}
+		dv, err := parseSpcdFlat(sec.b)
+		if err != nil {
+			return nil, 0, fmt.Errorf("section %s: %w", tagDerived, err)
+		}
+		der := &model.DerivedRecord{}
+		if der.EnterOff, err = alias[int32](dv.enterOff, dv.nP+1); err != nil {
+			return nil, 0, err
+		}
+		if der.LeaveOff, err = alias[int32](dv.leaveOff, dv.nP+1); err != nil {
+			return nil, 0, err
+		}
+		if der.EnterDoors, err = alias[model.DoorID](dv.enterDoors, dv.nE); err != nil {
+			return nil, 0, err
+		}
+		if der.LeaveDoors, err = alias[model.DoorID](dv.leaveDoors, dv.nL); err != nil {
+			return nil, 0, err
+		}
+		if der.DoorEnterOff, err = alias[int32](dv.doorEnterOff, dv.nD+1); err != nil {
+			return nil, 0, err
+		}
+		if der.DoorLeaveOff, err = alias[int32](dv.doorLeaveOff, dv.nD+1); err != nil {
+			return nil, 0, err
+		}
+		if der.DoorEnterParts, err = alias[model.PartitionID](dv.doorEnterParts, dv.nE); err != nil {
+			return nil, 0, err
+		}
+		if der.DoorLeaveParts, err = alias[model.PartitionID](dv.doorLeaveParts, dv.nL); err != nil {
+			return nil, 0, err
+		}
+		if der.SelfLoopOff, err = alias[int32](dv.selfOff, dv.nD+1); err != nil {
+			return nil, 0, err
+		}
+		if der.SelfLoopPart, err = alias[model.PartitionID](dv.selfPart, dv.nS); err != nil {
+			return nil, 0, err
+		}
+		if der.SelfLoopDist, err = alias[float64](dv.selfDist, dv.nS); err != nil {
+			return nil, 0, err
+		}
+		if s, err = model.SpaceFromRecordDerived(srec, der); err != nil {
+			return nil, 0, fmt.Errorf("snapshot: restoring space: %w", err)
+		}
+	} else {
+		// v3 streams from writers that omit SPCD still open fine; the
+		// derived structures are recomputed as on the heap path.
+		srec, err := decodeSpace(spac.b)
+		if err != nil {
+			return nil, 0, fmt.Errorf("section %s: %w", tagSpace, err)
+		}
+		if s, err = model.SpaceFromRecord(srec); err != nil {
+			return nil, 0, fmt.Errorf("snapshot: restoring space: %w", err)
+		}
+	}
+
+	kws := img.byTag[tagKeywords]
+	if err := kws.checkCRC(); err != nil {
+		return nil, 0, err
+	}
+	kw, err := parseKwrdFlat(kws.b)
+	if err != nil {
+		return nil, 0, fmt.Errorf("section %s: %w", tagKeywords, err)
+	}
+	sr := &reader{b: kw.strs}
+	iwords := decodeStrings(sr, kw.nI)
+	twords := decodeStrings(sr, kw.nT)
+	if err := sr.done(); err != nil {
+		return nil, 0, fmt.Errorf("section %s: %w", tagKeywords, err)
+	}
+	i2tOff, err := alias[int32](kw.i2tOff, kw.nI+1)
+	if err != nil {
+		return nil, 0, err
+	}
+	i2tVals, err := alias[keyword.TWordID](kw.i2tVals, kw.nE)
+	if err != nil {
+		return nil, 0, err
+	}
+	p2i, err := alias[keyword.IWordID](kw.p2i, kw.nP)
+	if err != nil {
+		return nil, 0, err
+	}
+	x, err := keyword.IndexFromFlat(iwords, twords, i2tOff, i2tVals, p2i)
+	if err != nil {
+		return nil, 0, fmt.Errorf("snapshot: restoring keyword index: %w", err)
+	}
+	aliased += int64(len(kw.i2tVals) + len(kw.p2i))
+
+	ps := img.byTag[tagPathFinder]
+	if err := ps.checkCRC(); err != nil {
+		return nil, 0, err
+	}
+	pv, err := parsePathFlat(ps.b)
+	if err != nil {
+		return nil, 0, fmt.Errorf("section %s: %w", tagPathFinder, err)
+	}
+	states, err := alias[int32](pv.states, 2*pv.nS)
+	if err != nil {
+		return nil, 0, err
+	}
+	arcCounts, err := alias[int32](pv.arcCounts, pv.nS)
+	if err != nil {
+		return nil, 0, err
+	}
+	arcTo, err := alias[int32](pv.arcTo, pv.nA)
+	if err != nil {
+		return nil, 0, err
+	}
+	arcW, err := alias[float64](pv.arcW, pv.nA)
+	if err != nil {
+		return nil, 0, err
+	}
+	pf, err := graph.PathFinderFromFlat(s, states, arcCounts, arcTo, arcW)
+	if err != nil {
+		return nil, 0, fmt.Errorf("snapshot: restoring state graph: %w", err)
+	}
+
+	sv, err := parseSkelFlat(img.byTag[tagSkeleton].b)
+	if err != nil {
+		return nil, 0, fmt.Errorf("section %s: %w", tagSkeleton, err)
+	}
+	doors, err := alias[int32](sv.doors, sv.n)
+	if err != nil {
+		return nil, 0, err
+	}
+	dist, err := alias[float64](sv.dist, sv.n*sv.n)
+	if err != nil {
+		return nil, 0, err
+	}
+	sk, err := graph.SkeletonFromFlat(s, doors, dist, true)
+	if err != nil {
+		return nil, 0, fmt.Errorf("snapshot: restoring skeleton: %w", err)
+	}
+	aliased += int64(len(sv.dist))
+
+	var mat *graph.Matrix
+	if sec := img.byTag[tagMatrix]; sec != nil {
+		mv, err := parseMatxFlat(sec.b)
+		if err != nil {
+			return nil, 0, fmt.Errorf("section %s: %w", tagMatrix, err)
+		}
+		mdist, err := alias[float64](mv.dist, mv.n*mv.n)
+		if err != nil {
+			return nil, 0, err
+		}
+		mprev, err := alias[graph.StateID](mv.prev, mv.n*mv.n)
+		if err != nil {
+			return nil, 0, err
+		}
+		mat, err = graph.MatrixFromFlat(pf, mv.n, mdist, mprev, true)
+		if err != nil {
+			return nil, 0, fmt.Errorf("snapshot: restoring KoE* matrix: %w", err)
+		}
+		aliased += int64(len(mv.dist) + len(mv.prev))
+	}
+
+	var orc *graph.Oracle
+	if sec := img.byTag[tagOracle]; sec != nil {
+		ov, err := parseOrclFlat(sec.b)
+		if err != nil {
+			return nil, 0, fmt.Errorf("section %s: %w", tagOracle, err)
+		}
+		hubs, err := alias[graph.StateID](ov.hubs, ov.nH)
+		if err != nil {
+			return nil, 0, err
+		}
+		hubOff, err := alias[int32](ov.hubOff, ov.nOff)
+		if err != nil {
+			return nil, 0, err
+		}
+		toHub, err := alias[float64](ov.toHub, ov.nT)
+		if err != nil {
+			return nil, 0, err
+		}
+		fromHub, err := alias[float64](ov.fromHub, ov.nT)
+		if err != nil {
+			return nil, 0, err
+		}
+		hubDist, err := alias[float64](ov.hubDist, ov.nH*ov.nH)
+		if err != nil {
+			return nil, 0, err
+		}
+		orc, err = graph.OracleFromFlat(pf, hubs, hubOff, toHub, fromHub, hubDist, true)
+		if err != nil {
+			return nil, 0, fmt.Errorf("snapshot: restoring KoE* oracle: %w", err)
+		}
+		aliased += int64(len(ov.toHub) + len(ov.fromHub) + len(ov.hubDist))
+	}
+
+	e, err := search.NewEngineFromParts(s, x, pf, sk, mat, orc)
+	if err != nil {
+		return nil, 0, fmt.Errorf("snapshot: %w", err)
+	}
+	return e, aliased, nil
+}
+
+// EngineFromMapping assembles a serving engine over a loaded snapshot
+// image. v3 images on little-endian hosts take the zero-copy path: the bulk
+// tables become views over the mapping, the engine adopts the mapping's
+// lifetime (Engine.Close releases it), and search.MemStats splits resident
+// bytes into heap vs mapped. Anything else — v1/v2 images, big-endian hosts
+// — takes the fully-validating heap decode, after which the image itself is
+// no longer needed and is closed.
+func EngineFromMapping(m *mapping.Mapping) (*search.Engine, error) {
+	b := m.Bytes()
+	flat := hostLittleEndian && len(b) >= 12 && string(b[:len(Magic)]) == Magic
+	if flat {
+		minReader := uint16(b[10]) | uint16(b[11])<<8
+		ver := uint16(b[8]) | uint16(b[9])<<8
+		flat = ver >= v3MinReader && minReader >= v3MinReader && minReader <= Version
+	}
+	if !flat {
+		snap, err := decodeBytes(b)
+		if err != nil {
+			return nil, err
+		}
+		e, err := AssembleEngine(snap)
+		_ = m.Close() // everything is copied; drop the image either way
+		if err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	e, aliased, err := engineFromFlat(b)
+	if err != nil {
+		return nil, err
+	}
+	if m.Mapped() {
+		e.SetMapping(m.Len(), aliased, m.Close)
+	} else {
+		// Heap-backed image: the aliased views pin the buffer; nothing is
+		// page-cache shared, so residency accounting stays all-heap.
+		e.SetMapping(0, 0, m.Close)
+	}
+	return e, nil
+}
+
+// OpenEngine loads the snapshot at path and assembles a serving engine,
+// mmap'ing v3 snapshots where the platform supports it so cold start is
+// O(pages touched) and co-resident processes share the page cache. The
+// engine owns the underlying mapping: call Engine.Close once it is no
+// longer serving (the serving registry does this on eviction and swap).
+func OpenEngine(path string) (*search.Engine, error) {
+	m, err := mapping.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	e, err := EngineFromMapping(m)
+	if err != nil {
+		_ = m.Close()
+		return nil, err
+	}
+	return e, nil
+}

@@ -1,0 +1,377 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"ikrq/internal/gen"
+	"ikrq/internal/model"
+	"ikrq/internal/search"
+	"ikrq/internal/snapshot"
+	"ikrq/internal/snapshot/mapping"
+)
+
+// mappedEngine serves a v3 bake zero-copy over an in-memory mapping — the
+// same trusted flat codepath a real mmap takes, but deterministic across
+// platforms.
+func mappedEngine(t testing.TB, data []byte) *search.Engine {
+	t.Helper()
+	e, err := snapshot.EngineFromMapping(mapping.FromBytes(data))
+	if err != nil {
+		t.Fatalf("EngineFromMapping: %v", err)
+	}
+	return e
+}
+
+// flatEquivalence is the zero-copy correctness gate: the same v3 bake is
+// served three ways — full heap decode, flat view over an in-memory
+// mapping, and snapshot.OpenEngine on a real file (an actual mmap where the
+// platform supports one) — and all three must return byte-identical routes,
+// scores, and work counters for every Table III variant, with and without
+// live condition overlays.
+func flatEquivalence(t *testing.T, eng *search.Engine, reqs []search.Request, capExpansions int) {
+	t.Helper()
+	data := snapshotBytes(t, eng)
+
+	heap, err := snapshot.LoadEngine(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("LoadEngine: %v", err)
+	}
+	mapped := mappedEngine(t, data)
+	defer mapped.Close()
+
+	path := filepath.Join(t.TempDir(), "flat.ikrq")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := snapshot.OpenEngine(path)
+	if err != nil {
+		t.Fatalf("OpenEngine: %v", err)
+	}
+	defer opened.Close()
+
+	overlays := []*model.Conditions{
+		nil,
+		new(model.Conditions).Close(0),
+		new(model.Conditions).Delay(1, 30),
+	}
+	for _, v := range search.Variants() {
+		opt, err := search.OptionsFor(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.DisablePrime {
+			opt.MaxExpansions = capExpansions // keep the unpruned variant finite
+		}
+		for i, base := range reqs {
+			for o, cond := range overlays {
+				req := base
+				req.Conditions = cond
+				want, err := heap.Search(req, opt)
+				if err != nil {
+					t.Fatalf("%s req %d overlay %d heap: %v", v, i, o, err)
+				}
+				for name, e := range map[string]*search.Engine{"mapped": mapped, "opened": opened} {
+					got, err := e.Search(req, opt)
+					if err != nil {
+						t.Fatalf("%s req %d overlay %d %s: %v", v, i, o, name, err)
+					}
+					if !reflect.DeepEqual(got.Routes, want.Routes) {
+						t.Fatalf("%s req %d overlay %d: %s engine routes differ\nheap: %+v\n%s: %+v",
+							v, i, o, name, want.Routes, name, got.Routes)
+					}
+					if got.Stats.Pops != want.Stats.Pops ||
+						got.Stats.StampsCreated != want.Stats.StampsCreated ||
+						got.Stats.Recomputations != want.Stats.Recomputations {
+						t.Fatalf("%s req %d overlay %d: %s engine did different work: pops %d/%d stamps %d/%d recomp %d/%d",
+							v, i, o, name, got.Stats.Pops, want.Stats.Pops,
+							got.Stats.StampsCreated, want.Stats.StampsCreated,
+							got.Stats.Recomputations, want.Stats.Recomputations)
+					}
+				}
+			}
+		}
+	}
+}
+
+func makeRequests(t *testing.T, mall *gen.Mall, voc *gen.Vocabulary, eng *search.Engine, n int) []search.Request {
+	t.Helper()
+	qg := gen.NewQueryGen(mall, eng.Keywords(), voc, eng.PathFinder(), 23)
+	cfg := gen.DefaultQueryConfig(23)
+	cfg.Instances = n
+	reqs, err := qg.Instances(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+func TestFlatEquivalenceSyntheticMatrix(t *testing.T) {
+	mall, voc, idx, err := gen.SyntheticMall(2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := search.NewEngine(mall.Space, idx)
+	eng.PrecomputeMatrix()
+	flatEquivalence(t, eng, makeRequests(t, mall, voc, eng, 3), 50_000)
+}
+
+func TestFlatEquivalenceSyntheticOracle(t *testing.T) {
+	mall, voc, idx, err := gen.SyntheticMall(2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := search.NewEngine(mall.Space, idx)
+	eng.PrecomputeOracle()
+	flatEquivalence(t, eng, makeRequests(t, mall, voc, eng, 2), 50_000)
+}
+
+func TestFlatEquivalenceReal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-mall equivalence sweep skipped in -short")
+	}
+	mall, voc, idx, err := gen.RealMall(gen.RealConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := search.NewEngine(mall.Space, idx)
+	eng.PrecomputeOracle()
+	flatEquivalence(t, eng, makeRequests(t, mall, voc, eng, 2), 50_000)
+}
+
+// TestOpenEngineResidency pins the MemStats split: a v3 file opened through
+// the serving path reports its bulk tables as mapped bytes on platforms
+// with mmap support, and everything as heap where the loader degraded to a
+// plain read.
+func TestOpenEngineResidency(t *testing.T) {
+	e := tinyEngine(t)
+	e.PrecomputeMatrix()
+	path := filepath.Join(t.TempDir(), "tiny.ikrq")
+	if err := os.WriteFile(path, snapshotBytes(t, e), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := snapshot.OpenEngine(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opened.Close()
+	ms := opened.MemStats()
+	if ms.TotalBytes != ms.HeapBytes+ms.MappedBytes {
+		t.Fatalf("TotalBytes %d != heap %d + mapped %d", ms.TotalBytes, ms.HeapBytes, ms.MappedBytes)
+	}
+	if runtime.GOOS == "linux" {
+		if ms.MappedBytes == 0 {
+			t.Fatal("v3 file opened on linux reports no mapped bytes")
+		}
+	} else if ms.MappedBytes != 0 {
+		t.Fatalf("no-mmap platform reports %d mapped bytes", ms.MappedBytes)
+	}
+	if err := opened.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := opened.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestMappingFromBytesAligned: the flat layout aliases []float64/[]int32
+// directly over the image, so a heap-backed mapping must start 8-aligned.
+func TestMappingFromBytesAligned(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 4096} {
+		m := mapping.FromBytes(make([]byte, n))
+		if b := m.Bytes(); len(b) != n {
+			t.Fatalf("FromBytes(%d): got %d bytes", n, len(b))
+		}
+		if m.Mapped() {
+			t.Fatal("heap-backed mapping claims to be mmap-backed")
+		}
+	}
+}
+
+// dirEntry locates section tag's directory entry in a v3 stream and
+// returns the entry offset plus the payload offset and length it declares.
+func dirEntry(t *testing.T, b []byte, tag string) (entry, off, length int) {
+	t.Helper()
+	n := int(b[12]) | int(b[13])<<8
+	for i := 0; i < n; i++ {
+		e := 16 + 24*i
+		if string(b[e:e+4]) != tag {
+			continue
+		}
+		var o, l uint64
+		for j := 0; j < 8; j++ {
+			o |= uint64(b[e+8+j]) << (8 * j)
+			l |= uint64(b[e+16+j]) << (8 * j)
+		}
+		return e, int(o), int(l)
+	}
+	t.Fatalf("section %s not found", tag)
+	return 0, 0, 0
+}
+
+// fixCRC recomputes tag's directory checksum after a payload mutation, so
+// the structural validators — not the CRC gate — are what must catch it.
+func fixCRC(t *testing.T, b []byte, tag string) {
+	t.Helper()
+	e, off, length := dirEntry(t, b, tag)
+	c := crc32.ChecksumIEEE(b[off : off+length])
+	for j := 0; j < 4; j++ {
+		b[e+4+j] = byte(c >> (8 * j))
+	}
+}
+
+// TestV3RejectsCorrupt drives hostile v3 streams through both decode modes:
+// the heap decoder must return a structured error wrapping the right
+// sentinel, and the mapped (trusted) reader must also error — never panic —
+// on everything its structural validation covers.
+func TestV3RejectsCorrupt(t *testing.T) {
+	e := tinyEngine(t)
+	e.PrecomputeMatrix()
+	data := snapshotBytes(t, e)
+
+	cases := []struct {
+		name   string
+		mutate func(*testing.T, []byte) []byte
+		want   error
+	}{
+		{"reserved header bytes", func(t *testing.T, b []byte) []byte {
+			b[14] = 1
+			return b
+		}, snapshot.ErrCorrupt},
+		{"truncated", func(t *testing.T, b []byte) []byte {
+			return b[:len(b)-9]
+		}, snapshot.ErrCorrupt},
+		{"trailing garbage", func(t *testing.T, b []byte) []byte {
+			return append(b, 0xee)
+		}, snapshot.ErrCorrupt},
+		{"misaligned section offset", func(t *testing.T, b []byte) []byte {
+			entry, _, _ := dirEntry(t, b, "KWRD")
+			b[entry+8]++
+			return b
+		}, snapshot.ErrCorrupt},
+		{"unknown section tag", func(t *testing.T, b []byte) []byte {
+			entry, _, _ := dirEntry(t, b, "MATX")
+			b[entry] = 'Z'
+			return b
+		}, snapshot.ErrCorrupt},
+		{"payload flip fails checksum", func(t *testing.T, b []byte) []byte {
+			_, off, length := dirEntry(t, b, "SPAC")
+			b[off+length/2] ^= 0xff
+			return b
+		}, snapshot.ErrChecksum},
+		{"matrix count overflow", func(t *testing.T, b []byte) []byte {
+			_, off, _ := dirEntry(t, b, "MATX")
+			for j := 0; j < 8; j++ {
+				b[off+j] = 0xff // n = 2^64-1 states
+			}
+			fixCRC(t, b, "MATX")
+			return b
+		}, snapshot.ErrCorrupt},
+		{"pathfinder count overflow", func(t *testing.T, b []byte) []byte {
+			_, off, _ := dirEntry(t, b, "PATH")
+			for j := 0; j < 8; j++ {
+				b[off+j] = 0xff
+			}
+			fixCRC(t, b, "PATH")
+			return b
+		}, snapshot.ErrCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mutated := tc.mutate(t, append([]byte(nil), data...))
+			if _, err := snapshot.Decode(bytes.NewReader(mutated)); !errors.Is(err, tc.want) {
+				t.Fatalf("Decode error %v does not wrap %v", err, tc.want)
+			}
+			if eng, err := snapshot.EngineFromMapping(mapping.FromBytes(mutated)); err == nil {
+				eng.Close()
+				t.Fatal("mapped reader accepted a corrupt stream")
+			}
+		})
+	}
+
+	// A nonzero alignment-gap byte, when the bake left any gap to corrupt.
+	mutated := append([]byte(nil), data...)
+	n := int(mutated[12]) | int(mutated[13])<<8
+	corrupted := false
+	for i := 0; i < n && !corrupted; i++ {
+		e := 16 + 24*i
+		var off uint64
+		for j := 0; j < 8; j++ {
+			off |= uint64(mutated[e+8+j]) << (8 * j)
+		}
+		if prev := prevEnd(mutated, i); prev < int(off) {
+			mutated[prev] = 1
+			corrupted = true
+		}
+	}
+	if corrupted {
+		if _, err := snapshot.Decode(bytes.NewReader(mutated)); !errors.Is(err, snapshot.ErrCorrupt) {
+			t.Fatalf("nonzero gap: Decode error %v does not wrap ErrCorrupt", err)
+		}
+		if eng, err := snapshot.EngineFromMapping(mapping.FromBytes(mutated)); err == nil {
+			eng.Close()
+			t.Fatal("mapped reader accepted a nonzero alignment gap")
+		}
+	}
+
+	// Derived-section corruption splits the two readers: the heap decoder
+	// checksums SPCD but ignores its contents (it rebuilds everything from
+	// the space record), so with the CRC patched it must still succeed,
+	// while the mapped reader consumes SPCD and must reject the overflowed
+	// count without panicking.
+	mutated = append([]byte(nil), data...)
+	_, off, _ := dirEntry(t, mutated, "SPCD")
+	for j := 0; j < 8; j++ {
+		mutated[off+j] = 0xff // nParts = 2^64-1
+	}
+	fixCRC(t, mutated, "SPCD")
+	if _, err := snapshot.Decode(bytes.NewReader(mutated)); err != nil {
+		t.Fatalf("heap decoder rejected a stream whose SPCD contents it should ignore: %v", err)
+	}
+	if eng, err := snapshot.EngineFromMapping(mapping.FromBytes(mutated)); err == nil {
+		eng.Close()
+		t.Fatal("mapped reader accepted an overflowed derived-section count")
+	}
+}
+
+// prevEnd returns where section i's predecessor payload ends (the first
+// padding byte before section i); the directory end for i == 0.
+func prevEnd(b []byte, i int) int {
+	if i == 0 {
+		n := int(b[12]) | int(b[13])<<8
+		return 16 + 24*n
+	}
+	e := 16 + 24*(i-1)
+	var off, length uint64
+	for j := 0; j < 8; j++ {
+		off |= uint64(b[e+8+j]) << (8 * j)
+		length |= uint64(b[e+16+j]) << (8 * j)
+	}
+	return int(off + length)
+}
+
+// TestV3FutureVersionFlat: a future version that keeps min-reader 3 stays
+// readable through the flat layout, with unknown sections tolerated.
+func TestV3FutureVersionFlat(t *testing.T) {
+	e := tinyEngine(t)
+	e.PrecomputeMatrix()
+	data := snapshotBytes(t, e)
+	future := append([]byte(nil), data...)
+	future[8], future[9] = 9, 0 // version 9, min-reader stays 3
+
+	snap, err := snapshot.Decode(bytes.NewReader(future))
+	if err != nil {
+		t.Fatalf("Decode future flat version: %v", err)
+	}
+	if _, err := snapshot.AssembleEngine(snap); err != nil {
+		t.Fatalf("AssembleEngine: %v", err)
+	}
+	mapped := mappedEngine(t, future)
+	mapped.Close()
+}

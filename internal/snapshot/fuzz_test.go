@@ -5,19 +5,27 @@ import (
 	"testing"
 
 	"ikrq/internal/snapshot"
+	"ikrq/internal/snapshot/mapping"
 )
 
-// FuzzSnapshotDecode feeds arbitrary bytes to the container decoder and,
-// when decoding succeeds, to engine assembly. The contract under test:
-// corrupt, truncated, version-bumped or otherwise hostile input must come
-// back as an error — the decoder may never panic, hang, or let an invalid
-// structure reach the search layer.
+// FuzzSnapshotDecode feeds arbitrary bytes to both readers — the heap
+// container decoder and the zero-copy mapped reader — and, when decoding
+// succeeds, to engine assembly. The contract under test: corrupt,
+// truncated, version-bumped or otherwise hostile input must come back as an
+// error — neither reader may panic, hang, or let an invalid structure reach
+// the search layer.
 func FuzzSnapshotDecode(f *testing.F) {
 	e := tinyEngine(f)
 	e.PrecomputeMatrix()
-	valid := snapshotBytes(f, e)
+	valid := snapshotBytes(f, e) // v3 flat
+	var v2buf bytes.Buffer
+	if err := snapshot.SaveEngineV2(&v2buf, e); err != nil {
+		f.Fatal(err)
+	}
+	validV2 := v2buf.Bytes()
 
 	f.Add(valid)
+	f.Add(validV2)
 	f.Add(valid[:len(valid)/2])
 	f.Add(valid[:12])
 	f.Add([]byte(snapshot.Magic))
@@ -30,14 +38,23 @@ func FuzzSnapshotDecode(f *testing.F) {
 	flipped := append([]byte(nil), valid...)
 	flipped[len(flipped)/2] ^= 0xff
 	f.Add(flipped)
+	// Flipped directory byte (bad section geometry).
+	dirflip := append([]byte(nil), valid...)
+	dirflip[16+9] ^= 0x04
+	f.Add(dirflip)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		snap, err := snapshot.Decode(bytes.NewReader(data))
-		if err != nil {
-			return
+		if err == nil {
+			// A structurally valid container may still describe an
+			// inconsistent index layer; assembly must reject it with an
+			// error, not a panic.
+			_, _ = snapshot.AssembleEngine(snap)
 		}
-		// A structurally valid container may still describe an inconsistent
-		// index layer; assembly must reject it with an error, not a panic.
-		_, _ = snapshot.AssembleEngine(snap)
+		// The mapped reader runs its trusted fast path on v3 streams; its
+		// structural validation must hold against the same hostile bytes.
+		if eng, err := snapshot.EngineFromMapping(mapping.FromBytes(data)); err == nil {
+			_ = eng.Close()
+		}
 	})
 }

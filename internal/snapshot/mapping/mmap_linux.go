@@ -1,0 +1,19 @@
+//go:build linux
+
+package mapping
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps f read-only and shared: the pages are the kernel page
+// cache, so repeated and concurrent loads of the same bake cost one physical
+// copy, and an engine's cold start touches only the pages it reads.
+func mmapFile(f *os.File, size int) ([]byte, func() error, error) {
+	b, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}

@@ -1,0 +1,15 @@
+//go:build !linux
+
+package mapping
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile on platforms without a wired-up mmap path reports failure; the
+// caller degrades to the heap read, which serves identically (just without
+// page-cache sharing).
+func mmapFile(*os.File, int) ([]byte, func() error, error) {
+	return nil, nil, errors.New("mapping: mmap not supported on this platform")
+}

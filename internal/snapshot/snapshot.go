@@ -5,11 +5,11 @@
 // hierarchical oracle — so an engine can be built once, baked to a file,
 // and assembled on the next start without recomputation.
 //
-// Container layout (all integers little-endian):
+// Sequential (v1/v2) container layout (all integers little-endian):
 //
 //	offset  size  field
 //	0       8     magic "IKRQSNAP"
-//	8       2     format version (currently 2)
+//	8       2     format version
 //	10      2     minimum reader version (version ≥ 2 only)
 //	then    2     section count
 //	then per section:
@@ -32,6 +32,15 @@
 //	    by v2 decoders will declare min-reader ≤ 2, under which unknown
 //	    sections are skipped (their CRC still verified) instead of
 //	    rejected.
+//	v3: flat layout with an up-front section directory and 8-byte-aligned
+//	    native-layout bulk arrays, declared via min-reader 3, so loaders
+//	    can serve the big tables as views over an mmap'd file (see flat.go
+//	    and DESIGN.md §13). EncodeV3/SaveEngine write it; Encode and
+//	    SaveEngineV2 still emit the sequential v2 layout for old readers.
+//
+// A stream's layout is chosen by its min-reader field (not its version):
+// min-reader ≤ 2 means the sequential layout below, min-reader 3 the flat
+// directory layout.
 //
 // Decoding is otherwise strict: bad magic, an unreadable version, an
 // unknown tag, a checksum mismatch, truncation, or any malformed payload
@@ -58,14 +67,19 @@ const Magic = "IKRQSNAP"
 // Version and reads every version from MinDecodable up; newer streams are
 // readable exactly when they declare a min-reader version this build
 // satisfies (migration notes live in DESIGN.md §6).
-const Version uint16 = 2
+const Version uint16 = 3
 
 // MinDecodable is the oldest stream version this build still reads.
 const MinDecodable uint16 = 1
 
+// legacyVersion is the sequential container version Encode still writes for
+// interop with pre-v3 readers (the -snapshot-v2 bake escape hatch).
+const legacyVersion uint16 = 2
+
 // Section tags.
 const (
 	tagSpace      = "SPAC"
+	tagDerived    = "SPCD" // v3-only: derived space structures (see flat.go)
 	tagKeywords   = "KWRD"
 	tagPathFinder = "PATH"
 	tagSkeleton   = "SKEL"
@@ -99,9 +113,18 @@ type Snapshot struct {
 	Skeleton   *graph.SkeletonRecord
 	Matrix     *graph.MatrixRecord
 	Oracle     *graph.OracleRecord
+
+	// Derived optionally carries the space's derived structures for the v3
+	// SPCD section, sparing the zero-copy loader the builder replay. When
+	// nil, EncodeV3 recomputes it from Space (deterministic, so the baked
+	// bytes are identical either way). The heap decode path ignores it:
+	// there the space is always rebuilt and revalidated from Space.
+	Derived *model.DerivedRecord
 }
 
-// Encode writes snap to w in the container format.
+// Encode writes snap to w in the sequential v2 container format, readable
+// by pre-v3 builds. New bakes should prefer EncodeV3, whose flat layout
+// also serves zero-copy from an mmap'd file.
 func Encode(w io.Writer, snap *Snapshot) error {
 	if snap == nil || snap.Space == nil || snap.Keywords == nil ||
 		snap.PathFinder == nil || snap.Skeleton == nil {
@@ -126,8 +149,8 @@ func Encode(w io.Writer, snap *Snapshot) error {
 
 	var hdr writer
 	hdr.buf = append(hdr.buf, Magic...)
-	hdr.buf = append(hdr.buf, byte(Version), byte(Version>>8))
-	hdr.buf = append(hdr.buf, byte(Version), byte(Version>>8)) // min-reader: v2 layouts need a v2 decoder
+	hdr.buf = append(hdr.buf, byte(legacyVersion), byte(legacyVersion>>8))
+	hdr.buf = append(hdr.buf, byte(legacyVersion), byte(legacyVersion>>8)) // min-reader: v2 layouts need a v2 decoder
 	hdr.buf = append(hdr.buf, byte(len(sections)), byte(len(sections)>>8))
 	if _, err := w.Write(hdr.buf); err != nil {
 		return err
@@ -187,6 +210,10 @@ func decodeBytes(b []byte) (*Snapshot, error) {
 		if minReader > Version {
 			return nil, fmt.Errorf("%w: snapshot has version %d and requires a reader of version ≥ %d; this build reads versions %d–%d",
 				ErrVersion, ver, minReader, MinDecodable, Version)
+		}
+		if minReader >= v3MinReader {
+			// min-reader 3 declares the flat directory layout.
+			return decodeV3(b)
 		}
 		skipUnknown = ver > Version
 		nSections = int(uint16(b[12]) | uint16(b[13])<<8)
@@ -311,6 +338,17 @@ func encodeSpace(rec *model.SpaceRecord) []byte {
 }
 
 func decodeSpace(b []byte) (*model.SpaceRecord, error) {
+	return decodeSpaceMode(b, false)
+}
+
+// decodeSpaceLite decodes the SPAC section leaving the per-door
+// enterable/leaveable lists nil: the zero-copy loader adopts those from the
+// SPCD CSRs instead, sparing one heap slice pair per door.
+func decodeSpaceLite(b []byte) (*model.SpaceRecord, error) {
+	return decodeSpaceMode(b, true)
+}
+
+func decodeSpaceMode(b []byte, lite bool) (*model.SpaceRecord, error) {
 	r := &reader{b: b}
 	rec := &model.SpaceRecord{}
 	// Minimum encoded sizes: a partition is name-len(4) + kind(1) +
@@ -339,12 +377,20 @@ func decodeSpace(b []byte) (*model.SpaceRecord, error) {
 		d.Pos.Floor = int(r.i32())
 		d.Stair = r.u8() != 0
 		ne := r.count(4)
-		for j := 0; j < ne && r.err == nil; j++ {
-			d.Enterable = append(d.Enterable, model.PartitionID(r.i32()))
+		if lite {
+			r.take(4 * ne)
+		} else {
+			for j := 0; j < ne && r.err == nil; j++ {
+				d.Enterable = append(d.Enterable, model.PartitionID(r.i32()))
+			}
 		}
 		nl := r.count(4)
-		for j := 0; j < nl && r.err == nil; j++ {
-			d.Leaveable = append(d.Leaveable, model.PartitionID(r.i32()))
+		if lite {
+			r.take(4 * nl)
+		} else {
+			for j := 0; j < nl && r.err == nil; j++ {
+				d.Leaveable = append(d.Leaveable, model.PartitionID(r.i32()))
+			}
 		}
 		rec.Doors = append(rec.Doors, d)
 	}

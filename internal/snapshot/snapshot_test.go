@@ -5,6 +5,8 @@ import (
 	"errors"
 	"hash/crc32"
 	"math"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 	"time"
@@ -55,6 +57,17 @@ func snapshotBytes(t testing.TB, e *search.Engine) []byte {
 	var buf bytes.Buffer
 	if err := snapshot.SaveEngine(&buf, e); err != nil {
 		t.Fatalf("SaveEngine: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// snapshotBytesV2 bakes the sequential v2 layout — the offset-surgery tests
+// below (v1 resplicing, raw section appends) are written against it.
+func snapshotBytesV2(t testing.TB, e *search.Engine) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := snapshot.SaveEngineV2(&buf, e); err != nil {
+		t.Fatalf("SaveEngineV2: %v", err)
 	}
 	return buf.Bytes()
 }
@@ -320,6 +333,20 @@ func BenchmarkEngineColdStart(b *testing.B) {
 			}
 		}
 	})
+	b.Run("mapped", func(b *testing.B) {
+		path := filepath.Join(b.TempDir(), "bench.ikrq")
+		if err := os.WriteFile(path, data, 0o600); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			e, err := snapshot.OpenEngine(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = e.Close()
+		}
+	})
 }
 
 // TestSnapshotOracleBackendRoundTrip bakes an engine whose KoE* backend is
@@ -390,7 +417,7 @@ func respliceV1(data []byte) []byte {
 func TestDecodeV1Stream(t *testing.T) {
 	e := tinyEngine(t)
 	e.PrecomputeMatrix()
-	snap, err := snapshot.Decode(bytes.NewReader(respliceV1(snapshotBytes(t, e))))
+	snap, err := snapshot.Decode(bytes.NewReader(respliceV1(snapshotBytesV2(t, e))))
 	if err != nil {
 		t.Fatalf("Decode v1: %v", err)
 	}
@@ -419,7 +446,7 @@ func TestDecodeV1Stream(t *testing.T) {
 func TestDecodeV1RejectsOracleSection(t *testing.T) {
 	e := tinyEngine(t)
 	e.PrecomputeOracle()
-	_, err := snapshot.Decode(bytes.NewReader(respliceV1(snapshotBytes(t, e))))
+	_, err := snapshot.Decode(bytes.NewReader(respliceV1(snapshotBytesV2(t, e))))
 	if !errors.Is(err, snapshot.ErrCorrupt) {
 		t.Fatalf("v1 stream with ORCL section: got %v, want ErrCorrupt", err)
 	}
@@ -444,14 +471,15 @@ func appendRawSection(b []byte, tag string, payload []byte) []byte {
 // TestDecodeFutureVersion checks the forward-compatibility promise: a
 // stream from a future version remains readable as long as it declares a
 // min-reader this build satisfies, with unknown sections skipped — but
-// their checksums still verified.
+// their checksums still verified. Min-reader 2 selects the sequential
+// layout, so the surgery operates on a v2 base.
 func TestDecodeFutureVersion(t *testing.T) {
 	e := tinyEngine(t)
 	e.PrecomputeMatrix()
-	base := snapshotBytes(t, e)
+	base := snapshotBytesV2(t, e)
 
 	future := append([]byte(nil), base...)
-	future[8], future[9] = 3, 0 // version 3, min-reader stays 2
+	future[8], future[9] = 4, 0 // version 4, min-reader stays 2
 	future = appendRawSection(future, "ZZZZ", []byte("from the future"))
 
 	snap, err := snapshot.Decode(bytes.NewReader(future))

@@ -139,6 +139,45 @@ curl -fsS "$base/debug/vars" | jq -e '.queries.ok >= 8' >/dev/null || {
   echo "FAIL: /debug/vars did not count the served queries"; exit 1; }
 echo "404/400/vars ok"
 
+echo "== hot snapshot swap under load"
+# Re-bake the same space to a second file, then swap the live venue onto it
+# while a query loop runs: every query across the swap must answer 200 —
+# in-flight searches drain on the engine they acquired, later arrivals see
+# the new bake.
+"$workdir/ikrqgen" -floors 2 -seed 1 -snapshot "$workdir/mall-rebake.ikrq" -matrix
+swap_statuses="$workdir/swap_statuses"
+: > "$swap_statuses"
+(
+  for i in $(seq 1 40); do
+    # A fresh conditions overlay per iteration bypasses the result cache,
+    # so every request exercises a real search on whichever engine is live.
+    echo "$cache_body" | jq --argjson i "$i" '. + {conditions: {delay: {"0": $i}}}' |
+      curl -sS -o /dev/null -w '%{http_code}\n' \
+        -X POST -H 'Content-Type: application/json' \
+        -d @- "$base/v1/venues/mall/query" >> "$swap_statuses" || echo curlfail >> "$swap_statuses"
+  done
+) &
+load_pid=$!
+sleep 0.2
+st=$(curl -sS -o "$workdir/reload.json" -w '%{http_code}' \
+  -X POST -H 'Content-Type: application/json' \
+  -d "{\"path\": \"$workdir/mall-rebake.ikrq\"}" "$base/v1/venues/mall/reload")
+[ "$st" = 200 ] || { echo "FAIL: reload -> HTTP $st: $(cat "$workdir/reload.json")"; exit 1; }
+jq -e '.venue == "mall" and .load_ms >= 0' "$workdir/reload.json" >/dev/null || {
+  echo "FAIL: malformed reload response: $(cat "$workdir/reload.json")"; exit 1; }
+wait "$load_pid"
+[ "$(wc -l < "$swap_statuses")" = 40 ] || {
+  echo "FAIL: swap load loop ran $(wc -l < "$swap_statuses")/40 queries"; exit 1; }
+bad=$(grep -cv '^200$' "$swap_statuses" || true)
+[ "$bad" = 0 ] || {
+  echo "FAIL: $bad queries failed across the swap:"; sort "$swap_statuses" | uniq -c; exit 1; }
+curl -fsS "$base/debug/vars" | jq -e '.registry.reloads >= 1' >/dev/null || {
+  echo "FAIL: /debug/vars did not count the reload"; exit 1; }
+st=$(curl -sS -o /dev/null -w '%{http_code}' -X POST \
+  -d '{"path": "/nonexistent.ikrq"}' "$base/v1/venues/mall/reload")
+[ "$st" = 503 ] || { echo "FAIL: reload of a missing file -> $st, want 503"; exit 1; }
+echo "swap: 40/40 queries 200 across the reload, failed reload left venue serving"
+
 echo "== graceful drain"
 kill -TERM "$daemon_pid"
 for i in $(seq 1 100); do
