@@ -24,7 +24,10 @@
 // heap_bytes/mapped_bytes split — and a re-baked snapshot can be swapped in
 // under live traffic with the reload endpoint (in-flight queries drain on
 // the engine they started on; the result cache is invalidated so no stale
-// route survives the swap). Queries run under -timeout deadlines and
+// route survives the swap). Reload path overrides must be relative paths
+// inside -snapshot-root; without that flag the endpoint only re-reads each
+// venue's configured path — it shares the query listener and must not load
+// arbitrary files. Queries run under -timeout deadlines and
 // a bounded in-flight semaphore (-max-inflight) that sheds excess load
 // with 429 + Retry-After. SIGINT/SIGTERM starts a graceful drain: the
 // listener closes, /healthz flips to 503, and in-flight queries finish
@@ -75,6 +78,7 @@ func run() int {
 		timeout     = flag.Duration("timeout", 10*time.Second, "per-query deadline")
 		drain       = flag.Duration("drain", 15*time.Second, "grace period for in-flight queries on SIGTERM")
 		maxExpand   = flag.Int("max-expansions", 300000, "per-query stamp-expansion work cap (-1: uncapped)")
+		snapRoot    = flag.String("snapshot-root", "", "directory reload path overrides may load snapshots from (empty: reload only re-reads each venue's configured path)")
 		loadgen     = flag.Int("loadgen", 0, "self-test: run this many sampled queries per venue through the HTTP stack and exit")
 		seed        = flag.Uint64("seed", 1, "loadgen sampling seed")
 		mix         = flag.String("mix", "sweep", "loadgen workload mix: sweep (distinct queries over all variants) or zipf (skewed repeats; reports cache hit rate)")
@@ -111,6 +115,7 @@ func run() int {
 		MaxInFlight:   *maxInflight,
 		QueryTimeout:  *timeout,
 		MaxExpansions: *maxExpand,
+		SnapshotRoot:  *snapRoot,
 	}
 	srv := server.New(reg, cfg)
 

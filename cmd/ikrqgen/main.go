@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"ikrq"
@@ -119,10 +120,19 @@ func bake(path, backend string, legacy bool, mall *ikrq.Mall, idx *ikrq.KeywordI
 		backendTime = time.Since(t1)
 	}
 
-	f, err := os.Create(path)
+	// Write to a temp file in the destination directory and rename it into
+	// place. A serving daemon may hold a live mmap of the old file (reload
+	// re-reads the same path), so the old bytes must never be rewritten in
+	// place — truncation would SIGBUS the daemon and partial writes would
+	// serve torn pages. Rename swaps the directory entry atomically; the old
+	// inode lives on under the daemon's mapping until it unmaps.
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	f, err := os.CreateTemp(dir, "."+base+".tmp-*")
 	if err != nil {
 		return err
 	}
+	tmp := f.Name()
+	defer os.Remove(tmp) // no-op after a successful rename
 	t2 := time.Now()
 	save := ikrq.SaveSnapshot
 	if legacy {
@@ -132,7 +142,17 @@ func bake(path, backend string, legacy bool, mall *ikrq.Mall, idx *ikrq.KeywordI
 		f.Close()
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
 	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp, 0o644); err != nil { // CreateTemp defaults to 0600
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
 		return err
 	}
 	info, err := os.Stat(path)

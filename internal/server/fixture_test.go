@@ -85,7 +85,14 @@ func testEngine(t testing.TB) *search.Engine {
 // returns its path.
 func bakeSnapshot(t testing.TB, e *search.Engine) string {
 	t.Helper()
-	path := filepath.Join(t.TempDir(), "venue.ikrq")
+	return bakeSnapshotIn(t, t.TempDir(), "venue.ikrq", e)
+}
+
+// bakeSnapshotIn writes the engine to dir/name — the reload tests bake into
+// a server's snapshot root — and returns the full path.
+func bakeSnapshotIn(t testing.TB, dir, name string, e *search.Engine) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
 	f, err := os.Create(path)
 	if err != nil {
 		t.Fatalf("create snapshot: %v", err)

@@ -65,9 +65,9 @@ type Registry struct {
 	loader func(VenueConfig) (*search.Engine, error)
 }
 
-// venue is one registry entry. engine, refs, lastUse and loadTime are
-// guarded by the registry mutex; loadMu serializes the (slow, lock-free)
-// snapshot load so concurrent first queries load once.
+// venue is one registry entry. engine, refs, retired, lastUse and loadTime
+// are guarded by the registry mutex; loadMu serializes the (slow,
+// lock-free) snapshot load so concurrent first queries load once.
 type venue struct {
 	cfg VenueConfig
 
@@ -78,6 +78,12 @@ type venue struct {
 	lastUse  int64
 	loads    int64
 	loadTime time.Duration
+
+	// retired counts in-flight handles per swapped-out engine. Swap moves
+	// refs here when it replaces a referenced engine; the last Release of
+	// each retired engine closes it deterministically, so a hot swap never
+	// leaves an old mapping to a GC finalizer.
+	retired map[*search.Engine]int
 
 	queries atomic.Uint64
 }
@@ -217,15 +223,32 @@ func (h *Handle) CountQuery() { h.v.queries.Add(1) }
 
 // Release drops the reference. Idempotent per handle; releasing re-checks
 // the LRU cap so an overshoot caused by busy venues shrinks as they idle.
+// Releasing the last handle of an engine a Swap retired closes that engine
+// (and its snapshot mapping) deterministically.
 func (h *Handle) Release() {
 	if h.released {
 		return
 	}
 	h.released = true
+	var closeRetired bool
 	h.r.mu.Lock()
-	h.v.refs--
+	if h.v.engine == h.e {
+		h.v.refs--
+	} else {
+		// The engine was swapped out while this handle was in flight; its
+		// drain count lives in the retired ledger.
+		if n := h.v.retired[h.e] - 1; n > 0 {
+			h.v.retired[h.e] = n
+		} else {
+			delete(h.v.retired, h.e)
+			closeRetired = true
+		}
+	}
 	h.r.evictLocked(nil)
 	h.r.mu.Unlock()
+	if closeRetired {
+		_ = h.e.Close()
+	}
 }
 
 // Acquire returns a counted handle to the venue's engine, loading the
@@ -326,9 +349,10 @@ func (r *Registry) evictLocked(keep *venue) {
 // the hot-reload behind POST /v1/venues/{venue}/reload. In-flight queries
 // drain on the engine they acquired; queries arriving after the swap see
 // the new one. The old engine's result cache is invalidated before it goes,
-// and the old engine is closed as soon as no handle references it (an old
-// engine still referenced is left to its mapping finalizer). A venue that
-// was not resident becomes resident, subject to the LRU cap.
+// and the old engine is closed deterministically: immediately when idle,
+// otherwise by the last Release of the handles still referencing it (their
+// count moves to the venue's retired ledger). A venue that was not resident
+// becomes resident, subject to the LRU cap.
 func (r *Registry) Swap(name, path string) error {
 	r.mu.Lock()
 	v, ok := r.venues[name]
@@ -370,11 +394,25 @@ func (r *Registry) Swap(name, path string) error {
 	v.lastUse = r.tick()
 	v.loads++
 	v.loadTime = took
-	if old == nil {
+	closeOld := false
+	switch {
+	case old == nil:
 		r.resident++
 		r.evictLocked(v)
+	case old == e:
+		// A loader (test seams) may hand back the engine already installed;
+		// there is nothing to retire and closing would kill the live engine.
+	case v.refs == 0:
+		closeOld = true
+	default:
+		// Handles still reference the old engine: move their count to the
+		// retired ledger so the last Release closes it.
+		if v.retired == nil {
+			v.retired = make(map[*search.Engine]int)
+		}
+		v.retired[old] += v.refs
+		v.refs = 0
 	}
-	closeOld := old != nil && v.refs == 0
 	r.mu.Unlock()
 	if closeOld {
 		_ = old.Close()
@@ -403,12 +441,16 @@ func (r *Registry) Status() []VenueStatus {
 	out := make([]VenueStatus, 0, len(r.names))
 	for _, name := range r.names {
 		v := r.venues[name]
+		inFlight := v.refs
+		for _, n := range v.retired {
+			inFlight += n // queries still draining on swapped-out engines
+		}
 		st := VenueStatus{
 			Name:           v.cfg.Name,
 			Path:           v.cfg.Path,
 			Loaded:         v.engine != nil,
 			Warm:           v.cfg.Warm,
-			InFlight:       v.refs,
+			InFlight:       inFlight,
 			Loads:          v.loads,
 			Queries:        v.queries.Load(),
 			LastLoadMillis: durationMillis(v.loadTime),

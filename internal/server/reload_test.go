@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"ikrq/internal/search"
@@ -67,6 +68,66 @@ func TestRegistrySwap(t *testing.T) {
 	}
 }
 
+// TestRegistrySwapClosesDrainedOldEngine: an engine swapped out while
+// handles reference it is closed exactly once, by the last Release — its
+// snapshot mapping must not linger until a GC finalizer fires.
+func TestRegistrySwapClosesDrainedOldEngine(t *testing.T) {
+	reg, ml := memRegistry(t, 0, "a")
+	var closed atomic.Int32
+	e1 := testEngine(t)
+	e1.SetMapping(0, 0, func() error { closed.Add(1); return nil })
+	ml.mu.Lock()
+	ml.engines["a"] = e1
+	ml.mu.Unlock()
+
+	h1, err := reg.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := reg.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ml.mu.Lock()
+	ml.engines["a"] = testEngine(t)
+	ml.mu.Unlock()
+	if err := reg.Swap("a", ""); err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	if n := closed.Load(); n != 0 {
+		t.Fatalf("old engine closed %d times with handles in flight", n)
+	}
+	if st := reg.Status(); st[0].InFlight != 2 {
+		t.Fatalf("in_flight after swap: %d, want 2 draining handles", st[0].InFlight)
+	}
+
+	h1.Release()
+	if n := closed.Load(); n != 0 {
+		t.Fatalf("old engine closed %d times before its last handle released", n)
+	}
+	h2.Release()
+	if n := closed.Load(); n != 1 {
+		t.Fatalf("old engine closed %d times after drain, want 1", n)
+	}
+	if st := reg.Status(); st[0].InFlight != 0 {
+		t.Fatalf("in_flight after drain: %d, want 0", st[0].InFlight)
+	}
+
+	// The drained engine is gone; the venue keeps serving the new one.
+	h3, err := reg.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3.Engine() == e1 {
+		t.Fatal("acquire after drain returned the closed engine")
+	}
+	h3.Release()
+	if n := closed.Load(); n != 1 {
+		t.Fatalf("drained engine closed again: %d", n)
+	}
+}
+
 func TestRegistrySwapLoadFailureKeepsOldEngine(t *testing.T) {
 	reg, ml := memRegistry(t, 0, "a")
 	h, err := reg.Acquire("a")
@@ -96,7 +157,7 @@ func TestRegistrySwapLoadFailureKeepsOldEngine(t *testing.T) {
 // snapshot: reload in place, reload onto a re-baked file, and the error
 // paths — all while confirming queries keep answering.
 func TestReloadEndpoint(t *testing.T) {
-	_, ts, oracle := newBakedServer(t, Config{MaxInFlight: 64})
+	srv, ts, oracle := newBakedServer(t, Config{MaxInFlight: 64})
 
 	query := func() (int, []byte) {
 		wq := wireCases[0]
@@ -137,9 +198,10 @@ func TestReloadEndpoint(t *testing.T) {
 		t.Fatalf("post-swap query: %d %s", code, out)
 	}
 
-	// Reload onto a freshly re-baked snapshot via the body path.
-	rebaked := bakeSnapshot(t, oracle)
-	body, _ := json.Marshal(ReloadRequest{Path: rebaked})
+	// Reload onto a freshly re-baked snapshot via the body path — relative,
+	// resolved under the server's snapshot root.
+	bakeSnapshotIn(t, srv.Config().SnapshotRoot, "mall-rebake.ikrq", oracle)
+	body, _ := json.Marshal(ReloadRequest{Path: "mall-rebake.ikrq"})
 	if code, out := reload("mall", body); code != http.StatusOK {
 		t.Fatalf("reload onto rebake: %d %s", code, out)
 	}
@@ -167,12 +229,13 @@ func TestReloadEndpoint(t *testing.T) {
 		t.Fatalf("v3 venue on linux reports no mapped bytes: %+v", listing.Venues[0])
 	}
 
-	// Error paths: unknown venue 404, unreadable snapshot 503, each with a
-	// structured code — and the venue must keep serving after the failure.
+	// Error paths: unknown venue 404, missing snapshot 503, escaping path
+	// 403, each with a structured code — and the venue must keep serving
+	// after every failure.
 	if code, out := reload("nope", nil); code != http.StatusNotFound {
 		t.Fatalf("reload unknown venue: %d %s", code, out)
 	}
-	body, _ = json.Marshal(ReloadRequest{Path: "/does/not/exist.ikrq"})
+	body, _ = json.Marshal(ReloadRequest{Path: "does-not-exist.ikrq"})
 	code, out = reload("mall", body)
 	if code != http.StatusServiceUnavailable {
 		t.Fatalf("reload bad path: %d %s", code, out)
@@ -181,8 +244,46 @@ func TestReloadEndpoint(t *testing.T) {
 	if err := json.Unmarshal(out, &we); err != nil || we.Error.Code != "reload_failed" {
 		t.Fatalf("reload error body %s: %v", out, err)
 	}
+	// Overrides that leave the snapshot root never reach the loader.
+	for _, p := range []string{"/etc/passwd", "../escape.ikrq", "a/../../escape.ikrq"} {
+		body, _ = json.Marshal(ReloadRequest{Path: p})
+		code, out = reload("mall", body)
+		if code != http.StatusForbidden {
+			t.Fatalf("reload %q: %d %s, want 403", p, code, out)
+		}
+		if err := json.Unmarshal(out, &we); err != nil || we.Error.Code != "path_forbidden" {
+			t.Fatalf("reload %q error body %s: %v", p, out, err)
+		}
+	}
 	if code, out := query(); code != http.StatusOK {
 		t.Fatalf("query after failed reload: %d %s", code, out)
+	}
+}
+
+// TestReloadWithoutSnapshotRoot: a server configured without a snapshot
+// root refuses every path override but still reloads the configured path.
+func TestReloadWithoutSnapshotRoot(t *testing.T) {
+	srv, ts, _ := newBakedServer(t, Config{})
+	srv.cfg.SnapshotRoot = "" // simulate a daemon launched without -snapshot-root
+
+	body, _ := json.Marshal(ReloadRequest{Path: "mall.ikrq"})
+	resp, err := http.Post(ts.URL+"/v1/venues/mall/reload", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("path override without root: %d %s, want 403", resp.StatusCode, out)
+	}
+	resp, err = http.Post(ts.URL+"/v1/venues/mall/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("configured-path reload without root: %d, want 200", resp.StatusCode)
 	}
 }
 

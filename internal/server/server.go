@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"time"
@@ -41,6 +42,16 @@ type Config struct {
 	// Default: 300000, matching the benchmark harness; negative disables
 	// the cap.
 	MaxExpansions int
+
+	// SnapshotRoot is the only directory the reload endpoint may load
+	// snapshot path overrides from: a ReloadRequest path must be relative
+	// and resolve inside it. The reload endpoint shares the query listener,
+	// so without this bound any client that can reach the query port could
+	// repoint a venue at an arbitrary readable file (or wedge its loads on
+	// a FIFO). Empty (the default) rejects every path override — reload
+	// then only re-reads each venue's configured snapshot path, which is
+	// always allowed.
+	SnapshotRoot string
 }
 
 func (c Config) withDefaults() Config {
@@ -272,7 +283,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // in-flight queries drain on the one they acquired, later arrivals see the
 // new bake, and the old result cache is invalidated so no stale route
 // survives the swap. A failed load leaves the venue serving the old engine
-// untouched.
+// untouched. Path overrides are confined to Config.SnapshotRoot — this
+// endpoint shares the query listener, so it must not be a primitive for
+// loading arbitrary files.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	var body ReloadRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
@@ -281,10 +294,15 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		s.clientError(w, http.StatusBadRequest, "malformed_request", "decoding request body: %v", err)
 		return
 	}
+	path, err := s.resolveReloadPath(body.Path)
+	if err != nil {
+		s.clientError(w, http.StatusForbidden, "path_forbidden", "%v", err)
+		return
+	}
 
 	name := r.PathValue("venue")
 	t0 := time.Now()
-	err := s.reg.Swap(name, body.Path)
+	err = s.reg.Swap(name, path)
 	switch {
 	case errors.Is(err, ErrUnknownVenue):
 		s.clientError(w, http.StatusNotFound, "unknown_venue", "%v", err)
@@ -299,6 +317,24 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		Venue:      name,
 		LoadMillis: time.Since(t0).Milliseconds(),
 	})
+}
+
+// resolveReloadPath maps a ReloadRequest path override onto the configured
+// snapshot root. An empty override is always allowed — it means "reload the
+// venue's configured path". Anything else must be a clean relative path
+// (no absolute paths, no ".." escapes; filepath.IsLocal) and is resolved
+// under SnapshotRoot; with no root configured every override is rejected.
+func (s *Server) resolveReloadPath(p string) (string, error) {
+	if p == "" {
+		return "", nil
+	}
+	if s.cfg.SnapshotRoot == "" {
+		return "", errors.New("no snapshot root configured; reload accepts no path override (an empty body reloads the venue's configured snapshot)")
+	}
+	if !filepath.IsLocal(p) {
+		return "", fmt.Errorf("reload path %q must be relative and resolve inside the snapshot root", p)
+	}
+	return filepath.Join(s.cfg.SnapshotRoot, p), nil
 }
 
 func (s *Server) clientError(w http.ResponseWriter, status int, code, format string, args ...any) {
@@ -316,6 +352,10 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 
 // String renders the effective configuration for startup logs.
 func (c Config) String() string {
-	return fmt.Sprintf("max_inflight=%d query_timeout=%v retry_after=%v max_body=%dB max_expansions=%d",
-		c.MaxInFlight, c.QueryTimeout, c.RetryAfter, c.MaxBodyBytes, c.MaxExpansions)
+	root := c.SnapshotRoot
+	if root == "" {
+		root = "(none)"
+	}
+	return fmt.Sprintf("max_inflight=%d query_timeout=%v retry_after=%v max_body=%dB max_expansions=%d snapshot_root=%s",
+		c.MaxInFlight, c.QueryTimeout, c.RetryAfter, c.MaxBodyBytes, c.MaxExpansions, root)
 }

@@ -38,10 +38,14 @@ var wireCases = []QueryRequest{
 // server over it plus an independently loaded in-process oracle engine.
 func newBakedServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *search.Engine) {
 	t.Helper()
-	path := bakeSnapshot(t, testEngine(t))
+	root := t.TempDir()
+	path := bakeSnapshotIn(t, root, "mall.ikrq", testEngine(t))
 	reg := NewRegistry(0)
 	if err := reg.Add(VenueConfig{Name: "mall", Path: path}); err != nil {
 		t.Fatal(err)
+	}
+	if cfg.SnapshotRoot == "" {
+		cfg.SnapshotRoot = root // reload path overrides resolve here
 	}
 	srv := New(reg, cfg)
 	ts := httptest.NewServer(srv.Handler())

@@ -190,7 +190,7 @@ type ErrorBody struct {
 type ErrorInfo struct {
 	// Code is one of: malformed_request, request_too_large,
 	// invalid_request, unknown_variant, unknown_venue, venue_unavailable,
-	// reload_failed, overloaded, deadline_exceeded.
+	// reload_failed, path_forbidden, overloaded, deadline_exceeded.
 	Code    string `json:"code"`
 	Message string `json:"message"`
 
@@ -204,7 +204,10 @@ type ErrorInfo struct {
 // snapshot path in place.
 type ReloadRequest struct {
 	// Path, when set, is the snapshot file to swap in; it becomes the
-	// venue's configured path for future loads.
+	// venue's configured path for future loads. It must be relative and is
+	// resolved under the server's configured snapshot root (ikrqd
+	// -snapshot-root) — absolute paths, ".." escapes, or any override on a
+	// server without a root are rejected with 403 path_forbidden.
 	Path string `json:"path,omitempty"`
 }
 

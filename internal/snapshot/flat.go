@@ -606,8 +606,10 @@ func parseMatxFlat(b []byte) (*matxFlat, error) {
 		f.fail("matrix dimension %d does not fit the payload", v.n)
 	}
 	v.dist = f.arr(v.n*v.n, 8)
+	// The prev table ends the section unpadded: the payload is 8+12n² bytes,
+	// which is not 8-aligned for odd n, and the container pads between
+	// sections, not inside them.
 	v.prev = f.arr(v.n*v.n, 4)
-	f.pad8()
 	if err := f.done(); err != nil {
 		return nil, err
 	}
@@ -800,22 +802,36 @@ func alias[T any](b []byte, n int) ([]T, error) {
 // Engine.SetMapping). It returns the engine plus the number of table bytes
 // served from the mapping rather than the heap.
 //
-// CRC policy: the sections this path reads in full anyway (space, keywords,
-// pathfinder — their contents are materialized or validated element by
-// element) are CRC-verified; the bulk tables (derived space, skeleton,
-// matrix, oracle) are not, because checksumming them would fault in every
-// page. Their CRCs are still written at bake time and verified by the heap
-// reader and the fuzz gate (see DESIGN.md §13).
-func engineFromFlat(b []byte) (*search.Engine, int64, error) {
+// CRC and validation policy hinge on mapped: over a real OS mapping the
+// sections read in full anyway (space, keywords, pathfinder — their contents
+// are materialized or validated element by element) are CRC-verified, while
+// the bulk tables (derived space, skeleton, matrix, oracle) are not, because
+// checksumming them would fault in every page; their CRCs are still written
+// at bake time and verified by the heap reader and the fuzz gate (see
+// DESIGN.md §13). A private heap image (mmap unsupported or failed) has
+// already paid O(file) to load, so the O(pages-touched) argument does not
+// apply: every section is CRC-verified and the FromFlat constructors run
+// their full value scans, keeping the integrity guarantees of the decode
+// path.
+func engineFromFlat(b []byte, mapped bool) (*search.Engine, int64, error) {
 	img, err := parseFlat(b)
 	if err != nil {
 		return nil, 0, err
 	}
+	if !mapped {
+		for i := range img.all {
+			if err := img.all[i].checkCRC(); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
 	var aliased int64
 
 	spac := img.byTag[tagSpace]
-	if err := spac.checkCRC(); err != nil {
-		return nil, 0, err
+	if mapped {
+		if err := spac.checkCRC(); err != nil {
+			return nil, 0, err
+		}
 	}
 	var s *model.Space
 	if sec := img.byTag[tagDerived]; sec != nil {
@@ -881,8 +897,10 @@ func engineFromFlat(b []byte) (*search.Engine, int64, error) {
 	}
 
 	kws := img.byTag[tagKeywords]
-	if err := kws.checkCRC(); err != nil {
-		return nil, 0, err
+	if mapped {
+		if err := kws.checkCRC(); err != nil {
+			return nil, 0, err
+		}
 	}
 	kw, err := parseKwrdFlat(kws.b)
 	if err != nil {
@@ -913,8 +931,10 @@ func engineFromFlat(b []byte) (*search.Engine, int64, error) {
 	aliased += int64(len(kw.i2tVals) + len(kw.p2i))
 
 	ps := img.byTag[tagPathFinder]
-	if err := ps.checkCRC(); err != nil {
-		return nil, 0, err
+	if mapped {
+		if err := ps.checkCRC(); err != nil {
+			return nil, 0, err
+		}
 	}
 	pv, err := parsePathFlat(ps.b)
 	if err != nil {
@@ -953,7 +973,7 @@ func engineFromFlat(b []byte) (*search.Engine, int64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	sk, err := graph.SkeletonFromFlat(s, doors, dist, true)
+	sk, err := graph.SkeletonFromFlat(s, doors, dist, mapped)
 	if err != nil {
 		return nil, 0, fmt.Errorf("snapshot: restoring skeleton: %w", err)
 	}
@@ -973,7 +993,7 @@ func engineFromFlat(b []byte) (*search.Engine, int64, error) {
 		if err != nil {
 			return nil, 0, err
 		}
-		mat, err = graph.MatrixFromFlat(pf, mv.n, mdist, mprev, true)
+		mat, err = graph.MatrixFromFlat(pf, mv.n, mdist, mprev, mapped)
 		if err != nil {
 			return nil, 0, fmt.Errorf("snapshot: restoring KoE* matrix: %w", err)
 		}
@@ -1006,7 +1026,7 @@ func engineFromFlat(b []byte) (*search.Engine, int64, error) {
 		if err != nil {
 			return nil, 0, err
 		}
-		orc, err = graph.OracleFromFlat(pf, hubs, hubOff, toHub, fromHub, hubDist, true)
+		orc, err = graph.OracleFromFlat(pf, hubs, hubOff, toHub, fromHub, hubDist, mapped)
 		if err != nil {
 			return nil, 0, fmt.Errorf("snapshot: restoring KoE* oracle: %w", err)
 		}
@@ -1024,9 +1044,12 @@ func engineFromFlat(b []byte) (*search.Engine, int64, error) {
 // image. v3 images on little-endian hosts take the zero-copy path: the bulk
 // tables become views over the mapping, the engine adopts the mapping's
 // lifetime (Engine.Close releases it), and search.MemStats splits resident
-// bytes into heap vs mapped. Anything else — v1/v2 images, big-endian hosts
-// — takes the fully-validating heap decode, after which the image itself is
-// no longer needed and is closed.
+// bytes into heap vs mapped. A v3 image that is heap-backed (mmap
+// unsupported or failed) still assembles through the flat views but with
+// full CRC verification and value scans — only a real OS mapping skips
+// them. Anything else — v1/v2 images, big-endian hosts — takes the
+// fully-validating heap decode, after which the image itself is no longer
+// needed and is closed.
 func EngineFromMapping(m *mapping.Mapping) (*search.Engine, error) {
 	b := m.Bytes()
 	flat := hostLittleEndian && len(b) >= 12 && string(b[:len(Magic)]) == Magic
@@ -1047,7 +1070,10 @@ func EngineFromMapping(m *mapping.Mapping) (*search.Engine, error) {
 		}
 		return e, nil
 	}
-	e, aliased, err := engineFromFlat(b)
+	// Only a real OS mapping gets the trusted fast path (bulk CRCs and value
+	// scans skipped); a private heap image is fully verified — see
+	// engineFromFlat's policy comment.
+	e, aliased, err := engineFromFlat(b, m.Mapped())
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,42 @@
+package snapshot
+
+import (
+	"testing"
+
+	"ikrq/internal/graph"
+)
+
+// TestMatxFlatRoundTripOddDimensions pins the section-level encode/parse
+// contract for MATX: the payload is 8+12n² bytes with no trailing padding,
+// which is not 8-aligned when n is odd. A parser that demands alignment
+// padding after the prev table runs past the section end and rejects every
+// dense bake with an odd state count.
+func TestMatxFlatRoundTripOddDimensions(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 4, 5} {
+		rec := &graph.MatrixRecord{
+			N:    int32(n),
+			Dist: make([]float64, n*n),
+			Prev: make([]graph.StateID, n*n),
+		}
+		for i := range rec.Dist {
+			rec.Dist[i] = float64(i) * 1.5
+			rec.Prev[i] = graph.StateID(i % max(n, 1))
+		}
+		b := encodeMatrixFlat(rec)
+		v, err := parseMatxFlat(b)
+		if err != nil {
+			t.Fatalf("n=%d: parseMatxFlat: %v", n, err)
+		}
+		if v.n != n || len(v.dist) != 8*n*n || len(v.prev) != 4*n*n {
+			t.Fatalf("n=%d: parsed n=%d, dist %dB, prev %dB", n, v.n, len(v.dist), len(v.prev))
+		}
+		dist := f64sFrom(v.dist, n*n)
+		prev := i32sFrom(v.prev, n*n)
+		for i := 0; i < n*n; i++ {
+			if dist[i] != rec.Dist[i] || graph.StateID(prev[i]) != rec.Prev[i] {
+				t.Fatalf("n=%d: cell %d round-tripped to (%v,%v), want (%v,%v)",
+					n, i, dist[i], prev[i], rec.Dist[i], rec.Prev[i])
+			}
+		}
+	}
+}

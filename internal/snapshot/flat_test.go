@@ -18,8 +18,9 @@ import (
 )
 
 // mappedEngine serves a v3 bake zero-copy over an in-memory mapping — the
-// same trusted flat codepath a real mmap takes, but deterministic across
-// platforms.
+// same flat assembly a real mmap takes, but deterministic across platforms.
+// Heap-backed images run the full CRC and value checks (only a real OS
+// mapping is trusted), so this is the stricter of the two flat modes.
 func mappedEngine(t testing.TB, data []byte) *search.Engine {
 	t.Helper()
 	e, err := snapshot.EngineFromMapping(mapping.FromBytes(data))

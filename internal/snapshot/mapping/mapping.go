@@ -11,9 +11,11 @@
 // Lifetime rules (see DESIGN.md §13): an engine assembled over a mapped
 // window aliases it and must keep the Mapping reachable for as long as it
 // serves; Close unmaps deterministically and must only be called once no
-// engine view can be touched again. A finalizer backstops Close for
-// mappings dropped on the floor (e.g. a hot-swapped engine draining its last
-// in-flight queries), so leaked mappings are reclaimed with their engines.
+// engine view can be touched again. The serving registry closes engines —
+// and through them their mappings — deterministically on eviction and when
+// the last in-flight query drains off a hot-swapped engine; a finalizer
+// backstops Close for mappings dropped on the floor anyway, so leaked
+// mappings are still reclaimed with their engines.
 package mapping
 
 import (

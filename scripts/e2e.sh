@@ -40,7 +40,8 @@ echo "== loadgen self-test (in-process HTTP stack, all variants)"
 echo "== serve"
 port="${IKRQD_E2E_PORT:-18421}"
 base="http://127.0.0.1:$port"
-"$workdir/ikrqd" -listen "127.0.0.1:$port" -venue mall="$workdir/mall.ikrq" &
+"$workdir/ikrqd" -listen "127.0.0.1:$port" -venue mall="$workdir/mall.ikrq" \
+  -snapshot-root "$workdir" &
 daemon_pid=$!
 
 for i in $(seq 1 100); do
@@ -145,6 +146,10 @@ echo "== hot snapshot swap under load"
 # in-flight searches drain on the engine they acquired, later arrivals see
 # the new bake.
 "$workdir/ikrqgen" -floors 2 -seed 1 -snapshot "$workdir/mall-rebake.ikrq" -matrix
+# Also re-bake the serving path itself: ikrqgen replaces it atomically
+# (temp file + rename), so the daemon's live mmap keeps serving the old
+# inode untouched — queries must stay 200 throughout (DESIGN.md §13).
+"$workdir/ikrqgen" -floors 2 -seed 1 -snapshot "$workdir/mall.ikrq" -matrix
 swap_statuses="$workdir/swap_statuses"
 : > "$swap_statuses"
 (
@@ -161,7 +166,7 @@ load_pid=$!
 sleep 0.2
 st=$(curl -sS -o "$workdir/reload.json" -w '%{http_code}' \
   -X POST -H 'Content-Type: application/json' \
-  -d "{\"path\": \"$workdir/mall-rebake.ikrq\"}" "$base/v1/venues/mall/reload")
+  -d '{"path": "mall-rebake.ikrq"}' "$base/v1/venues/mall/reload")
 [ "$st" = 200 ] || { echo "FAIL: reload -> HTTP $st: $(cat "$workdir/reload.json")"; exit 1; }
 jq -e '.venue == "mall" and .load_ms >= 0' "$workdir/reload.json" >/dev/null || {
   echo "FAIL: malformed reload response: $(cat "$workdir/reload.json")"; exit 1; }
@@ -174,9 +179,17 @@ bad=$(grep -cv '^200$' "$swap_statuses" || true)
 curl -fsS "$base/debug/vars" | jq -e '.registry.reloads >= 1' >/dev/null || {
   echo "FAIL: /debug/vars did not count the reload"; exit 1; }
 st=$(curl -sS -o /dev/null -w '%{http_code}' -X POST \
-  -d '{"path": "/nonexistent.ikrq"}' "$base/v1/venues/mall/reload")
+  -d '{"path": "nonexistent.ikrq"}' "$base/v1/venues/mall/reload")
 [ "$st" = 503 ] || { echo "FAIL: reload of a missing file -> $st, want 503"; exit 1; }
-echo "swap: 40/40 queries 200 across the reload, failed reload left venue serving"
+# Overrides outside -snapshot-root (absolute or ..-escaping) are refused
+# before the loader ever sees them.
+st=$(curl -sS -o /dev/null -w '%{http_code}' -X POST \
+  -d '{"path": "/etc/passwd"}' "$base/v1/venues/mall/reload")
+[ "$st" = 403 ] || { echo "FAIL: absolute reload path -> $st, want 403"; exit 1; }
+st=$(curl -sS -o /dev/null -w '%{http_code}' -X POST \
+  -d '{"path": "../escape.ikrq"}' "$base/v1/venues/mall/reload")
+[ "$st" = 403 ] || { echo "FAIL: escaping reload path -> $st, want 403"; exit 1; }
+echo "swap: 40/40 queries 200 across the reload, failed reload left venue serving, escapes 403"
 
 echo "== graceful drain"
 kill -TERM "$daemon_pid"
