@@ -17,6 +17,11 @@
 // -close and -delay overlay live venue conditions on the query without
 // rebuilding anything: -close "3,17" closes doors 3 and 17, -delay
 // "12:30,40:15.5" charges +30m per pass of door 12 and +15.5m for door 40.
+//
+// -legs switches to a sequence query: semicolon-separated legs of
+// comma-separated keywords, visited in order. `ikrq -legs "coffee;phone,tv"`
+// asks for routes that stop at a coffee place first and an electronics shop
+// second (-alg is ignored; the sequence planner is its own algorithm).
 package main
 
 import (
@@ -52,6 +57,8 @@ func run() int {
 		snap     = flag.String("snapshot", "", "serve from this baked snapshot instead of generating a space")
 		closeStr = flag.String("close", "", "closed doors, e.g. \"3,17\"")
 		delayStr = flag.String("delay", "", "door traversal penalties, e.g. \"12:30,40:15.5\" (meters per pass)")
+		legsStr  = flag.String("legs", "", "sequence query: legs as \"kw,kw;kw\" visited in order (overrides -qw/-alg)")
+		beam     = flag.Int("beam", 0, "sequence beam width (0: exact planner)")
 	)
 	flag.Parse()
 
@@ -87,6 +94,10 @@ func run() int {
 		req.QW = strings.Split(*qwFlag, ",")
 	}
 	req.Conditions = cond
+
+	if *legsStr != "" {
+		return runSequence(engine, req, *legsStr, *beam, *stats)
+	}
 
 	res, err := engine.Search(req, opt)
 	if err != nil {
@@ -124,19 +135,80 @@ func run() int {
 	return cli.ExitOK
 }
 
+// runSequence runs one sequence query built from the -legs syntax over the
+// same engine, geometry and overlay the plain path resolved.
+func runSequence(engine *ikrq.Engine, req ikrq.Request, legsStr string, beam int, stats bool) int {
+	var legs []ikrq.SequenceLeg
+	for _, leg := range strings.Split(legsStr, ";") {
+		var qw []string
+		for _, w := range strings.Split(leg, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				qw = append(qw, w)
+			}
+		}
+		if len(qw) == 0 {
+			return cli.Fail(os.Stderr, "ikrq", cli.Usagef("-legs: empty leg in %q", legsStr))
+		}
+		legs = append(legs, ikrq.SequenceLeg{QW: qw})
+	}
+	sreq := ikrq.SequenceRequest{
+		Ps: req.Ps, Pt: req.Pt, Delta: req.Delta, Legs: legs,
+		K: req.K, Alpha: req.Alpha, Tau: req.Tau, Beam: beam,
+		Conditions: req.Conditions,
+	}
+	res, err := engine.SearchSequence(sreq)
+	if err != nil {
+		return cli.Fail(os.Stderr, "ikrq", err)
+	}
+
+	fmt.Printf("IKRQ-seq(ps=%v, pt=%v, Δ=%.0fm, legs=%s, k=%d)\n",
+		sreq.Ps, sreq.Pt, sreq.Delta, legsStr, sreq.K)
+	if !sreq.Conditions.Empty() {
+		fmt.Printf("live %v\n", sreq.Conditions)
+	}
+	if len(res.Routes) == 0 {
+		fmt.Println("no routes within the distance constraint")
+		return cli.ExitOK
+	}
+	for i, r := range res.Routes {
+		fmt.Printf("#%d  ψ=%.4f  ρ=%.3f  δ=%.1fm  %d doors\n",
+			i+1, r.Psi, r.Rho, r.Dist, len(r.Doors))
+		for j, wp := range r.Waypoints {
+			fmt.Printf("    leg %d: %s (ρ=%.3f)\n", j+1, partitionName(engine, wp), r.LegRho[j])
+		}
+		fmt.Printf("    %s\n", describePath(engine, r.Doors, r.Entered))
+	}
+	if stats {
+		st := res.Stats
+		fmt.Printf("stats: %v, dijkstras=%d prefixes=%d plans=%d prunedΔ=%d beamDropped=%d truncated=%v\n",
+			st.Elapsed, st.Dijkstras, st.Prefixes, st.Plans,
+			st.PrunedDelta, st.BeamDropped, st.Truncated)
+	}
+	return cli.ExitOK
+}
+
 // describeRoute renders a route as ps →(partition)→ door →…→ pt with the
 // named partitions it visits.
 func describeRoute(e *ikrq.Engine, r *ikrq.Route) string {
+	return describePath(e, r.Doors, r.Entered)
+}
+
+func describePath(e *ikrq.Engine, doors []ikrq.DoorID, entered []ikrq.PartitionID) string {
 	var b strings.Builder
 	b.WriteString("ps")
-	for i, d := range r.Doors {
-		part := e.Space().Partition(r.Entered[i])
-		name := part.Name
-		if w := e.Keywords().P2I(part.ID); w >= 0 {
-			name = e.Keywords().IWord(w)
-		}
-		fmt.Fprintf(&b, " →d%d[%s]", d, name)
+	for i, d := range doors {
+		fmt.Fprintf(&b, " →d%d[%s]", d, partitionName(e, entered[i]))
 	}
 	b.WriteString(" → pt")
 	return b.String()
+}
+
+// partitionName prefers the partition's i-word (its brand) over the raw name.
+func partitionName(e *ikrq.Engine, p ikrq.PartitionID) string {
+	part := e.Space().Partition(p)
+	name := part.Name
+	if w := e.Keywords().P2I(part.ID); w >= 0 {
+		name = e.Keywords().IWord(w)
+	}
+	return name
 }

@@ -15,7 +15,10 @@
 //	GET  /v1/venues                    per-venue load/refcount/query stats
 //	POST /v1/venues/{venue}/query      one IKRQ query (JSON; see README)
 //	POST /v1/venues/{venue}/reload     hot-swap the venue's snapshot in place
-//	GET  /debug/vars                   QPS, in-flight, p50/p99, shed count
+//	POST /v2/venues/{venue}/query      versioned envelope: route or sequence query
+//	PUT  /v2/venues/{venue}/conditions publish a venue-wide conditions revision
+//	POST /v2/venues/{venue}/subscribe  SSE stream re-routing one query on publish
+//	GET  /debug/vars                   QPS, in-flight, p50/p99, shed/push counts
 //
 // Venues load lazily on first query (or eagerly with -warm); -max-resident
 // caps how many engines stay in memory at once, evicting the
@@ -32,6 +35,12 @@
 // with 429 + Retry-After. SIGINT/SIGTERM starts a graceful drain: the
 // listener closes, /healthz flips to 503, and in-flight queries finish
 // within the -drain grace period.
+//
+// The v2 surface wraps route and sequence queries in one "type"-
+// discriminated envelope and adds the conditions bus: PUT a conditions
+// overlay (closed doors, per-door delays) and every subscribed client whose
+// answer changed is pushed a re-route over its SSE stream. -max-subscribers
+// bounds the live streams, -subscribe-max their lifetime.
 //
 // Repeated queries are answered from a per-venue result cache keyed by a
 // canonical fingerprint of the full request — geometry, keywords, variant
@@ -79,6 +88,8 @@ func run() int {
 		drain       = flag.Duration("drain", 15*time.Second, "grace period for in-flight queries on SIGTERM")
 		maxExpand   = flag.Int("max-expansions", 300000, "per-query stamp-expansion work cap (-1: uncapped)")
 		snapRoot    = flag.String("snapshot-root", "", "directory reload path overrides may load snapshots from (empty: reload only re-reads each venue's configured path)")
+		maxSubs     = flag.Int("max-subscribers", 0, "max live conditions-bus SSE streams across all venues (0: 64)")
+		subMax      = flag.Duration("subscribe-max", 0, "max lifetime of one subscribe stream before the client must reconnect (0: 5m)")
 		loadgen     = flag.Int("loadgen", 0, "self-test: run this many sampled queries per venue through the HTTP stack and exit")
 		seed        = flag.Uint64("seed", 1, "loadgen sampling seed")
 		mix         = flag.String("mix", "sweep", "loadgen workload mix: sweep (distinct queries over all variants) or zipf (skewed repeats; reports cache hit rate)")
@@ -112,10 +123,12 @@ func run() int {
 	}
 
 	cfg := server.Config{
-		MaxInFlight:   *maxInflight,
-		QueryTimeout:  *timeout,
-		MaxExpansions: *maxExpand,
-		SnapshotRoot:  *snapRoot,
+		MaxInFlight:     *maxInflight,
+		QueryTimeout:    *timeout,
+		MaxExpansions:   *maxExpand,
+		SnapshotRoot:    *snapRoot,
+		MaxSubscribers:  *maxSubs,
+		SubscribeMaxAge: *subMax,
 	}
 	srv := server.New(reg, cfg)
 

@@ -106,6 +106,30 @@
 // engine as read-only. cmd/ikrqd enables the cache per venue by default
 // (-cache-entries, -cache-bytes, -cache-off).
 //
+// # Sequence queries
+//
+// A plain IKRQ ranks routes that cover a bag of keywords in any order. A
+// sequence query instead prescribes an ordered itinerary — "coffee, then a
+// phone shop, then a pharmacy" — as a list of keyword legs, and
+// Engine.SearchSequence returns the k best routes that visit one matching
+// waypoint per leg in exactly that order:
+//
+//	res, _ := engine.SearchSequence(ikrq.SequenceRequest{
+//	    Ps: ps, Pt: pt, Delta: 900, K: 5, Alpha: 0.5, Tau: 0.2,
+//	    Legs: []ikrq.SequenceLeg{
+//	        {QW: []string{"coffee"}},
+//	        {QW: []string{"phone"}},
+//	    },
+//	})
+//
+// The planner chains one targeted shortest-path stage per leg over a
+// pruned waypoint frontier and is exact: results are identical to scoring
+// every waypoint combination exhaustively (DESIGN.md §14 has the
+// argument). SequenceRequest.Beam trades that guarantee for bounded work
+// on very wide venues; truncation is reported, never silent. Sequence
+// searches ride the same result cache, Conditions overlays and
+// SearchSequenceContext cancellation as plain queries.
+//
 // # Serving
 //
 // The serving layer keeps baked snapshots resident and answers queries
@@ -120,9 +144,33 @@
 //	go srv.ListenAndServe(":8080")
 //
 // Programmatic clients embed the same wire DTOs (QueryRequest,
-// QueryResponse) the daemon speaks. In-process callers that need
-// cancellation or deadlines without HTTP use Engine.SearchContext, which
-// aborts between expansion batches once the context is done.
+// QueryResponse) the daemon speaks. The v1 endpoint serves route queries
+// only; the versioned v2 surface adds sequence queries behind one
+// discriminated envelope plus a per-venue conditions bus — publish a
+// Conditions revision and subscribed clients are pushed a re-route the
+// moment their answer changes (README "API v2", DESIGN.md §14). In-process
+// callers that need cancellation or deadlines without HTTP use
+// Engine.SearchContext, which aborts between expansion batches once the
+// context is done.
+//
+// # Configuration
+//
+// Every tunable in the package follows the same rule: the zero value picks
+// a production-safe default, so empty struct literals are always valid.
+//
+//   - ServerConfig{}: 4×GOMAXPROCS in-flight queries, 10s query deadline,
+//     1 MiB body cap, 300k expansion work cap, 64 bus subscribers, 5m
+//     subscribe stream lifetime, path overrides on reload rejected.
+//   - CacheOptions{}: 4096 entries, 64 MiB budget.
+//   - BatchOptions{}: worker pool sized to GOMAXPROCS.
+//   - Options{}: plain ToE with every pruning rule on; OptionsFor
+//     resolves Table III variant names instead of hand-setting switches.
+//   - Request / SequenceRequest: zero Beam means exact search; exactly one
+//     of Delta (absolute meters) must be positive — there is no default
+//     distance budget, because one cannot be venue-agnostic.
+//
+// Command-line front-ends (cmd/ikrqd, cmd/ikrq) expose the same knobs as
+// flags and never override these defaults silently.
 package ikrq
 
 import (
@@ -245,6 +293,27 @@ type (
 	ResultCacheStats = search.CacheStats
 )
 
+// Sequence queries (see the package docs, "Sequence queries").
+type (
+	// SequenceRequest is one ordered-itinerary query for
+	// Engine.SearchSequence: the geometry and scoring parameters of a
+	// Request plus keyword legs visited in order.
+	SequenceRequest = search.SequenceRequest
+	// SequenceLeg is one itinerary stop: the keywords a waypoint must match.
+	SequenceLeg = search.SequenceLeg
+	// SequenceResult is a ranked list of sequence routes plus planner
+	// statistics.
+	SequenceResult = search.SequenceResult
+	// SequenceRoute is one returned itinerary route with its per-leg
+	// relevance breakdown.
+	SequenceRoute = search.SequenceRoute
+	// SequenceStats reports the cost of a sequence planner run.
+	SequenceStats = search.SequenceStats
+)
+
+// MaxSequenceLegs bounds the legs a SequenceRequest may carry.
+const MaxSequenceLegs = search.MaxSequenceLegs
+
 // Expansion strategies.
 const (
 	// ToE is the topology-oriented expansion (Algorithm 2).
@@ -268,6 +337,11 @@ func SaveSnapshot(w io.Writer, e *Engine) error { return snapshot.SaveEngine(w, 
 // SaveSnapshotV2 writes the engine's index layer in the sequential v2
 // snapshot format for interop with pre-v3 readers (`ikrqgen -snapshot-v2`).
 // v2 snapshots always decode onto the heap.
+//
+// Deprecated: bake with SaveSnapshot unless a pre-v3 reader must consume
+// the file — v3 snapshots load strictly faster (OpenEngine serves them
+// zero-copy over an mmap) and every current reader accepts them. The v2
+// writer remains only for that interop window.
 func SaveSnapshotV2(w io.Writer, e *Engine) error { return snapshot.SaveEngineV2(w, e) }
 
 // LoadEngine assembles a ready-to-serve engine from a snapshot written by
@@ -317,6 +391,19 @@ type (
 	ConditionsWire = server.ConditionsWire
 	// PointWire is an indoor point on the wire.
 	PointWire = server.PointWire
+
+	// RouteRequestV2 is the route arm of the v2 query envelope
+	// (POST /v2/venues/{venue}/query with "type": "route").
+	RouteRequestV2 = server.RouteRequestV2
+	// SequenceRequestV2 is the sequence arm of the v2 query envelope
+	// ("type": "sequence").
+	SequenceRequestV2 = server.SequenceRequestV2
+	// SequenceLegWire is one itinerary leg on the wire.
+	SequenceLegWire = server.SequenceLegWire
+	// SequenceResponse is the JSON body of a successful v2 sequence query.
+	SequenceResponse = server.SequenceResponse
+	// ConditionsPublishResponse answers PUT /v2/venues/{venue}/conditions.
+	ConditionsPublishResponse = server.ConditionsPublishResponse
 )
 
 // NewVenueRegistry returns an empty venue registry; maxResident caps how

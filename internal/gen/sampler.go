@@ -143,6 +143,65 @@ func (sp *Sampler) Instances(n int, cfg SampleConfig) ([]search.Request, error) 
 	return out, nil
 }
 
+// SequenceSampleConfig parameterizes Sampler.SequenceInstance. A sequence
+// walk visits Legs ordered stops before the terminal, so its Δ scale Eta
+// runs well past the single-route default; Beta and Tau default high because
+// small per-leg candidate sets are what keep sequence planning (and the
+// exhaustive gate in the tests) tractable.
+type SequenceSampleConfig struct {
+	// K is the result count and Legs the number of ordered stops.
+	K, Legs int
+	// LegQWLen is the keyword count per leg.
+	LegQWLen int
+	// Beta is the fraction of i-words among leg keywords.
+	Beta float64
+	// Eta scales the distance constraint: Δ = η · δ(ps, pt).
+	Eta float64
+	// Alpha and Tau are the scoring parameters, and Beam the planner's
+	// per-layer prefix cap (0: exact).
+	Alpha, Tau float64
+	Beam       int
+}
+
+// DefaultSequenceSampleConfig returns the sequence workload defaults.
+func DefaultSequenceSampleConfig() SequenceSampleConfig {
+	return SequenceSampleConfig{K: 4, Legs: 3, LegQWLen: 2, Beta: 1.0, Eta: 4.0, Alpha: 0.5, Tau: 0.6}
+}
+
+// SequenceInstance draws one feasible sequence query: the same
+// farthest-connected-pair point placement as Instance, with per-leg keyword
+// lists sampled from the index vocabulary.
+func (sp *Sampler) SequenceInstance(cfg SequenceSampleConfig) (search.SequenceRequest, error) {
+	base, err := sp.Instance(SampleConfig{
+		K: cfg.K, QWLen: 1, Beta: cfg.Beta,
+		Eta: cfg.Eta, Alpha: cfg.Alpha, Tau: cfg.Tau,
+	})
+	if err != nil {
+		return search.SequenceRequest{}, err
+	}
+	legs := make([]search.SequenceLeg, cfg.Legs)
+	for j := range legs {
+		legs[j] = search.SequenceLeg{QW: sp.Keywords(cfg.LegQWLen, cfg.Beta)}
+	}
+	return search.SequenceRequest{
+		Ps: base.Ps, Pt: base.Pt, Delta: base.Delta,
+		Legs: legs, K: cfg.K, Alpha: cfg.Alpha, Tau: cfg.Tau, Beam: cfg.Beam,
+	}, nil
+}
+
+// SequenceInstances draws n sequence queries.
+func (sp *Sampler) SequenceInstances(n int, cfg SequenceSampleConfig) ([]search.SequenceRequest, error) {
+	out := make([]search.SequenceRequest, 0, n)
+	for i := 0; i < n; i++ {
+		r, err := sp.SequenceInstance(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
 // Keywords samples a query keyword list from the index vocabulary with
 // i-word fraction beta.
 func (sp *Sampler) Keywords(n int, beta float64) []string {

@@ -459,6 +459,19 @@ func (pf *PathFinder) ShortestTreeWS(ws *Workspace, seeds []Seed, costs Costs) *
 	return &ws.tree
 }
 
+// ShortestTreeToStatesWS is ShortestTreeWS with target-driven early
+// termination: the run stops once every reachable target is settled, so the
+// returned tree's Dist/PathTo/Seed are exact for the targets (and for any
+// state that happened to settle before them) but may report +Inf for states
+// the truncated frontier never reached. The sequence planner uses this to
+// read distances to every entry state of a candidate-partition union from
+// one Dijkstra without exhausting the graph.
+func (pf *PathFinder) ShortestTreeToStatesWS(ws *Workspace, seeds []Seed, targets []StateID, costs Costs) *Tree {
+	pf.runDijkstra(ws, seeds, costs, targets)
+	ws.tree = Tree{pf: pf, ws: ws, epoch: ws.epoch, seeds: seeds}
+	return &ws.tree
+}
+
 func (t *Tree) check() {
 	if t.ws.epoch != t.epoch {
 		panic("graph: Tree read after its workspace ran another query")
@@ -469,6 +482,18 @@ func (t *Tree) check() {
 func (t *Tree) Dist(s StateID) float64 {
 	t.check()
 	return t.ws.distAt(s)
+}
+
+// Seed returns the index (into the seed slice the tree was built from) of
+// the seed whose shortest path reaches state s, or -1 when s is unreachable.
+// Chained searches use this to attribute a settled target back to the label
+// that fed it.
+func (t *Tree) Seed(s StateID) int {
+	t.check()
+	if s == NoState || math.IsInf(t.ws.distAt(s), 1) {
+		return -1
+	}
+	return int(t.ws.seedOf[s])
 }
 
 // PathTo reconstructs the hop sequence to a state; ok is false when the

@@ -125,6 +125,39 @@ func fingerprintQuery(req *Request, opt Options) fingerprint {
 	return fp
 }
 
+// fingerprintSequence computes the canonical cache key of a validated
+// sequence request. Layout version 2 keeps sequence keys disjoint from the
+// version-1 route keys inside the shared per-engine cache. Leg order is
+// semantic and keyed verbatim; per-leg keyword order is also keyed verbatim
+// — a conservative choice (reordered keywords within a leg miss rather than
+// hit) that keeps SequenceRoute.LegSims aligned with the request without a
+// permutation-delivery step.
+func fingerprintSequence(req *SequenceRequest) string {
+	b := make([]byte, 0, 160)
+	b = append(b, 2) // layout version: sequence requests
+	b = binary.AppendUvarint(b, uint64(int64(req.Beam)))
+	b = appendF64(b, req.Ps.X)
+	b = appendF64(b, req.Ps.Y)
+	b = binary.AppendUvarint(b, uint64(int64(req.Ps.Floor)))
+	b = appendF64(b, req.Pt.X)
+	b = appendF64(b, req.Pt.Y)
+	b = binary.AppendUvarint(b, uint64(int64(req.Pt.Floor)))
+	b = appendF64(b, req.Delta)
+	b = binary.AppendUvarint(b, uint64(int64(req.K)))
+	b = appendF64(b, req.Alpha)
+	b = appendF64(b, req.Tau)
+	b = binary.AppendUvarint(b, uint64(len(req.Legs)))
+	for _, leg := range req.Legs {
+		b = binary.AppendUvarint(b, uint64(len(leg.QW)))
+		for _, w := range leg.QW {
+			b = binary.AppendUvarint(b, uint64(len(w)))
+			b = append(b, w...)
+		}
+	}
+	b = appendConditions(b, req.Conditions)
+	return string(b)
+}
+
 // canonicalKeywordPerm returns the stable-sort permutation of qw (see
 // fingerprint.perm), or nil when qw is already sorted.
 func canonicalKeywordPerm(qw []string) []int {

@@ -123,11 +123,20 @@ func (s CacheStats) Merge(o CacheStats) CacheStats {
 	return s
 }
 
-// resultEntry is one cached result. res is stored in canonical keyword
-// alignment (see fingerprint.canonicalize).
+// cacheable is what the cache stores: any complete, immutable result kind
+// that can account its resident cost. Route results (*Result) and sequence
+// results (*SequenceResult) both implement it, sharing one LRU, byte budget
+// and invalidation epoch per engine — the fingerprint version byte keeps
+// their key spaces disjoint.
+type cacheable interface {
+	cacheCost(key string) int64
+}
+
+// resultEntry is one cached result. Route results are stored in canonical
+// keyword alignment (see fingerprint.canonicalize).
 type resultEntry struct {
 	key   string
-	res   *Result
+	res   cacheable
 	cost  int64
 	epoch uint64
 }
@@ -136,7 +145,7 @@ type resultEntry struct {
 // res/err/retryable are final.
 type cacheFlight struct {
 	done      chan struct{}
-	res       *Result
+	res       cacheable
 	err       error
 	retryable bool // the leader aborted on its own context; waiters retry
 }
@@ -189,11 +198,28 @@ func (c *ResultCache) Len() int {
 	return c.ll.Len()
 }
 
-// do is the cache protocol: serve a hit, join an in-flight identical miss,
-// or lead one searcher execution via run and install its result. The
-// returned cached flag is false exactly for the leader that executed run;
-// hits and collapsed followers get the stored canonical-aligned result.
-func (c *ResultCache) do(ctx context.Context, key string, run func() (*Result, error)) (res *Result, cached bool, err error) {
+// do is doAny specialized to route results — the protocol behind
+// Executor.SearchContext and the unit the cache tests drive.
+func (c *ResultCache) do(ctx context.Context, key string, run func() (*Result, error)) (*Result, bool, error) {
+	v, cached, err := c.doAny(ctx, key, func() (cacheable, error) {
+		r, err := run()
+		if r == nil {
+			return nil, err // keep the interface nil, not a typed nil
+		}
+		return r, err
+	})
+	if v == nil {
+		return nil, cached, err
+	}
+	return v.(*Result), cached, err
+}
+
+// doAny is the cache protocol: serve a hit, join an in-flight identical
+// miss, or lead one execution via run and install its result. The returned
+// cached flag is false exactly for the leader that executed run; hits and
+// collapsed followers get the stored result (canonical-aligned for route
+// results).
+func (c *ResultCache) doAny(ctx context.Context, key string, run func() (cacheable, error)) (res cacheable, cached bool, err error) {
 	for {
 		c.mu.Lock()
 		if el, ok := c.m[key]; ok {
@@ -252,11 +278,11 @@ func (c *ResultCache) do(ctx context.Context, key string, run func() (*Result, e
 
 // store installs a result computed under the given epoch stamp and applies
 // the LRU/byte bounds.
-func (c *ResultCache) store(key string, res *Result, epoch uint64) {
+func (c *ResultCache) store(key string, res cacheable, epoch uint64) {
 	if epoch != c.epoch.Load() {
 		return // invalidated while the search ran; never install stale state
 	}
-	ent := &resultEntry{key: key, res: res, cost: entryCost(key, res), epoch: epoch}
+	ent := &resultEntry{key: key, res: res, cost: res.cacheCost(key), epoch: epoch}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
@@ -283,19 +309,42 @@ func (c *ResultCache) removeLocked(el *list.Element, ent *resultEntry) {
 	c.bytes -= ent.cost
 }
 
-// entryCost accounts one entry's resident bytes: the key, the container
-// bookkeeping, and the result's route payloads (4-byte door/partition IDs,
-// 8-byte sims). An analytic estimate in the style of search.MemStats —
-// stable, cheap, good to a few percent.
+// Cost-accounting overheads shared by the cacheable kinds: entry struct +
+// list element + map bucket share, and per-route struct + slice headers.
+const (
+	cacheEntryOverhead = 160
+	cacheRouteOverhead = 112
+)
+
+// entryCost accounts one route-result entry's resident bytes: the key, the
+// container bookkeeping, and the result's route payloads (4-byte
+// door/partition IDs, 8-byte sims). An analytic estimate in the style of
+// search.MemStats — stable, cheap, good to a few percent.
 func entryCost(key string, res *Result) int64 {
-	const entryOverhead = 160 // entry struct + list element + map bucket share
-	const routeOverhead = 112 // Route struct + slice headers
-	b := int64(len(key)) + entryOverhead
+	b := int64(len(key)) + cacheEntryOverhead
 	for i := range res.Routes {
 		r := &res.Routes[i]
-		b += routeOverhead +
+		b += cacheRouteOverhead +
 			int64(4*(len(r.Doors)+len(r.Entered)+len(r.KP))) +
 			int64(8*len(r.Sims))
+	}
+	return b
+}
+
+func (res *Result) cacheCost(key string) int64 { return entryCost(key, res) }
+
+// cacheCost accounts a sequence result like entryCost does a route result;
+// the per-leg sims vectors dominate alongside the door sequences.
+func (res *SequenceResult) cacheCost(key string) int64 {
+	b := int64(len(key)) + cacheEntryOverhead
+	for i := range res.Routes {
+		r := &res.Routes[i]
+		b += cacheRouteOverhead +
+			int64(4*(len(r.Doors)+len(r.Entered)+len(r.Waypoints))) +
+			int64(8*len(r.LegRho))
+		for _, s := range r.LegSims {
+			b += 24 + int64(8*len(s))
+		}
 	}
 	return b
 }

@@ -1,0 +1,674 @@
+package search
+
+// Sequence queries: IKRQ-Seq(ps, pt, Δ, L1..Ln, k) routes from ps to pt
+// visiting one key partition per ordered leg, each leg a keyword list under
+// the same candidate semantics as a route query (Definition 4, τ-thresholded
+// candidate i-words). The planner chains shortest-path stages over the
+// layered waypoint graph — one targeted multi-source Dijkstra per frontier
+// prefix, keeping every entry-state label of the reached waypoint so the
+// stitched distance is the exact layered-graph shortest walk — prunes
+// Δ-infeasible prefixes with the admissible DistanceSource bound, and is
+// gated byte-identical against the exhaustive cross-product baseline in
+// sequence_baseline.go (see DESIGN.md §14).
+//
+// Sequence routes are scored by the Equation 1 shape lifted to legs:
+//
+//	ψ(R) = α · Σρj / Σmaxρj + (1−α) · (Δ−δ(R))/Δ
+//
+// where ρj is the Definition 6 relevance of leg j's keywords against its
+// chosen waypoint and maxρj = |QWj|+1. Unlike single-route search, sequence
+// walks are not door-regular across stages: revisiting a hallway door
+// between stops is the natural multi-stop behavior, so only the Conditions
+// overlay (closures, delays) constrains the chained shortest paths.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+	"time"
+
+	"ikrq/internal/geom"
+	"ikrq/internal/graph"
+	"ikrq/internal/keyword"
+	"ikrq/internal/model"
+)
+
+// MaxSequenceLegs bounds the number of legs a sequence request may carry —
+// a wire-level sanity cap, not an algorithmic limit.
+const MaxSequenceLegs = 8
+
+// maxSequenceFrontier bounds the exact planner's per-layer prefix frontier;
+// past it the request must set Beam. The cross-product baseline enumerates
+// under the same ceiling.
+const maxSequenceFrontier = 1 << 16
+
+// SequenceLeg is one ordered stop of a sequence query: a keyword list whose
+// candidate partitions (any partition coverable under τ) are the admissible
+// waypoints for this leg.
+type SequenceLeg struct {
+	QW []string
+}
+
+// SequenceRequest is one sequence query. The zero Beam runs the exact
+// planner; Beam > 0 keeps only the Beam best prefixes per layer (ranked by
+// an optimistic ψ bound), trading exactness for bounded work on adversarial
+// candidate fan-outs — results then carry Stats.Truncated.
+type SequenceRequest struct {
+	Ps, Pt geom.Point
+	Delta  float64
+	Legs   []SequenceLeg
+	K      int
+	Alpha  float64
+	Tau    float64
+	Beam   int
+
+	// Conditions overlays live venue state exactly as on Request: closures
+	// remove doors from every chained stage, delays add per-traversal
+	// penalties.
+	Conditions *model.Conditions
+}
+
+// SequenceRoute is one returned sequence route.
+type SequenceRoute struct {
+	// Waypoints[j] is the key partition chosen for leg j.
+	Waypoints []model.PartitionID
+	// Doors / Entered are the full stitched door walk from ps to pt, in the
+	// same encoding as Route.
+	Doors   []model.DoorID
+	Entered []model.PartitionID
+	// LegSims[j] are leg j's per-keyword best similarities against its
+	// waypoint; LegRho[j] the leg relevance ρj.
+	LegSims [][]float64
+	LegRho  []float64
+	// Rho is Σρj, Dist the stitched walk distance δ(R), Psi the score.
+	Rho  float64
+	Dist float64
+	Psi  float64
+}
+
+// SequenceStats reports the cost of a sequence planning run.
+type SequenceStats struct {
+	Elapsed time.Duration
+
+	// Dijkstras counts chained shortest-path stages run (including route
+	// reconstruction); Prefixes the plan prefixes materialized across layers.
+	Dijkstras int
+	Prefixes  int
+
+	// PrunedDelta counts prefixes discarded by the admissible Δ bound and
+	// completed plans past Δ; BeamDropped counts prefixes cut by Beam.
+	PrunedDelta int
+	BeamDropped int
+
+	// Plans is the number of feasible complete plans ranked (before top-k
+	// truncation). Truncated is set when Beam dropped prefixes, so the
+	// result may not be exact.
+	Plans     int
+	Truncated bool
+}
+
+// SequenceResult is the outcome of one sequence query.
+type SequenceResult struct {
+	Routes []SequenceRoute
+	Stats  SequenceStats
+}
+
+// ValidateSequence reports the first problem with a sequence request, or
+// nil.
+func (e *Engine) ValidateSequence(req SequenceRequest) error {
+	if req.K < 1 {
+		return errors.New("search: k must be ≥ 1")
+	}
+	if req.Delta <= 0 {
+		return errors.New("search: distance constraint Δ must be positive")
+	}
+	if req.Alpha < 0 || req.Alpha > 1 {
+		return errors.New("search: α must be in [0,1]")
+	}
+	if req.Tau < 0 || req.Tau > 1 {
+		return errors.New("search: τ must be in [0,1]")
+	}
+	if req.Beam < 0 {
+		return errors.New("search: beam must be ≥ 0")
+	}
+	if len(req.Legs) == 0 {
+		return errors.New("search: a sequence query needs at least one leg")
+	}
+	if len(req.Legs) > MaxSequenceLegs {
+		return fmt.Errorf("search: at most %d sequence legs (got %d)", MaxSequenceLegs, len(req.Legs))
+	}
+	for j, leg := range req.Legs {
+		if len(leg.QW) == 0 {
+			return fmt.Errorf("search: sequence leg %d has no keywords", j)
+		}
+	}
+	if e.s.HostPartition(req.Ps) == model.NoPartition {
+		return fmt.Errorf("search: start point %v is outside every partition", req.Ps)
+	}
+	if e.s.HostPartition(req.Pt) == model.NoPartition {
+		return fmt.Errorf("search: terminal point %v is outside every partition", req.Pt)
+	}
+	if err := req.Conditions.Validate(e.s.NumDoors()); err != nil {
+		return fmt.Errorf("search: %w", err)
+	}
+	return nil
+}
+
+// SearchSequence plans one sequence query.
+func (e *Engine) SearchSequence(req SequenceRequest) (*SequenceResult, error) {
+	return e.SearchSequenceContext(context.Background(), req)
+}
+
+// SearchSequenceContext is SearchSequence under a context: cancellation
+// aborts between chained stages. On a cache-enabled engine the request is
+// fingerprinted (layout version 2, disjoint from route keys) into the same
+// per-venue result cache route queries use, with identical singleflight and
+// epoch-invalidation semantics; cache-served results are shared and must be
+// treated as read-only.
+func (e *Engine) SearchSequenceContext(ctx context.Context, req SequenceRequest) (*SequenceResult, error) {
+	if err := e.ValidateSequence(req); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c := e.rcache.Load()
+	if c == nil {
+		return e.sequenceUncached(ctx, req)
+	}
+	key := fingerprintSequence(&req)
+	v, _, err := c.doAny(ctx, key, func() (cacheable, error) {
+		r, err := e.sequenceUncached(ctx, req)
+		if r == nil {
+			return nil, err
+		}
+		return r, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*SequenceResult), nil
+}
+
+// seqLabel is one position label of the layered DP: standing at an entry
+// state of the current waypoint, dist the exact chained walk distance from
+// ps to that state.
+type seqLabel struct {
+	state graph.StateID
+	dist  float64
+}
+
+// seqPrefix is one frontier element of the layered planner: the waypoints
+// chosen for the first len(waypoints) legs, the accumulated Σρj, and the
+// position — either still at ps (inPlace: every chosen waypoint was the
+// start partition, satisfied without moving) or the full entry-state label
+// set of the last waypoint.
+type seqPrefix struct {
+	waypoints []model.PartitionID
+	rhoSum    float64
+	inPlace   bool
+	labels    []seqLabel
+	// bound is an admissible lower bound on any completion's total distance
+	// (0 for inPlace prefixes); the beam ranks on it.
+	bound float64
+}
+
+// seqPlan is one feasible complete plan awaiting ranking.
+type seqPlan struct {
+	waypoints []model.PartitionID
+	rhoSum    float64
+	dist      float64
+	psi       float64
+}
+
+// seqChain is the machinery shared by the planner, the exhaustive baseline
+// and route reconstruction: compiled leg queries, candidate tables, the
+// overlay cost model, and the chained-stage primitives whose float
+// arithmetic both sides must share exactly for the byte-identity gate.
+type seqChain struct {
+	e   *Engine
+	req *SequenceRequest
+
+	hostPs, hostPt model.PartitionID
+
+	legQ    []*keyword.Query
+	cands   [][]model.PartitionID // sorted candidate waypoints per leg
+	legRho  [][]float64           // ρj per candidate, parallel to cands
+	maxRho  float64               // Σ (|QWj|+1)
+	sufRho  []float64             // sufRho[j] = Σ_{i≥j} max candidate ρi
+	ptLegs  []float64             // |door, pt| per terminal entry state
+	ptState []graph.StateID
+
+	condClosed []bool
+	condDelay  []float64
+	costs      graph.Costs
+
+	ws    *graph.Workspace // stage workspace for planning/evaluation
+	wss   []*graph.Workspace
+	stats *SequenceStats
+}
+
+func newSeqChain(e *Engine, req *SequenceRequest, stats *SequenceStats) *seqChain {
+	c := &seqChain{
+		e:      e,
+		req:    req,
+		hostPs: e.s.HostPartition(req.Ps),
+		hostPt: e.s.HostPartition(req.Pt),
+		ws:     graph.NewWorkspace(),
+		stats:  stats,
+	}
+	c.legQ = make([]*keyword.Query, len(req.Legs))
+	c.cands = make([][]model.PartitionID, len(req.Legs))
+	c.legRho = make([][]float64, len(req.Legs))
+	for j, leg := range req.Legs {
+		q := e.qcache.Get(leg.QW, req.Tau)
+		c.legQ[j] = q
+		c.cands[j] = q.KeyPartitions()
+		c.maxRho += q.MaxRelevance()
+		rhos := make([]float64, len(c.cands[j]))
+		sims := make([]float64, q.Len())
+		for i, v := range c.cands[j] {
+			clear(sims)
+			if w := e.x.P2I(v); w != keyword.NoIWord {
+				q.Absorb(sims, w)
+			}
+			rhos[i] = keyword.Relevance(sims)
+		}
+		c.legRho[j] = rhos
+	}
+	c.sufRho = make([]float64, len(req.Legs)+1)
+	for j := len(req.Legs) - 1; j >= 0; j-- {
+		best := 0.0
+		for _, r := range c.legRho[j] {
+			if r > best {
+				best = r
+			}
+		}
+		c.sufRho[j] = c.sufRho[j+1] + best
+	}
+	c.initOverlay()
+	for _, d := range e.s.Partition(c.hostPt).EnterDoors() {
+		st := e.pf.StateOf(d, c.hostPt)
+		if st == graph.NoState {
+			continue
+		}
+		c.ptState = append(c.ptState, st)
+		c.ptLegs = append(c.ptLegs, e.s.Door(d).Pos.Dist(req.Pt))
+	}
+	return c
+}
+
+// initOverlay materializes the request's Conditions into dense door sets
+// and the stage cost model, mirroring searcher.initOverlay/costsFor without
+// the regularity exclusions (sequence walks are not door-regular across
+// stages).
+func (c *seqChain) initOverlay() {
+	cond := c.req.Conditions
+	if !cond.Empty() {
+		nd := c.e.s.NumDoors()
+		if cond.NumClosed() > 0 {
+			closed := make([]bool, nd)
+			cond.ForEachClosed(func(d model.DoorID) { closed[d] = true })
+			c.condClosed = closed
+			c.costs.Block = func(d model.DoorID) bool { return closed[d] }
+		}
+		if cond.NumDelayed() > 0 {
+			delay := make([]float64, nd)
+			cond.ForEachDelay(func(d model.DoorID, p float64) { delay[d] = p })
+			c.condDelay = delay
+			c.costs.Delay = func(d model.DoorID) float64 { return delay[d] }
+		}
+	}
+}
+
+// startSeeds builds the overlay-adjusted Dijkstra seeds for stages leaving
+// the start point: one per leave-door state of ps's host partition, closed
+// seeds dropped and each surviving seed paying its door's delay (the seed
+// passes the door as the walk's first hop).
+func (c *seqChain) startSeeds(dst []graph.Seed) []graph.Seed {
+	dst = c.e.pf.AppendSeedsFromPointIn(dst[:0], c.req.Ps, c.hostPs)
+	if c.condClosed == nil && c.condDelay == nil {
+		return dst
+	}
+	out := dst[:0]
+	for _, sd := range dst {
+		d, _ := c.e.pf.State(sd.State)
+		if c.condClosed != nil && c.condClosed[d] {
+			continue
+		}
+		if c.condDelay != nil {
+			sd.Cost += c.condDelay[d]
+		}
+		out = append(out, sd)
+	}
+	return out
+}
+
+// labelSeeds turns a label set into continuation seeds, in label order (so
+// Tree.Seed indexes back into the label slice). EmitHop is false: the entry
+// door was emitted — and its delay paid — by the stage that reached it.
+func labelSeeds(dst []graph.Seed, labels []seqLabel) []graph.Seed {
+	dst = dst[:0]
+	for _, l := range labels {
+		dst = append(dst, graph.Seed{State: l.state, Cost: l.dist})
+	}
+	return dst
+}
+
+// appendEntryStates appends partition v's entry states in EnterDoors order
+// — the canonical label order both the planner and the baseline extract in.
+func (c *seqChain) appendEntryStates(dst []graph.StateID, v model.PartitionID) []graph.StateID {
+	for _, d := range c.e.s.Partition(v).EnterDoors() {
+		if st := c.e.pf.StateOf(d, v); st != graph.NoState {
+			dst = append(dst, st)
+		}
+	}
+	return dst
+}
+
+// extractLabels reads v's settled entry-state labels off a stage tree, in
+// EnterDoors order. Unreached states are dropped; an empty return means v is
+// unreachable from the stage's seeds under the overlay.
+func (c *seqChain) extractLabels(t *graph.Tree, v model.PartitionID, dst []seqLabel) []seqLabel {
+	for _, d := range c.e.s.Partition(v).EnterDoors() {
+		st := c.e.pf.StateOf(d, v)
+		if st == graph.NoState {
+			continue
+		}
+		if dd := t.Dist(st); !math.IsInf(dd, 1) {
+			dst = append(dst, seqLabel{state: st, dist: dd})
+		}
+	}
+	return dst
+}
+
+// finish completes a position to pt: the chained stage to the terminal
+// partition's entry states plus the exact |door, pt| legs, with the direct
+// in-partition segment when the walk never left ps's host partition. The
+// strict < keeps ties deterministic (direct beats routed, earlier EnterDoors
+// entries beat later), matching ShortestToPointWS. Returns +Inf when pt is
+// unreachable.
+func (c *seqChain) finish(ws *graph.Workspace, seeds []graph.Seed, inPlace bool) (dist float64, best graph.StateID, tree *graph.Tree) {
+	tree = c.e.pf.ShortestTreeToStatesWS(ws, seeds, c.ptState, c.costs)
+	c.stats.Dijkstras++
+	best = graph.NoState
+	dist = math.Inf(1)
+	if inPlace && c.hostPt == c.hostPs {
+		dist = c.req.Ps.Dist(c.req.Pt)
+	}
+	for i, st := range c.ptState {
+		if d := tree.Dist(st) + c.ptLegs[i]; d < dist {
+			dist, best = d, st
+		}
+	}
+	return dist, best, tree
+}
+
+// bound lower-bounds the distance of any completion of a label set: each
+// label's exact chained distance plus the static DistanceSource bound to the
+// terminal entry states (admissible — future legs only add walk, closures
+// only remove edges, delays only increase costs; see backendRemaining).
+func (c *seqChain) labelBound(src graph.DistanceSource, labels []seqLabel) float64 {
+	best := math.Inf(1)
+	for _, l := range labels {
+		rem := math.Inf(1)
+		for i, st := range c.ptState {
+			if d := src.Dist(l.state, st) + c.ptLegs[i]; d < rem {
+				rem = d
+			}
+		}
+		if b := l.dist + rem; b < best {
+			best = b
+		}
+	}
+	return best
+}
+
+// wsAt returns the i-th reconstruction workspace, growing the pool on
+// demand. Reconstruction keeps one workspace per stage alive so every
+// stage's borrowed Tree stays readable while the walk is backtracked.
+func (c *seqChain) wsAt(i int) *graph.Workspace {
+	for len(c.wss) <= i {
+		c.wss = append(c.wss, graph.NewWorkspace())
+	}
+	return c.wss[i]
+}
+
+// sequenceUncached runs the layered beam-stitching planner.
+func (e *Engine) sequenceUncached(ctx context.Context, req SequenceRequest) (*SequenceResult, error) {
+	start := time.Now()
+	res := &SequenceResult{}
+	c := newSeqChain(e, &req, &res.Stats)
+
+	// The Δ bound needs the KoE* distance backend; like a first KoE* query,
+	// a first sequence query on a fresh engine pays the lazy build.
+	src := e.distanceSource()
+
+	frontier := []seqPrefix{{inPlace: true}}
+	var seedBuf []graph.Seed
+	var targetBuf []graph.StateID
+	for j := range req.Legs {
+		next := frontier[:0:0]
+		for _, p := range frontier {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			// One targeted Dijkstra per prefix serves every candidate of the
+			// next leg: the union of their entry states is the target set.
+			var tree *graph.Tree
+			targetBuf = targetBuf[:0]
+			for _, v := range c.cands[j] {
+				if p.inPlace && v == c.hostPs {
+					continue // satisfied in place, no walk needed
+				}
+				targetBuf = c.appendEntryStates(targetBuf, v)
+			}
+			if len(targetBuf) > 0 {
+				if p.inPlace {
+					seedBuf = c.startSeeds(seedBuf)
+				} else {
+					seedBuf = labelSeeds(seedBuf, p.labels)
+				}
+				tree = e.pf.ShortestTreeToStatesWS(c.ws, seedBuf, targetBuf, c.costs)
+				res.Stats.Dijkstras++
+			}
+			for i, v := range c.cands[j] {
+				rho := c.legRho[j][i]
+				if p.inPlace && v == c.hostPs {
+					// Still at ps: the start partition satisfies the leg
+					// without moving, and the at-point position dominates any
+					// walk out and back in.
+					next = append(next, seqPrefix{
+						waypoints: append(slices.Clip(p.waypoints), v),
+						rhoSum:    p.rhoSum + rho,
+						inPlace:   true,
+					})
+					res.Stats.Prefixes++
+					continue
+				}
+				labels := c.extractLabels(tree, v, nil)
+				if len(labels) == 0 {
+					continue // unreachable waypoint
+				}
+				bound := c.labelBound(src, labels)
+				if bound > req.Delta {
+					res.Stats.PrunedDelta++
+					continue
+				}
+				next = append(next, seqPrefix{
+					waypoints: append(slices.Clip(p.waypoints), v),
+					rhoSum:    p.rhoSum + rho,
+					labels:    labels,
+					bound:     bound,
+				})
+				res.Stats.Prefixes++
+			}
+		}
+		if req.Beam > 0 && len(next) > req.Beam {
+			// Rank prefixes by an optimistic ψ: achieved Σρ plus the best
+			// possible suffix relevance, spatial term from the admissible
+			// distance bound. Ties break on waypoints for determinism.
+			opt := func(p *seqPrefix) float64 {
+				return score(req.Alpha, p.rhoSum+c.sufRho[j+1], c.maxRho, p.bound, req.Delta)
+			}
+			sort.Slice(next, func(a, b int) bool {
+				oa, ob := opt(&next[a]), opt(&next[b])
+				if oa != ob {
+					return oa > ob
+				}
+				return slices.Compare(next[a].waypoints, next[b].waypoints) < 0
+			})
+			res.Stats.BeamDropped += len(next) - req.Beam
+			res.Stats.Truncated = true
+			next = next[:req.Beam]
+		}
+		if len(next) > maxSequenceFrontier {
+			return nil, fmt.Errorf("search: sequence frontier exceeds %d prefixes at leg %d; set Beam to bound the plan fan-out",
+				maxSequenceFrontier, j+1)
+		}
+		frontier = next
+	}
+
+	plans := make([]seqPlan, 0, len(frontier))
+	for _, p := range frontier {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if p.inPlace {
+			seedBuf = c.startSeeds(seedBuf)
+		} else {
+			seedBuf = labelSeeds(seedBuf, p.labels)
+		}
+		dist, _, _ := c.finish(c.ws, seedBuf, p.inPlace)
+		if dist > req.Delta {
+			res.Stats.PrunedDelta++
+			continue
+		}
+		plans = append(plans, seqPlan{
+			waypoints: p.waypoints,
+			rhoSum:    p.rhoSum,
+			dist:      dist,
+			psi:       score(req.Alpha, p.rhoSum, c.maxRho, dist, req.Delta),
+		})
+	}
+	res.Stats.Plans = len(plans)
+	rankSequencePlans(plans)
+	if len(plans) > req.K {
+		plans = plans[:req.K]
+	}
+	for i := range plans {
+		res.Routes = append(res.Routes, c.buildRoute(&plans[i]))
+	}
+	res.Stats.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// rankSequencePlans sorts plans by ψ descending, distance ascending, then
+// waypoint sequence ascending — a strict total order, since a plan is its
+// waypoint sequence. The exhaustive baseline ranks with the same comparator.
+func rankSequencePlans(plans []seqPlan) {
+	sort.Slice(plans, func(a, b int) bool {
+		pa, pb := &plans[a], &plans[b]
+		if pa.psi != pb.psi {
+			return pa.psi > pb.psi
+		}
+		if pa.dist != pb.dist {
+			return pa.dist < pb.dist
+		}
+		return slices.Compare(pa.waypoints, pb.waypoints) < 0
+	})
+}
+
+// buildRoute reconstructs the full stitched door walk of a ranked plan by
+// re-running its chained stages with one live workspace per stage, then
+// backtracking the winning terminal entry state through each stage's seed
+// attribution (Tree.Seed → previous stage's label index) and emitting hops
+// forward. Shared by the planner and the baseline, so reconstructed walks
+// are identical by construction.
+func (c *seqChain) buildRoute(p *seqPlan) SequenceRoute {
+	type seqStage struct {
+		tree   *graph.Tree
+		labels []seqLabel
+	}
+	var stages []seqStage
+	inPlace := true
+	var labels []seqLabel
+	for _, v := range p.waypoints {
+		if inPlace && v == c.hostPs {
+			continue
+		}
+		var seeds []graph.Seed
+		if inPlace {
+			seeds = c.startSeeds(nil)
+		} else {
+			seeds = labelSeeds(nil, labels)
+		}
+		targets := c.appendEntryStates(nil, v)
+		tree := c.e.pf.ShortestTreeToStatesWS(c.wsAt(len(stages)), seeds, targets, c.costs)
+		c.stats.Dijkstras++
+		labels = c.extractLabels(tree, v, nil)
+		stages = append(stages, seqStage{tree: tree, labels: labels})
+		inPlace = false
+	}
+	var seeds []graph.Seed
+	if inPlace {
+		seeds = c.startSeeds(nil)
+	} else {
+		seeds = labelSeeds(nil, labels)
+	}
+	_, best, ftree := c.finish(c.wsAt(len(stages)), seeds, inPlace)
+
+	r := SequenceRoute{
+		Waypoints: append([]model.PartitionID(nil), p.waypoints...),
+		LegSims:   make([][]float64, len(p.waypoints)),
+		LegRho:    make([]float64, len(p.waypoints)),
+		Rho:       p.rhoSum,
+		Dist:      p.dist,
+		Psi:       p.psi,
+	}
+	for j, v := range p.waypoints {
+		q := c.legQ[j]
+		sims := make([]float64, q.Len())
+		if w := c.e.x.P2I(v); w != keyword.NoIWord {
+			q.Absorb(sims, w)
+		}
+		r.LegSims[j] = sims
+		r.LegRho[j] = keyword.Relevance(sims)
+	}
+	if best == graph.NoState {
+		// The direct ps→pt segment won (possible only when every leg was
+		// satisfied in place and both points share a partition): no doors.
+		return r
+	}
+	// Backtrack: chosen[i] is the entry state the walk settles at the end of
+	// stage i; stage i's seed index points into stage i-1's label slice.
+	chosen := make([]graph.StateID, len(stages)+1)
+	chosen[len(stages)] = best
+	cur := best
+	for i := len(stages); i >= 1; i-- {
+		var t *graph.Tree
+		if i == len(stages) {
+			t = ftree
+		} else {
+			t = stages[i].tree
+		}
+		si := t.Seed(cur)
+		cur = stages[i-1].labels[si].state
+		chosen[i-1] = cur
+	}
+	var hops []graph.Hop
+	for i := range stages {
+		hops, _ = stages[i].tree.AppendPathTo(hops, chosen[i])
+	}
+	hops, _ = ftree.AppendPathTo(hops, best)
+	r.Doors = make([]model.DoorID, len(hops))
+	r.Entered = make([]model.PartitionID, len(hops))
+	for i, h := range hops {
+		r.Doors[i] = h.Door
+		r.Entered[i] = h.Part
+	}
+	return r
+}

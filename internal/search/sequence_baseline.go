@@ -1,0 +1,136 @@
+package search
+
+// ExhaustiveSequence is the brute-force oracle the sequence planner is
+// gated against, in the mold of the Table III Exhaustive baseline: it
+// enumerates the full cross product of per-leg candidate waypoints, chains
+// every plan's shortest-path stages independently (no shared-prefix reuse,
+// no Δ pruning, no beam), and ranks with the planner's exact comparator.
+// Because both sides build stage seeds in the same label order and read the
+// same settled Dijkstra distances, every surviving plan's distance — and
+// with it the ranked Routes slice — is byte-identical to the planner's
+// (DESIGN.md §14).
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"ikrq/internal/graph"
+	"ikrq/internal/model"
+)
+
+// maxSequencePlans bounds the baseline's cross-product enumeration; it
+// exists to fail loudly on adversarial candidate fan-outs rather than hang.
+const maxSequencePlans = 1 << 20
+
+// ExhaustiveSequence evaluates a sequence request by exhaustive plan
+// enumeration. Beam is ignored (the baseline is always exact); the result
+// cache is bypassed.
+func (e *Engine) ExhaustiveSequence(req SequenceRequest) (*SequenceResult, error) {
+	return e.ExhaustiveSequenceContext(context.Background(), req)
+}
+
+// ExhaustiveSequenceContext is ExhaustiveSequence under a context, polled
+// once per enumerated plan.
+func (e *Engine) ExhaustiveSequenceContext(ctx context.Context, req SequenceRequest) (*SequenceResult, error) {
+	if err := e.ValidateSequence(req); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := &SequenceResult{}
+	c := newSeqChain(e, &req, &res.Stats)
+
+	total := 1
+	for j := range c.cands {
+		if len(c.cands[j]) == 0 {
+			total = 0
+			break
+		}
+		if total *= len(c.cands[j]); total > maxSequencePlans {
+			return nil, fmt.Errorf("search: exhaustive sequence baseline would enumerate more than %d plans", maxSequencePlans)
+		}
+	}
+
+	var plans []seqPlan
+	waypoints := make([]model.PartitionID, len(req.Legs))
+	var seedBuf []graph.Seed
+	var targetBuf []graph.StateID
+	var rec func(j int, rhoSum float64) error
+	rec = func(j int, rhoSum float64) error {
+		if j == len(req.Legs) {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			dist, ok := c.evalPlan(waypoints, &seedBuf, &targetBuf)
+			if !ok || dist > req.Delta {
+				return nil
+			}
+			plans = append(plans, seqPlan{
+				waypoints: append([]model.PartitionID(nil), waypoints...),
+				rhoSum:    rhoSum,
+				dist:      dist,
+				psi:       score(req.Alpha, rhoSum, c.maxRho, dist, req.Delta),
+			})
+			return nil
+		}
+		for i, v := range c.cands[j] {
+			waypoints[j] = v
+			if err := rec(j+1, rhoSum+c.legRho[j][i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if total > 0 {
+		if err := rec(0, 0); err != nil {
+			return nil, err
+		}
+	}
+	res.Stats.Plans = len(plans)
+	rankSequencePlans(plans)
+	if len(plans) > req.K {
+		plans = plans[:req.K]
+	}
+	for i := range plans {
+		res.Routes = append(res.Routes, c.buildRoute(&plans[i]))
+	}
+	res.Stats.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// evalPlan chains one full plan's stages with the shared primitives: seeds
+// from the start point (overlay-adjusted) or the previous waypoint's labels,
+// targets the next waypoint's entry states, labels extracted in EnterDoors
+// order — float-for-float the computation the planner performs with its
+// shared prefixes and union target sets, since settled Dijkstra distances do
+// not depend on the target set or on sibling targets.
+func (c *seqChain) evalPlan(waypoints []model.PartitionID, seedBuf *[]graph.Seed, targetBuf *[]graph.StateID) (float64, bool) {
+	inPlace := true
+	var labels []seqLabel
+	for _, v := range waypoints {
+		if inPlace && v == c.hostPs {
+			continue
+		}
+		if inPlace {
+			*seedBuf = c.startSeeds(*seedBuf)
+		} else {
+			*seedBuf = labelSeeds(*seedBuf, labels)
+		}
+		*targetBuf = c.appendEntryStates((*targetBuf)[:0], v)
+		tree := c.e.pf.ShortestTreeToStatesWS(c.ws, *seedBuf, *targetBuf, c.costs)
+		c.stats.Dijkstras++
+		labels = c.extractLabels(tree, v, nil)
+		if len(labels) == 0 {
+			return 0, false
+		}
+		inPlace = false
+	}
+	if inPlace {
+		*seedBuf = c.startSeeds(*seedBuf)
+	} else {
+		*seedBuf = labelSeeds(*seedBuf, labels)
+	}
+	dist, _, _ := c.finish(c.ws, *seedBuf, inPlace)
+	return dist, !math.IsInf(dist, 1)
+}

@@ -1,0 +1,287 @@
+// Sequence-planner gates: the layered beam-stitching planner must return
+// routes byte-identical to the exhaustive cross-product baseline across
+// both evaluation malls and bare/closure/delay overlays, stay deterministic
+// under concurrent distinct overlays, and integrate with the result cache.
+// External test package for the same reason as the overlay oracles: the
+// tests drive the search through internal/gen.
+package search_test
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"ikrq/internal/gen"
+	"ikrq/internal/model"
+	"ikrq/internal/search"
+)
+
+// sequenceInstances draws n sequence queries over an engine's index layer.
+func sequenceInstances(t *testing.T, eng *search.Engine, seed uint64, n int, cfg gen.SequenceSampleConfig) []search.SequenceRequest {
+	t.Helper()
+	sp := gen.NewSampler(eng.Space(), eng.Keywords(), eng.PathFinder(), seed)
+	reqs, err := sp.SequenceInstances(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+// sequenceOverlays returns the three gate overlays: bare, closures only,
+// delays only.
+func sequenceOverlays(s *model.Space, seed uint64) map[string]*model.Conditions {
+	return map[string]*model.Conditions{
+		"bare":    nil,
+		"closure": gen.SampleConditions(s, seed, gen.ConditionsConfig{Closures: 3}),
+		"delay":   gen.SampleConditions(s, seed+1, gen.ConditionsConfig{Delays: 4, MinDelay: 5, MaxDelay: 60}),
+	}
+}
+
+// sequenceOracle requires planner ≡ baseline on every (request, overlay)
+// combination.
+func sequenceOracle(t *testing.T, eng *search.Engine, reqs []search.SequenceRequest, overlays map[string]*model.Conditions) {
+	t.Helper()
+	for name, cond := range overlays {
+		for i, req := range reqs {
+			req.Conditions = cond
+			got, err := eng.SearchSequence(req)
+			if err != nil {
+				t.Fatalf("%s req %d: planner: %v", name, i, err)
+			}
+			want, err := eng.ExhaustiveSequence(req)
+			if err != nil {
+				t.Fatalf("%s req %d: baseline: %v", name, i, err)
+			}
+			if !reflect.DeepEqual(got.Routes, want.Routes) {
+				t.Errorf("%s req %d: planner routes diverged from exhaustive baseline\nplanner:  %+v\nbaseline: %+v",
+					name, i, got.Routes, want.Routes)
+			}
+			if got.Stats.Truncated {
+				t.Errorf("%s req %d: exact planner (Beam 0) reported truncation", name, i)
+			}
+		}
+	}
+}
+
+// TestSequenceOracleSynthetic is the acceptance gate on the synthetic
+// evaluation mall.
+func TestSequenceOracleSynthetic(t *testing.T) {
+	mall, _, idx, err := gen.SyntheticMall(2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := search.NewEngine(mall.Space, idx)
+	eng.PrecomputeMatrix()
+	reqs := sequenceInstances(t, eng, 23, 4, gen.DefaultSequenceSampleConfig())
+	sequenceOracle(t, eng, reqs, sequenceOverlays(mall.Space, 1013))
+}
+
+// TestSequenceOracleReal is the same gate on the simulated Hangzhou mall.
+func TestSequenceOracleReal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-mall sequence oracle skipped in -short")
+	}
+	mall, _, idx, err := gen.RealMall(gen.RealConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := search.NewEngine(mall.Space, idx)
+	cfg := gen.DefaultSequenceSampleConfig()
+	cfg.Legs = 2
+	reqs := sequenceInstances(t, eng, 29, 2, cfg)
+	sequenceOracle(t, eng, reqs, sequenceOverlays(mall.Space, 4447))
+}
+
+// TestSequenceConcurrentDistinctOverlays shares one engine between
+// goroutines running sequence queries under distinct overlays; every result
+// must match its serial reference byte for byte. Run under -race in CI.
+func TestSequenceConcurrentDistinctOverlays(t *testing.T) {
+	mall, _, idx, err := gen.SyntheticMall(2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := search.NewEngine(mall.Space, idx)
+	cfg := gen.DefaultSequenceSampleConfig()
+	cfg.Legs = 2
+	base := sequenceInstances(t, eng, 31, 2, cfg)
+
+	const workers = 4
+	reqs := make([][]search.SequenceRequest, workers)
+	want := make([][]*search.SequenceResult, workers)
+	for w := 0; w < workers; w++ {
+		cond := gen.SampleConditions(mall.Space, 177+uint64(w)*13,
+			gen.ConditionsConfig{Closures: 2, Delays: 2, MinDelay: 5, MaxDelay: 50})
+		for _, r := range base {
+			r.Conditions = cond
+			reqs[w] = append(reqs[w], r)
+		}
+		for _, r := range reqs[w] {
+			res, err := eng.SearchSequence(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[w] = append(want[w], res)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				for i, r := range reqs[w] {
+					res, err := eng.SearchSequence(r)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					if !reflect.DeepEqual(res.Routes, want[w][i].Routes) {
+						errs[w] = fmt.Errorf("worker %d round %d req %d: routes diverged from serial reference", w, round, i)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestSequenceResultCache checks the sequence path of the shared result
+// cache: repeats hit (returning the shared result), a conditions mutation
+// misses, and invalidation drops the entry.
+func TestSequenceResultCache(t *testing.T) {
+	mall, _, idx, err := gen.SyntheticMall(2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := search.NewEngine(mall.Space, idx)
+	cache := eng.EnableResultCache(search.CacheOptions{})
+	cfg := gen.DefaultSequenceSampleConfig()
+	cfg.Legs = 2
+	req := sequenceInstances(t, eng, 41, 1, cfg)[0]
+
+	first, err := eng.SearchSequence(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := eng.SearchSequence(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatal("repeated sequence query did not return the cached result")
+	}
+	if s := cache.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", s.Hits, s.Misses)
+	}
+
+	mut := req
+	mut.Conditions = model.NewConditions().Delay(0, 5)
+	if _, err := eng.SearchSequence(mut); err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.Misses != 2 {
+		t.Fatalf("conditions mutation did not miss (misses = %d)", s.Misses)
+	}
+
+	cache.Invalidate()
+	third, err := eng.SearchSequence(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third == first {
+		t.Fatal("invalidation did not drop the cached sequence result")
+	}
+	if !reflect.DeepEqual(first.Routes, third.Routes) {
+		t.Fatal("re-executed sequence query diverged from its earlier result")
+	}
+}
+
+// TestSequenceValidation covers the request-shape errors.
+func TestSequenceValidation(t *testing.T) {
+	mall, _, idx, err := gen.SyntheticMall(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := search.NewEngine(mall.Space, idx)
+	good := sequenceInstances(t, eng, 43, 1, gen.DefaultSequenceSampleConfig())[0]
+	if err := eng.ValidateSequence(good); err != nil {
+		t.Fatalf("sampled request invalid: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*search.SequenceRequest)
+		want string
+	}{
+		{"no legs", func(r *search.SequenceRequest) { r.Legs = nil }, "at least one leg"},
+		{"too many legs", func(r *search.SequenceRequest) {
+			r.Legs = make([]search.SequenceLeg, search.MaxSequenceLegs+1)
+			for i := range r.Legs {
+				r.Legs[i] = search.SequenceLeg{QW: []string{"w"}}
+			}
+		}, "at most"},
+		{"empty leg", func(r *search.SequenceRequest) { r.Legs[0].QW = nil }, "no keywords"},
+		{"bad k", func(r *search.SequenceRequest) { r.K = 0 }, "k must be"},
+		{"bad beam", func(r *search.SequenceRequest) { r.Beam = -1 }, "beam"},
+		{"bad delta", func(r *search.SequenceRequest) { r.Delta = 0 }, "Δ"},
+	}
+	for _, tc := range cases {
+		r := good
+		r.Legs = append([]search.SequenceLeg(nil), good.Legs...)
+		tc.mut(&r)
+		err := eng.ValidateSequence(r)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestSequenceUnknownKeywordLeg: a leg whose keywords match nothing has no
+// candidate waypoints, so the query returns zero routes without error.
+func TestSequenceUnknownKeywordLeg(t *testing.T) {
+	mall, _, idx, err := gen.SyntheticMall(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := search.NewEngine(mall.Space, idx)
+	req := sequenceInstances(t, eng, 47, 1, gen.DefaultSequenceSampleConfig())[0]
+	req.Legs = []search.SequenceLeg{{QW: []string{"no-such-keyword-anywhere"}}}
+	res, err := eng.SearchSequence(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Routes) != 0 {
+		t.Fatalf("got %d routes for an unsatisfiable leg, want 0", len(res.Routes))
+	}
+}
+
+// TestSequenceBeamSmoke: a beam-limited run completes, stays within k, and
+// reports truncation iff it dropped prefixes.
+func TestSequenceBeamSmoke(t *testing.T) {
+	mall, _, idx, err := gen.SyntheticMall(2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := search.NewEngine(mall.Space, idx)
+	req := sequenceInstances(t, eng, 53, 1, gen.DefaultSequenceSampleConfig())[0]
+	req.Beam = 1
+	res, err := eng.SearchSequence(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Routes) > req.K {
+		t.Fatalf("beam run returned %d routes, k = %d", len(res.Routes), req.K)
+	}
+	if res.Stats.Truncated != (res.Stats.BeamDropped > 0) {
+		t.Fatalf("Truncated = %v with BeamDropped = %d", res.Stats.Truncated, res.Stats.BeamDropped)
+	}
+}

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// This file is the error-code taxonomy of the serving API: every non-200
+// response carries exactly one of these codes, and the code alone determines
+// the HTTP status and whether a client may retry the identical request
+// unchanged. Handlers never pick statuses ad hoc — they name a code and
+// writeError renders it — so the wire contract lives in one table (mirrored
+// in README.md; wire_test.go keeps the two in sync).
+
+// errorCode names one failure class of the serving API.
+type errorCode string
+
+const (
+	// codeMalformedRequest: the body is not valid JSON for the endpoint's
+	// shape (syntax errors, unknown fields, wrong types).
+	codeMalformedRequest errorCode = "malformed_request"
+	// codeRequestTooLarge: the body exceeds Config.MaxBodyBytes.
+	codeRequestTooLarge errorCode = "request_too_large"
+	// codeInvalidRequest: the body decoded but fails semantic validation
+	// (points outside the venue, parameter ranges, Δ/η exclusivity, bad
+	// conditions, leg caps).
+	codeInvalidRequest errorCode = "invalid_request"
+	// codeUnknownVariant: the route request names a variant outside Table III.
+	codeUnknownVariant errorCode = "unknown_variant"
+	// codeUnknownType: a v2 envelope carries a missing or unrecognized
+	// "type" discriminator.
+	codeUnknownType errorCode = "unknown_type"
+	// codeUnknownVenue: the path names a venue never registered.
+	codeUnknownVenue errorCode = "unknown_venue"
+	// codeVenueUnavailable: the venue exists but its snapshot failed to load.
+	codeVenueUnavailable errorCode = "venue_unavailable"
+	// codeReloadFailed: a reload left the venue serving its old engine.
+	codeReloadFailed errorCode = "reload_failed"
+	// codePathForbidden: a reload path override escapes the snapshot root.
+	codePathForbidden errorCode = "path_forbidden"
+	// codeOverloaded: admission control shed the query (Retry-After set).
+	codeOverloaded errorCode = "overloaded"
+	// codeSubscriberLimit: the conditions bus is at Config.MaxSubscribers.
+	codeSubscriberLimit errorCode = "subscriber_limit"
+	// codeDeadlineExceeded: the query ran past its per-request deadline.
+	codeDeadlineExceeded errorCode = "deadline_exceeded"
+	// codeDraining: the server is shutting down and accepts no new streams.
+	codeDraining errorCode = "draining"
+)
+
+// codeInfo is one taxonomy row.
+type codeInfo struct {
+	status    int
+	retryable bool
+}
+
+// errorTaxonomy is the single source of truth for status and retryability.
+// Retryable means the identical request may succeed later without changes:
+// capacity and lifecycle conditions are retryable, request defects are not.
+var errorTaxonomy = map[errorCode]codeInfo{
+	codeMalformedRequest: {http.StatusBadRequest, false},
+	codeRequestTooLarge:  {http.StatusRequestEntityTooLarge, false},
+	codeInvalidRequest:   {http.StatusBadRequest, false},
+	codeUnknownVariant:   {http.StatusBadRequest, false},
+	codeUnknownType:      {http.StatusBadRequest, false},
+	codeUnknownVenue:     {http.StatusNotFound, false},
+	codeVenueUnavailable: {http.StatusServiceUnavailable, true},
+	codeReloadFailed:     {http.StatusServiceUnavailable, true},
+	codePathForbidden:    {http.StatusForbidden, false},
+	codeOverloaded:       {http.StatusTooManyRequests, true},
+	codeSubscriberLimit:  {http.StatusTooManyRequests, true},
+	codeDeadlineExceeded: {http.StatusGatewayTimeout, true},
+	codeDraining:         {http.StatusServiceUnavailable, true},
+}
+
+func (c errorCode) status() int     { return errorTaxonomy[c].status }
+func (c errorCode) retryable() bool { return errorTaxonomy[c].retryable }
+
+// apiError carries a coded failure from the query cores back to whichever
+// surface reports it — an HTTP handler or an SSE stream.
+type apiError struct {
+	code errorCode
+	msg  string
+}
+
+func (e *apiError) Error() string { return fmt.Sprintf("%s: %s", e.code, e.msg) }
+
+// errf builds an apiError.
+func errf(code errorCode, format string, args ...any) *apiError {
+	return &apiError{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// clientGone is the internal sentinel for a request whose client
+// disconnected mid-query: nothing can be written, the caller only counts it.
+var clientGone = &apiError{code: "client_gone"}
+
+// wireError renders a coded error body, stamping retryability from the
+// taxonomy.
+func wireError(code errorCode, format string, args ...any) *ErrorBody {
+	return &ErrorBody{Error: ErrorInfo{
+		Code:      string(code),
+		Message:   fmt.Sprintf(format, args...),
+		Retryable: code.retryable(),
+	}}
+}
+
+// writeError reports a coded failure on an HTTP response and attributes it
+// to the right counter class: sheds and deadline hits have dedicated
+// counters, everything else splits client/server by status.
+func (s *Server) writeError(w http.ResponseWriter, code errorCode, format string, args ...any) {
+	switch code {
+	case codeOverloaded, codeSubscriberLimit:
+		s.met.shed.Add(1)
+	case codeDeadlineExceeded:
+		s.met.timeouts.Add(1)
+	default:
+		if code.status() >= 500 {
+			s.met.serverErrs.Add(1)
+		} else {
+			s.met.clientErrs.Add(1)
+		}
+	}
+	s.writeJSON(w, code.status(), wireError(code, format, args...))
+}
+
+// writeAPIError reports an apiError produced by a query core.
+func (s *Server) writeAPIError(w http.ResponseWriter, e *apiError) {
+	s.writeError(w, e.code, "%s", e.msg)
+}

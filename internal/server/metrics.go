@@ -21,6 +21,8 @@ type metrics struct {
 	timeouts    atomic.Uint64 // 504 per-request deadline hits
 	disconnects atomic.Uint64 // client gone before the result
 	reloads     atomic.Uint64 // successful hot snapshot swaps
+	publishes   atomic.Uint64 // conditions revisions published
+	pushes      atomic.Uint64 // SSE re-route events pushed (beyond initials)
 
 	inFlight atomic.Int64
 
@@ -74,7 +76,7 @@ func (m *metrics) queriesTotal() uint64 {
 }
 
 // vars renders the counter set for /debug/vars.
-func (m *metrics) vars(reg *Registry) map[string]any {
+func (m *metrics) vars(reg *Registry, bus *conditionsBus) map[string]any {
 	uptime := time.Since(m.start)
 	total := m.queriesTotal()
 	qps := 0.0
@@ -101,6 +103,11 @@ func (m *metrics) vars(reg *Registry) map[string]any {
 		},
 		"query_cache":  reg.queryCacheStats(),
 		"result_cache": reg.resultCacheStats(),
+		"bus": map[string]int64{
+			"publishes":   int64(m.publishes.Load()),
+			"pushes":      int64(m.pushes.Load()),
+			"subscribers": int64(bus.subscribers()),
+		},
 		"registry": map[string]int64{
 			"venues":    int64(reg.Len()),
 			"evictions": reg.Evictions(),

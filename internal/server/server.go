@@ -43,6 +43,16 @@ type Config struct {
 	// the cap.
 	MaxExpansions int
 
+	// MaxSubscribers bounds live SSE streams on the conditions bus across
+	// all venues; subscribe attempts past it are rejected with 429
+	// subscriber_limit. Default: 64.
+	MaxSubscribers int
+
+	// SubscribeMaxAge bounds the lifetime of one subscribe stream; clients
+	// reconnect to keep watching (picking up a fresh engine and revision on
+	// the way). Default: 5m.
+	SubscribeMaxAge time.Duration
+
 	// SnapshotRoot is the only directory the reload endpoint may load
 	// snapshot path overrides from: a ReloadRequest path must be relative
 	// and resolve inside it. The reload endpoint shares the query listener,
@@ -70,6 +80,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxExpansions == 0 {
 		c.MaxExpansions = 300000
 	}
+	if c.MaxSubscribers <= 0 {
+		c.MaxSubscribers = 64
+	}
+	if c.SubscribeMaxAge <= 0 {
+		c.SubscribeMaxAge = 5 * time.Minute
+	}
 	return c
 }
 
@@ -79,16 +95,22 @@ func (c Config) withDefaults() Config {
 //	GET  /v1/venues                     registry status
 //	POST /v1/venues/{venue}/query       one IKRQ query (QueryRequest JSON)
 //	POST /v1/venues/{venue}/reload      hot-swap the venue's snapshot
+//	POST /v2/venues/{venue}/query       versioned envelope: route or sequence
+//	PUT  /v2/venues/{venue}/conditions  publish a venue-wide conditions revision
+//	POST /v2/venues/{venue}/subscribe   SSE stream re-routing one envelope
 //	GET  /debug/vars                    serving counters
 //
 // Queries run on the engines' pooled executors under a per-request
 // deadline; admission control sheds load beyond MaxInFlight with 429.
+// Queries that carry no conditions overlay — v1 and v2 alike — run under
+// the venue's published conditions revision (see bus.go).
 type Server struct {
 	reg *Registry
 	cfg Config
 	sem chan struct{}
 	met *metrics
 	mux *http.ServeMux
+	bus *conditionsBus
 
 	httpSrv  *http.Server
 	draining chan struct{} // closed when Shutdown begins
@@ -103,12 +125,16 @@ func New(reg *Registry, cfg Config) *Server {
 		sem:      make(chan struct{}, cfg.MaxInFlight),
 		met:      newMetrics(),
 		mux:      http.NewServeMux(),
+		bus:      newConditionsBus(),
 		draining: make(chan struct{}),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/venues", s.handleVenues)
 	s.mux.HandleFunc("POST /v1/venues/{venue}/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/venues/{venue}/reload", s.handleReload)
+	s.mux.HandleFunc("POST /v2/venues/{venue}/query", s.handleQueryV2)
+	s.mux.HandleFunc("PUT /v2/venues/{venue}/conditions", s.handleConditions)
+	s.mux.HandleFunc("POST /v2/venues/{venue}/subscribe", s.handleSubscribe)
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
 	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
 	return s
@@ -173,14 +199,16 @@ func (s *Server) handleVenues(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, http.StatusOK, s.met.vars(s.reg))
+	s.writeJSON(w, http.StatusOK, s.met.vars(s.reg, s.bus))
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	// Admission control first: when the in-flight bound is reached the
-	// request is shed before any work — no body read, no engine load.
+// admit takes an admission slot or sheds the request. On true the caller
+// must release the slot (<-s.sem) when done. Shedding happens before any
+// work — no body read, no engine load.
+func (s *Server) admit(w http.ResponseWriter) bool {
 	select {
 	case s.sem <- struct{}{}:
+		return true
 	default:
 		s.met.shed.Add(1)
 		sec := int(s.cfg.RetryAfter.Seconds() + 0.5)
@@ -188,9 +216,117 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			sec = 1
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(sec))
-		body := wireError("overloaded", "server at max in-flight queries (%d); retry after %ds", s.cfg.MaxInFlight, sec)
+		body := wireError(codeOverloaded, "server at max in-flight queries (%d); retry after %ds", s.cfg.MaxInFlight, sec)
 		body.Error.RetryAfterSeconds = sec
 		s.writeJSON(w, http.StatusTooManyRequests, body)
+		return false
+	}
+}
+
+// acquireVenue maps registry acquisition onto the error taxonomy.
+func (s *Server) acquireVenue(name string) (*Handle, *apiError) {
+	h, err := s.reg.Acquire(name)
+	if errors.Is(err, ErrUnknownVenue) {
+		return nil, errf(codeUnknownVenue, "%v", err)
+	}
+	if err != nil {
+		return nil, errf(codeVenueUnavailable, "%v", err)
+	}
+	return h, nil
+}
+
+// queryDeadline resolves the effective per-request timeout: a request's
+// timeout_ms can tighten the configured maximum, never extend it.
+func (s *Server) queryDeadline(reqMillis int) time.Duration {
+	timeout := s.cfg.QueryTimeout
+	if t := time.Duration(reqMillis) * time.Millisecond; t > 0 && t < timeout {
+		timeout = t
+	}
+	return timeout
+}
+
+// runRouteQuery executes one route query against an acquired venue handle —
+// the shared core of /v1 query, the v2 route envelope and subscriber
+// re-runs. A request without a conditions overlay runs under the venue's
+// published conditions revision. Returns clientGone when the client
+// disconnected mid-query (nothing can be written).
+func (s *Server) runRouteQuery(parent context.Context, h *Handle, q *QueryRequest) (*QueryResponse, *apiError) {
+	variant := search.Variant(q.Variant)
+	if q.Variant == "" {
+		variant = search.VariantToE
+	}
+	opt, err := search.OptionsFor(variant)
+	if err != nil {
+		return nil, errf(codeUnknownVariant, "%v", err)
+	}
+	if s.cfg.MaxExpansions > 0 {
+		opt.MaxExpansions = s.cfg.MaxExpansions
+	}
+
+	req, err := q.BuildRequest(h.Engine())
+	if err != nil {
+		return nil, errf(codeInvalidRequest, "%v", err)
+	}
+	if req.Conditions == nil {
+		req.Conditions = s.bus.current(h.Venue())
+	}
+
+	timeout := s.queryDeadline(q.TimeoutMillis)
+	ctx, cancel := context.WithTimeout(parent, timeout)
+	defer cancel()
+
+	res, err := h.Engine().SearchContext(ctx, req, opt)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		return nil, errf(codeDeadlineExceeded, "query exceeded its %v deadline", timeout)
+	case errors.Is(err, context.Canceled):
+		// The client went away; the search aborted between expansion
+		// batches and its scratch went back to the pool.
+		return nil, clientGone
+	default:
+		// SearchContext validates the request (points inside the space,
+		// parameter ranges, conditions against the venue's doors) before
+		// running; any non-context error is a request problem.
+		return nil, errf(codeInvalidRequest, "%v", err)
+	}
+	h.CountQuery()
+	return BuildResponse(h.Venue(), variant, req, res), nil
+}
+
+// runSequenceQuery is runRouteQuery's counterpart for the v2 sequence
+// envelope.
+func (s *Server) runSequenceQuery(parent context.Context, h *Handle, q *SequenceRequestV2) (*SequenceResponse, *apiError) {
+	req, err := q.BuildSequenceRequest(h.Engine())
+	if err != nil {
+		return nil, errf(codeInvalidRequest, "%v", err)
+	}
+	if req.Conditions == nil {
+		req.Conditions = s.bus.current(h.Venue())
+	}
+
+	timeout := s.queryDeadline(q.TimeoutMillis)
+	ctx, cancel := context.WithTimeout(parent, timeout)
+	defer cancel()
+
+	res, err := h.Engine().SearchSequenceContext(ctx, req)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		return nil, errf(codeDeadlineExceeded, "query exceeded its %v deadline", timeout)
+	case errors.Is(err, context.Canceled):
+		return nil, clientGone
+	default:
+		return nil, errf(codeInvalidRequest, "%v", err)
+	}
+	h.CountQuery()
+	return BuildSequenceResponse(h.Venue(), req, res), nil
+}
+
+// handleQuery is POST /v1/venues/{venue}/query: the body is a bare
+// QueryRequest (this shape is frozen; new query kinds live under /v2).
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
 		return
 	}
 	defer func() { <-s.sem }()
@@ -205,76 +341,93 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&q); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			s.clientError(w, http.StatusRequestEntityTooLarge, "request_too_large",
-				"request body exceeds the %d-byte limit", tooBig.Limit)
+			s.writeError(w, codeRequestTooLarge, "request body exceeds the %d-byte limit", tooBig.Limit)
 			return
 		}
-		s.clientError(w, http.StatusBadRequest, "malformed_request", "decoding request body: %v", err)
+		s.writeError(w, codeMalformedRequest, "decoding request body: %v", err)
 		return
 	}
 
-	variant := search.Variant(q.Variant)
-	if q.Variant == "" {
-		variant = search.VariantToE
-	}
-	opt, err := search.OptionsFor(variant)
-	if err != nil {
-		s.clientError(w, http.StatusBadRequest, "unknown_variant", "%v", err)
-		return
-	}
-	if s.cfg.MaxExpansions > 0 {
-		opt.MaxExpansions = s.cfg.MaxExpansions
-	}
-
-	h, err := s.reg.Acquire(r.PathValue("venue"))
-	if errors.Is(err, ErrUnknownVenue) {
-		s.clientError(w, http.StatusNotFound, "unknown_venue", "%v", err)
-		return
-	}
-	if err != nil {
-		s.met.serverErrs.Add(1)
-		s.writeJSON(w, http.StatusServiceUnavailable, wireError("venue_unavailable", "%v", err))
+	h, apiErr := s.acquireVenue(r.PathValue("venue"))
+	if apiErr != nil {
+		s.writeAPIError(w, apiErr)
 		return
 	}
 	defer h.Release()
 
-	req, err := q.BuildRequest(h.Engine())
-	if err != nil {
-		s.clientError(w, http.StatusBadRequest, "invalid_request", "%v", err)
-		return
-	}
-
-	timeout := s.cfg.QueryTimeout
-	if t := time.Duration(q.TimeoutMillis) * time.Millisecond; t > 0 && t < timeout {
-		timeout = t
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
-	defer cancel()
-
-	res, err := h.Engine().SearchContext(ctx, req, opt)
+	res, apiErr := s.runRouteQuery(r.Context(), h, &q)
 	switch {
-	case err == nil:
-	case errors.Is(err, context.DeadlineExceeded):
-		s.met.timeouts.Add(1)
-		s.writeJSON(w, http.StatusGatewayTimeout,
-			wireError("deadline_exceeded", "query exceeded its %v deadline", timeout))
-		return
-	case errors.Is(err, context.Canceled):
-		// The client went away; the search aborted between expansion
-		// batches and its scratch went back to the pool. Nothing to write.
+	case apiErr == clientGone:
 		s.met.disconnects.Add(1)
 		return
-	default:
-		// SearchContext validates the request (points inside the space,
-		// parameter ranges, conditions against the venue's doors) before
-		// running; any non-context error is a request problem.
-		s.clientError(w, http.StatusBadRequest, "invalid_request", "%v", err)
+	case apiErr != nil:
+		s.writeAPIError(w, apiErr)
+		return
+	}
+	s.met.ok.Add(1)
+	s.writeJSON(w, http.StatusOK, res)
+}
+
+// handleQueryV2 is POST /v2/venues/{venue}/query: the body is a versioned
+// envelope discriminated on "type". A route envelope answers with the exact
+// QueryResponse document /v1 serves (the v1-vs-v2 oracle test pins this); a
+// sequence envelope answers with a SequenceResponse.
+func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
+	defer func() { <-s.sem }()
+	s.met.inFlight.Add(1)
+	defer s.met.inFlight.Add(-1)
+	t0 := time.Now()
+	defer func() { s.met.observe(time.Since(t0)) }()
+
+	env, apiErr := decodeEnvelope(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if apiErr != nil {
+		s.writeAPIError(w, apiErr)
 		return
 	}
 
-	h.CountQuery()
+	h, apiErr := s.acquireVenue(r.PathValue("venue"))
+	if apiErr != nil {
+		s.writeAPIError(w, apiErr)
+		return
+	}
+	defer h.Release()
+
+	var res any
+	switch {
+	case env.Route != nil:
+		res, apiErr = route2any(s.runRouteQuery(r.Context(), h, &env.Route.QueryRequest))
+	default:
+		res, apiErr = seq2any(s.runSequenceQuery(r.Context(), h, env.Sequence))
+	}
+	switch {
+	case apiErr == clientGone:
+		s.met.disconnects.Add(1)
+		return
+	case apiErr != nil:
+		s.writeAPIError(w, apiErr)
+		return
+	}
 	s.met.ok.Add(1)
-	s.writeJSON(w, http.StatusOK, BuildResponse(h.Venue(), variant, req, res))
+	s.writeJSON(w, http.StatusOK, res)
+}
+
+// route2any / seq2any erase the response type without the typed-nil trap: a
+// nil typed pointer must become a nil interface, never a non-nil any.
+func route2any(r *QueryResponse, e *apiError) (any, *apiError) {
+	if r == nil {
+		return nil, e
+	}
+	return r, e
+}
+
+func seq2any(r *SequenceResponse, e *apiError) (any, *apiError) {
+	if r == nil {
+		return nil, e
+	}
+	return r, e
 }
 
 // handleReload hot-swaps a venue's resident engine: the snapshot at the
@@ -291,12 +444,12 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&body); err != nil && !errors.Is(err, io.EOF) {
-		s.clientError(w, http.StatusBadRequest, "malformed_request", "decoding request body: %v", err)
+		s.writeError(w, codeMalformedRequest, "decoding request body: %v", err)
 		return
 	}
 	path, err := s.resolveReloadPath(body.Path)
 	if err != nil {
-		s.clientError(w, http.StatusForbidden, "path_forbidden", "%v", err)
+		s.writeError(w, codePathForbidden, "%v", err)
 		return
 	}
 
@@ -305,11 +458,10 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	err = s.reg.Swap(name, path)
 	switch {
 	case errors.Is(err, ErrUnknownVenue):
-		s.clientError(w, http.StatusNotFound, "unknown_venue", "%v", err)
+		s.writeError(w, codeUnknownVenue, "%v", err)
 		return
 	case err != nil:
-		s.met.serverErrs.Add(1)
-		s.writeJSON(w, http.StatusServiceUnavailable, wireError("reload_failed", "%v", err))
+		s.writeError(w, codeReloadFailed, "%v", err)
 		return
 	}
 	s.met.reloads.Add(1)
@@ -337,11 +489,6 @@ func (s *Server) resolveReloadPath(p string) (string, error) {
 	return filepath.Join(s.cfg.SnapshotRoot, p), nil
 }
 
-func (s *Server) clientError(w http.ResponseWriter, status int, code, format string, args ...any) {
-	s.met.clientErrs.Add(1)
-	s.writeJSON(w, status, wireError(code, format, args...))
-}
-
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -356,6 +503,6 @@ func (c Config) String() string {
 	if root == "" {
 		root = "(none)"
 	}
-	return fmt.Sprintf("max_inflight=%d query_timeout=%v retry_after=%v max_body=%dB max_expansions=%d snapshot_root=%s",
-		c.MaxInFlight, c.QueryTimeout, c.RetryAfter, c.MaxBodyBytes, c.MaxExpansions, root)
+	return fmt.Sprintf("max_inflight=%d query_timeout=%v retry_after=%v max_body=%dB max_expansions=%d max_subscribers=%d subscribe_max_age=%v snapshot_root=%s",
+		c.MaxInFlight, c.QueryTimeout, c.RetryAfter, c.MaxBodyBytes, c.MaxExpansions, c.MaxSubscribers, c.SubscribeMaxAge, root)
 }

@@ -2,7 +2,6 @@ package server
 
 import (
 	"errors"
-	"fmt"
 	"math"
 	"time"
 
@@ -188,11 +187,18 @@ type ErrorBody struct {
 
 // ErrorInfo is the payload of ErrorBody.
 type ErrorInfo struct {
-	// Code is one of: malformed_request, request_too_large,
-	// invalid_request, unknown_variant, unknown_venue, venue_unavailable,
-	// reload_failed, path_forbidden, overloaded, deadline_exceeded.
+	// Code is one of the taxonomy rows in errors.go (mirrored in the
+	// README error table): malformed_request, request_too_large,
+	// invalid_request, unknown_variant, unknown_type, unknown_venue,
+	// venue_unavailable, reload_failed, path_forbidden, overloaded,
+	// subscriber_limit, deadline_exceeded, draining.
 	Code    string `json:"code"`
 	Message string `json:"message"`
+
+	// Retryable reports whether the identical request may succeed later
+	// without changes (capacity and lifecycle conditions, not request
+	// defects).
+	Retryable bool `json:"retryable,omitempty"`
 
 	// RetryAfterSeconds accompanies overloaded responses, mirroring the
 	// Retry-After header for clients that only read bodies.
@@ -251,8 +257,3 @@ type VenueStatus struct {
 
 // durationMillis rounds for VenueStatus.
 func durationMillis(d time.Duration) int64 { return d.Milliseconds() }
-
-// wireError builds an ErrorBody.
-func wireError(code, format string, args ...any) *ErrorBody {
-	return &ErrorBody{Error: ErrorInfo{Code: code, Message: fmt.Sprintf(format, args...)}}
-}

@@ -11,7 +11,11 @@ set -euo pipefail
 
 workdir=$(mktemp -d)
 daemon_pid=""
+sub_a_pid=""
+sub_b_pid=""
 cleanup() {
+  [ -n "$sub_a_pid" ] && kill "$sub_a_pid" 2>/dev/null || true
+  [ -n "$sub_b_pid" ] && kill "$sub_b_pid" 2>/dev/null || true
   [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
   rm -rf "$workdir"
 }
@@ -190,6 +194,170 @@ st=$(curl -sS -o /dev/null -w '%{http_code}' -X POST \
   -d '{"path": "../escape.ikrq"}' "$base/v1/venues/mall/reload")
 [ "$st" = 403 ] || { echo "FAIL: escaping reload path -> $st, want 403"; exit 1; }
 echo "swap: 40/40 queries 200 across the reload, failed reload left venue serving, escapes 403"
+
+echo "== v2 sequence query"
+# An ordered two-leg itinerary through the same baked mall: one waypoint
+# per leg, visited in request order (entered-partition positions prove it).
+seq_body=$(jq -n --arg kw1 "${kws[0]}" --arg kw2 "${kws[1]}" '{
+  type: "sequence",
+  start:    {x: 3,   y: 3,  floor: 0},
+  terminal: {x: 100, y: 60, floor: 1},
+  legs:     [{keywords: [$kw1]}, {keywords: [$kw2]}],
+  k: 3, delta: 2200, alpha: 0.5, tau: 0.2
+}')
+st=$(curl -sS -o "$workdir/seq.json" -w '%{http_code}' \
+  -X POST -H 'Content-Type: application/json' \
+  -d "$seq_body" "$base/v2/venues/mall/query")
+[ "$st" = 200 ] || { echo "FAIL: sequence query -> HTTP $st: $(cat "$workdir/seq.json")"; exit 1; }
+# Leg order on the walk: waypoint 1's entry position precedes waypoint
+# 2's. A waypoint absent from `entered` is the in-place case (the leg is
+# satisfied by the partition the walk is already inside, e.g. the start's
+# host) and anchors at its predecessor's position.
+jq -e '
+  (.routes | length) as $n |
+  (.type == "sequence") and
+  ($n > 0) and
+  ([.routes[]
+     | . as $r
+     | (($r.entered | index($r.waypoints[0])) // -1) as $i0
+     | (($r.entered | index($r.waypoints[1])) // $i0) as $i1
+     | select(
+        (($r.waypoints | length) == 2) and
+        (($r.leg_rho  | length) == 2) and
+        (($r.leg_sims | length) == 2) and
+        ($i0 <= $i1) and
+        ($r.dist > 0 and $r.dist <= 2200)
+      )] | length == $n)
+' "$workdir/seq.json" >/dev/null || {
+  echo "FAIL: malformed sequence result: $(cat "$workdir/seq.json")"; exit 1; }
+# The v2 envelope is strict: unknown fields and a missing type are 400s.
+st=$(curl -sS -o /dev/null -w '%{http_code}' -X POST \
+  -d "$(echo "$seq_body" | jq '. + {surprise: 1}')" "$base/v2/venues/mall/query")
+[ "$st" = 400 ] || { echo "FAIL: unknown v2 field -> $st, want 400"; exit 1; }
+st=$(curl -sS -o /dev/null -w '%{http_code}' -X POST \
+  -d "$(echo "$seq_body" | jq 'del(.type)')" "$base/v2/venues/mall/query")
+[ "$st" = 400 ] || { echo "FAIL: missing v2 discriminator -> $st, want 400"; exit 1; }
+echo "sequence: 200, legs visited in order, strict envelope 400s"
+
+echo "== conditions bus: publish + subscribe"
+# Two subscribers on disjoint keyword routes. Closing a door on A's best
+# route must push A exactly one re-route and push B nothing; the SSE event
+# id is the conditions revision, so B's first push arriving with id 2
+# proves revision 1 was (correctly) silent for it.
+env_a=$(jq -n --arg kw "${kws[0]}" '{
+  type: "route",
+  start: {x: 3, y: 3, floor: 0}, terminal: {x: 100, y: 60, floor: 1},
+  keywords: [$kw], k: 3, delta: 2200, alpha: 0.5, tau: 0.2
+}')
+env_b=$(jq -n --arg kw "${kws[1]}" '{
+  type: "route",
+  start: {x: 3, y: 3, floor: 0}, terminal: {x: 100, y: 60, floor: 1},
+  keywords: [$kw], k: 3, delta: 2200, alpha: 0.5, tau: 0.2
+}')
+curl -sS -X POST -H 'Content-Type: application/json' \
+  -d "$env_a" "$base/v2/venues/mall/query" -o "$workdir/a0.json"
+curl -sS -X POST -H 'Content-Type: application/json' \
+  -d "$env_b" "$base/v2/venues/mall/query" -o "$workdir/b0.json"
+# door_a: on one of A's served routes but on none of B's (closing it must
+# re-route A and cannot change B's top-k — closures only remove walks, and
+# all of B's survive). If every A door is shared — e.g. A's keyword matches
+# the start's host partition, so its routes are plain hallway walks — the
+# roles swap: one side always detours through brand doors the other skips.
+only_in() { # doors in $1's routes that are on none of $2's
+  jq -n --argjson a "$(jq '[.routes[].doors[]] | unique' "$1")" \
+        --argjson b "$(jq '[.routes[].doors[]] | unique' "$2")" \
+        '[$a[] | select(. as $d | $b | index($d) | not)][0]'
+}
+door_a=$(only_in "$workdir/a0.json" "$workdir/b0.json")
+if [ "$door_a" = "null" ]; then
+  door_a=$(only_in "$workdir/b0.json" "$workdir/a0.json")
+  tmp_env=$env_a; env_a=$env_b; env_b=$tmp_env
+  mv "$workdir/a0.json" "$workdir/swap.json"
+  mv "$workdir/b0.json" "$workdir/a0.json"
+  mv "$workdir/swap.json" "$workdir/b0.json"
+fi
+[ "$door_a" != "null" ] && [ -n "$door_a" ] || {
+  echo "FAIL: could not find a door unique to either subscriber's routes"; exit 1; }
+# door_b: any door on one of B's served routes re-routes B when closed.
+door_b=$(jq '.routes[0].doors[0]' "$workdir/b0.json")
+
+curl -sN -X POST -H 'Content-Type: application/json' \
+  -d "$env_a" "$base/v2/venues/mall/subscribe" > "$workdir/a_stream" &
+sub_a_pid=$!
+curl -sN -X POST -H 'Content-Type: application/json' \
+  -d "$env_b" "$base/v2/venues/mall/subscribe" > "$workdir/b_stream" &
+sub_b_pid=$!
+wait_events() { # $1 = stream file, $2 = result-event count to wait for
+  local n
+  for i in $(seq 1 100); do
+    n=$(grep -c '^event: result' "$1" 2>/dev/null || true)
+    [ "${n:-0}" -ge "$2" ] && return 0
+    sleep 0.1
+  done
+  echo "FAIL: $1 never reached $2 result events:"; cat "$1"; return 1
+}
+wait_events "$workdir/a_stream" 1
+wait_events "$workdir/b_stream" 1
+
+# Query load across the publish: zero dropped queries is the bar, same as
+# the snapshot swap (distinct explicit overlays bypass cache and bus).
+pub_statuses="$workdir/pub_statuses"
+: > "$pub_statuses"
+(
+  for i in $(seq 1 20); do
+    echo "$cache_body" | jq --argjson i "$i" '. + {conditions: {delay: {"1": $i}}}' |
+      curl -sS -o /dev/null -w '%{http_code}\n' \
+        -X POST -H 'Content-Type: application/json' \
+        -d @- "$base/v1/venues/mall/query" >> "$pub_statuses" || echo curlfail >> "$pub_statuses"
+  done
+) &
+pub_load_pid=$!
+
+st=$(curl -sS -o "$workdir/pub1.json" -w '%{http_code}' -X PUT \
+  -H 'Content-Type: application/json' \
+  -d "{\"close\": [$door_a]}" "$base/v2/venues/mall/conditions")
+[ "$st" = 200 ] || { echo "FAIL: publish -> HTTP $st: $(cat "$workdir/pub1.json")"; exit 1; }
+jq -e '.venue == "mall" and .revision == 1 and .closed == 1' "$workdir/pub1.json" >/dev/null || {
+  echo "FAIL: malformed publish response: $(cat "$workdir/pub1.json")"; exit 1; }
+
+wait_events "$workdir/a_stream" 2
+# A's re-route equals a fresh v2 query under the published revision.
+grep '^data: ' "$workdir/a_stream" | sed -n '2p' | cut -c7- | jq '.routes' > "$workdir/push_routes.json"
+curl -sS -X POST -H 'Content-Type: application/json' \
+  -d "$env_a" "$base/v2/venues/mall/query" | jq '.routes' > "$workdir/fresh_routes.json"
+cmp -s "$workdir/push_routes.json" "$workdir/fresh_routes.json" || {
+  echo "FAIL: pushed re-route differs from a fresh query:"
+  diff "$workdir/push_routes.json" "$workdir/fresh_routes.json" || true
+  exit 1
+}
+# Closing a door on B's route (revision 2) is B's first push: its id
+# sequence 0,2 proves revision 1 pushed nothing to the unaffected route.
+st=$(curl -sS -o /dev/null -w '%{http_code}' -X PUT \
+  -d "{\"close\": [$door_b]}" "$base/v2/venues/mall/conditions")
+[ "$st" = 200 ] || { echo "FAIL: second publish -> HTTP $st"; exit 1; }
+wait_events "$workdir/b_stream" 2
+b_ids=$(grep '^id: ' "$workdir/b_stream" | awk '{print $2}' | paste -sd, -)
+[ "$b_ids" = "0,2" ] || {
+  echo "FAIL: B's event ids are [$b_ids], want [0,2]:"; cat "$workdir/b_stream"; exit 1; }
+a_ids=$(grep '^id: ' "$workdir/a_stream" | awk '{print $2}' | head -2 | paste -sd, -)
+[ "$a_ids" = "0,1" ] || {
+  echo "FAIL: A's first event ids are [$a_ids], want [0,1]:"; cat "$workdir/a_stream"; exit 1; }
+
+wait "$pub_load_pid"
+[ "$(wc -l < "$pub_statuses")" = 20 ] || {
+  echo "FAIL: publish load loop ran $(wc -l < "$pub_statuses")/20 queries"; exit 1; }
+bad=$(grep -cv '^200$' "$pub_statuses" || true)
+[ "$bad" = 0 ] || {
+  echo "FAIL: $bad queries failed across the publishes:"; sort "$pub_statuses" | uniq -c; exit 1; }
+curl -fsS "$base/debug/vars" | jq -e '.bus.publishes >= 2 and .bus.pushes >= 2' >/dev/null || {
+  echo "FAIL: /debug/vars does not carry bus counters"; exit 1; }
+# Clear the published overlay and release the streams.
+st=$(curl -sS -o /dev/null -w '%{http_code}' -X PUT -d '' "$base/v2/venues/mall/conditions")
+[ "$st" = 200 ] || { echo "FAIL: clearing publish -> HTTP $st"; exit 1; }
+kill "$sub_a_pid" "$sub_b_pid" 2>/dev/null || true
+wait "$sub_a_pid" 2>/dev/null || true
+wait "$sub_b_pid" 2>/dev/null || true
+echo "bus: one re-route for the affected route, id-fenced silence for the other, 20/20 queries 200 across publishes"
 
 echo "== graceful drain"
 kill -TERM "$daemon_pid"
